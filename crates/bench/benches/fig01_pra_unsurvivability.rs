@@ -1,0 +1,77 @@
+//! Figure 1 + the §III-A LFSR Monte-Carlo study.
+//!
+//! Part 1 prints PRA's 5-year unsurvivability (log10) for refresh
+//! thresholds 32K/24K/16K/8K and p = 0.001‥0.006 against the Chipkill
+//! reference of 1e-4, with the paper's Q0 settings.
+//!
+//! Part 2 validates the Monte-Carlo machinery against Eq. 1 under an ideal
+//! PRNG, then runs the LFSR state-recovery attack at several side-channel
+//! observation rates — the mechanism behind the paper's "1e-4 after only
+//! 25 refresh intervals" claim for LFSR-based PRA.
+
+use cat_bench::banner;
+use cat_reliability::{
+    chipkill_log10, ideal_window_failures, lfsr_attack, log10_unsurvivability,
+};
+
+fn main() {
+    banner("Figure 1: PRA 5-year unsurvivability, log10((1-p)^T · Q0 · Q1)");
+    let ps = [0.001, 0.002, 0.003, 0.004, 0.005, 0.006];
+    // The paper pairs Q0 = 10, 15, 20, 40 with T = 32K, 24K, 16K, 8K.
+    let configs = [(32_768u32, 10.0), (24_576, 15.0), (16_384, 20.0), (8_192, 40.0)];
+    print!("{:>10} {:>5}", "T", "Q0");
+    for p in ps {
+        print!(" {:>9}", format!("p={p}"));
+    }
+    println!("   [log10; Chipkill = {:.1}]", chipkill_log10());
+    for (t, q0) in configs {
+        print!("{:>10} {:>5}", t, q0);
+        for p in ps {
+            print!(" {:>9.1}", log10_unsurvivability(p, t, q0, 5.0));
+        }
+        println!();
+    }
+    println!("\nsurvivable (below Chipkill) combinations:");
+    for (t, q0) in configs {
+        let ok: Vec<String> = ps
+            .iter()
+            .filter(|&&p| log10_unsurvivability(p, t, q0, 5.0) < chipkill_log10())
+            .map(|p| p.to_string())
+            .collect();
+        println!("  T = {t:>6}: p ∈ {{{}}}", ok.join(", "));
+    }
+
+    banner("Eq. 1 validation: ideal-PRNG Monte Carlo vs analytic window failure");
+    for (t, p) in [(500u32, 0.005f64), (1_000, 0.002), (2_000, 0.002)] {
+        let windows = 40_000u64;
+        let quantised = ((p * 512.0).round() / 512.0).max(1.0 / 512.0);
+        let analytic = (1.0 - quantised).powi(t as i32);
+        let mc = ideal_window_failures(p, 9, t, windows, 7) as f64 / windows as f64;
+        println!(
+            "T = {t:>5}, p = {p}: analytic (1-p)^T = {analytic:.5}, Monte-Carlo = {mc:.5}"
+        );
+    }
+
+    banner("§III-A: LFSR-based PRA under state recovery (T = 16K, p = 0.005)");
+    println!(
+        "{:>12} {:>20} {:>18} {:>10}",
+        "observe", "recovery (accesses)", "failure interval", "evasion"
+    );
+    for (observe, seeds) in [(1.0, 3u64), (0.01, 2), (0.001, 1), (0.0001, 1)] {
+        for seed in 0..seeds {
+            let out = lfsr_attack(0.005, 9, 16_384, observe, 1_000_000, 400, 1_000 + seed);
+            println!(
+                "{:>12} {:>20} {:>18} {:>10}",
+                observe,
+                out.recovery_accesses.map_or("—".into(), |r| r.to_string()),
+                out.failure_interval.map_or(">budget".into(), |i| i.to_string()),
+                if out.evasion_clean { "clean" } else { "-" }
+            );
+        }
+    }
+    println!(
+        "\nOnce the 16-bit state is recovered the attack is deterministic: the\n\
+         paper's reported ~25-interval collapse corresponds to an observation\n\
+         rate of roughly 1e-4 of PRA's decisions (≈460 observed draws needed)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 3: row-access frequency of one DRAM bank over a 64 ms interval
+//! for blackscholes and facesim — the skew that motivates dynamic counter
+//! assignment. Rendered as a 64-bucket ASCII profile plus hot-row stats.
+
+use cat_bench::{banner, quick_factor, system_stream};
+use cat_sim::SystemConfig;
+use cat_workloads::{catalog, RowHistogram};
+
+fn spark(buckets: &[u64]) -> String {
+    let max = *buckets.iter().max().unwrap_or(&1) as f64;
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    buckets
+        .iter()
+        .map(|&b| {
+            if b == 0 {
+                glyphs[0]
+            } else {
+                // Log scale: hot spikes dominate linear plots completely.
+                let level = ((b as f64).ln() / max.ln() * (glyphs.len() - 1) as f64).ceil();
+                glyphs[(level as usize).clamp(1, glyphs.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = SystemConfig::dual_core_two_channel();
+    banner("Figure 3: per-bank row-access frequency over one 64 ms interval");
+    for (name, bank) in [("black", 6u32), ("face", 8)] {
+        let w = catalog::by_name(name).unwrap();
+        let budget = (w.accesses_per_epoch / quick_factor()) as usize;
+        let hist = RowHistogram::collect(&cfg, bank, system_stream(&w, &cfg, 1, 21).take(budget));
+        println!("\n--- {name} (bank {bank}, {} in-bank accesses) ---", hist.total());
+        println!("[{}]", spark(&hist.bucketize(64)));
+        println!(" row 0{:>60}", format!("row {}", cfg.rows_per_bank - 1));
+        let top = hist.top_rows(5);
+        println!("hottest rows:");
+        for (row, count) in &top {
+            println!("  row {row:>6}: {count:>8} accesses");
+        }
+        println!(
+            "top-2 share {:.1}%   top-64 share {:.1}%   mean nonzero count {}",
+            hist.top_k_share(2) * 100.0,
+            hist.top_k_share(64) * 100.0,
+            hist.mean_nonzero()
+        );
+    }
+    println!(
+        "\npaper's observation: \"a small group of rows dominate overall accesses\"\n\
+         — blackscholes concentrates ~10^5-count spikes on a couple of rows,\n\
+         facesim spreads a hot band plus spikes (matching the two panels)."
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 4: the trees CAT grows under (a) biased and (b) uniform row
+//! access patterns, printed as leaf partitions. Also exercises Figure 5's
+//! pointer-layout shape via the same access choreography used in the unit
+//! tests.
+
+use cat_bench::banner;
+use cat_core::{CatConfig, CatTree, MitigationScheme, RowId, ThresholdPolicy};
+
+fn grow(cfg: &CatConfig, accesses: impl Iterator<Item = u32>) -> CatTree {
+    let mut tree = CatTree::new(cfg.clone());
+    for row in accesses {
+        tree.on_activation(RowId(row));
+    }
+    tree
+}
+
+fn main() {
+    let cfg = CatConfig::new(1024, 8, 6, 512).unwrap();
+
+    banner("Figure 4(a): biased references → unbalanced tree (M = 8, L = 6)");
+    let biased = grow(
+        &cfg,
+        (0..4_000u32).map(|i| if i % 5 != 0 { 700 + i % 4 } else { (i * 617) % 1024 }),
+    );
+    println!("{}", biased.shape().render());
+    println!("depth profile: {:?}", biased.shape().depth_profile());
+
+    banner("Figure 4(b): uniform references → balanced tree");
+    let uniform = grow(&cfg, (0..4_000u32).map(|i| (i % 4) * 256 + (i * 61) % 256));
+    println!("{}", uniform.shape().render());
+    println!("depth profile: {:?}", uniform.shape().depth_profile());
+
+    banner("Figure 5 shape: N = 32, M = 8, L = 6, T = 64, λ = 1, doubling thresholds");
+    let f5 = CatConfig::new(32, 8, 6, 64)
+        .unwrap()
+        .with_policy(ThresholdPolicy::Doubling)
+        .with_lambda(1)
+        .unwrap();
+    let mut tree = CatTree::new(f5);
+    for _ in 0..32 {
+        tree.on_activation(RowId(4));
+    }
+    for _ in 0..12 {
+        tree.on_activation(RowId(12));
+    }
+    println!("{}", tree.shape().render());
+    println!(
+        "leaf depths {:?} over spans {:?} — the paper's Fig. 5(a): 3,5,5,4,3,4,4,1",
+        tree.shape().depth_profile(),
+        tree.shape()
+            .leaves()
+            .iter()
+            .map(|l| l.range.len())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(tree.shape().depth_profile(), vec![3, 5, 5, 4, 3, 4, 4, 1]);
+}

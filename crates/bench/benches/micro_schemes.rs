@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks: per-activation cost of each mitigation
+//! scheme (the software analogue of §VII-A's latency table — SCA one SRAM
+//! access, CAT 2‥L−log2(M)+2 pointer hops, DRCAT's extra weight work) and
+//! the cost of a DRCAT reconfiguration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cat_core::{
+    CatConfig, CatTree, CounterCache, CounterCacheConfig, Drcat, MitigationScheme, Pra, Prcat,
+    RowId, Sca,
+};
+
+const ROWS: u32 = 65_536;
+const T: u32 = 32_768;
+
+/// A deterministic hot/cold access pattern exercising the tree depths.
+fn row(i: u64) -> RowId {
+    if !i.is_multiple_of(3) {
+        RowId(31_337)
+    } else {
+        RowId(((i as u32).wrapping_mul(2_654_435_761)) % ROWS)
+    }
+}
+
+fn bench_activation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_activation");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    macro_rules! bench_scheme {
+        ($name:expr, $mk:expr) => {
+            group.bench_function($name, |b| {
+                let mut scheme = $mk;
+                // Pre-grow the structures so we measure steady state.
+                for i in 0..200_000u64 {
+                    scheme.on_activation(row(i));
+                }
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    black_box(scheme.on_activation(row(i)));
+                });
+            });
+        };
+    }
+
+    bench_scheme!("SCA_64", Sca::new(ROWS, 64, T).unwrap());
+    bench_scheme!("SCA_128", Sca::new(ROWS, 128, T).unwrap());
+    bench_scheme!("PRA_0.002", Pra::new(ROWS, 0.002, 1).unwrap());
+    bench_scheme!(
+        "CAT_64_L11",
+        CatTree::new(CatConfig::new(ROWS, 64, 11, T).unwrap())
+    );
+    bench_scheme!(
+        "PRCAT_64_L11",
+        Prcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap())
+    );
+    bench_scheme!(
+        "DRCAT_64_L11",
+        Drcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap())
+    );
+    bench_scheme!(
+        "DRCAT_64_L14",
+        Drcat::new(CatConfig::new(ROWS, 64, 14, T).unwrap())
+    );
+    bench_scheme!(
+        "CounterCache_1024",
+        CounterCache::new(ROWS, CounterCacheConfig::with_entries(1024, 8).unwrap(), T).unwrap()
+    );
+    group.finish();
+}
+
+fn bench_reconfiguration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drcat_reconfigure");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("merge_plus_split", |b| {
+        b.iter_batched(
+            || {
+                // A fully grown DRCAT with a saturated hot counter one
+                // refresh away from reconfiguring.
+                let mut d = Drcat::new(CatConfig::new(1024, 16, 8, 256).unwrap());
+                for i in 0..20_000u64 {
+                    d.on_activation(RowId(((i as u32) * 37) % 1024));
+                }
+                let mut w = vec![0u8; 16];
+                w[0] = 2; // next refresh event on a level-tracked counter saturates
+                d.force_weights(&w);
+                d
+            },
+            |mut d| {
+                for _ in 0..256 {
+                    black_box(d.on_activation(RowId(5)));
+                }
+                d
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("prcat_epoch_reset", |b| {
+        let mut p = Prcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap());
+        for i in 0..100_000u64 {
+            p.on_activation(row(i));
+        }
+        b.iter(|| {
+            p.on_epoch_end();
+            black_box(p.tree().active_counters())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_activation, bench_reconfiguration, bench_tree_build);
+criterion_main!(benches);

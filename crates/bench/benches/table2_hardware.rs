@@ -1,0 +1,65 @@
+//! Table II: per-bank hardware energy and area for DRCAT, PRCAT and SCA
+//! with M = 32‥512 counters, plus the PRA PRNG specification — printed from
+//! the energy model (the published points are reproduced exactly; the
+//! interpolation serves the other figures).
+
+use cat_bench::banner;
+use cat_core::SchemeKind;
+use cat_energy::{area_mm2, dynamic_nj_per_access, prng, static_nj_per_interval};
+
+fn main() {
+    banner("Table II: hardware energy (per bank) and area — T = 32K, L = 11");
+    println!(
+        "{:>5} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11} | {:>9} {:>9} {:>9}",
+        "M",
+        "DRCAT dyn", "DRCAT stat",
+        "PRCAT dyn", "PRCAT stat",
+        "SCA dyn", "SCA stat",
+        "DRCAT mm2", "PRCAT mm2", "SCA mm2"
+    );
+    for m in [32usize, 64, 128, 256, 512] {
+        println!(
+            "{:>5} | {:>11.3e} {:>11.3e} | {:>11.3e} {:>11.3e} | {:>11.3e} {:>11.3e} | {:>9.3e} {:>9.3e} {:>9.3e}",
+            m,
+            dynamic_nj_per_access(SchemeKind::Drcat, m, 11, 32_768),
+            static_nj_per_interval(SchemeKind::Drcat, m, 32_768),
+            dynamic_nj_per_access(SchemeKind::Prcat, m, 11, 32_768),
+            static_nj_per_interval(SchemeKind::Prcat, m, 32_768),
+            dynamic_nj_per_access(SchemeKind::Sca, m, 1, 32_768),
+            static_nj_per_interval(SchemeKind::Sca, m, 32_768),
+            area_mm2(SchemeKind::Drcat, m, 32_768),
+            area_mm2(SchemeKind::Prcat, m, 32_768),
+            area_mm2(SchemeKind::Sca, m, 32_768),
+        );
+    }
+    println!("(dyn = nJ per row access; stat = nJ per 64 ms refresh interval)");
+
+    banner("PRNG for PRA (Srinivasan et al. [25], 45 nm)");
+    println!("area        {:.3e} mm²", prng::AREA_MM2);
+    println!("throughput  {} Gbps", prng::THROUGHPUT_GBPS);
+    println!("power       {} mW", prng::POWER_MW);
+    println!("efficiency  {:.2e} nJ/bit", prng::NJ_PER_BIT);
+    println!("eng_PRNG    {:.4e} nJ (9 bits per access)", prng::ENG_PRNG_9BITS_NJ);
+
+    banner("Derived observations the paper calls out (§VII-A)");
+    let prcat64 = area_mm2(SchemeKind::Prcat, 64, 32_768);
+    let sca128 = area_mm2(SchemeKind::Sca, 128, 32_768);
+    println!("PRCAT_64 vs SCA_128 area: {prcat64:.3e} vs {sca128:.3e} mm² (iso-area claim)");
+    let d = dynamic_nj_per_access(SchemeKind::Drcat, 64, 11, 32_768);
+    let p = dynamic_nj_per_access(SchemeKind::Prcat, 64, 11, 32_768);
+    println!(
+        "DRCAT_64 dynamic / PRCAT_64 dynamic: {:.2}% (paper: ~5% overhead)",
+        (d / p - 1.0) * 100.0
+    );
+    let da = area_mm2(SchemeKind::Drcat, 64, 32_768);
+    let pa = area_mm2(SchemeKind::Prcat, 64, 32_768);
+    println!(
+        "DRCAT_64 area / PRCAT_64 area: {:.2}% (paper: ~4.2% average overhead)",
+        (da / pa - 1.0) * 100.0
+    );
+    let s = dynamic_nj_per_access(SchemeKind::Sca, 64, 1, 32_768);
+    println!(
+        "PRCAT_64 dynamic / SCA_64 dynamic: {:.2}x (paper: roughly twice)",
+        p / s
+    );
+}

@@ -1,0 +1,179 @@
+//! Row addressing newtypes shared by every mitigation scheme.
+
+use std::fmt;
+
+/// Index of a DRAM row inside one bank.
+///
+/// Rows are numbered `0..N` where `N` is the number of rows per bank
+/// (`65_536` in the paper's dual-core configuration, `131_072` in the
+/// quad-core one).
+///
+/// ```
+/// use cat_core::RowId;
+/// let row = RowId(42);
+/// assert_eq!(row.0, 42);
+/// assert!(row < RowId(43));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowId(pub u32);
+
+impl fmt::Debug for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowId({})", self.0)
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for RowId {
+    fn from(v: u32) -> Self {
+        RowId(v)
+    }
+}
+
+impl From<RowId> for u32 {
+    fn from(v: RowId) -> Self {
+        v.0
+    }
+}
+
+/// An inclusive range of rows `[lo, hi]` inside one bank.
+///
+/// Mitigation refreshes operate on ranges: when a counter covering the group
+/// `[lo, hi]` saturates, the scheme asks the memory controller to refresh
+/// `[lo − 1, hi + 1]` (clamped to the bank) so that every potential victim
+/// of any aggressor inside the group is restored.
+///
+/// ```
+/// use cat_core::RowRange;
+/// let r = RowRange::new(10, 20);
+/// assert_eq!(r.len(), 11);
+/// assert!(r.contains(15));
+/// assert_eq!(r.expand_victims(64), RowRange::new(9, 21));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RowRange {
+    lo: u32,
+    hi: u32,
+}
+
+impl RowRange {
+    /// Creates the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "RowRange requires lo <= hi (got {lo} > {hi})");
+        RowRange { lo, hi }
+    }
+
+    /// Range holding a single row.
+    pub fn single(row: RowId) -> Self {
+        RowRange { lo: row.0, hi: row.0 }
+    }
+
+    /// Lowest row of the range.
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Highest row of the range (inclusive).
+    pub fn hi(&self) -> u32 {
+        self.hi
+    }
+
+    /// Number of rows in the range.
+    pub fn len(&self) -> u64 {
+        u64::from(self.hi - self.lo) + 1
+    }
+
+    /// `true` only for the impossible empty range; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the range contain `row`?
+    pub fn contains(&self, row: u32) -> bool {
+        self.lo <= row && row <= self.hi
+    }
+
+    /// Expands the range by one row on each side — the two potential victim
+    /// rows adjacent to a group — clamping to the bank of `rows` rows.
+    pub fn expand_victims(&self, rows: u32) -> RowRange {
+        RowRange {
+            lo: self.lo.saturating_sub(1),
+            hi: (self.hi + 1).min(rows - 1),
+        }
+    }
+
+    /// Iterates over the rows of the range.
+    pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
+        (self.lo..=self.hi).map(RowId)
+    }
+}
+
+impl fmt::Display for RowRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_row_range() {
+        let r = RowRange::single(RowId(7));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(7));
+        assert!(!r.contains(8));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn expand_clamps_at_bank_edges() {
+        let bank = 64;
+        assert_eq!(RowRange::new(0, 3).expand_victims(bank), RowRange::new(0, 4));
+        assert_eq!(
+            RowRange::new(60, 63).expand_victims(bank),
+            RowRange::new(59, 63)
+        );
+        assert_eq!(
+            RowRange::new(10, 20).expand_victims(bank),
+            RowRange::new(9, 21)
+        );
+    }
+
+    #[test]
+    fn iter_yields_every_row() {
+        let r = RowRange::new(3, 6);
+        let rows: Vec<u32> = r.iter().map(|r| r.0).collect();
+        assert_eq!(rows, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_range_panics() {
+        let _ = RowRange::new(5, 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RowRange::new(1, 2).to_string(), "[1, 2]");
+        assert_eq!(RowId(9).to_string(), "9");
+        assert_eq!(format!("{:?}", RowId(9)), "RowId(9)");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let r: RowId = 17u32.into();
+        let v: u32 = r.into();
+        assert_eq!(v, 17);
+    }
+}

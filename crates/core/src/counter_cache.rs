@@ -1,0 +1,276 @@
+//! The per-row-counter + counter-cache baseline (Kim, Nair, Qureshi —
+//! CAL 2015; reference \[26\] of the paper).
+//!
+//! One counter per DRAM row lives in a reserved DRAM region; a small
+//! set-associative on-chip cache holds the recently used counters. Counting
+//! is exact per row (so only the two neighbours of an aggressor are ever
+//! refreshed), but every cache miss costs a DRAM read + write-back, which is
+//! what makes the approach expensive (§III-B, Fig. 2).
+
+use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::{ConfigError, RowId, RowRange, SchemeStats};
+
+/// Geometry of the on-chip counter cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CounterCacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CounterCacheConfig {
+    /// A cache holding `entries` counters with the given associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `entries` is not a power of two or not
+    /// divisible by `ways`.
+    pub fn with_entries(entries: usize, ways: usize) -> Result<Self, ConfigError> {
+        if !entries.is_power_of_two() || ways == 0 || !entries.is_multiple_of(ways) {
+            return Err(ConfigError::CountersInvalid(entries));
+        }
+        Ok(CounterCacheConfig {
+            sets: entries / ways,
+            ways,
+        })
+    }
+
+    /// Total counter entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct Way {
+    row: u32,
+    valid: bool,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// Per-row activation counters backed by DRAM with an on-chip cache.
+///
+/// ```
+/// use cat_core::{CounterCache, CounterCacheConfig, MitigationScheme, RowId};
+/// # fn main() -> Result<(), cat_core::ConfigError> {
+/// let cache = CounterCacheConfig::with_entries(1024, 8)?;
+/// let mut cc = CounterCache::new(65_536, cache, 32_768)?;
+/// for _ in 0..32_768 {
+///     cc.on_activation(RowId(9));
+/// }
+/// // Exact per-row tracking refreshes only the two victims.
+/// assert_eq!(cc.stats().refreshed_rows, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CounterCache {
+    rows: u32,
+    refresh_threshold: u32,
+    /// Backing store: the "reserved DRAM area" with one counter per row.
+    backing: Vec<u32>,
+    cache: Vec<Way>,
+    config: CounterCacheConfig,
+    tick: u64,
+    stats: SchemeStats,
+}
+
+impl CounterCache {
+    /// Creates the baseline for a bank of `rows` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid row counts or thresholds.
+    pub fn new(
+        rows: u32,
+        cache: CounterCacheConfig,
+        refresh_threshold: u32,
+    ) -> Result<Self, ConfigError> {
+        if !rows.is_power_of_two() || rows < 8 {
+            return Err(ConfigError::RowsNotPowerOfTwo(rows));
+        }
+        if refresh_threshold < 2 {
+            return Err(ConfigError::ThresholdTooSmall(refresh_threshold));
+        }
+        Ok(CounterCache {
+            rows,
+            refresh_threshold,
+            backing: vec![0; rows as usize],
+            cache: vec![Way::default(); cache.entries()],
+            config: cache,
+            tick: 0,
+            stats: SchemeStats::default(),
+        })
+    }
+
+    /// Cache geometry.
+    pub fn cache_config(&self) -> CounterCacheConfig {
+        self.config
+    }
+
+    /// Touches `row` in the cache; returns `true` on a hit.
+    fn access_cache(&mut self, row: u32) -> bool {
+        self.tick += 1;
+        let set = (row as usize) & (self.config.sets - 1);
+        let base = set * self.config.ways;
+        let ways = &mut self.cache[base..base + self.config.ways];
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.row == row) {
+            way.lru = self.tick;
+            return true;
+        }
+        // Miss: evict LRU (write-back) and fill.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("ways > 0");
+        if victim.valid {
+            // Write the evicted counter back to the reserved DRAM area.
+            self.stats.dram_counter_transfers += 1;
+        }
+        // Fetch the counter for `row` from DRAM.
+        self.stats.dram_counter_transfers += 1;
+        self.stats.cache_misses += 1;
+        victim.row = row;
+        victim.valid = true;
+        victim.lru = self.tick;
+        false
+    }
+}
+
+impl MitigationScheme for CounterCache {
+    fn on_activation(&mut self, row: RowId) -> Refreshes {
+        assert!(row.0 < self.rows, "row {row} out of range");
+        self.stats.activations += 1;
+        self.stats.sram_reads += 1;
+        self.stats.sram_writes += 1;
+        self.access_cache(row.0);
+        let c = &mut self.backing[row.0 as usize];
+        *c += 1;
+        if *c >= self.refresh_threshold {
+            *c = 0;
+            self.stats.refresh_events += 1;
+            let below = row.0.checked_sub(1).map(|r| RowRange::new(r, r));
+            let above = (row.0 + 1 < self.rows).then(|| RowRange::new(row.0 + 1, row.0 + 1));
+            let refreshes = match (below, above) {
+                (Some(b), Some(a)) => Refreshes::pair(b, a),
+                (Some(b), None) => Refreshes::one(b),
+                (None, Some(a)) => Refreshes::one(a),
+                (None, None) => Refreshes::none(),
+            };
+            self.stats.refreshed_rows += refreshes.total_rows();
+            refreshes
+        } else {
+            Refreshes::none()
+        }
+    }
+
+    fn on_epoch_end(&mut self) {
+        self.backing.fill(0);
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn hardware(&self) -> HardwareProfile {
+        HardwareProfile {
+            kind: SchemeKind::CounterCache,
+            counters: self.config.entries(),
+            counter_bits: 32 - (self.refresh_threshold - 1).leading_zeros(),
+            max_levels: 1,
+            prng_bits_per_activation: 0,
+            refresh_threshold: self.refresh_threshold,
+        }
+    }
+
+    fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    fn name(&self) -> String {
+        format!("CC_{}", self.config.entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CounterCache {
+        CounterCache::new(1024, CounterCacheConfig::with_entries(16, 4).unwrap(), 8).unwrap()
+    }
+
+    #[test]
+    fn exact_per_row_counting() {
+        let mut cc = small();
+        for _ in 0..7 {
+            assert!(cc.on_activation(RowId(100)).is_empty());
+        }
+        let r: Vec<RowRange> = cc.on_activation(RowId(100)).into_iter().collect();
+        assert_eq!(r, vec![RowRange::new(99, 99), RowRange::new(101, 101)]);
+    }
+
+    #[test]
+    fn eviction_does_not_lose_counts() {
+        let mut cc = small();
+        // Touch row 0 seven times, thrash the cache, then return.
+        for _ in 0..7 {
+            cc.on_activation(RowId(0));
+        }
+        for i in 0..512u32 {
+            cc.on_activation(RowId(1 + i));
+        }
+        // Counter for row 0 survived in the DRAM backing store.
+        assert!(!cc.on_activation(RowId(0)).is_empty());
+    }
+
+    #[test]
+    fn misses_are_counted() {
+        let mut cc = small();
+        for i in 0..64u32 {
+            cc.on_activation(RowId(i * 16));
+        }
+        assert!(cc.stats().cache_misses >= 48, "16-entry cache must miss");
+        assert!(cc.stats().dram_counter_transfers >= cc.stats().cache_misses);
+    }
+
+    #[test]
+    fn repeated_access_hits_cache() {
+        let mut cc = small();
+        cc.on_activation(RowId(5));
+        let misses = cc.stats().cache_misses;
+        for _ in 0..6 {
+            cc.on_activation(RowId(5));
+        }
+        assert_eq!(cc.stats().cache_misses, misses, "no further misses");
+    }
+
+    #[test]
+    fn epoch_reset_clears_backing() {
+        let mut cc = small();
+        for _ in 0..7 {
+            cc.on_activation(RowId(9));
+        }
+        cc.on_epoch_end();
+        for _ in 0..7 {
+            assert!(cc.on_activation(RowId(9)).is_empty());
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CounterCacheConfig::with_entries(48, 4).is_err());
+        assert!(CounterCacheConfig::with_entries(64, 0).is_err());
+        assert!(CounterCache::new(
+            1000,
+            CounterCacheConfig::with_entries(16, 4).unwrap(),
+            8
+        )
+        .is_err());
+        let cfg = CounterCacheConfig::with_entries(64, 4).unwrap();
+        assert_eq!(cfg.entries(), 64);
+        assert_eq!(cfg.sets, 16);
+    }
+}

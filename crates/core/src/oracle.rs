@@ -1,0 +1,223 @@
+//! A ground-truth safety oracle for deterministic mitigation schemes.
+//!
+//! The guarantee a deterministic scheme (SCA, CAT, PRCAT, DRCAT, counter
+//! cache) must provide: **no row is activated more than `T` times while any
+//! of its neighbouring victim rows goes unrefreshed**. The oracle tracks,
+//! for every aggressor row and each of its two victims, the number of
+//! activations since that victim was last refreshed, and records a
+//! violation whenever the exposure exceeds the threshold.
+//!
+//! Note the group-boundary caveat discussed in `DESIGN.md`: a victim whose
+//! *two* aggressors are tracked by different counters can accumulate up to
+//! `2·(T−1)` combined activations — this is inherent to all group-counting
+//! schemes including the paper's, so the oracle checks per-aggressor
+//! exposure, matching the guarantee the paper claims.
+
+use crate::{MitigationScheme, Refreshes, RowId, RowRange};
+
+/// Tracks per-(aggressor, victim) exposure and verifies the refresh
+/// guarantee of a deterministic scheme.
+///
+/// ```
+/// use cat_core::oracle::SafetyOracle;
+/// use cat_core::{MitigationScheme, RowId, Sca};
+/// # fn main() -> Result<(), cat_core::ConfigError> {
+/// let mut sca = Sca::new(1024, 8, 64)?;
+/// let mut oracle = SafetyOracle::new(1024, 64);
+/// for i in 0..100_000u32 {
+///     let row = RowId((i * 37) % 1024);
+///     let refreshes = sca.on_activation(row);
+///     oracle.on_activation(row, &refreshes);
+/// }
+/// assert_eq!(oracle.violations(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SafetyOracle {
+    rows: u32,
+    threshold: u64,
+    /// `exposure[2·r]`: activations of row `r` since victim `r−1` was
+    /// refreshed; `exposure[2·r + 1]`: since victim `r+1` was refreshed.
+    exposure: Vec<u64>,
+    violations: u64,
+    worst_exposure: u64,
+}
+
+impl SafetyOracle {
+    /// Creates an oracle for a bank of `rows` rows and refresh threshold
+    /// `threshold`.
+    pub fn new(rows: u32, threshold: u32) -> Self {
+        SafetyOracle {
+            rows,
+            threshold: u64::from(threshold),
+            exposure: vec![0; rows as usize * 2],
+            violations: 0,
+            worst_exposure: 0,
+        }
+    }
+
+    /// Records an activation of `row` and the scheme's refresh response
+    /// (order matters: the scheme sees the activation first, so a refresh
+    /// triggered by this very activation protects it).
+    pub fn on_activation(&mut self, row: RowId, refreshes: &Refreshes) {
+        let r = row.0 as usize;
+        // Only track victims that exist: row 0 has no lower neighbour and
+        // row N−1 has no upper neighbour.
+        if row.0 > 0 {
+            self.exposure[2 * r] += 1;
+        }
+        if row.0 + 1 < self.rows {
+            self.exposure[2 * r + 1] += 1;
+        }
+        for range in *refreshes {
+            self.on_refresh(range);
+        }
+        // After the refresh took effect, any remaining exposure above T is a
+        // genuine violation (counted once per offending activation).
+        let mut violated = false;
+        for side in 0..2 {
+            let e = self.exposure[2 * r + side];
+            self.worst_exposure = self.worst_exposure.max(e);
+            violated |= e > self.threshold;
+        }
+        if violated {
+            self.violations += 1;
+        }
+    }
+
+    /// Records that every victim row in `range` was refreshed: aggressors
+    /// adjacent to those victims get the matching exposure reset.
+    pub fn on_refresh(&mut self, range: RowRange) {
+        for victim in range.iter() {
+            let v = victim.0;
+            if v > 0 {
+                // Aggressor v−1's "+1 side" victim was refreshed.
+                self.exposure[2 * (v as usize - 1) + 1] = 0;
+            }
+            if v + 1 < self.rows {
+                // Aggressor v+1's "−1 side" victim was refreshed.
+                self.exposure[2 * (v as usize + 1)] = 0;
+            }
+        }
+    }
+
+    /// Records a full-bank auto-refresh (epoch boundary).
+    pub fn on_epoch_end(&mut self) {
+        self.exposure.fill(0);
+    }
+
+    /// Number of violations observed so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The largest per-(aggressor, victim) exposure seen.
+    pub fn worst_exposure(&self) -> u64 {
+        self.worst_exposure
+    }
+}
+
+/// Drives `scheme` with the access sequence `rows` while checking the
+/// guarantee; returns the oracle for inspection.
+///
+/// # Panics
+///
+/// Panics if the scheme violates the refresh guarantee.
+pub fn verify_scheme<S, I>(scheme: &mut S, threshold: u32, accesses: I) -> SafetyOracle
+where
+    S: MitigationScheme,
+    I: IntoIterator<Item = RowId>,
+{
+    let mut oracle = SafetyOracle::new(scheme.rows(), threshold);
+    for row in accesses {
+        let refreshes = scheme.on_activation(row);
+        oracle.on_activation(row, &refreshes);
+        assert_eq!(
+            oracle.violations(),
+            0,
+            "scheme {} exceeded exposure {} at row {row}",
+            scheme.name(),
+            threshold
+        );
+    }
+    oracle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CatConfig, CatTree, Drcat, Prcat, Sca};
+
+    fn hammer_pattern() -> impl Iterator<Item = RowId> {
+        // A hostile mix: one heavily hammered row, a second moving target,
+        // and background noise.
+        (0..60_000u32).map(|i| match i % 4 {
+            0 | 1 => RowId(700),
+            2 => RowId((i / 2) % 1024),
+            _ => RowId((i * 313) % 1024),
+        })
+    }
+
+    #[test]
+    fn sca_never_violates() {
+        let mut sca = Sca::new(1024, 8, 128).unwrap();
+        let oracle = verify_scheme(&mut sca, 128, hammer_pattern());
+        assert!(oracle.worst_exposure() <= 128);
+    }
+
+    #[test]
+    fn cat_never_violates() {
+        let cfg = CatConfig::new(1024, 8, 6, 128).unwrap();
+        let mut cat = CatTree::new(cfg);
+        verify_scheme(&mut cat, 128, hammer_pattern());
+    }
+
+    #[test]
+    fn prcat_never_violates_across_epochs() {
+        let cfg = CatConfig::new(1024, 8, 6, 128).unwrap();
+        let mut p = Prcat::new(cfg);
+        let mut oracle = SafetyOracle::new(1024, 128);
+        for (i, row) in hammer_pattern().enumerate() {
+            let refreshes = p.on_activation(row);
+            oracle.on_activation(row, &refreshes);
+            if i % 10_000 == 9_999 {
+                p.on_epoch_end();
+                oracle.on_epoch_end();
+            }
+        }
+        assert_eq!(oracle.violations(), 0);
+    }
+
+    #[test]
+    fn drcat_never_violates_with_reconfiguration() {
+        let cfg = CatConfig::new(1024, 8, 6, 128).unwrap();
+        let mut d = Drcat::new(cfg);
+        verify_scheme(&mut d, 128, hammer_pattern());
+        assert!(d.stats().refresh_events > 0);
+    }
+
+    #[test]
+    fn oracle_detects_a_broken_scheme() {
+        // A scheme that never refreshes must be caught immediately.
+        let mut oracle = SafetyOracle::new(64, 4);
+        for _ in 0..5 {
+            oracle.on_activation(RowId(10), &Refreshes::none());
+        }
+        assert_eq!(oracle.violations(), 1);
+        assert_eq!(oracle.worst_exposure(), 5);
+    }
+
+    #[test]
+    fn refresh_resets_only_matching_side() {
+        let mut oracle = SafetyOracle::new(64, 100);
+        for _ in 0..10 {
+            oracle.on_activation(RowId(10), &Refreshes::none());
+        }
+        // Refreshing row 11 resets aggressor 10's "+1" exposure only.
+        oracle.on_refresh(RowRange::new(11, 11));
+        oracle.on_activation(RowId(10), &Refreshes::none());
+        // "-1 side" is still 11, "+1 side" is 1.
+        assert_eq!(oracle.worst_exposure(), 11);
+    }
+}

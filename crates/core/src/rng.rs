@@ -1,0 +1,167 @@
+//! Random-bit sources for PRA: an ideal generator and the cheap LFSR the
+//! paper's §III-A warns about.
+//!
+//! PRA's reliability guarantee (Eq. 1) assumes independent uniform random
+//! decisions. A hardware LFSR is far cheaper than a true random number
+//! generator but its output sequence is deterministic and recoverable: the
+//! paper's Monte-Carlo study (and ours, in `cat-reliability`) shows its
+//! unsurvivability collapses once an attacker can track the state.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A source of `k`-bit random words used to take refresh decisions.
+pub trait DecisionRng {
+    /// Draws `bits` random bits (1 ≤ `bits` ≤ 32) as the low bits of the
+    /// returned word.
+    fn draw(&mut self, bits: u32) -> u32;
+}
+
+/// An ideal (cryptographic-quality, for our purposes) PRNG standing in for
+/// the true random number generator of reference \[25\].
+///
+/// ```
+/// use cat_core::rng::{DecisionRng, IdealRng};
+/// let mut rng = IdealRng::seeded(7);
+/// let v = rng.draw(9);
+/// assert!(v < 512);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IdealRng {
+    inner: StdRng,
+}
+
+impl IdealRng {
+    /// Creates a deterministically seeded instance (reproducible runs).
+    pub fn seeded(seed: u64) -> Self {
+        IdealRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DecisionRng for IdealRng {
+    fn draw(&mut self, bits: u32) -> u32 {
+        debug_assert!((1..=32).contains(&bits));
+        if bits == 32 {
+            self.inner.next_u32()
+        } else {
+            self.inner.next_u32() & ((1 << bits) - 1)
+        }
+    }
+}
+
+/// A 16-bit Fibonacci LFSR with the maximal-length polynomial
+/// `x^16 + x^14 + x^13 + x^11 + 1` (taps 16, 14, 13, 11), shifting one bit
+/// per output bit — the classic minimal-area hardware generator.
+///
+/// Successive draws therefore *overlap* in state, which is exactly why the
+/// paper finds LFSR-based PRA insufficient: the decision sequence has period
+/// 2^16 − 1 and is fully determined by any 16 observed output bits.
+///
+/// ```
+/// use cat_core::rng::{DecisionRng, Lfsr16};
+/// let mut a = Lfsr16::new(0xACE1);
+/// let mut b = Lfsr16::new(0xACE1);
+/// // Deterministic: same seed, same sequence.
+/// assert_eq!(a.draw(9), b.draw(9));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+impl Lfsr16 {
+    /// Creates an LFSR with the given non-zero seed (zero is mapped to the
+    /// conventional `0xACE1` since the all-zero state is a fixed point).
+    pub fn new(seed: u16) -> Self {
+        Lfsr16 {
+            state: if seed == 0 { 0xACE1 } else { seed },
+        }
+    }
+
+    /// Advances one step and returns the output bit.
+    pub fn step(&mut self) -> u32 {
+        let s = self.state;
+        let bit = (s ^ (s >> 2) ^ (s >> 3) ^ (s >> 5)) & 1;
+        self.state = (s >> 1) | (bit << 15);
+        u32::from(s & 1)
+    }
+
+    /// Current internal state (observable by a state-recovery attacker).
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+}
+
+impl DecisionRng for Lfsr16 {
+    fn draw(&mut self, bits: u32) -> u32 {
+        debug_assert!((1..=32).contains(&bits));
+        let mut v = 0;
+        for _ in 0..bits {
+            v = (v << 1) | self.step();
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_has_maximal_period() {
+        let mut l = Lfsr16::new(1);
+        let start = l.state();
+        let mut period = 0u32;
+        loop {
+            l.step();
+            period += 1;
+            if l.state() == start {
+                break;
+            }
+            assert!(period <= 70_000, "period must not exceed 2^16");
+        }
+        assert_eq!(period, 65_535);
+    }
+
+    #[test]
+    fn lfsr_never_reaches_zero_state() {
+        let mut l = Lfsr16::new(0x1234);
+        for _ in 0..70_000 {
+            l.step();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let l = Lfsr16::new(0);
+        assert_ne!(l.state(), 0);
+    }
+
+    #[test]
+    fn draws_are_masked_to_requested_width() {
+        let mut i = IdealRng::seeded(3);
+        for bits in 1..=32 {
+            let v = i.draw(bits);
+            if bits < 32 {
+                assert!(v < (1u32 << bits));
+            }
+        }
+        let mut l = Lfsr16::new(77);
+        for bits in 1..=16 {
+            assert!(l.draw(bits) < (1u32 << bits));
+        }
+    }
+
+    #[test]
+    fn ideal_rng_is_roughly_uniform() {
+        let mut rng = IdealRng::seeded(42);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.draw(9) < 1).count();
+        // p = 1/512 ⇒ expect ~195; allow wide tolerance.
+        let expected = n as f64 / 512.0;
+        assert!((hits as f64) > expected * 0.5 && (hits as f64) < expected * 1.7);
+    }
+}

@@ -1,0 +1,206 @@
+//! SCA — Static Counter Assignment (§III-B).
+
+use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::{ConfigError, RowId, RowRange, SchemeStats};
+
+/// Static Counter Assignment: the bank's `N` rows are split into `M`
+/// fixed, equal groups of `N/M` rows, each tracked by one counter. When a
+/// group counter reaches the refresh threshold `T` it is reset and the
+/// `N/M + 2` rows of the group plus its two adjacent victims are refreshed.
+///
+/// This is the deterministic baseline the paper calls `SCA_M`; its energy
+/// sweet spot is around `M = 128` for 64K-row banks (Fig. 2).
+///
+/// ```
+/// use cat_core::{MitigationScheme, RowId, Sca};
+/// # fn main() -> Result<(), cat_core::ConfigError> {
+/// let mut sca = Sca::new(65_536, 64, 32_768)?;
+/// let mut refreshed = 0;
+/// for _ in 0..32_768 {
+///     refreshed += sca.on_activation(RowId(5_000)).total_rows();
+/// }
+/// // One full group of 1024 rows plus two victims.
+/// assert_eq!(refreshed, 1026);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sca {
+    rows: u32,
+    group_rows: u32,
+    refresh_threshold: u32,
+    counters: Vec<u32>,
+    stats: SchemeStats,
+}
+
+impl Sca {
+    /// Creates an SCA instance with `counters` uniformly assigned counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `rows` is not a power of two, when
+    /// `counters` is not a power of two dividing `rows`, or when the
+    /// threshold is smaller than 2.
+    pub fn new(rows: u32, counters: usize, refresh_threshold: u32) -> Result<Self, ConfigError> {
+        if !rows.is_power_of_two() || rows < 8 {
+            return Err(ConfigError::RowsNotPowerOfTwo(rows));
+        }
+        if !counters.is_power_of_two() || counters == 0 || counters as u64 > u64::from(rows) {
+            return Err(ConfigError::CountersInvalid(counters));
+        }
+        if refresh_threshold < 2 {
+            return Err(ConfigError::ThresholdTooSmall(refresh_threshold));
+        }
+        Ok(Sca {
+            rows,
+            group_rows: rows / counters as u32,
+            refresh_threshold,
+            counters: vec![0; counters],
+            stats: SchemeStats::default(),
+        })
+    }
+
+    /// Rows per counter group (`N/M`).
+    pub fn group_rows(&self) -> u32 {
+        self.group_rows
+    }
+
+    /// Current value of counter `idx`.
+    pub fn counter_value(&self, idx: usize) -> Option<u32> {
+        self.counters.get(idx).copied()
+    }
+}
+
+impl MitigationScheme for Sca {
+    fn on_activation(&mut self, row: RowId) -> Refreshes {
+        assert!(row.0 < self.rows, "row {row} out of range");
+        self.stats.activations += 1;
+        // One read + one write of the counter word.
+        self.stats.sram_reads += 1;
+        self.stats.sram_writes += 1;
+        let group = (row.0 / self.group_rows) as usize;
+        self.counters[group] += 1;
+        if self.counters[group] >= self.refresh_threshold {
+            self.counters[group] = 0;
+            let lo = group as u32 * self.group_rows;
+            let hi = lo + self.group_rows - 1;
+            let range = RowRange::new(lo, hi).expand_victims(self.rows);
+            self.stats.refresh_events += 1;
+            self.stats.refreshed_rows += range.len();
+            Refreshes::one(range)
+        } else {
+            Refreshes::none()
+        }
+    }
+
+    fn on_epoch_end(&mut self) {
+        // Rows were just auto-refreshed: counting restarts.
+        self.counters.fill(0);
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn hardware(&self) -> HardwareProfile {
+        HardwareProfile {
+            kind: SchemeKind::Sca,
+            counters: self.counters.len(),
+            counter_bits: 32 - (self.refresh_threshold - 1).leading_zeros(),
+            max_levels: 1,
+            prng_bits_per_activation: 0,
+            refresh_threshold: self.refresh_threshold,
+        }
+    }
+
+    fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    fn name(&self) -> String {
+        format!("SCA_{}", self.counters.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_refresh_covers_group_and_victims() {
+        let mut sca = Sca::new(1024, 8, 16).unwrap();
+        let mut got = None;
+        for _ in 0..16 {
+            let r = sca.on_activation(RowId(300));
+            if !r.is_empty() {
+                got = Some(r);
+            }
+        }
+        let r: Vec<RowRange> = got.unwrap().into_iter().collect();
+        // Group 2 covers rows 256..=383, plus victims 255 and 384.
+        assert_eq!(r, vec![RowRange::new(255, 384)]);
+        assert_eq!(sca.stats().refreshed_rows, 130);
+    }
+
+    #[test]
+    fn counter_resets_after_refresh() {
+        let mut sca = Sca::new(1024, 8, 16).unwrap();
+        for _ in 0..16 {
+            sca.on_activation(RowId(0));
+        }
+        assert_eq!(sca.counter_value(0), Some(0));
+        for _ in 0..15 {
+            assert!(sca.on_activation(RowId(0)).is_empty());
+        }
+        assert!(!sca.on_activation(RowId(0)).is_empty());
+    }
+
+    #[test]
+    fn accesses_across_groups_do_not_interfere() {
+        let mut sca = Sca::new(1024, 8, 16).unwrap();
+        for i in 0..15 {
+            sca.on_activation(RowId(i * 64 % 1024));
+        }
+        assert_eq!(sca.stats().refresh_events, 0);
+    }
+
+    #[test]
+    fn epoch_end_resets_counters() {
+        let mut sca = Sca::new(1024, 8, 16).unwrap();
+        for _ in 0..15 {
+            sca.on_activation(RowId(0));
+        }
+        sca.on_epoch_end();
+        for _ in 0..15 {
+            assert!(sca.on_activation(RowId(0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_counter_per_row_acts_like_per_row_tracking() {
+        // M = N: every row has its own counter (the expensive extreme).
+        let mut sca = Sca::new(64, 64, 4).unwrap();
+        for _ in 0..4 {
+            sca.on_activation(RowId(10));
+        }
+        assert_eq!(sca.stats().refreshed_rows, 3); // row ± 1 victims
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Sca::new(1000, 8, 16).is_err());
+        assert!(Sca::new(1024, 3, 16).is_err());
+        assert!(Sca::new(1024, 8, 1).is_err());
+        assert!(Sca::new(1024, 2048, 16).is_err());
+    }
+
+    #[test]
+    fn hardware_profile_reports_sca() {
+        let sca = Sca::new(65_536, 128, 32_768).unwrap();
+        let hw = sca.hardware();
+        assert_eq!(hw.kind, SchemeKind::Sca);
+        assert_eq!(hw.counters, 128);
+        assert_eq!(hw.counter_bits, 15);
+        assert_eq!(sca.name(), "SCA_128");
+    }
+}

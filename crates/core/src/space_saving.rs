@@ -1,0 +1,318 @@
+//! An extension baseline beyond the paper: a Space-Saving hot-row tracker.
+//!
+//! Follow-on rowhammer work (e.g. Graphene, MICRO'20) detects aggressors
+//! with frequent-item sketches instead of counter trees. We include a
+//! per-bank Space-Saving tracker so the benches can position CAT against
+//! that design point (see DESIGN.md §6).
+//!
+//! **Soundness.** Space-Saving maintains the classic invariant that every
+//! tracked row's estimate is an *upper bound* on its true activation count
+//! (an untracked row takes over the minimum entry with `min + 1` when it
+//! first appears, covering any accesses it might have had while
+//! untracked). Two firing rules keep per-aggressor exposure ≤ `T` under
+//! *any* traffic:
+//!
+//! 1. a slot fires whenever its estimate advances `T` beyond the slot's
+//!    last firing point (tracked rows are refreshed at least every `T`
+//!    true activations), and
+//! 2. a row *admitted by takeover* fires immediately when it inherits an
+//!    estimate ≥ `T` — its true history is unknown, so its victims are
+//!    refreshed defensively before tracking restarts.
+//!
+//! Rule 2 is also the degradation mode: once the table minimum exceeds `T`
+//! (possible when `k · T` is smaller than the per-epoch traffic), every
+//! access to an untracked row fires a refresh. Sizing therefore wants
+//! `k ≥ accesses_per_epoch / T` — the trade-off against CAT's group
+//! refinement that this extension explores.
+
+use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::{ConfigError, RowId, RowRange, SchemeStats};
+
+#[derive(Copy, Clone, Debug)]
+struct Slot {
+    row: u32,
+    estimate: u32,
+    /// Estimate value at which this slot fires next.
+    next_fire: u32,
+}
+
+/// Per-bank Space-Saving aggressor tracker with `k` counters.
+///
+/// ```
+/// use cat_core::{MitigationScheme, RowId, SpaceSaving};
+/// # fn main() -> Result<(), cat_core::ConfigError> {
+/// let mut ss = SpaceSaving::new(65_536, 16, 4_096)?;
+/// let mut refreshed = 0u64;
+/// for _ in 0..5_000 {
+///     refreshed += ss.on_activation(RowId(7)).total_rows();
+/// }
+/// assert!(refreshed >= 2, "a solo hammered row is tracked exactly");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    rows: u32,
+    refresh_threshold: u32,
+    /// At most `k` slots. Linear scans model the CAM a hardware
+    /// implementation would use.
+    table: Vec<Slot>,
+    k: usize,
+    stats: SchemeStats,
+}
+
+impl SpaceSaving {
+    /// Creates a tracker with `k` counters for a bank of `rows` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid row counts, `k = 0`, or
+    /// thresholds smaller than 2.
+    pub fn new(rows: u32, k: usize, refresh_threshold: u32) -> Result<Self, ConfigError> {
+        if !rows.is_power_of_two() || rows < 8 {
+            return Err(ConfigError::RowsNotPowerOfTwo(rows));
+        }
+        if k == 0 {
+            return Err(ConfigError::CountersInvalid(k));
+        }
+        if refresh_threshold < 2 {
+            return Err(ConfigError::ThresholdTooSmall(refresh_threshold));
+        }
+        Ok(SpaceSaving {
+            rows,
+            refresh_threshold,
+            table: Vec::with_capacity(k),
+            k,
+            stats: SchemeStats::default(),
+        })
+    }
+
+    /// Number of tracking counters `k`.
+    pub fn counters(&self) -> usize {
+        self.k
+    }
+
+    /// Upper bound on `row`'s activation count since the epoch began: its
+    /// estimate if tracked, else the table minimum.
+    pub fn upper_bound(&self, row: RowId) -> u32 {
+        self.table
+            .iter()
+            .find(|s| s.row == row.0)
+            .map(|s| s.estimate)
+            .unwrap_or_else(|| {
+                if self.table.len() < self.k {
+                    0
+                } else {
+                    self.table.iter().map(|s| s.estimate).min().unwrap_or(0)
+                }
+            })
+    }
+
+    fn victims(&self, row: RowId) -> Refreshes {
+        let below = row.0.checked_sub(1).map(|r| RowRange::new(r, r));
+        let above = (row.0 + 1 < self.rows).then(|| RowRange::new(row.0 + 1, row.0 + 1));
+        match (below, above) {
+            (Some(b), Some(a)) => Refreshes::pair(b, a),
+            (Some(b), None) => Refreshes::one(b),
+            (None, Some(a)) => Refreshes::one(a),
+            (None, None) => Refreshes::none(),
+        }
+    }
+}
+
+impl MitigationScheme for SpaceSaving {
+    fn on_activation(&mut self, row: RowId) -> Refreshes {
+        assert!(row.0 < self.rows, "row {row} out of range");
+        self.stats.activations += 1;
+        self.stats.sram_reads += 1;
+        self.stats.sram_writes += 1;
+
+        let t = self.refresh_threshold;
+        let slot = if let Some(idx) = self.table.iter().position(|s| s.row == row.0) {
+            let slot = &mut self.table[idx];
+            slot.estimate += 1;
+            slot
+        } else if self.table.len() < self.k {
+            // Before any takeover happens, untracked rows truly have count
+            // zero, so a fresh slot starts clean.
+            self.table.push(Slot { row: row.0, estimate: 1, next_fire: t });
+            self.table.last_mut().expect("just pushed")
+        } else {
+            // Take over the minimum entry with min + 1 — the Space-Saving
+            // step that keeps estimates sound upper bounds. The admitted
+            // row's true history is unknown (≤ min), so its firing point is
+            // `T` of the *slot scale*: if the inherited estimate already
+            // reaches it, the row fires right away (rule 2).
+            let idx = self
+                .table
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.estimate)
+                .expect("k > 0")
+                .0;
+            let min = self.table[idx].estimate;
+            self.table[idx] = Slot { row: row.0, estimate: min + 1, next_fire: t.max(min + 1) };
+            let fire_now = min + 1 >= t;
+            let slot = &mut self.table[idx];
+            if fire_now {
+                slot.next_fire = slot.estimate.saturating_add(t);
+                self.stats.refresh_events += 1;
+                let refreshes = self.victims(row);
+                self.stats.refreshed_rows += refreshes.total_rows();
+                return refreshes;
+            }
+            slot
+        };
+
+        if slot.estimate >= slot.next_fire {
+            // Rule 1: the slot advanced T beyond its last firing point.
+            slot.next_fire = slot.estimate.saturating_add(t);
+            self.stats.refresh_events += 1;
+            let refreshes = self.victims(row);
+            self.stats.refreshed_rows += refreshes.total_rows();
+            refreshes
+        } else {
+            Refreshes::none()
+        }
+    }
+
+    fn on_epoch_end(&mut self) {
+        self.table.clear();
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn hardware(&self) -> HardwareProfile {
+        HardwareProfile {
+            // Energy-wise the closest Table II row: an SCA-like array of k
+            // counters plus tags (the CAM overhead is charged by the
+            // counter-cache factor in the energy crate).
+            kind: SchemeKind::CounterCache,
+            counters: self.k,
+            counter_bits: 32 - (self.refresh_threshold - 1).leading_zeros(),
+            max_levels: 1,
+            prng_bits_per_activation: 0,
+            refresh_threshold: self.refresh_threshold,
+        }
+    }
+
+    fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    fn name(&self) -> String {
+        format!("SS_{}", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SafetyOracle;
+
+    #[test]
+    fn tracks_a_solo_aggressor_exactly() {
+        let mut ss = SpaceSaving::new(1024, 8, 100).unwrap();
+        for i in 0..99 {
+            assert!(ss.on_activation(RowId(5)).is_empty(), "access {i}");
+        }
+        let r = ss.on_activation(RowId(5));
+        assert_eq!(r.total_rows(), 2, "victims 4 and 6 refreshed at T");
+    }
+
+    #[test]
+    fn takeover_inflates_but_never_underestimates() {
+        // With heavy competition the hammered row may be evicted and
+        // readmitted with an inflated estimate — it then fires EARLIER
+        // than T true accesses, never later.
+        let mut ss = SpaceSaving::new(1024, 4, 200).unwrap();
+        let mut hammer_count = 0u32;
+        let mut fired_at = None;
+        for i in 0..100_000u32 {
+            let row = if i % 2 == 0 {
+                hammer_count += 1;
+                RowId(700)
+            } else {
+                RowId((i * 7) % 1024)
+            };
+            if !ss.on_activation(row).is_empty() && row == RowId(700) && fired_at.is_none() {
+                fired_at = Some(hammer_count);
+            }
+        }
+        let fired = fired_at.expect("hammered row must fire");
+        assert!(fired <= 200, "must fire at or before T true accesses: {fired}");
+    }
+
+    #[test]
+    fn guarantee_holds_under_noise() {
+        let t = 512;
+        let mut ss = SpaceSaving::new(1024, 16, t).unwrap();
+        let mut oracle = SafetyOracle::new(1024, t);
+        for i in 0..200_000u32 {
+            let row = if i % 3 == 0 { RowId(123) } else { RowId((i * 657) % 1024) };
+            let refreshes = ss.on_activation(row);
+            oracle.on_activation(row, &refreshes);
+        }
+        assert_eq!(oracle.violations(), 0);
+        assert!(oracle.worst_exposure() <= u64::from(t));
+    }
+
+    #[test]
+    fn undersized_tables_degrade_to_frequent_refreshes() {
+        // The trade-off the extension explores: once the table minimum
+        // saturates, broad traffic forces far more refreshes than DRCAT
+        // with the same counter budget.
+        let t = 2_048;
+        let mut ss = SpaceSaving::new(65_536, 64, t).unwrap();
+        let cfg = crate::CatConfig::new(65_536, 64, 11, t).unwrap();
+        let mut cat = crate::Drcat::new(cfg);
+        for i in 0..500_000u32 {
+            let row = RowId(i.wrapping_mul(48_271) % 65_536);
+            ss.on_activation(row);
+            cat.on_activation(row);
+        }
+        assert!(
+            ss.stats().refresh_events > 4 * cat.stats().refresh_events,
+            "SS {} vs DRCAT {}",
+            ss.stats().refresh_events,
+            cat.stats().refresh_events
+        );
+    }
+
+    #[test]
+    fn epoch_reset_clears_state() {
+        let mut ss = SpaceSaving::new(1024, 8, 64).unwrap();
+        for _ in 0..63 {
+            ss.on_activation(RowId(9));
+        }
+        assert_eq!(ss.upper_bound(RowId(9)), 63);
+        ss.on_epoch_end();
+        assert_eq!(ss.upper_bound(RowId(9)), 0);
+        for _ in 0..63 {
+            assert!(ss.on_activation(RowId(9)).is_empty());
+        }
+    }
+
+    #[test]
+    fn untracked_rows_inherit_the_minimum_bound() {
+        let mut ss = SpaceSaving::new(1024, 2, 1_000).unwrap();
+        for _ in 0..10 {
+            ss.on_activation(RowId(1));
+            ss.on_activation(RowId(2));
+        }
+        // Row 3 was never seen, but with a full table its bound is the min.
+        assert_eq!(ss.upper_bound(RowId(3)), 10);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(SpaceSaving::new(1000, 8, 64).is_err());
+        assert!(SpaceSaving::new(1024, 0, 64).is_err());
+        assert!(SpaceSaving::new(1024, 8, 1).is_err());
+        let ss = SpaceSaving::new(1024, 8, 64).unwrap();
+        assert_eq!(ss.counters(), 8);
+        assert_eq!(ss.name(), "SS_8");
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-scheme event counters consumed by the energy model and the benches.
+
+/// Raw event counts accumulated by a [`crate::MitigationScheme`].
+///
+/// All counts are monotonically increasing over the lifetime of the scheme
+/// (they are *not* reset at epoch boundaries) so that a simulation can
+/// compute rates by differencing snapshots.
+///
+/// ```
+/// use cat_core::SchemeStats;
+/// let mut a = SchemeStats::default();
+/// a.activations = 10;
+/// let mut b = SchemeStats::default();
+/// b.activations = 5;
+/// a.merge(&b);
+/// assert_eq!(a.activations, 15);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// Row activations observed (`on_activation` calls).
+    pub activations: u64,
+    /// Mitigation refresh commands issued.
+    pub refresh_events: u64,
+    /// Total rows covered by mitigation refreshes (victim + group rows).
+    pub refreshed_rows: u64,
+    /// SRAM words read while traversing / updating counter state.
+    pub sram_reads: u64,
+    /// SRAM words written.
+    pub sram_writes: u64,
+    /// Pseudo-random bits generated (PRA only).
+    pub prng_bits: u64,
+    /// Counter splits performed (CAT family).
+    pub splits: u64,
+    /// Cold-pair merges performed (DRCAT only).
+    pub merges: u64,
+    /// DRCAT reconfigurations (merge + split of a hot leaf).
+    pub reconfigurations: u64,
+    /// Counter-cache misses (counter-cache baseline only).
+    pub cache_misses: u64,
+    /// Counter values fetched from / written back to DRAM
+    /// (counter-cache baseline only).
+    pub dram_counter_transfers: u64,
+    /// Deepest tree level touched by any traversal (CAT family).
+    pub max_depth_touched: u64,
+}
+
+impl SchemeStats {
+    /// Adds every counter of `other` into `self` (`max_depth_touched` takes
+    /// the maximum). Used to aggregate per-bank schemes into system totals.
+    pub fn merge(&mut self, other: &SchemeStats) {
+        self.activations += other.activations;
+        self.refresh_events += other.refresh_events;
+        self.refreshed_rows += other.refreshed_rows;
+        self.sram_reads += other.sram_reads;
+        self.sram_writes += other.sram_writes;
+        self.prng_bits += other.prng_bits;
+        self.splits += other.splits;
+        self.merges += other.merges;
+        self.reconfigurations += other.reconfigurations;
+        self.cache_misses += other.cache_misses;
+        self.dram_counter_transfers += other.dram_counter_transfers;
+        self.max_depth_touched = self.max_depth_touched.max(other.max_depth_touched);
+    }
+
+    /// Average SRAM accesses (reads + writes) per activation.
+    pub fn sram_accesses_per_activation(&self) -> f64 {
+        if self.activations == 0 {
+            0.0
+        } else {
+            (self.sram_reads + self.sram_writes) as f64 / self.activations as f64
+        }
+    }
+
+    /// Average rows refreshed per mitigation refresh command.
+    pub fn rows_per_refresh(&self) -> f64 {
+        if self.refresh_events == 0 {
+            0.0
+        } else {
+            self.refreshed_rows as f64 / self.refresh_events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = SchemeStats {
+            activations: 1,
+            refresh_events: 2,
+            refreshed_rows: 3,
+            sram_reads: 4,
+            sram_writes: 5,
+            prng_bits: 6,
+            splits: 7,
+            merges: 8,
+            reconfigurations: 9,
+            cache_misses: 10,
+            dram_counter_transfers: 11,
+            max_depth_touched: 4,
+        };
+        let b = SchemeStats {
+            max_depth_touched: 9,
+            ..a
+        };
+        a.merge(&b);
+        assert_eq!(a.activations, 2);
+        assert_eq!(a.refreshed_rows, 6);
+        assert_eq!(a.dram_counter_transfers, 22);
+        assert_eq!(a.max_depth_touched, 9);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = SchemeStats::default();
+        assert_eq!(s.sram_accesses_per_activation(), 0.0);
+        assert_eq!(s.rows_per_refresh(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute_averages() {
+        let s = SchemeStats {
+            activations: 10,
+            sram_reads: 25,
+            sram_writes: 15,
+            refresh_events: 2,
+            refreshed_rows: 100,
+            ..SchemeStats::default()
+        };
+        assert_eq!(s.sram_accesses_per_activation(), 4.0);
+        assert_eq!(s.rows_per_refresh(), 50.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The SRAM representation of §IV-C: tagged child pointers.
+//!
+//! The hardware stores, per intermediate node, two pointers (`L_ptr`,
+//! `R_ptr`) of `log2 M` bits and two flags (`L_leaf`, `R_leaf`) that say
+//! whether each pointer addresses the intermediate-node array `I` or the
+//! counter array `C`. [`NodeRef`] models exactly that tagged pointer.
+
+/// A tagged pointer into either the intermediate-node array `I` or the
+/// counter array `C` (one `L/R_ptr` + `L/R_leaf` pair of Fig. 5(b)).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// Pointer into the intermediate-node array `I`.
+    Inode(u16),
+    /// Pointer into the counter array `C` (an active counter / tree leaf).
+    Leaf(u16),
+}
+
+impl NodeRef {
+    /// `true` when the reference addresses a counter (leaf).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, NodeRef::Leaf(_))
+    }
+
+    /// The raw pointer value, regardless of the tag.
+    pub fn index(&self) -> u16 {
+        match *self {
+            NodeRef::Inode(i) | NodeRef::Leaf(i) => i,
+        }
+    }
+}
+
+/// One entry of the intermediate-node array `I` (Fig. 5(b)): the two tagged
+/// child pointers. The storage cost modeled by the energy crate is
+/// `2·(log2 M + 1)` bits per entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct INode {
+    /// Left successor (covers the lower half of the parent's row range).
+    pub left: NodeRef,
+    /// Right successor (covers the upper half).
+    pub right: NodeRef,
+}
+
+impl INode {
+    /// Both successors are leaves — the precondition for a DRCAT merge.
+    pub fn both_leaves(&self) -> Option<(u16, u16)> {
+        match (self.left, self.right) {
+            (NodeRef::Leaf(l), NodeRef::Leaf(r)) => Some((l, r)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_pointer_accessors() {
+        assert!(NodeRef::Leaf(3).is_leaf());
+        assert!(!NodeRef::Inode(3).is_leaf());
+        assert_eq!(NodeRef::Leaf(7).index(), 7);
+        assert_eq!(NodeRef::Inode(9).index(), 9);
+    }
+
+    #[test]
+    fn both_leaves_detection() {
+        let n = INode {
+            left: NodeRef::Leaf(1),
+            right: NodeRef::Leaf(2),
+        };
+        assert_eq!(n.both_leaves(), Some((1, 2)));
+        let n = INode {
+            left: NodeRef::Inode(0),
+            right: NodeRef::Leaf(2),
+        };
+        assert_eq!(n.both_leaves(), None);
+    }
+}

@@ -1,0 +1,734 @@
+//! The Counter-based Adaptive Tree (§IV) in the compact SRAM layout of
+//! §IV-C: an array `I` of intermediate nodes (two tagged child pointers
+//! each), an array `C` of counters, and — starting from a pre-split complete
+//! tree of λ levels — direct indexing of the top `λ−1` address bits.
+
+mod layout;
+pub mod reference;
+mod shape;
+
+pub use layout::{INode, NodeRef};
+pub use shape::{LeafInfo, TreeShape};
+
+use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::{CatConfig, RowId, RowRange, SchemeStats, SplitThresholds};
+
+/// Where a node reference is stored — needed to replace a leaf reference
+/// with a freshly allocated intermediate node when the leaf splits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum ParentSlot {
+    /// Entry of the direct-indexed root table.
+    Root(u32),
+    /// Left child slot of intermediate node `i`.
+    Left(u16),
+    /// Right child slot of intermediate node `i`.
+    Right(u16),
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct Counter {
+    pub value: u32,
+    /// Split-threshold index `l_i` of Algorithm 1 (latched to `L−1` once
+    /// every counter is active).
+    pub tli: u8,
+    /// Structural depth of the leaf in the tree.
+    pub depth: u8,
+    pub active: bool,
+}
+
+/// Result of recording one activation on the tree.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Activation {
+    /// Range to refresh (group ± 1 victim row), if a counter reached `T`.
+    pub refresh: Option<RowRange>,
+    /// Index of the counter that absorbed the activation (after splits).
+    pub counter: u16,
+}
+
+/// A Counter-based Adaptive Tree protecting one DRAM bank.
+///
+/// This type implements the bare CAT of §IV: the tree grows according to the
+/// split thresholds and is never reset. The paper's deployable variants wrap
+/// it: [`crate::Prcat`] rebuilds it at every auto-refresh epoch and
+/// [`crate::Drcat`] adds weight-driven reconfiguration.
+///
+/// ```
+/// use cat_core::{CatConfig, CatTree, MitigationScheme, RowId};
+/// # fn main() -> Result<(), cat_core::ConfigError> {
+/// let mut tree = CatTree::new(CatConfig::new(1024, 8, 6, 256)?);
+/// // A heavily hammered row forces refreshes of its group ± 1 row.
+/// let mut rows = 0;
+/// for _ in 0..2048 {
+///     rows += tree.on_activation(RowId(3)).total_rows();
+/// }
+/// assert!(rows > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CatTree {
+    config: CatConfig,
+    thresholds: SplitThresholds,
+    pub(crate) roots: Vec<NodeRef>,
+    pub(crate) inodes: Vec<INode>,
+    pub(crate) counters: Vec<Counter>,
+    free_counters: Vec<u16>,
+    free_inodes: Vec<u16>,
+    active_counters: usize,
+    all_active: bool,
+    stats: SchemeStats,
+}
+
+impl CatTree {
+    /// Builds the initial pre-split tree: `2^{λ−1}` active counters at level
+    /// `λ−1`, each covering `N / 2^{λ−1}` rows.
+    pub fn new(config: CatConfig) -> Self {
+        let thresholds = config.split_thresholds();
+        let m = config.counters();
+        let root_count = 1usize << (config.lambda() - 1);
+        let mut counters = vec![Counter::default(); m];
+        let mut roots = Vec::with_capacity(root_count);
+        for (i, counter) in counters.iter_mut().enumerate().take(root_count) {
+            *counter = Counter {
+                value: 0,
+                tli: (config.lambda() - 1) as u8,
+                depth: (config.lambda() - 1) as u8,
+                active: true,
+            };
+            roots.push(NodeRef::Leaf(i as u16));
+        }
+        // Free counters popped in ascending index order.
+        let free_counters: Vec<u16> = (root_count..m).rev().map(|i| i as u16).collect();
+        let all_active = root_count == m;
+        let mut tree = CatTree {
+            config,
+            thresholds,
+            roots,
+            inodes: Vec::with_capacity(m.saturating_sub(1)),
+            counters,
+            free_counters,
+            free_inodes: Vec::new(),
+            active_counters: root_count,
+            all_active,
+            stats: SchemeStats::default(),
+        };
+        if all_active {
+            tree.latch_all_thresholds();
+        }
+        tree
+    }
+
+    /// The configuration this tree was built from.
+    pub fn config(&self) -> &CatConfig {
+        &self.config
+    }
+
+    /// The split thresholds in use.
+    pub fn thresholds(&self) -> &SplitThresholds {
+        &self.thresholds
+    }
+
+    /// Number of currently active counters.
+    pub fn active_counters(&self) -> usize {
+        self.active_counters
+    }
+
+    /// `true` once every counter has been activated (Algorithm 1 then
+    /// latches every split-threshold index to `L−1`).
+    pub fn fully_grown(&self) -> bool {
+        self.all_active
+    }
+
+    /// Rows per direct-indexed subtree root.
+    fn root_span(&self) -> u32 {
+        self.config.rows() >> (self.config.lambda() - 1)
+    }
+
+    /// Walks the tree to the leaf covering `row`. Returns the counter index,
+    /// its range, its parent slot and the number of intermediate nodes read.
+    pub(crate) fn locate(&self, row: u32) -> (u16, u32, u32, ParentSlot, u32) {
+        debug_assert!(row < self.config.rows());
+        let span = self.root_span();
+        let g = row / span;
+        let mut lo = g * span;
+        let mut hi = lo + span - 1;
+        let mut slot = ParentSlot::Root(g);
+        let mut node = self.roots[g as usize];
+        let mut visits = 0u32;
+        loop {
+            match node {
+                NodeRef::Leaf(c) => return (c, lo, hi, slot, visits),
+                NodeRef::Inode(i) => {
+                    visits += 1;
+                    let mid = lo + (hi - lo) / 2;
+                    let inode = &self.inodes[i as usize];
+                    if row <= mid {
+                        hi = mid;
+                        slot = ParentSlot::Left(i);
+                        node = inode.left;
+                    } else {
+                        lo = mid + 1;
+                        slot = ParentSlot::Right(i);
+                        node = inode.right;
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn set_slot(&mut self, slot: ParentSlot, node: NodeRef) {
+        match slot {
+            ParentSlot::Root(g) => self.roots[g as usize] = node,
+            ParentSlot::Left(i) => self.inodes[i as usize].left = node,
+            ParentSlot::Right(i) => self.inodes[i as usize].right = node,
+        }
+    }
+
+    fn alloc_inode(&mut self, inode: INode) -> u16 {
+        if let Some(idx) = self.free_inodes.pop() {
+            self.inodes[idx as usize] = inode;
+            idx
+        } else {
+            let idx = self.inodes.len() as u16;
+            self.inodes.push(inode);
+            idx
+        }
+    }
+
+    fn latch_all_thresholds(&mut self) {
+        let top = (self.config.max_levels() - 1) as u8;
+        for c in self.counters.iter_mut().filter(|c| c.active) {
+            c.tli = top;
+        }
+        self.all_active = true;
+    }
+
+    /// Splits leaf `c` (covering `[lo, hi]`, stored in `slot`): the left
+    /// half stays with `c`, the right half goes to a newly activated clone
+    /// (Algorithm 1 lines 15–22). Returns `(new counter, new intermediate
+    /// node)`, or `None` when no counter is free or the leaf is one row.
+    pub(crate) fn split_leaf(
+        &mut self,
+        c: u16,
+        lo: u32,
+        hi: u32,
+        slot: ParentSlot,
+    ) -> Option<(u16, u16)> {
+        if lo == hi {
+            return None;
+        }
+        let nc = self.free_counters.pop()?;
+        let parent = self.counters[c as usize];
+        let child_tli = (parent.tli + 1).min((self.config.max_levels() - 1) as u8);
+        self.counters[nc as usize] = Counter {
+            value: parent.value,
+            tli: child_tli,
+            depth: parent.depth + 1,
+            active: true,
+        };
+        self.counters[c as usize].tli = child_tli;
+        self.counters[c as usize].depth = parent.depth + 1;
+        let inode = self.alloc_inode(INode {
+            left: NodeRef::Leaf(c),
+            right: NodeRef::Leaf(nc),
+        });
+        self.set_slot(slot, NodeRef::Inode(inode));
+        self.active_counters += 1;
+        self.stats.splits += 1;
+        self.stats.sram_writes += 2; // new intermediate node + cloned counter
+        if self.active_counters == self.config.counters() {
+            self.latch_all_thresholds();
+        }
+        Some((nc, inode))
+    }
+
+    /// Records one activation; the core of Algorithm 1's counter module plus
+    /// the reconfiguration counter module's split handling.
+    pub fn record(&mut self, row: RowId) -> Activation {
+        let rows = self.config.rows();
+        assert!(row.0 < rows, "row {row} out of range (bank has {rows} rows)");
+        self.stats.activations += 1;
+        let (mut c, mut lo, mut hi, mut slot, visits) = self.locate(row.0);
+        // One read per traversed intermediate node, plus the counter
+        // read-modify-write.
+        self.stats.sram_reads += u64::from(visits) + 1;
+        self.stats.sram_writes += 1;
+        self.stats.max_depth_touched = self
+            .stats
+            .max_depth_touched
+            .max(u64::from(self.counters[c as usize].depth));
+
+        self.counters[c as usize].value += 1;
+        loop {
+            let counter = self.counters[c as usize];
+            let threshold = self.thresholds.threshold_for_level(u32::from(counter.tli));
+            if counter.value < threshold {
+                return Activation {
+                    refresh: None,
+                    counter: c,
+                };
+            }
+            let top_level = counter.tli as u32 == self.config.max_levels() - 1;
+            if top_level || threshold == self.thresholds.refresh_threshold() {
+                // Refresh the group plus its two adjacent victim rows.
+                self.counters[c as usize].value = 0;
+                let range = RowRange::new(lo, hi).expand_victims(rows);
+                self.stats.refresh_events += 1;
+                self.stats.refreshed_rows += range.len();
+                return Activation {
+                    refresh: Some(range),
+                    counter: c,
+                };
+            }
+            // Split threshold reached below the maximum level: activate a
+            // clone (RCM). If no counter is free the tree is fully grown and
+            // thresholds were latched to T, so the loop terminates above.
+            match self.split_leaf(c, lo, hi, slot) {
+                Some((nc, inode)) => {
+                    // Descend into the half containing the activated row;
+                    // the clone kept the parent's value, so a larger split
+                    // threshold may already be met (cascade).
+                    let mid = lo + (hi - lo) / 2;
+                    if row.0 <= mid {
+                        hi = mid;
+                        slot = ParentSlot::Left(inode);
+                    } else {
+                        lo = mid + 1;
+                        c = nc;
+                        slot = ParentSlot::Right(inode);
+                    }
+                }
+                None => {
+                    // Cannot split further (single-row group): count up to T
+                    // at this level instead.
+                    self.counters[c as usize].tli = (self.config.max_levels() - 1) as u8;
+                }
+            }
+        }
+    }
+
+    /// Depth-first search for an intermediate node whose two children are
+    /// both leaves with zero weight — a pair of cold sibling counters that
+    /// DRCAT may merge (§V-B step 1). The hot counter `exclude` is never
+    /// eligible. Returns `(slot of the inode, inode index, left leaf,
+    /// right leaf)`.
+    pub(crate) fn find_cold_pair(
+        &self,
+        weights: &[u8],
+        exclude: u16,
+    ) -> Option<(ParentSlot, u16, u16, u16)> {
+        let mut stack: Vec<(NodeRef, ParentSlot)> = self
+            .roots
+            .iter()
+            .enumerate()
+            .map(|(g, node)| (*node, ParentSlot::Root(g as u32)))
+            .collect();
+        while let Some((node, slot)) = stack.pop() {
+            if let NodeRef::Inode(i) = node {
+                let inode = self.inodes[i as usize];
+                if let Some((l, r)) = inode.both_leaves() {
+                    if l != exclude
+                        && r != exclude
+                        && weights[l as usize] == 0
+                        && weights[r as usize] == 0
+                    {
+                        return Some((slot, i, l, r));
+                    }
+                } else {
+                    stack.push((inode.left, ParentSlot::Left(i)));
+                    stack.push((inode.right, ParentSlot::Right(i)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Merges the two cold sibling leaves below intermediate node `inode`:
+    /// the right leaf is promoted into the parent slot (as in Fig. 7, where
+    /// C5 is promoted and C2 released) carrying the *maximum* of the two
+    /// counter values — merging must never under-count any row in the
+    /// combined group. Returns the released counter index.
+    pub(crate) fn merge_pair(&mut self, slot: ParentSlot, inode: u16, left: u16, right: u16) -> u16 {
+        debug_assert_eq!(
+            self.inodes[inode as usize].both_leaves(),
+            Some((left, right))
+        );
+        let lv = self.counters[left as usize].value;
+        let rv = self.counters[right as usize].value;
+        self.counters[right as usize].value = lv.max(rv);
+        self.counters[right as usize].depth -= 1;
+        self.counters[left as usize] = Counter::default();
+        self.set_slot(slot, NodeRef::Leaf(right));
+        self.free_inodes.push(inode);
+        self.free_counters.push(left);
+        self.active_counters -= 1;
+        self.stats.merges += 1;
+        self.stats.sram_writes += 2;
+        left
+    }
+
+    /// Finds the leaf holding counter `c`: its parent slot and row range.
+    pub(crate) fn find_leaf(&self, c: u16) -> Option<(ParentSlot, u32, u32)> {
+        let span = self.root_span();
+        for (g, root) in self.roots.iter().enumerate() {
+            let lo = g as u32 * span;
+            let mut stack = vec![(*root, lo, lo + span - 1, ParentSlot::Root(g as u32))];
+            while let Some((node, lo, hi, slot)) = stack.pop() {
+                match node {
+                    NodeRef::Leaf(idx) if idx == c => return Some((slot, lo, hi)),
+                    NodeRef::Leaf(_) => {}
+                    NodeRef::Inode(i) => {
+                        let mid = lo + (hi - lo) / 2;
+                        let inode = self.inodes[i as usize];
+                        stack.push((inode.left, lo, mid, ParentSlot::Left(i)));
+                        stack.push((inode.right, mid + 1, hi, ParentSlot::Right(i)));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Splits the (hot) leaf `c` using a previously released counter (§V-B
+    /// step 2). Fails when the leaf is already at the maximum level, covers
+    /// a single row, or no counter is free. Returns the new counter index.
+    pub(crate) fn split_hot(&mut self, c: u16) -> Option<u16> {
+        if u32::from(self.counters[c as usize].depth) + 1 > self.config.max_levels() - 1 {
+            return None;
+        }
+        let (slot, lo, hi) = self.find_leaf(c)?;
+        let was_tli = self.counters[c as usize].tli;
+        let split = self.split_leaf(c, lo, hi, slot);
+        if let Some((nc, _)) = split {
+            // Reconfiguration happens on the fully grown tree: thresholds
+            // stay latched at L−1 rather than following the depth.
+            if self.all_active {
+                let top = (self.config.max_levels() - 1) as u8;
+                self.counters[c as usize].tli = top;
+                self.counters[nc as usize].tli = top;
+            } else {
+                self.counters[c as usize].tli = was_tli;
+                self.counters[nc as usize].tli = was_tli;
+            }
+            Some(nc)
+        } else {
+            None
+        }
+    }
+
+    /// Resets the tree to its initial pre-split state (used by PRCAT at
+    /// every auto-refresh epoch). Statistics are preserved.
+    pub fn reset(&mut self) {
+        let stats = self.stats;
+        *self = CatTree::new(self.config.clone());
+        self.stats = stats;
+    }
+
+    /// Zeroes every active counter value but keeps the tree structure
+    /// (DRCAT's epoch behaviour: rows were just auto-refreshed, so counts
+    /// restart, but the learned shape is retained).
+    pub fn zero_counters(&mut self) {
+        for c in self.counters.iter_mut().filter(|c| c.active) {
+            c.value = 0;
+        }
+    }
+
+    /// Current value of counter `c` (for tests and diagnostics).
+    pub fn counter_value(&self, c: u16) -> Option<u32> {
+        let counter = self.counters.get(c as usize)?;
+        counter.active.then_some(counter.value)
+    }
+
+    /// Snapshot of the tree shape (leaf ranges and depths), ordered by row.
+    pub fn shape(&self) -> TreeShape {
+        shape::collect(self)
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut SchemeStats {
+        &mut self.stats
+    }
+
+    fn profile(&self, kind: SchemeKind) -> HardwareProfile {
+        HardwareProfile {
+            kind,
+            counters: self.config.counters(),
+            counter_bits: self.config.counter_bits(),
+            max_levels: self.config.max_levels(),
+            prng_bits_per_activation: 0,
+            refresh_threshold: self.config.refresh_threshold(),
+        }
+    }
+
+    pub(crate) fn hardware_as(&self, kind: SchemeKind) -> HardwareProfile {
+        self.profile(kind)
+    }
+}
+
+impl MitigationScheme for CatTree {
+    fn on_activation(&mut self, row: RowId) -> Refreshes {
+        match self.record(row).refresh {
+            Some(range) => Refreshes::one(range),
+            None => Refreshes::none(),
+        }
+    }
+
+    fn on_epoch_end(&mut self) {
+        // The bare CAT keeps counting across epochs (conservative but safe:
+        // counts only over-estimate activations since the last refresh).
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn hardware(&self) -> HardwareProfile {
+        // Hardware-wise the bare CAT is PRCAT without the epoch reset.
+        self.profile(SchemeKind::Prcat)
+    }
+
+    fn rows(&self) -> u32 {
+        self.config.rows()
+    }
+
+    fn name(&self) -> String {
+        format!("CAT_{}", self.config.counters())
+    }
+}
+
+/// Drives the access sequence that sculpts Figure 5(a)'s tree shape on the
+/// N = 32, M = 8, L = 6, T = 64, λ = 1, doubling-thresholds configuration:
+/// leaf depths (ascending rows) 3,5,5,4,3,4,4,1 over row fractions
+/// 4,1,1,2,4,2,2,16 (out of 32). Test helper shared with the DRCAT tests.
+#[cfg(test)]
+pub(crate) fn build_figure5<S: FnMut(RowId)>(mut access: S) {
+    for _ in 0..32 {
+        access(RowId(4)); // splits [0,32)→…→[4,5)/[5,6) chain
+    }
+    for _ in 0..12 {
+        access(RowId(12)); // splits [8,16)→[8,12)+[12,16)→[12,14)+[14,16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThresholdPolicy;
+
+    fn small_cfg() -> CatConfig {
+        CatConfig::new(1024, 8, 6, 256).unwrap()
+    }
+
+    /// The configuration used to reproduce Figure 5's tree: N = 32, M = 8,
+    /// L = 6, T = 64, built from the root (λ = 1) with doubling thresholds
+    /// (2, 4, 8, 16, 32).
+    fn figure5_cfg() -> CatConfig {
+        CatConfig::new(32, 8, 6, 64)
+            .unwrap()
+            .with_policy(ThresholdPolicy::Doubling)
+            .with_lambda(1)
+            .unwrap()
+    }
+
+    #[test]
+    fn initial_shape_is_pre_split_partition() {
+        let tree = CatTree::new(small_cfg());
+        let shape = tree.shape();
+        assert_eq!(shape.leaves().len(), 4); // λ = 3 ⇒ 2^{λ−1} = 4 leaves
+        assert!(shape.is_partition(1024));
+        assert_eq!(shape.depth_profile(), vec![2, 2, 2, 2]);
+        assert_eq!(tree.active_counters(), 4);
+        assert!(!tree.fully_grown());
+    }
+
+    #[test]
+    fn figure5_shape_reproduced() {
+        let mut tree = CatTree::new(figure5_cfg());
+        build_figure5(|row| {
+            tree.record(row);
+        });
+        let shape = tree.shape();
+        assert!(shape.is_partition(32));
+        assert_eq!(shape.depth_profile(), vec![3, 5, 5, 4, 3, 4, 4, 1]);
+        let spans: Vec<u64> = shape.leaves().iter().map(|l| l.range.len()).collect();
+        assert_eq!(spans, vec![4, 1, 1, 2, 4, 2, 2, 16]);
+        assert!(tree.fully_grown());
+        // All split-threshold indices latch to L−1 = 5 once fully grown.
+        assert!(shape.leaves().iter().all(|l| l.tli == 5));
+        assert_eq!(tree.stats().splits, 7);
+    }
+
+    #[test]
+    fn uniform_accesses_grow_a_balanced_tree() {
+        // Fig. 4(b): uniform row accesses distribute the counters uniformly
+        // (the CAT "mimics SCA" at level log2 M). Rotate across the four
+        // pre-split regions so the access rate is uniform in time.
+        let mut tree = CatTree::new(small_cfg());
+        let mut i = 0u32;
+        while !tree.fully_grown() {
+            let row = (i % 4) * 256 + (i * 61) % 256;
+            tree.record(RowId(row));
+            i += 1;
+        }
+        let shape = tree.shape();
+        assert_eq!(shape.depth_profile(), vec![3; 8]);
+        assert!(shape.is_partition(1024));
+    }
+
+    #[test]
+    fn biased_accesses_grow_an_unbalanced_tree() {
+        // Fig. 4(a): a hammered row drags counters to the deepest level
+        // around itself while cold regions keep coarse counters.
+        let mut tree = CatTree::new(small_cfg());
+        for _ in 0..600 {
+            tree.record(RowId(700));
+        }
+        let shape = tree.shape();
+        assert!(shape.is_partition(1024));
+        let hot = shape
+            .leaves()
+            .iter()
+            .find(|l| l.range.contains(700))
+            .unwrap();
+        assert_eq!(u32::from(hot.depth), tree.config().max_levels() - 1);
+        // Some other region must still be at the pre-split level.
+        assert!(shape.leaves().iter().any(|l| l.depth == 2));
+    }
+
+    #[test]
+    fn refresh_covers_group_plus_victims() {
+        let cfg = small_cfg();
+        let mut tree = CatTree::new(cfg);
+        let mut refresh = None;
+        for _ in 0..2048 {
+            if let Some(r) = tree.record(RowId(512)).refresh {
+                refresh = Some(r);
+                break;
+            }
+        }
+        let r = refresh.expect("hot row must trigger a refresh");
+        // The group containing row 512 at max depth L−1 = 5 spans
+        // 1024/2^5 = 32 rows, plus one victim on each side.
+        assert_eq!(r.len(), 34);
+        assert!(r.contains(512));
+        assert_eq!(tree.stats().refresh_events, 1);
+        assert_eq!(tree.stats().refreshed_rows, 34);
+    }
+
+    #[test]
+    fn refresh_range_clamps_at_bank_edges() {
+        let mut tree = CatTree::new(small_cfg());
+        let mut seen = None;
+        for _ in 0..2048 {
+            if let Some(r) = tree.record(RowId(0)).refresh {
+                seen = Some(r);
+                break;
+            }
+        }
+        let r = seen.unwrap();
+        assert_eq!(r.lo(), 0, "no victim below row 0");
+        assert_eq!(r.len(), 33);
+    }
+
+    #[test]
+    fn uniform_policy_cascades_terminate() {
+        let cfg = CatConfig::new(1024, 8, 6, 256)
+            .unwrap()
+            .with_policy(ThresholdPolicy::Uniform);
+        let mut tree = CatTree::new(cfg);
+        for i in 0..50_000u32 {
+            tree.record(RowId((i * 613) % 1024));
+        }
+        assert!(tree.shape().is_partition(1024));
+    }
+
+    #[test]
+    fn reset_restores_initial_shape_but_keeps_stats() {
+        let mut tree = CatTree::new(small_cfg());
+        for _ in 0..600 {
+            tree.record(RowId(10));
+        }
+        let activations = tree.stats().activations;
+        assert!(tree.shape().max_depth() > 2);
+        tree.reset();
+        assert_eq!(tree.shape().depth_profile(), vec![2, 2, 2, 2]);
+        assert_eq!(tree.stats().activations, activations);
+        assert_eq!(tree.active_counters(), 4);
+    }
+
+    #[test]
+    fn zero_counters_keeps_structure() {
+        let mut tree = CatTree::new(small_cfg());
+        for _ in 0..600 {
+            tree.record(RowId(10));
+        }
+        let before = tree.shape();
+        tree.zero_counters();
+        let after = tree.shape();
+        assert_eq!(before.depth_profile(), after.depth_profile());
+        assert!(after.leaves().iter().all(|l| l.value == 0));
+    }
+
+    #[test]
+    fn merge_then_split_preserves_partition() {
+        let mut tree = CatTree::new(figure5_cfg());
+        tests_build_full(&mut tree);
+        let weights = vec![0u8; 8];
+        let (slot, inode, l, r) = tree
+            .find_cold_pair(&weights, u16::MAX)
+            .expect("a sibling leaf pair must exist in a full tree");
+        let freed = tree.merge_pair(slot, inode, l, r);
+        assert!(tree.shape().is_partition(32));
+        assert_eq!(tree.active_counters(), 7);
+        // The freed counter is reused by the next hot split.
+        let hot = tree.shape().leaves()[0].counter;
+        let nc = tree.split_hot(hot).expect("split must succeed after merge");
+        assert_eq!(nc, freed);
+        assert!(tree.shape().is_partition(32));
+        assert_eq!(tree.active_counters(), 8);
+        assert_eq!(tree.stats().merges, 1);
+    }
+
+    #[test]
+    fn split_hot_respects_depth_limit() {
+        let mut tree = CatTree::new(figure5_cfg());
+        tests_build_full(&mut tree);
+        // Find the deepest leaf (level 5 = L−1): cannot be split further.
+        let deep = tree
+            .shape()
+            .leaves()
+            .iter()
+            .find(|l| l.depth == 5)
+            .unwrap()
+            .counter;
+        assert_eq!(tree.split_hot(deep), None);
+    }
+
+    #[test]
+    fn sram_traffic_is_bounded_by_tree_height() {
+        let mut tree = CatTree::new(small_cfg());
+        for i in 0..10_000u32 {
+            tree.record(RowId((i * 997) % 1024));
+        }
+        let s = tree.stats();
+        // ≤ (L − λ + 1) reads plus the counter access per activation.
+        let max_reads_per_access = f64::from(tree.config().max_levels());
+        assert!(s.sram_accesses_per_activation() <= max_reads_per_access + 1.0);
+        assert!(s.sram_accesses_per_activation() >= 2.0);
+    }
+
+    #[test]
+    fn activation_out_of_range_panics() {
+        let mut tree = CatTree::new(small_cfg());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tree.record(RowId(1024));
+        }));
+        assert!(result.is_err());
+    }
+
+    fn tests_build_full(tree: &mut CatTree) {
+        build_figure5(|row| {
+            tree.record(row);
+        });
+        assert!(tree.fully_grown());
+    }
+}

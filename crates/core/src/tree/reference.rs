@@ -1,0 +1,197 @@
+//! A deliberately naive implementation of Algorithm 1 used as a
+//! differential-testing oracle for [`CatTree`](super::CatTree).
+//!
+//! Each counter module stores its row range in explicit `L_i`/`U_i`
+//! registers exactly as the paper's Algorithm 1 describes, and lookups do a
+//! linear scan — trivially correct, but `O(M)` per access and `O(M·log N)`
+//! bits of range storage, which is precisely the overhead §IV-C's pointer
+//! layout removes. Tests assert that both implementations produce identical
+//! leaf partitions, counter values and refresh decisions on arbitrary
+//! access sequences.
+
+use crate::{CatConfig, RowId, RowRange, SplitThresholds};
+
+/// One counter module (`CM_i`) with explicit range registers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Cm {
+    /// Lower row bound `L_i`.
+    pub lo: u32,
+    /// Upper row bound `U_i` (inclusive).
+    pub hi: u32,
+    /// Counter value `C_i`.
+    pub value: u32,
+    /// Split-threshold index `l_i`.
+    pub tli: u8,
+}
+
+/// Algorithm 1 implemented with explicit per-counter range registers.
+///
+/// ```
+/// use cat_core::tree::reference::ReferenceCat;
+/// use cat_core::{CatConfig, RowId};
+/// # fn main() -> Result<(), cat_core::ConfigError> {
+/// let mut cat = ReferenceCat::new(CatConfig::new(1024, 8, 6, 256)?);
+/// let mut refreshed = 0u64;
+/// for _ in 0..2048 {
+///     if let Some(range) = cat.record(RowId(3)) {
+///         refreshed += range.len();
+///     }
+/// }
+/// assert!(refreshed > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReferenceCat {
+    config: CatConfig,
+    thresholds: SplitThresholds,
+    modules: Vec<Cm>,
+    all_active: bool,
+}
+
+impl ReferenceCat {
+    /// Builds the pre-split initial state (2^{λ−1} uniform modules).
+    pub fn new(config: CatConfig) -> Self {
+        let thresholds = config.split_thresholds();
+        let roots = 1u32 << (config.lambda() - 1);
+        let span = config.rows() / roots;
+        let modules = (0..roots)
+            .map(|g| Cm {
+                lo: g * span,
+                hi: g * span + span - 1,
+                value: 0,
+                tli: (config.lambda() - 1) as u8,
+            })
+            .collect();
+        let all_active = roots as usize == config.counters();
+        let mut this = ReferenceCat {
+            config,
+            thresholds,
+            modules,
+            all_active,
+        };
+        if this.all_active {
+            this.latch();
+        }
+        this
+    }
+
+    fn latch(&mut self) {
+        let top = (self.config.max_levels() - 1) as u8;
+        for m in &mut self.modules {
+            m.tli = top;
+        }
+        self.all_active = true;
+    }
+
+    /// Records one activation, returning the range to refresh if the
+    /// matching counter reached the refresh threshold.
+    pub fn record(&mut self, row: RowId) -> Option<RowRange> {
+        let rows = self.config.rows();
+        assert!(row.0 < rows);
+        // Linear scan: exactly Algorithm 1's "Li <= row_address <= Ui".
+        let mut idx = self
+            .modules
+            .iter()
+            .position(|m| m.lo <= row.0 && row.0 <= m.hi)
+            .expect("modules partition the bank");
+        self.modules[idx].value += 1;
+        loop {
+            let m = self.modules[idx];
+            let threshold = self.thresholds.threshold_for_level(u32::from(m.tli));
+            if m.value < threshold {
+                return None;
+            }
+            if u32::from(m.tli) == self.config.max_levels() - 1
+                || threshold == self.thresholds.refresh_threshold()
+            {
+                self.modules[idx].value = 0;
+                return Some(RowRange::new(m.lo, m.hi).expand_victims(rows));
+            }
+            // Split (RCM): halve the range, clone value, bump both levels.
+            if self.modules.len() == self.config.counters() || m.lo == m.hi {
+                // No counter free (handled by latching) or single row.
+                self.modules[idx].tli = (self.config.max_levels() - 1) as u8;
+                continue;
+            }
+            let mid = m.lo + (m.hi - m.lo) / 2;
+            self.modules[idx].hi = mid;
+            self.modules[idx].tli = m.tli + 1;
+            self.modules.push(Cm {
+                lo: mid + 1,
+                hi: m.hi,
+                value: m.value,
+                tli: m.tli + 1,
+            });
+            if self.modules.len() == self.config.counters() {
+                self.latch();
+            }
+            if row.0 > mid {
+                idx = self.modules.len() - 1;
+            }
+        }
+    }
+
+    /// The modules sorted by lower row bound — the leaf partition.
+    pub fn partition(&self) -> Vec<Cm> {
+        let mut v = self.modules.clone();
+        v.sort_by_key(|m| m.lo);
+        v
+    }
+
+    /// Number of activated counter modules.
+    pub fn active_counters(&self) -> usize {
+        self.modules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CatConfig {
+        CatConfig::new(1024, 8, 6, 256).unwrap()
+    }
+
+    #[test]
+    fn partition_is_contiguous_after_growth() {
+        let mut cat = ReferenceCat::new(cfg());
+        for i in 0..5000u32 {
+            cat.record(RowId(i * 37 % 1024));
+        }
+        let parts = cat.partition();
+        let mut next = 0;
+        for m in &parts {
+            assert_eq!(m.lo, next);
+            next = m.hi + 1;
+        }
+        assert_eq!(next, 1024);
+    }
+
+    #[test]
+    fn hammering_one_row_refreshes_its_neighbourhood() {
+        let mut cat = ReferenceCat::new(cfg());
+        let mut got = None;
+        for _ in 0..1024 {
+            if let Some(r) = cat.record(RowId(100)) {
+                got = Some(r);
+                break;
+            }
+        }
+        let r = got.expect("a refresh must fire within T·L activations");
+        assert!(r.contains(99) && r.contains(100) && r.contains(101));
+    }
+
+    #[test]
+    fn latches_thresholds_once_full() {
+        let mut cat = ReferenceCat::new(cfg());
+        // Touch every region hard enough to use all 8 counters.
+        for round in 0..4000u32 {
+            cat.record(RowId((round * 129) % 1024));
+        }
+        assert_eq!(cat.active_counters(), 8);
+        for m in cat.partition() {
+            assert_eq!(m.tli, 5, "all thresholds latch to L-1");
+        }
+    }
+}

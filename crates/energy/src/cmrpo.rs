@@ -1,0 +1,201 @@
+//! CMRPO — Crosstalk Mitigation Refresh Power Overhead (§VI, §VII-B).
+//!
+//! > "The CMRPO is the average power consumed for deciding which rows to be
+//! > refreshed in order to mitigate crosstalk … computed relative to the
+//! > regular refresh power in the absence of any crosstalk mitigation
+//! > (2.5 mW to refresh 64K rows during a 64 ms refresh interval)."
+//!
+//! Three components per §VII-B: (1) dynamic power — per-access decision
+//! energy times the access rate; (2) static power — leakage of the counter
+//! structures per refresh interval; (3) refresh power — victim rows
+//! refreshed times 1 nJ, over the execution time.
+
+use cat_core::{HardwareProfile, SchemeKind, SchemeStats};
+
+use crate::{prng, refresh, table2};
+
+/// Table II's static column interpreted DIMM-wide: divide per bank (see
+/// the crate-level calibration note).
+pub const STATIC_SHARE_BANKS: f64 = 16.0;
+
+/// CMRPO split into the paper's three components, each already normalised
+/// to the regular refresh power (i.e. `0.04` = 4 %).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct CmrpoBreakdown {
+    /// Per-access decision energy (counter SRAM traffic or PRNG draws).
+    pub dynamic: f64,
+    /// Counter-structure leakage.
+    pub static_: f64,
+    /// Victim-row refresh energy.
+    pub refresh: f64,
+}
+
+impl CmrpoBreakdown {
+    /// Total CMRPO (fraction of regular refresh power).
+    pub fn total(&self) -> f64 {
+        self.dynamic + self.static_ + self.refresh
+    }
+}
+
+impl std::fmt::Display for CmrpoBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2}% (dyn {:.2}% + static {:.2}% + refresh {:.2}%)",
+            self.total() * 100.0,
+            self.dynamic * 100.0,
+            self.static_ * 100.0,
+            self.refresh * 100.0
+        )
+    }
+}
+
+/// Computes CMRPO from aggregated scheme statistics.
+///
+/// * `profile` — the scheme's hardware description.
+/// * `stats` — event counts summed over all banks.
+/// * `banks` — number of banks the stats cover.
+/// * `rows_per_bank` — bank height (scales the refresh-power denominator).
+/// * `exec_seconds` — execution time the stats accumulated over.
+///
+/// ```
+/// use cat_core::{HardwareProfile, SchemeKind, SchemeStats};
+///
+/// let profile = HardwareProfile {
+///     kind: SchemeKind::Drcat, counters: 64, counter_bits: 15,
+///     max_levels: 11, prng_bits_per_activation: 0, refresh_threshold: 32_768,
+/// };
+/// let stats = SchemeStats {
+///     activations: 8_000_000,
+///     refreshed_rows: 30_000,
+///     ..SchemeStats::default()
+/// };
+/// let c = cat_energy::cmrpo_from_stats(&profile, &stats, 16, 65_536, 0.064);
+/// assert!(c.total() > 0.0 && c.total() < 0.2);
+/// ```
+pub fn cmrpo_from_stats(
+    profile: &HardwareProfile,
+    stats: &SchemeStats,
+    banks: u32,
+    rows_per_bank: u32,
+    exec_seconds: f64,
+) -> CmrpoBreakdown {
+    assert!(banks > 0 && exec_seconds > 0.0);
+    let baseline_w = f64::from(banks) * refresh::regular_refresh_power_w(rows_per_bank);
+
+    let dynamic_w = match profile.kind {
+        SchemeKind::Pra => {
+            // One shared PRNG serves all banks; energy scales with draws.
+            prng::NJ_PER_BIT * stats.prng_bits as f64 * 1e-9 / exec_seconds
+        }
+        _ => {
+            table2::dynamic_nj_per_access(
+                profile.kind,
+                profile.counters,
+                profile.max_levels,
+                profile.refresh_threshold,
+            ) * stats.activations as f64
+                * 1e-9
+                / exec_seconds
+        }
+    };
+
+    let static_w = match profile.kind {
+        SchemeKind::Pra => 0.0,
+        _ => {
+            table2::static_nj_per_interval(
+                profile.kind,
+                profile.counters,
+                profile.refresh_threshold,
+            ) / STATIC_SHARE_BANKS
+                * f64::from(banks)
+                * 1e-9
+                / refresh::REFRESH_INTERVAL_S
+        }
+    };
+
+    let refresh_w = refresh::victim_refresh_power_w(stats.refreshed_rows, exec_seconds);
+
+    CmrpoBreakdown {
+        dynamic: dynamic_w / baseline_w,
+        static_: static_w / baseline_w,
+        refresh: refresh_w / baseline_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(kind: SchemeKind, counters: usize) -> HardwareProfile {
+        HardwareProfile {
+            kind,
+            counters,
+            counter_bits: 15,
+            max_levels: 11,
+            prng_bits_per_activation: 9,
+            refresh_threshold: 32_768,
+        }
+    }
+
+    fn stats(activations: u64, refreshed_rows: u64, prng_bits: u64) -> SchemeStats {
+        SchemeStats {
+            activations,
+            refreshed_rows,
+            prng_bits,
+            ..SchemeStats::default()
+        }
+    }
+
+    #[test]
+    fn pra_is_prng_dominated() {
+        // 8.4M accesses over 64 ms (the paper's traffic band), p = 0.002:
+        // ~2100 victim rows per bank × 16 banks.
+        let s = stats(8_400_000, 33_600, 8_400_000 * 9);
+        let c = cmrpo_from_stats(&profile(SchemeKind::Pra, 0), &s, 16, 65_536, 0.064);
+        assert!(c.dynamic > c.refresh, "PRNG dominates: {c}");
+        assert!((0.06..0.14).contains(&c.total()), "PRA total {c}");
+        assert_eq!(c.static_, 0.0);
+    }
+
+    #[test]
+    fn drcat64_lands_in_the_paper_band() {
+        // Fig. 8: DRCAT64 ≈ 4 % at T = 32K. Refresh rows ~25K per system.
+        let s = stats(8_400_000, 25_000, 0);
+        let c = cmrpo_from_stats(&profile(SchemeKind::Drcat, 64), &s, 16, 65_536, 0.064);
+        assert!((0.01..0.06).contains(&c.total()), "DRCAT64 total {c}");
+    }
+
+    #[test]
+    fn sca64_refresh_dominates() {
+        // SCA64 refreshes 1026-row groups: ~10 events per bank per epoch.
+        let s = stats(8_400_000, 1026 * 10 * 16, 0);
+        let c = cmrpo_from_stats(&profile(SchemeKind::Sca, 64), &s, 16, 65_536, 0.064);
+        assert!(c.refresh > c.static_ + c.dynamic, "{c}");
+        assert!((0.05..0.15).contains(&c.total()), "SCA64 total {c}");
+    }
+
+    #[test]
+    fn quad_core_banks_scale_the_denominator() {
+        let s = stats(8_400_000, 25_000, 0);
+        let dual = cmrpo_from_stats(&profile(SchemeKind::Drcat, 64), &s, 16, 65_536, 0.064);
+        let quad = cmrpo_from_stats(&profile(SchemeKind::Drcat, 64), &s, 16, 131_072, 0.064);
+        assert!(quad.total() < dual.total(), "bigger banks, bigger baseline");
+    }
+
+    #[test]
+    fn longer_runs_amortise_nothing() {
+        // Rates, not totals: doubling both time and events keeps CMRPO.
+        let p = profile(SchemeKind::Prcat, 64);
+        let a = cmrpo_from_stats(&p, &stats(4_000_000, 10_000, 0), 16, 65_536, 0.064);
+        let b = cmrpo_from_stats(&p, &stats(8_000_000, 20_000, 0), 16, 65_536, 0.128);
+        assert!((a.total() - b.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let c = CmrpoBreakdown { dynamic: 0.01, static_: 0.02, refresh: 0.03 };
+        let s = c.to_string();
+        assert!(s.contains("6.00%"), "{s}");
+    }
+}

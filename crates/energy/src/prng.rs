@@ -1,0 +1,48 @@
+//! The true-random-number-generator specification PRA depends on
+//! (Table II, from Srinivasan et al. \[25\]: an all-digital PVT-tolerant
+//! TRNG in 45 nm).
+
+/// Synthesized area of the shared PRNG, mm².
+pub const AREA_MM2: f64 = 4.004e-3;
+/// Sustained throughput, Gbit/s.
+pub const THROUGHPUT_GBPS: f64 = 2.4;
+/// Active power, mW.
+pub const POWER_MW: f64 = 7.0;
+/// Energy efficiency, nJ per bit (`power / throughput`).
+pub const NJ_PER_BIT: f64 = 2.90e-3;
+/// Energy to draw the paper's 9 decision bits, nJ (`eng_PRNG`).
+pub const ENG_PRNG_9BITS_NJ: f64 = 2.625e-2;
+
+/// Energy in nJ to generate `bits` random bits.
+///
+/// ```
+/// // The paper's 9-bit draw costs ~2.625e-2 nJ (eng_PRNG).
+/// assert!((cat_energy::prng::energy_nj(9) - 2.625e-2).abs() < 5e-4);
+/// ```
+pub fn energy_nj(bits: u32) -> f64 {
+    f64::from(bits) * NJ_PER_BIT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_power_over_throughput() {
+        let computed = POWER_MW * 1e-3 / (THROUGHPUT_GBPS * 1e9) * 1e9; // nJ/bit
+        assert!((computed - NJ_PER_BIT).abs() / NJ_PER_BIT < 0.01);
+    }
+
+    #[test]
+    fn nine_bits_match_eng_prng() {
+        assert!((energy_nj(9) - ENG_PRNG_9BITS_NJ).abs() / ENG_PRNG_9BITS_NJ < 0.01);
+    }
+
+    #[test]
+    fn fifty_accesses_cost_about_one_row_refresh() {
+        // §VII-B: "on average, for every 50 row accesses, PRA consumes
+        // energy equal to that of refreshing one row" (1 nJ).
+        let fifty = 50.0 * energy_nj(9);
+        assert!((0.9..1.6).contains(&fifty), "{fifty} nJ");
+    }
+}

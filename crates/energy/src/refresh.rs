@@ -1,0 +1,47 @@
+//! DRAM refresh energy constants (§VI, \[17, 49, 60\]).
+
+/// Energy to refresh one DRAM row, nJ (Ghosh & Lee \[60\]).
+pub const ROW_REFRESH_NJ: f64 = 1.0;
+
+/// Regular auto-refresh power of a 64K-row bank over the 64 ms interval,
+/// watts — the CMRPO denominator.
+pub const REGULAR_REFRESH_POWER_64K_W: f64 = 2.5e-3;
+
+/// Auto-refresh interval, seconds.
+pub const REFRESH_INTERVAL_S: f64 = 64e-3;
+
+/// Regular refresh power for a bank of `rows` rows (scaled from the 64K
+/// reference; the quad-core configuration has 128K-row banks).
+pub fn regular_refresh_power_w(rows: u32) -> f64 {
+    REGULAR_REFRESH_POWER_64K_W * f64::from(rows) / 65_536.0
+}
+
+/// Average power spent refreshing `rows` victim rows over `seconds`, watts.
+pub fn victim_refresh_power_w(rows: u64, seconds: f64) -> f64 {
+    assert!(seconds > 0.0, "need a positive execution time");
+    rows as f64 * ROW_REFRESH_NJ * 1e-9 / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_bank_power() {
+        assert_eq!(regular_refresh_power_w(65_536), 2.5e-3);
+        assert_eq!(regular_refresh_power_w(131_072), 5.0e-3);
+    }
+
+    #[test]
+    fn victim_power_scales_with_rows_and_time() {
+        // 16_000 rows over 64 ms = 0.25 mW = 10 % of a 64K bank's refresh.
+        let w = victim_refresh_power_w(16_000, REFRESH_INTERVAL_S);
+        assert!((w - 2.5e-4).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive execution time")]
+    fn zero_time_rejected() {
+        let _ = victim_refresh_power_w(1, 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Eq. 1 — PRA's Y-years unsurvivability.
+//!
+//! `unsurvivability = (1 − p)^T × Q0 × Q1`, where `p` is the probability of
+//! refreshing the two victim rows on an access, `T` the refresh threshold,
+//! `Q0` the number of refresh-threshold windows per 64 ms refresh interval,
+//! and `Q1` the number of 64 ms periods in `Y` years.
+
+/// Chipkill's 5-year unsurvivability reference used throughout Fig. 1.
+pub const CHIPKILL: f64 = 1e-4;
+
+/// Seconds per refresh interval (64 ms).
+const INTERVAL_S: f64 = 0.064;
+/// Seconds per (Julian) year.
+const YEAR_S: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Number of 64 ms periods in `years` years (`Q1`).
+pub fn q1(years: f64) -> f64 {
+    years * YEAR_S / INTERVAL_S
+}
+
+/// log10 of Eq. 1 — stable for any `T` (the raw probability underflows
+/// `f64` around `T ≈ 3.5e5` for p = 0.002).
+///
+/// ```
+/// // Fig. 1: T = 32K, p = 0.001 sits just above the Chipkill line.
+/// let u = cat_reliability::log10_unsurvivability(0.001, 32_768, 10.0, 5.0);
+/// assert!(u > -4.0 && u < -3.0);
+/// ```
+pub fn log10_unsurvivability(p: f64, t: u32, q0: f64, years: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p in (0,1)");
+    assert!(q0 > 0.0 && years > 0.0);
+    f64::from(t) * (1.0 - p).log10() + q0.log10() + q1(years).log10()
+}
+
+/// Eq. 1 as a plain probability (0 when it underflows).
+pub fn unsurvivability(p: f64, t: u32, q0: f64, years: f64) -> f64 {
+    10f64.powf(log10_unsurvivability(p, t, q0, years)).min(1.0)
+}
+
+/// log10 of the Chipkill reference.
+pub fn chipkill_log10() -> f64 {
+    CHIPKILL.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1_for_five_years() {
+        // ≈ 2.466e9 periods.
+        let q = q1(5.0);
+        assert!((q / 2.466e9 - 1.0).abs() < 0.01, "{q}");
+    }
+
+    #[test]
+    fn fig1_t32k_crossover_near_p_001() {
+        // The paper: "for T = 32K and p > 0.001, PRA's unsurvivability is
+        // lower than the Chipkill's 1E-4".
+        let at_001 = log10_unsurvivability(0.001, 32_768, 10.0, 5.0);
+        let at_002 = log10_unsurvivability(0.002, 32_768, 10.0, 5.0);
+        assert!(at_001 > chipkill_log10(), "p=0.001 fails chipkill: {at_001}");
+        assert!(at_002 < chipkill_log10(), "p=0.002 beats chipkill: {at_002}");
+    }
+
+    #[test]
+    fn smaller_thresholds_need_larger_p() {
+        // Fig. 1's key observation: unsurvivability rises exponentially as
+        // T scales down.
+        for (t, p_needed) in [(32_768u32, 0.002), (16_384, 0.003), (8_192, 0.005)] {
+            let ok = log10_unsurvivability(p_needed, t, 40.0, 5.0);
+            assert!(ok < chipkill_log10(), "T={t} p={p_needed}: {ok}");
+            let not_ok = log10_unsurvivability(p_needed / 2.5, t, 40.0, 5.0);
+            assert!(not_ok > chipkill_log10(), "T={t} p={}: {not_ok}", p_needed / 2.5);
+        }
+    }
+
+    #[test]
+    fn unsurvivability_is_monotone() {
+        // Decreasing in p, increasing in Q0, decreasing in T.
+        let base = log10_unsurvivability(0.003, 16_384, 20.0, 5.0);
+        assert!(log10_unsurvivability(0.004, 16_384, 20.0, 5.0) < base);
+        assert!(log10_unsurvivability(0.003, 16_384, 40.0, 5.0) > base);
+        assert!(log10_unsurvivability(0.003, 8_192, 20.0, 5.0) > base);
+    }
+
+    #[test]
+    fn plain_probability_clamps() {
+        assert_eq!(unsurvivability(0.5, 1_000_000, 10.0, 5.0), 0.0);
+        assert_eq!(unsurvivability(1e-9, 2, 1e6, 100.0), 1.0);
+        let mid = unsurvivability(0.002, 32_768, 10.0, 5.0);
+        assert!(mid > 0.0 && mid < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn zero_p_rejected() {
+        let _ = log10_unsurvivability(0.0, 1024, 10.0, 5.0);
+    }
+}

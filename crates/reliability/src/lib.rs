@@ -1,0 +1,22 @@
+//! # cat-reliability — PRA survivability analysis
+//!
+//! Reproduces §III-A:
+//!
+//! * [`analytic`] — Eq. 1: the probability that PRA fails to protect a
+//!   victim within `Y` years, `(1−p)^T · Q0 · Q1`, evaluated in log space
+//!   (the probabilities underflow `f64` for large `T`), plus the Chipkill
+//!   reference of 1e-4 (Fig. 1).
+//! * [`montecarlo`] — simulation of refresh-threshold windows under an
+//!   ideal PRNG (validating Eq. 1) and under a 16-bit LFSR, including the
+//!   state-recovery attacker that makes LFSR-based PRA collapse — our
+//!   reconstruction of the paper's "unsurvivability reaches 1e-4 after only
+//!   25 refresh intervals" Monte-Carlo claim (see `DESIGN.md` §3.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod montecarlo;
+
+pub use analytic::{chipkill_log10, log10_unsurvivability, unsurvivability, CHIPKILL};
+pub use montecarlo::{ideal_window_failures, lfsr_attack, LfsrAttackOutcome};

@@ -1,0 +1,214 @@
+//! System configurations (the paper's Table I) and DDR3 timing parameters.
+
+/// Address-interleaving policy (§VIII-B).
+///
+/// Both policies follow the paper's `rw:rk:bk:ch:col:offset` field order
+/// (row bits most significant); the 4-channel policy widens the channel and
+/// rank fields, quadrupling the number of banks while keeping the bank
+/// geometry fixed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MappingPolicy {
+    /// 2 channels × 1 rank × 8 banks = 16 banks.
+    TwoChannel,
+    /// 4 channels × 2 ranks × 8 banks = 64 banks.
+    FourChannel,
+}
+
+impl std::fmt::Display for MappingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingPolicy::TwoChannel => f.write_str("2channels"),
+            MappingPolicy::FourChannel => f.write_str("4channels"),
+        }
+    }
+}
+
+/// DDR3-1600 timing (Micron MT41J512M8 data sheet, as used by USIMM), in
+/// memory-bus cycles of 1.25 ns.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TimingParams {
+    /// ACT → internal READ/WRITE delay (tRCD).
+    pub t_rcd: u64,
+    /// PRE → ACT delay (tRP).
+    pub t_rp: u64,
+    /// READ → first data (CL).
+    pub t_cas: u64,
+    /// ACT → PRE minimum (tRAS).
+    pub t_ras: u64,
+    /// ACT → ACT same bank (tRC) — also the per-row refresh cost.
+    pub t_rc: u64,
+    /// Refresh command duration (tRFC, 4 Gb device).
+    pub t_rfc: u64,
+    /// Average periodic refresh interval (tREFI).
+    pub t_refi: u64,
+    /// Data-burst occupancy of the channel (BL8 on a DDR bus).
+    pub burst: u64,
+    /// Write recovery (tWR).
+    pub t_wr: u64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        // 1.25 ns cycles: tRCD = tRP = CL = 13.75 ns → 11 cycles;
+        // tRAS = 35 ns → 28; tRC = 48.75 ns → 39; tRFC = 260 ns → 208;
+        // tREFI = 7.8 µs → 6240; burst = 4 bus cycles; tWR = 15 ns → 12.
+        TimingParams {
+            t_rcd: 11,
+            t_rp: 11,
+            t_cas: 11,
+            t_ras: 28,
+            t_rc: 39,
+            t_rfc: 208,
+            t_refi: 6240,
+            burst: 4,
+            t_wr: 12,
+        }
+    }
+}
+
+/// Full system configuration (Table I).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Number of memory channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks_per_channel: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Rows per bank (64K dual-core, 128K quad-core).
+    pub rows_per_bank: u32,
+    /// Cache lines per row (16 KB row / 64 B line = 256).
+    pub lines_per_row: u32,
+    /// Cache-line size in bytes.
+    pub line_bytes: u32,
+    /// Number of cores.
+    pub cores: usize,
+    /// Reorder-buffer entries per core.
+    pub rob_size: usize,
+    /// Instructions fetched per CPU cycle.
+    pub fetch_width: usize,
+    /// Instructions retired per CPU cycle.
+    pub retire_width: usize,
+    /// CPU cycles per memory-bus cycle (3.2 GHz / 800 MHz).
+    pub cpu_per_mem_cycle: u64,
+    /// Write-queue capacity per channel.
+    pub write_queue_capacity: usize,
+    /// Drain starts above this write-queue occupancy.
+    pub wq_high_watermark: usize,
+    /// Drain stops below this occupancy.
+    pub wq_low_watermark: usize,
+    /// Memory bus frequency in MHz (for time conversions).
+    pub mem_clock_mhz: u64,
+    /// Address interleaving policy.
+    pub mapping: MappingPolicy,
+    /// Auto-refresh epoch in milliseconds (64 ms for DDR3).
+    pub epoch_ms: u64,
+    /// DRAM timing.
+    pub timing: TimingParams,
+}
+
+impl SystemConfig {
+    /// The paper's default: two 3.2 GHz cores, 2 channels × 1 rank × 8
+    /// banks, 64K-row banks (Table I).
+    pub fn dual_core_two_channel() -> Self {
+        SystemConfig {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            rows_per_bank: 65_536,
+            lines_per_row: 256,
+            line_bytes: 64,
+            cores: 2,
+            rob_size: 128,
+            fetch_width: 4,
+            retire_width: 2,
+            cpu_per_mem_cycle: 4,
+            write_queue_capacity: 64,
+            wq_high_watermark: 40,
+            wq_low_watermark: 20,
+            mem_clock_mhz: 800,
+            mapping: MappingPolicy::TwoChannel,
+            epoch_ms: 64,
+            timing: TimingParams::default(),
+        }
+    }
+
+    /// Quad-core system on the 2-channel mapping: 16 banks of 128K rows
+    /// (§VIII-B).
+    pub fn quad_core_two_channel() -> Self {
+        SystemConfig {
+            cores: 4,
+            rows_per_bank: 131_072,
+            ..Self::dual_core_two_channel()
+        }
+    }
+
+    /// Quad-core system on the 4-channel mapping: 64 banks of 128K rows.
+    pub fn quad_core_four_channel() -> Self {
+        SystemConfig {
+            cores: 4,
+            rows_per_bank: 131_072,
+            channels: 4,
+            ranks_per_channel: 2,
+            mapping: MappingPolicy::FourChannel,
+            ..Self::dual_core_two_channel()
+        }
+    }
+
+    /// Total banks in the system.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Memory-bus cycles per auto-refresh epoch.
+    pub fn cycles_per_epoch(&self) -> u64 {
+        self.epoch_ms * self.mem_clock_mhz * 1000
+    }
+
+    /// Seconds per memory-bus cycle.
+    pub fn seconds_per_cycle(&self) -> f64 {
+        1.0 / (self.mem_clock_mhz as f64 * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = SystemConfig::dual_core_two_channel();
+        assert_eq!(c.total_banks(), 16);
+        assert_eq!(c.rows_per_bank, 65_536);
+        assert_eq!(c.cores, 2);
+        assert_eq!(c.rob_size, 128);
+        // 64 ms at 800 MHz = 51.2 M cycles.
+        assert_eq!(c.cycles_per_epoch(), 51_200_000);
+        assert!((c.seconds_per_cycle() - 1.25e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quad_core_variants() {
+        let q2 = SystemConfig::quad_core_two_channel();
+        assert_eq!(q2.total_banks(), 16);
+        assert_eq!(q2.rows_per_bank, 131_072);
+        assert_eq!(q2.cores, 4);
+        let q4 = SystemConfig::quad_core_four_channel();
+        assert_eq!(q4.total_banks(), 64);
+        assert_eq!(q4.mapping, MappingPolicy::FourChannel);
+    }
+
+    #[test]
+    fn ddr3_timing_in_cycles() {
+        let t = TimingParams::default();
+        assert_eq!(t.t_rc, 39); // 48.75 ns at 1.25 ns/cycle
+        assert_eq!(t.t_refi, 6240); // 7.8 µs
+        assert!(t.t_ras + t.t_rp == t.t_rc);
+    }
+
+    #[test]
+    fn mapping_display() {
+        assert_eq!(MappingPolicy::TwoChannel.to_string(), "2channels");
+        assert_eq!(MappingPolicy::FourChannel.to_string(), "4channels");
+    }
+}

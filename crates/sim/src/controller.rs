@@ -1,0 +1,309 @@
+//! Per-channel memory controller: FR-FCFS over a closed-page DRAM, write
+//! queue with drain hysteresis, per-rank auto-refresh, and mitigation
+//! refreshes that block the bank for `rows × tRC`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::config::{SystemConfig, TimingParams};
+use crate::Location;
+
+/// A queued memory request.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Request {
+    pub req: u32,
+    pub loc: Location,
+    pub write: bool,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct BankState {
+    pub busy_until: u64,
+    /// Backlog of mitigation-refresh rows (each costs tRC).
+    pub pending_refresh_rows: u64,
+    /// Total cycles spent on mitigation refreshes (diagnostics).
+    pub refresh_busy_cycles: u64,
+    pub activations: u64,
+}
+
+/// How far ahead of "now" the scheduler looks when matching the data bus:
+/// issue only if the burst slot is free.
+pub(crate) struct Channel {
+    pub read_q: VecDeque<Request>,
+    pub write_q: VecDeque<Request>,
+    pub banks: Vec<BankState>,
+    /// Banks with a nonzero mitigation backlog (cheap skip when empty).
+    pub pending_refresh_banks: u32,
+    pub draining: bool,
+    pub bus_free_at: u64,
+    /// Read completions: (done_cycle, req_id).
+    pub completions: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Next auto-refresh due time per rank.
+    pub next_refi: Vec<u64>,
+    banks_per_rank: u32,
+    timing: TimingParams,
+    wq_capacity: usize,
+    wq_high: usize,
+    wq_low: usize,
+    /// How many queue entries the scheduler scans per cycle.
+    scan_limit: usize,
+    pub reads_issued: u64,
+    pub writes_issued: u64,
+    
+}
+
+impl Channel {
+    pub(crate) fn new(cfg: &SystemConfig) -> Self {
+        let banks = (cfg.ranks_per_channel * cfg.banks_per_rank) as usize;
+        Channel {
+            read_q: VecDeque::with_capacity(64),
+            write_q: VecDeque::with_capacity(cfg.write_queue_capacity),
+            banks: vec![BankState::default(); banks],
+            pending_refresh_banks: 0,
+            draining: false,
+            bus_free_at: 0,
+            completions: BinaryHeap::new(),
+            next_refi: (0..cfg.ranks_per_channel)
+                .map(|r| cfg.timing.t_refi + u64::from(r) * cfg.timing.t_refi / 2)
+                .collect(),
+            banks_per_rank: cfg.banks_per_rank,
+            timing: cfg.timing,
+            wq_capacity: cfg.write_queue_capacity,
+            wq_high: cfg.wq_high_watermark,
+            wq_low: cfg.wq_low_watermark,
+            scan_limit: 16,
+            reads_issued: 0,
+            writes_issued: 0,
+        }
+    }
+
+    /// Index of the bank inside this channel.
+    pub(crate) fn bank_index(&self, loc: &Location) -> usize {
+        (loc.rank * self.banks_per_rank + loc.bank) as usize
+    }
+
+    pub(crate) fn write_queue_full(&self) -> bool {
+        self.write_q.len() >= self.wq_capacity
+    }
+
+    /// Adds mitigation-refresh work (in rows) for a bank.
+    pub(crate) fn add_refresh_rows(&mut self, bank: usize, rows: u64) {
+        if self.banks[bank].pending_refresh_rows == 0 && rows > 0 {
+            self.pending_refresh_banks += 1;
+        }
+        self.banks[bank].pending_refresh_rows += rows;
+    }
+
+    /// Drains read completions due at or before `now` into `completed`.
+    pub(crate) fn harvest_completions(&mut self, now: u64, completed: &mut [bool]) {
+        while let Some(&Reverse((done, req))) = self.completions.peek() {
+            if done > now {
+                break;
+            }
+            self.completions.pop();
+            completed[req as usize] = true;
+        }
+    }
+
+    /// One scheduling step for cycle `now`. `on_activation` is called with
+    /// the bank index and row of every row activation the channel issues,
+    /// returning the number of victim rows the mitigation scheme wants
+    /// refreshed in that bank.
+    pub(crate) fn tick<F>(&mut self, now: u64, on_activation: &mut F)
+    where
+        F: FnMut(usize, u32) -> u64,
+    {
+        // 1. Per-rank auto-refresh: every tREFI, all banks of the rank are
+        //    blocked for tRFC (present in baseline and mitigated runs alike).
+        for rank in 0..self.next_refi.len() {
+            if now >= self.next_refi[rank] {
+                self.next_refi[rank] += self.timing.t_refi;
+                let base = rank * self.banks_per_rank as usize;
+                for b in 0..self.banks_per_rank as usize {
+                    let bank = &mut self.banks[base + b];
+                    bank.busy_until = bank.busy_until.max(now) + self.timing.t_rfc;
+                }
+            }
+        }
+
+        // 2. Mitigation refreshes have priority: a bank with backlog starts
+        //    refreshing as soon as it is precharged, blocking reads/writes.
+        if self.pending_refresh_banks > 0 {
+            for bank in &mut self.banks {
+                if bank.pending_refresh_rows > 0 && bank.busy_until <= now {
+                    let cost = bank.pending_refresh_rows * self.timing.t_rc;
+                    bank.busy_until = now + cost;
+                    bank.refresh_busy_cycles += cost;
+                    bank.pending_refresh_rows = 0;
+                    self.pending_refresh_banks -= 1;
+                }
+            }
+        }
+
+        // 3. Write-drain hysteresis.
+        if self.write_q.len() >= self.wq_high {
+            self.draining = true;
+        } else if self.write_q.len() <= self.wq_low {
+            self.draining = false;
+        }
+
+        // 4. FR-FCFS with closed-page rows: oldest request whose bank is
+        //    free and whose data burst fits on the bus. One issue per cycle.
+        let use_writes = self.draining || self.read_q.is_empty();
+        let data_at = now + self.timing.t_rcd + self.timing.t_cas;
+        if self.bus_free_at > data_at {
+            return; // data bus cannot take another burst yet
+        }
+        let queue = if use_writes { &self.write_q } else { &self.read_q };
+        let mut chosen = None;
+        for (i, r) in queue.iter().enumerate().take(self.scan_limit) {
+            let b = (r.loc.rank * self.banks_per_rank + r.loc.bank) as usize;
+            if self.banks[b].busy_until <= now {
+                chosen = Some(i);
+                break;
+            }
+        }
+        let Some(i) = chosen else { return };
+        let req = if use_writes {
+            self.write_q.remove(i).expect("index valid")
+        } else {
+            self.read_q.remove(i).expect("index valid")
+        };
+        let b = self.bank_index(&req.loc);
+        // Closed-page policy: ACT + RD/WR + PRE occupy the bank for tRC.
+        self.banks[b].busy_until = now + self.timing.t_rc;
+        self.banks[b].activations += 1;
+        self.bus_free_at = data_at + self.timing.burst;
+        if req.write {
+            self.writes_issued += 1;
+        } else {
+            self.reads_issued += 1;
+            let done = data_at + self.timing.burst;
+            self.completions.push(Reverse((done, req.req)));
+        }
+        // The activation is visible to the mitigation scheme; any victim
+        // refreshes it requests become bank-blocking work.
+        let refresh_rows = on_activation(b, req.loc.row);
+        if refresh_rows > 0 {
+            self.add_refresh_rows(b, refresh_rows);
+        }
+    }
+
+    /// `true` when no requests or refresh backlog remain.
+    pub(crate) fn idle(&self) -> bool {
+        self.read_q.is_empty() && self.write_q.is_empty() && self.pending_refresh_banks == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+
+    fn channel() -> Channel {
+        Channel::new(&SystemConfig::dual_core_two_channel())
+    }
+
+    fn loc(bank: u32, row: u32) -> Location {
+        Location { channel: 0, rank: 0, bank, row, col: 0 }
+    }
+
+    #[test]
+    fn read_completes_after_rcd_cas_burst() {
+        let mut ch = channel();
+        ch.read_q.push_back(Request { req: 0, loc: loc(0, 5), write: false });
+        let mut noop = |_: usize, _: u32| 0u64;
+        // Auto-refresh hits at t_refi; use a cycle before that.
+        ch.tick(100, &mut noop);
+        let mut completed = vec![false; 1];
+        let t = &TimingParams::default();
+        let done = 100 + t.t_rcd + t.t_cas + t.burst;
+        ch.harvest_completions(done - 1, &mut completed);
+        assert!(!completed[0]);
+        ch.harvest_completions(done, &mut completed);
+        assert!(completed[0]);
+        assert_eq!(ch.reads_issued, 1);
+    }
+
+    #[test]
+    fn bank_conflict_serialises_requests() {
+        let mut ch = channel();
+        ch.read_q.push_back(Request { req: 0, loc: loc(2, 5), write: false });
+        ch.read_q.push_back(Request { req: 1, loc: loc(2, 9), write: false });
+        let mut noop = |_: usize, _: u32| 0u64;
+        ch.tick(10, &mut noop);
+        ch.tick(11, &mut noop);
+        assert_eq!(ch.reads_issued, 1, "same bank busy for tRC");
+        ch.tick(10 + TimingParams::default().t_rc, &mut noop);
+        assert_eq!(ch.reads_issued, 2);
+    }
+
+    #[test]
+    fn younger_request_to_free_bank_bypasses_blocked_head() {
+        let mut ch = channel();
+        ch.read_q.push_back(Request { req: 0, loc: loc(0, 1), write: false });
+        ch.read_q.push_back(Request { req: 1, loc: loc(0, 2), write: false });
+        ch.read_q.push_back(Request { req: 2, loc: loc(1, 3), write: false });
+        let mut noop = |_: usize, _: u32| 0u64;
+        ch.tick(10, &mut noop); // req 0 (bank 0)
+        ch.tick(30, &mut noop); // bank 0 busy → req 2 (bank 1) goes
+        assert_eq!(ch.reads_issued, 2);
+        assert_eq!(ch.read_q.front().unwrap().req, 1);
+    }
+
+    #[test]
+    fn mitigation_refresh_blocks_bank_for_rows_times_trc() {
+        let mut ch = channel();
+        ch.add_refresh_rows(3, 100);
+        let mut noop = |_: usize, _: u32| 0u64;
+        ch.tick(10, &mut noop);
+        let t = TimingParams::default();
+        assert_eq!(ch.banks[3].busy_until, 10 + 100 * t.t_rc);
+        assert_eq!(ch.banks[3].refresh_busy_cycles, 100 * t.t_rc);
+        assert_eq!(ch.pending_refresh_banks, 0);
+        // A read to that bank cannot issue until the refresh ends.
+        ch.read_q.push_back(Request { req: 0, loc: loc(3, 0), write: false });
+        ch.tick(11, &mut noop);
+        assert_eq!(ch.reads_issued, 0);
+        ch.tick(10 + 100 * t.t_rc, &mut noop);
+        assert_eq!(ch.reads_issued, 1);
+    }
+
+    #[test]
+    fn activation_hook_sees_issued_rows() {
+        let mut ch = channel();
+        ch.read_q.push_back(Request { req: 0, loc: loc(4, 1234), write: false });
+        let mut seen = Vec::new();
+        let mut hook = |bank: usize, row: u32| {
+            seen.push((bank, row));
+            7u64
+        };
+        ch.tick(10, &mut hook);
+        assert_eq!(seen, vec![(4, 1234)]);
+        // The 7 victim rows became refresh backlog handled next tick.
+        assert_eq!(ch.banks[4].pending_refresh_rows, 7);
+    }
+
+    #[test]
+    fn write_drain_hysteresis() {
+        let mut ch = channel();
+        for i in 0..40 {
+            ch.write_q.push_back(Request { req: i, loc: loc(i % 8, i), write: true });
+        }
+        ch.read_q.push_back(Request { req: 99, loc: loc(0, 0), write: false });
+        let mut noop = |_: usize, _: u32| 0u64;
+        ch.tick(10, &mut noop);
+        assert_eq!(ch.writes_issued, 1, "above high watermark: drain writes first");
+    }
+
+    #[test]
+    fn auto_refresh_blocks_all_banks_of_rank() {
+        let mut ch = channel();
+        let t = TimingParams::default();
+        let mut noop = |_: usize, _: u32| 0u64;
+        ch.tick(t.t_refi, &mut noop);
+        for b in 0..8 {
+            assert!(ch.banks[b].busy_until >= t.t_refi + t.t_rfc);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! ROB-limited in-order-commit core model (USIMM's processor front end).
+//!
+//! Each core executes a trace of "`gap` non-memory instructions, then one
+//! memory access". Instructions are fetched into a reorder buffer (`ROB`,
+//! 128 entries) at `fetch_width` per CPU cycle and committed in order at
+//! `retire_width` per CPU cycle. Loads are sent to the memory controller at
+//! fetch time (so independent loads overlap — memory-level parallelism is
+//! bounded by the ROB) but block commit until their data returns. Stores
+//! enter the channel write queue at fetch and commit immediately; a full
+//! write queue stalls fetch.
+
+use std::collections::VecDeque;
+
+use crate::trace::MemAccess;
+
+/// What the core asked the memory system to do during fetch.
+pub(crate) enum IssueResult {
+    /// Load accepted; completion is signalled through the given request id.
+    Read(u32),
+    /// Store accepted (fire and forget).
+    Write,
+    /// Write queue full — retry next cycle.
+    Stall,
+}
+
+enum RobEntry {
+    /// A block of non-memory instructions (commit `retire_width`/cycle).
+    Insns(u32),
+    /// A load waiting for request `req` to complete.
+    Read { req: u32 },
+    /// A store (commits immediately once at the head).
+    Write,
+}
+
+pub(crate) struct Core {
+    trace: Box<dyn Iterator<Item = MemAccess> + Send>,
+    rob: VecDeque<RobEntry>,
+    /// Instructions currently occupying ROB slots.
+    rob_len: usize,
+    rob_size: usize,
+    /// Remaining gap instructions of the current record not yet fetched.
+    pending_gap: u32,
+    /// The memory access of the current record, not yet issued.
+    pending_access: Option<MemAccess>,
+    trace_done: bool,
+    /// Instructions committed (for IPC-style sanity checks).
+    pub retired: u64,
+}
+
+impl Core {
+    pub(crate) fn new(trace: Box<dyn Iterator<Item = MemAccess> + Send>, rob_size: usize) -> Self {
+        let mut core = Core {
+            trace,
+            rob: VecDeque::with_capacity(64),
+            rob_len: 0,
+            rob_size,
+            pending_gap: 0,
+            pending_access: None,
+            trace_done: false,
+            retired: 0,
+        };
+        core.pull_record();
+        core
+    }
+
+    fn pull_record(&mut self) {
+        match self.trace.next() {
+            Some(rec) => {
+                self.pending_gap = rec.gap;
+                self.pending_access = Some(rec);
+            }
+            None => self.trace_done = true,
+        }
+    }
+
+    /// The core has committed every fetched instruction and the trace is
+    /// exhausted.
+    pub(crate) fn finished(&self) -> bool {
+        self.trace_done && self.rob.is_empty() && self.pending_access.is_none()
+    }
+
+    /// In-order commit of up to `budget` instructions. `completed[req]`
+    /// says whether a read request has returned its data.
+    pub(crate) fn commit(&mut self, mut budget: u32, completed: &[bool]) {
+        while budget > 0 {
+            match self.rob.front_mut() {
+                None => return,
+                Some(RobEntry::Insns(n)) => {
+                    let k = (*n).min(budget);
+                    *n -= k;
+                    budget -= k;
+                    self.rob_len -= k as usize;
+                    self.retired += u64::from(k);
+                    if *n == 0 {
+                        self.rob.pop_front();
+                    }
+                }
+                Some(RobEntry::Read { req }) if completed[*req as usize] => {
+                    self.rob.pop_front();
+                    self.rob_len -= 1;
+                    self.retired += 1;
+                    budget -= 1;
+                }
+                Some(RobEntry::Read { .. }) => return, // head load outstanding
+                Some(RobEntry::Write) => {
+                    self.rob.pop_front();
+                    self.rob_len -= 1;
+                    self.retired += 1;
+                    budget -= 1;
+                }
+            }
+        }
+    }
+
+    /// Fetches up to `budget` instructions, issuing memory operations to
+    /// the controller through `issue`.
+    pub(crate) fn fetch<F>(&mut self, mut budget: u32, issue: &mut F)
+    where
+        F: FnMut(&MemAccess) -> IssueResult,
+    {
+        while budget > 0 && self.rob_len < self.rob_size {
+            if self.pending_gap > 0 {
+                let free = (self.rob_size - self.rob_len) as u32;
+                let k = self.pending_gap.min(budget).min(free);
+                self.pending_gap -= k;
+                self.rob_len += k as usize;
+                budget -= k;
+                match self.rob.back_mut() {
+                    Some(RobEntry::Insns(n)) => *n += k,
+                    _ => self.rob.push_back(RobEntry::Insns(k)),
+                }
+                continue;
+            }
+            let Some(access) = self.pending_access else {
+                return; // trace exhausted
+            };
+            match issue(&access) {
+                IssueResult::Read(req) => self.rob.push_back(RobEntry::Read { req }),
+                IssueResult::Write => self.rob.push_back(RobEntry::Write),
+                IssueResult::Stall => return, // write queue full
+            }
+            self.rob_len += 1;
+            budget -= 1;
+            self.pending_access = None;
+            self.pull_record();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(gap: u32, write: bool) -> MemAccess {
+        MemAccess { gap, write, addr: 0 }
+    }
+
+    #[test]
+    fn commits_gap_instructions_at_retire_rate() {
+        let trace = vec![rec(100, true)];
+        let mut core = Core::new(Box::new(trace.into_iter()), 128);
+        let completed = vec![false; 4];
+        let mut issue = |a: &MemAccess| {
+            if a.write {
+                IssueResult::Write
+            } else {
+                IssueResult::Read(0)
+            }
+        };
+        // Fetch everything (100 gap + 1 store = 101 instructions > 16/cycle).
+        for _ in 0..8 {
+            core.fetch(16, &mut issue);
+        }
+        // Commit at 8/cycle: 101 instructions need 13 cycles.
+        let mut cycles = 0;
+        while !core.finished() {
+            core.commit(8, &completed);
+            cycles += 1;
+            assert!(cycles < 20);
+        }
+        assert_eq!(core.retired, 101);
+        assert_eq!(cycles, 13);
+    }
+
+    #[test]
+    fn head_load_blocks_commit_until_completed() {
+        let trace = vec![rec(0, false), rec(50, true)];
+        let mut core = Core::new(Box::new(trace.into_iter()), 128);
+        let mut completed = vec![false; 4];
+        let mut next_req = 0;
+        let mut issue = |a: &MemAccess| {
+            if a.write {
+                IssueResult::Write
+            } else {
+                let r = IssueResult::Read(next_req);
+                next_req += 1;
+                r
+            }
+        };
+        core.fetch(16, &mut issue);
+        core.fetch(16, &mut issue);
+        core.fetch(16, &mut issue);
+        core.fetch(16, &mut issue);
+        core.commit(8, &completed);
+        assert_eq!(core.retired, 0, "load at head blocks everything");
+        completed[0] = true;
+        core.commit(8, &completed);
+        assert_eq!(core.retired, 8, "load + 7 gap instructions commit");
+    }
+
+    #[test]
+    fn rob_capacity_limits_fetch_ahead() {
+        // One load followed by a huge gap: fetch must stop at ROB capacity.
+        let trace = vec![rec(0, false), rec(100_000, false)];
+        let mut core = Core::new(Box::new(trace.into_iter()), 32);
+        let completed = vec![false; 4];
+        let mut issue = |_: &MemAccess| IssueResult::Read(0);
+        for _ in 0..100 {
+            core.fetch(16, &mut issue);
+            core.commit(8, &completed);
+        }
+        assert_eq!(core.retired, 0);
+        // ROB is full behind the blocked load: 32 instructions max.
+        assert!(!core.finished());
+    }
+
+    #[test]
+    fn write_queue_stall_pauses_fetch() {
+        let trace = vec![rec(0, true), rec(0, true)];
+        let mut core = Core::new(Box::new(trace.into_iter()), 128);
+        let completed = vec![false; 4];
+        let accepts = std::cell::Cell::new(1u32);
+        let mut issue = |_: &MemAccess| {
+            if accepts.get() > 0 {
+                accepts.set(accepts.get() - 1);
+                IssueResult::Write
+            } else {
+                IssueResult::Stall
+            }
+        };
+        core.fetch(16, &mut issue);
+        core.commit(8, &completed);
+        assert_eq!(core.retired, 1, "only the accepted store commits");
+        assert!(!core.finished());
+        // The queue drains: fetch resumes.
+        accepts.set(1);
+        core.fetch(16, &mut issue);
+        core.commit(8, &completed);
+        assert!(core.finished());
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let core = Core::new(Box::new(std::iter::empty()), 128);
+        assert!(core.finished());
+    }
+}

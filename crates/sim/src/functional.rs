@@ -1,0 +1,135 @@
+//! Timing-free functional mode: drive only the mitigation schemes with the
+//! activation stream. Used for the wide CMRPO parameter sweeps (Figs. 2,
+//! 10, 12) where refresh-row counts — not cycle-accurate delays — are
+//! needed, at two orders of magnitude more speed than the timed model.
+
+use cat_core::{MitigationScheme, RowId, SchemeStats};
+
+use crate::address::AddressMapping;
+use crate::config::SystemConfig;
+use crate::scheme_spec::SchemeSpec;
+use crate::trace::MemAccess;
+
+/// Result of a functional run.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionalReport {
+    /// Accesses processed.
+    pub accesses: u64,
+    /// Row activations per bank.
+    pub activations_per_bank: Vec<u64>,
+    /// Aggregated scheme statistics.
+    pub scheme_stats: SchemeStats,
+    /// Per-bank scheme statistics.
+    pub per_bank_stats: Vec<SchemeStats>,
+    /// Epochs processed.
+    pub epochs: u64,
+}
+
+/// Replays an access stream through per-bank scheme instances, invoking
+/// epoch resets every `accesses_per_epoch` accesses (the stream is assumed
+/// to be rate-uniform within an epoch — see `DESIGN.md`).
+///
+/// ```
+/// use cat_sim::functional::run_functional;
+/// use cat_sim::{MemAccess, SchemeSpec, SystemConfig};
+///
+/// let cfg = SystemConfig::dual_core_two_channel();
+/// let stream = (0..100_000u64).map(|i| MemAccess {
+///     gap: 0,
+///     write: false,
+///     addr: (i % 7) << 20,
+/// });
+/// let spec = SchemeSpec::Sca { counters: 64, threshold: 16_384 };
+/// let report = run_functional(&cfg, spec, stream, 50_000);
+/// assert_eq!(report.accesses, 100_000);
+/// assert_eq!(report.epochs, 2);
+/// ```
+pub fn run_functional(
+    config: &SystemConfig,
+    spec: SchemeSpec,
+    stream: impl Iterator<Item = MemAccess>,
+    accesses_per_epoch: u64,
+) -> FunctionalReport {
+    assert!(accesses_per_epoch > 0, "epoch must contain accesses");
+    let mapping = AddressMapping::new(config);
+    let mut schemes: Vec<Option<Box<dyn MitigationScheme + Send>>> = (0..config.total_banks())
+        .map(|b| spec.build(config.rows_per_bank, b))
+        .collect();
+    let mut activations = vec![0u64; config.total_banks() as usize];
+    let mut report = FunctionalReport::default();
+
+    for access in stream {
+        let loc = mapping.decode(access.addr);
+        let bank = loc.global_bank(config) as usize;
+        activations[bank] += 1;
+        if let Some(scheme) = &mut schemes[bank] {
+            scheme.on_activation(RowId(loc.row));
+        }
+        report.accesses += 1;
+        if report.accesses % accesses_per_epoch == 0 {
+            report.epochs += 1;
+            for s in schemes.iter_mut().flatten() {
+                s.on_epoch_end();
+            }
+        }
+    }
+
+    report.activations_per_bank = activations;
+    for scheme in schemes.iter().flatten() {
+        report.per_bank_stats.push(*scheme.stats());
+        report.scheme_stats.merge(scheme.stats());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_stream(cfg: &SystemConfig, n: u64) -> impl Iterator<Item = MemAccess> {
+        let map = AddressMapping::new(cfg);
+        (0..n).map(move |i| MemAccess {
+            gap: 0,
+            write: false,
+            addr: map.encode_line(0, 0, 2, if i % 2 == 0 { 7_777 } else { (i % 65_536) as u32 }, 0),
+        })
+    }
+
+    #[test]
+    fn counts_land_in_the_right_bank() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let r = run_functional(
+            &cfg,
+            SchemeSpec::None,
+            hot_stream(&cfg, 10_000),
+            1_000_000,
+        );
+        assert_eq!(r.accesses, 10_000);
+        // channel 0, rank 0, bank 2 → global bank 2.
+        assert_eq!(r.activations_per_bank[2], 10_000);
+        assert_eq!(r.activations_per_bank.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn schemes_fire_in_functional_mode() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let spec = SchemeSpec::Drcat { counters: 64, levels: 11, threshold: 2_048 };
+        let r = run_functional(&cfg, spec, hot_stream(&cfg, 50_000), 1_000_000);
+        assert!(r.scheme_stats.refresh_events > 0);
+        assert!(r.scheme_stats.refreshed_rows > 0);
+    }
+
+    #[test]
+    fn epoch_boundaries_by_access_count() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let r = run_functional(&cfg, SchemeSpec::None, hot_stream(&cfg, 10_000), 2_500);
+        assert_eq!(r.epochs, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must contain accesses")]
+    fn zero_epoch_length_rejected() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let _ = run_functional(&cfg, SchemeSpec::None, std::iter::empty(), 0);
+    }
+}

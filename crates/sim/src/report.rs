@@ -1,0 +1,79 @@
+//! Simulation results consumed by the energy model and the benches.
+
+use cat_core::SchemeStats;
+
+/// Outcome of one timed simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Memory-bus cycles until every core drained its trace.
+    pub cycles: u64,
+    /// Wall-clock seconds of simulated time.
+    pub seconds: f64,
+    /// Reads issued to DRAM.
+    pub reads: u64,
+    /// Writes issued to DRAM.
+    pub writes: u64,
+    /// Instructions committed across all cores.
+    pub instructions: u64,
+    /// Row activations observed per bank.
+    pub activations_per_bank: Vec<u64>,
+    /// Mitigation-scheme statistics aggregated over all banks.
+    pub scheme_stats: SchemeStats,
+    /// Per-bank mitigation statistics.
+    pub per_bank_stats: Vec<SchemeStats>,
+    /// Cycles banks spent blocked on mitigation refreshes (all banks).
+    pub mitigation_busy_cycles: u64,
+    /// Auto-refresh epochs completed during the run.
+    pub epochs: u64,
+}
+
+impl SimReport {
+    /// Total row activations.
+    pub fn activations(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Execution-time overhead relative to a baseline run of the same
+    /// workload without mitigation (the paper's ETO).
+    pub fn eto(&self, baseline_cycles: u64) -> f64 {
+        assert!(baseline_cycles > 0, "baseline must have run");
+        (self.cycles as f64 - baseline_cycles as f64) / baseline_cycles as f64
+    }
+
+    /// Average read latency is not tracked per-request; expose the simple
+    /// throughput figure instead: activations per second of simulated time.
+    pub fn activation_rate(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.activations() as f64 / self.seconds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eto_is_relative_slowdown() {
+        let r = SimReport { cycles: 110, ..SimReport::default() };
+        assert!((r.eto(100) - 0.10).abs() < 1e-12);
+        let r = SimReport { cycles: 100, ..SimReport::default() };
+        assert_eq!(r.eto(100), 0.0);
+    }
+
+    #[test]
+    fn activation_rate_handles_zero_time() {
+        let r = SimReport::default();
+        assert_eq!(r.activation_rate(), 0.0);
+        let r = SimReport { reads: 100, writes: 50, seconds: 0.5, ..SimReport::default() };
+        assert_eq!(r.activation_rate(), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn eto_requires_baseline() {
+        SimReport::default().eto(0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Trace records: the USIMM-style "N non-memory instructions, then one
+//! memory access" format.
+
+/// One trace record: `gap` non-memory instructions followed by one memory
+/// access to the cache line at byte address `addr`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Non-memory instructions executed before this access.
+    pub gap: u32,
+    /// `true` for a store (enters the write queue), `false` for a load.
+    pub write: bool,
+    /// Physical byte address (decoded by [`crate::AddressMapping`]).
+    pub addr: u64,
+}
+
+/// A per-core instruction/memory trace. Blanket-implemented for every
+/// iterator of [`MemAccess`], so synthetic generators plug in directly.
+pub trait TraceSource: Iterator<Item = MemAccess> {}
+
+impl<T: Iterator<Item = MemAccess>> TraceSource for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_iterator_is_a_trace_source() {
+        fn count<T: TraceSource>(t: T) -> usize {
+            t.count()
+        }
+        let v = vec![
+            MemAccess { gap: 1, write: false, addr: 0 },
+            MemAccess { gap: 2, write: true, addr: 64 },
+        ];
+        assert_eq!(count(v.into_iter()), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! USIMM-style trace file I/O.
+//!
+//! USIMM consumes ASCII traces of the form
+//!
+//! ```text
+//! <gap> R <hex address>
+//! <gap> W <hex address>
+//! ```
+//!
+//! (gap = non-memory instructions preceding the access). This module reads
+//! and writes that format so synthetic workloads can be exported for other
+//! simulators and externally produced traces can be replayed here.
+
+use std::io::{self, BufRead, Write};
+
+use crate::trace::MemAccess;
+
+/// Writes accesses in the USIMM ASCII format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// ```
+/// use cat_sim::{tracefile, MemAccess};
+/// let mut buf = Vec::new();
+/// tracefile::write_trace(&mut buf, [
+///     MemAccess { gap: 12, write: false, addr: 0x1f40 },
+///     MemAccess { gap: 3, write: true, addr: 0x2000 },
+/// ]).unwrap();
+/// assert_eq!(String::from_utf8(buf).unwrap(), "12 R 0x1f40\n3 W 0x2000\n");
+/// ```
+pub fn write_trace<W: Write>(
+    mut w: W,
+    accesses: impl IntoIterator<Item = MemAccess>,
+) -> io::Result<()> {
+    for a in accesses {
+        writeln!(
+            w,
+            "{} {} {:#x}",
+            a.gap,
+            if a.write { 'W' } else { 'R' },
+            a.addr
+        )?;
+    }
+    Ok(())
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Reads a USIMM ASCII trace into memory.
+///
+/// Empty lines and lines starting with `#` are skipped. Addresses accept
+/// `0x` hex or plain decimal.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on the first malformed record; I/O errors
+/// are converted with the line number at which they occurred.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<MemAccess>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| ParseTraceError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |message: String| ParseTraceError { line: i + 1, message };
+        let gap: u32 = parts
+            .next()
+            .ok_or_else(|| err("missing gap".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad gap: {e}")))?;
+        let kind = parts.next().ok_or_else(|| err("missing R/W".into()))?;
+        let write = match kind {
+            "R" | "r" => false,
+            "W" | "w" => true,
+            other => return Err(err(format!("expected R or W, got {other}"))),
+        };
+        let addr_s = parts.next().ok_or_else(|| err("missing address".into()))?;
+        let addr = if let Some(hex) = addr_s.strip_prefix("0x").or_else(|| addr_s.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).map_err(|e| err(format!("bad address: {e}")))?
+        } else {
+            addr_s.parse().map_err(|e| err(format!("bad address: {e}")))?
+        };
+        if parts.next().is_some() {
+            return Err(err("trailing tokens".into()));
+        }
+        out.push(MemAccess { gap, write, addr });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let accesses = vec![
+            MemAccess { gap: 0, write: false, addr: 0 },
+            MemAccess { gap: 1_000_000, write: true, addr: u64::MAX >> 8 },
+            MemAccess { gap: 7, write: false, addr: 0xdead_beef },
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, accesses.iter().copied()).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, accesses);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# USIMM trace\n\n5 R 0x40\n\n# done\n3 W 64\n";
+        let got = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                MemAccess { gap: 5, write: false, addr: 0x40 },
+                MemAccess { gap: 3, write: true, addr: 64 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "1 R 0x10\n2 X 0x20\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("expected R or W"));
+
+        let err = read_trace("zz R 0x10\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("bad gap"));
+
+        let err = read_trace("1 R\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("missing address"));
+
+        let err = read_trace("1 R 0x10 extra\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn decimal_addresses_accepted() {
+        let got = read_trace("9 W 4096\n".as_bytes()).unwrap();
+        assert_eq!(got[0].addr, 4096);
+    }
+}

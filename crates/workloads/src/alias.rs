@@ -1,0 +1,161 @@
+//! Walker's alias method: O(1) sampling from an arbitrary discrete
+//! distribution. Used for the Zipf rank component of the workload models —
+//! the per-access cost must stay in nanoseconds since workload generation
+//! runs inside the simulator's hot loop.
+
+use rand::Rng;
+
+/// A precomputed alias table over `n` outcomes.
+///
+/// ```
+/// use cat_workloads::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[1.0, 1.0, 2.0]);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut counts = [0u32; 3];
+/// for _ in 0..40_000 {
+///     counts[table.sample(&mut rng)] += 1;
+/// }
+/// // Outcome 2 has half the mass.
+/// assert!(counts[2] > counts[0] + counts[1] - 4_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one outcome");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers become certain outcomes.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Builds a Zipf(`s`) table over ranks `1..=n` (outcome `k` has weight
+    /// `1/(k+1)^s`).
+    pub fn zipf(n: usize, s: f64) -> Self {
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        AliasTable::new(&weights)
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the table has no outcomes (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_expected_frequencies() {
+        let table = AliasTable::new(&[4.0, 3.0, 2.0, 1.0]);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = (4 - i) as f64 / 10.0 * n as f64;
+            let err = (c as f64 - expected).abs() / expected;
+            assert!(err < 0.05, "outcome {i}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let table = AliasTable::zipf(1024, 1.2);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut head = 0u64;
+        let n = 100_000;
+        for _ in 0..n {
+            if table.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1.2 the top-10 ranks carry roughly half the mass.
+        assert!(head > n / 3, "top-10 ranks got {head}/{n}");
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn zero_total_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

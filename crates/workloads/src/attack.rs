@@ -1,0 +1,221 @@
+//! Kernel attacks (§VIII-D): malicious access patterns hammering a few
+//! Gaussian-distributed target rows per bank, blended with a benign
+//! workload at Heavy/Medium/Light ratios.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cat_sim::{AddressMapping, MemAccess, SystemConfig};
+
+use crate::spec::WorkloadSpec;
+use crate::stream::{splitmix64, AccessStream};
+
+/// Blend ratio of attack accesses vs. benign accesses (§VIII-D).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AttackMode {
+    /// 75 % target rows + 25 % benign rows.
+    Heavy,
+    /// 50 % / 50 %.
+    Medium,
+    /// 25 % target rows + 75 % benign rows.
+    Light,
+}
+
+impl AttackMode {
+    /// Fraction of accesses aimed at target rows.
+    pub fn target_fraction(&self) -> f64 {
+        match self {
+            AttackMode::Heavy => 0.75,
+            AttackMode::Medium => 0.50,
+            AttackMode::Light => 0.25,
+        }
+    }
+}
+
+impl std::fmt::Display for AttackMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AttackMode::Heavy => "Heavy",
+            AttackMode::Medium => "Medium",
+            AttackMode::Light => "Light",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the paper's 12 kernel attacks: 4 target rows per bank, drawn
+/// from a kernel-specific Gaussian over the row space.
+#[derive(Clone, Debug)]
+pub struct KernelAttack {
+    id: u32,
+    /// Target cache-line base addresses (4 per bank × all banks).
+    targets: Vec<u64>,
+}
+
+/// Number of distinct attack kernels (the paper uses 12).
+pub const KERNEL_COUNT: u32 = 12;
+/// Target rows per bank (the paper uses 4).
+pub const TARGETS_PER_BANK: u32 = 4;
+
+impl KernelAttack {
+    /// Builds kernel `id` (0‥12) for the given system: 4 Gaussian-placed
+    /// rows in every bank, deterministic per kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= KERNEL_COUNT`.
+    pub fn new(id: u32, config: &SystemConfig) -> Self {
+        assert!(id < KERNEL_COUNT, "kernel id {id} out of range");
+        let mapping = AddressMapping::new(config);
+        let mut rng = SmallRng::seed_from_u64(splitmix64(0xA77AC4 ^ u64::from(id) << 8));
+        let rows = f64::from(config.rows_per_bank);
+        // Kernel-specific Gaussian over the row space.
+        let center = rng.gen_range(0.2..0.8) * rows;
+        let sigma = rows / 16.0;
+        let mut targets = Vec::new();
+        for ch in 0..config.channels {
+            for rk in 0..config.ranks_per_channel {
+                for bk in 0..config.banks_per_rank {
+                    for _ in 0..TARGETS_PER_BANK {
+                        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        let u2: f64 = rng.gen();
+                        let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                        let row = (center + n * sigma)
+                            .round()
+                            .rem_euclid(rows) as u32;
+                        targets.push(mapping.encode_line(ch, rk, bk, row, 0));
+                    }
+                }
+            }
+        }
+        KernelAttack { id, targets }
+    }
+
+    /// The kernel index.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Target line addresses (4 × total banks).
+    pub fn targets(&self) -> &[u64] {
+        &self.targets
+    }
+
+    /// Builds the blended access stream for one core: benign accesses from
+    /// `benign`, with a `mode`-dependent fraction redirected to target rows.
+    pub fn stream(
+        &self,
+        benign: &WorkloadSpec,
+        config: &SystemConfig,
+        mode: AttackMode,
+        core: usize,
+        epochs: u64,
+        seed: u64,
+    ) -> AttackStream {
+        AttackStream {
+            inner: AccessStream::new(benign, config, core, epochs, seed),
+            targets: self.targets.clone(),
+            frac: mode.target_fraction(),
+            rng: SmallRng::seed_from_u64(splitmix64(
+                seed ^ u64::from(self.id) << 40 ^ (core as u64) << 20,
+            )),
+        }
+    }
+}
+
+/// Iterator blending benign traffic with target-row hammering.
+pub struct AttackStream {
+    inner: AccessStream,
+    targets: Vec<u64>,
+    frac: f64,
+    rng: SmallRng,
+}
+
+impl Iterator for AttackStream {
+    type Item = MemAccess;
+
+    fn next(&mut self) -> Option<MemAccess> {
+        let mut access = self.inner.next()?;
+        if self.rng.gen::<f64>() < self.frac {
+            let t = self.targets[self.rng.gen_range(0..self.targets.len())];
+            access.addr = t;
+            access.write = false; // hammering reads
+        }
+        Some(access)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn twelve_distinct_kernels_with_four_targets_per_bank() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let mut all_targets = std::collections::HashSet::new();
+        for id in 0..KERNEL_COUNT {
+            let k = KernelAttack::new(id, &cfg);
+            assert_eq!(k.targets().len(), 64, "4 rows × 16 banks");
+            all_targets.extend(k.targets().iter().copied());
+        }
+        // Kernels pick (almost surely) different targets.
+        assert!(all_targets.len() > 600);
+    }
+
+    #[test]
+    fn targets_cover_every_bank() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let map = AddressMapping::new(&cfg);
+        let k = KernelAttack::new(3, &cfg);
+        let banks: std::collections::HashSet<u32> = k
+            .targets()
+            .iter()
+            .map(|&a| map.decode(a).global_bank(&cfg))
+            .collect();
+        assert_eq!(banks.len(), 16);
+    }
+
+    #[test]
+    fn heavy_mode_redirects_three_quarters() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let benign = catalog::by_name("swapt").unwrap();
+        let k = KernelAttack::new(0, &cfg);
+        let targets: std::collections::HashSet<u64> = k.targets().iter().copied().collect();
+        let hits = k
+            .stream(&benign, &cfg, AttackMode::Heavy, 0, 1, 7)
+            .take(20_000)
+            .filter(|m| targets.contains(&m.addr))
+            .count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "target fraction {frac}");
+    }
+
+    #[test]
+    fn modes_are_ordered_by_intensity() {
+        assert!(AttackMode::Heavy.target_fraction() > AttackMode::Medium.target_fraction());
+        assert!(AttackMode::Medium.target_fraction() > AttackMode::Light.target_fraction());
+        assert_eq!(AttackMode::Light.to_string(), "Light");
+    }
+
+    #[test]
+    fn attack_stream_is_deterministic() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let benign = catalog::by_name("swapt").unwrap();
+        let k = KernelAttack::new(5, &cfg);
+        let a: Vec<_> = k.stream(&benign, &cfg, AttackMode::Medium, 0, 1, 3).take(100).collect();
+        let b: Vec<_> = k.stream(&benign, &cfg, AttackMode::Medium, 0, 1, 3).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kernel_id_bounds_checked() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let _ = KernelAttack::new(12, &cfg);
+    }
+}

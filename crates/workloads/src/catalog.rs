@@ -1,0 +1,234 @@
+//! The 18 named workloads (§VI): synthetic stand-ins for the Memory
+//! Scheduling Championship traces, grouped and named as in the paper's
+//! figures — five commercial traces, seven PARSEC, four SPEC and two
+//! Biobench benchmarks.
+//!
+//! Calibration targets (see `EXPERIMENTS.md`): per-bank access counts of a
+//! few hundred thousand per 64 ms epoch (the paper's Q0 ≈ 10–40 refresh
+//! windows per interval), a heavily skewed per-bank row-access histogram
+//! (Fig. 3), and suite-dependent behaviour — tight hot clusters for
+//! `black`/`face`, streaming floors for `str`/`libq`, deep Zipf tails for
+//! the bioinformatics kernels.
+
+use crate::spec::{Cluster, Suite, WorkloadSpec, ZipfMix};
+
+fn base(name: &'static str, suite: Suite, rate_m: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        suite,
+        accesses_per_epoch: (rate_m * 1e6) as u64,
+        write_frac: 0.3,
+        clusters: Vec::new(),
+        zipf: None,
+        uniform_weight: 0.25,
+        shifts_per_epoch: 0,
+        shift_rows: 0,
+        drift_rows_per_epoch: 0,
+        cpu_utilization: 0.85,
+    }
+}
+
+fn cluster(bank: u32, center_frac: f64, sigma_rows: f64, weight: f64) -> Cluster {
+    Cluster { bank, center_frac, sigma_rows, weight }
+}
+
+/// Builds the full 18-workload catalog.
+pub fn all() -> Vec<WorkloadSpec> {
+    let mut v = Vec::with_capacity(18);
+
+    // ---- COMM: high-rate server traces, Zipf-dominant with phases. ----
+    for (i, (name, rate, s, ranks, shifts)) in [
+        ("com1", 9.0, 1.15, 2048, 0u32),
+        ("com2", 11.0, 1.25, 1024, 2),
+        ("com3", 8.0, 1.10, 4096, 0),
+        ("com4", 12.0, 1.30, 1024, 2),
+        ("com5", 7.5, 1.05, 2048, 0),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut w = base(name, Suite::Comm, rate);
+        w.zipf = Some(ZipfMix { s, ranks, weight: 0.6 });
+        w.clusters = vec![cluster(i as u32 * 3 + 1, 0.3 + 0.1 * i as f64, 64.0, 0.12)];
+        w.uniform_weight = 0.28;
+        w.write_frac = 0.33;
+        w.shifts_per_epoch = shifts;
+        w.shift_rows = 4096;
+        v.push(w);
+    }
+
+    // ---- PARSEC ----
+    let mut swapt = base("swapt", Suite::Parsec, 5.0);
+    swapt.zipf = Some(ZipfMix { s: 0.9, ranks: 1024, weight: 0.5 });
+    swapt.clusters = vec![cluster(2, 0.6, 128.0, 0.15)];
+    swapt.uniform_weight = 0.35;
+    v.push(swapt);
+
+    let mut fluid = base("fluid", Suite::Parsec, 6.5);
+    fluid.zipf = Some(ZipfMix { s: 1.0, ranks: 2048, weight: 0.3 });
+    fluid.clusters = vec![
+        cluster(4, 0.2, 96.0, 0.15),
+        cluster(9, 0.5, 96.0, 0.15),
+        cluster(14, 0.8, 96.0, 0.15),
+    ];
+    fluid.drift_rows_per_epoch = 512;
+    v.push(fluid);
+
+    let mut str_ = base("str", Suite::Parsec, 9.0);
+    str_.zipf = Some(ZipfMix { s: 0.6, ranks: 256, weight: 0.15 });
+    str_.uniform_weight = 0.85;
+    str_.write_frac = 0.4; // streaming copy kernels write heavily
+    v.push(str_);
+
+    // blackscholes: Fig. 3 (left) — a couple of extremely hot rows.
+    let mut black = base("black", Suite::Parsec, 5.5);
+    black.clusters = vec![
+        cluster(6, 0.42, 1.5, 0.28),
+        cluster(6, 0.71, 1.5, 0.22),
+    ];
+    black.zipf = Some(ZipfMix { s: 1.2, ranks: 512, weight: 0.30 });
+    black.uniform_weight = 0.20;
+    black.write_frac = 0.2;
+    v.push(black);
+
+    let mut ferret = base("ferret", Suite::Parsec, 7.0);
+    ferret.zipf = Some(ZipfMix { s: 1.25, ranks: 1024, weight: 0.6 });
+    ferret.clusters = vec![cluster(11, 0.35, 32.0, 0.15)];
+    v.push(ferret);
+
+    // facesim: Fig. 3 (right) — a broad hot band plus spikes.
+    let mut face = base("face", Suite::Parsec, 6.0);
+    face.clusters = vec![
+        cluster(8, 0.55, 1500.0, 0.35),
+        cluster(8, 0.15, 3.0, 0.10),
+        cluster(8, 0.88, 3.0, 0.10),
+    ];
+    face.zipf = Some(ZipfMix { s: 1.1, ranks: 1024, weight: 0.25 });
+    face.uniform_weight = 0.20;
+    v.push(face);
+
+    let mut freq = base("freq", Suite::Parsec, 6.5);
+    freq.zipf = Some(ZipfMix { s: 1.0, ranks: 2048, weight: 0.55 });
+    freq.clusters = vec![cluster(13, 0.5, 48.0, 0.15)];
+    freq.uniform_weight = 0.30;
+    v.push(freq);
+
+    // ---- SPEC ----
+    let mut mtc = base("MTC", Suite::Spec, 10.0);
+    mtc.zipf = Some(ZipfMix { s: 1.15, ranks: 4096, weight: 0.5 });
+    mtc.clusters = vec![cluster(5, 0.25, 64.0, 0.15)];
+    mtc.uniform_weight = 0.35;
+    mtc.shifts_per_epoch = 2;
+    mtc.shift_rows = 8192;
+    v.push(mtc);
+
+    let mut mtf = base("MTF", Suite::Spec, 9.0);
+    mtf.zipf = Some(ZipfMix { s: 1.1, ranks: 4096, weight: 0.5 });
+    mtf.clusters = vec![cluster(10, 0.65, 64.0, 0.15)];
+    mtf.uniform_weight = 0.35;
+    mtf.drift_rows_per_epoch = 2048;
+    v.push(mtf);
+
+    let mut libq = base("libq", Suite::Spec, 12.0);
+    libq.zipf = Some(ZipfMix { s: 0.8, ranks: 128, weight: 0.3 });
+    libq.clusters = vec![cluster(1, 0.5, 256.0, 0.10)];
+    libq.uniform_weight = 0.60;
+    libq.write_frac = 0.25;
+    v.push(libq);
+
+    let mut leslie = base("leslie", Suite::Spec, 7.0);
+    leslie.zipf = Some(ZipfMix { s: 1.05, ranks: 2048, weight: 0.45 });
+    leslie.clusters = vec![cluster(7, 0.4, 80.0, 0.15), cluster(12, 0.7, 80.0, 0.15)];
+    v.push(leslie);
+
+    // ---- BIO: genome-index lookups, deep Zipf skew. ----
+    let mut mum = base("mum", Suite::Bio, 8.5);
+    mum.zipf = Some(ZipfMix { s: 1.35, ranks: 8192, weight: 0.65 });
+    mum.clusters = vec![cluster(3, 0.3, 16.0, 0.10)];
+    mum.write_frac = 0.15;
+    v.push(mum);
+
+    let mut tigr = base("tigr", Suite::Bio, 7.5);
+    tigr.zipf = Some(ZipfMix { s: 1.45, ranks: 8192, weight: 0.70 });
+    tigr.clusters = vec![cluster(15, 0.6, 16.0, 0.10)];
+    tigr.uniform_weight = 0.20;
+    tigr.write_frac = 0.15;
+    v.push(tigr);
+
+    debug_assert_eq!(v.len(), 18);
+    v
+}
+
+/// Looks a workload up by figure name (`"black"`, `"com3"`, …).
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// A six-workload subset (at least one per suite, covering the skew
+/// extremes) used by the wide sensitivity sweeps to bound single-core run
+/// time; `EXPERIMENTS.md` documents the substitution.
+pub fn sweep_subset() -> Vec<WorkloadSpec> {
+    ["com2", "black", "face", "str", "libq", "mum"]
+        .iter()
+        .map(|n| by_name(n).expect("subset names exist"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_18_valid_workloads() {
+        let all = all();
+        assert_eq!(all.len(), 18);
+        for w in &all {
+            w.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_match_paper_figures() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), 18);
+        for expected in [
+            "com1", "com2", "com3", "com4", "com5", "swapt", "fluid", "str", "black",
+            "ferret", "face", "freq", "MTC", "MTF", "libq", "leslie", "mum", "tigr",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn suites_are_grouped_like_the_paper() {
+        let all = all();
+        let count = |s: Suite| all.iter().filter(|w| w.suite == s).count();
+        assert_eq!(count(Suite::Comm), 5);
+        assert_eq!(count(Suite::Parsec), 7);
+        assert_eq!(count(Suite::Spec), 4);
+        assert_eq!(count(Suite::Bio), 2);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert_eq!(by_name("black").unwrap().name, "black");
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn sweep_subset_covers_all_suites() {
+        let sub = sweep_subset();
+        assert_eq!(sub.len(), 6);
+        let suites: std::collections::HashSet<_> = sub.iter().map(|w| w.suite).collect();
+        assert_eq!(suites.len(), 4);
+    }
+
+    #[test]
+    fn rates_are_in_the_calibrated_band() {
+        for w in all() {
+            let m = w.accesses_per_epoch as f64 / 1e6;
+            assert!((4.0..=13.0).contains(&m), "{}: {m} M/epoch", w.name);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-bank row-access frequency collection — the data behind Fig. 3.
+
+use cat_sim::{AddressMapping, MemAccess, SystemConfig};
+
+/// Row-access frequency histogram of a single bank over an access stream.
+///
+/// ```
+/// use cat_workloads::{catalog, AccessStream, RowHistogram};
+/// use cat_sim::SystemConfig;
+///
+/// let cfg = SystemConfig::dual_core_two_channel();
+/// let spec = catalog::by_name("black").unwrap();
+/// let stream = AccessStream::new(&spec, &cfg, 0, 1, 42).take(200_000);
+/// let hist = RowHistogram::collect(&cfg, 6, stream);
+/// // blackscholes concentrates on a couple of very hot rows (Fig. 3 left).
+/// let top = hist.top_rows(2);
+/// assert!(top[0].1 > 100 * hist.mean_nonzero());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RowHistogram {
+    bank: u32,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl RowHistogram {
+    /// Runs `stream` through the address mapping and counts activations of
+    /// global bank `bank`.
+    pub fn collect(
+        config: &SystemConfig,
+        bank: u32,
+        stream: impl Iterator<Item = MemAccess>,
+    ) -> Self {
+        let mapping = AddressMapping::new(config);
+        let mut counts = vec![0u64; config.rows_per_bank as usize];
+        let mut total = 0;
+        for access in stream {
+            let loc = mapping.decode(access.addr);
+            if loc.global_bank(config) == bank {
+                counts[loc.row as usize] += 1;
+                total += 1;
+            }
+        }
+        RowHistogram { bank, counts, total }
+    }
+
+    /// The observed bank.
+    pub fn bank(&self) -> u32 {
+        self.bank
+    }
+
+    /// Accesses that landed in the bank.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-row counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `k` most-accessed rows, hottest first.
+    pub fn top_rows(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut rows: Vec<(u32, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(r, &c)| (r as u32, c))
+            .collect();
+        rows.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        rows.truncate(k);
+        rows
+    }
+
+    /// Mean count over rows that were accessed at least once.
+    pub fn mean_nonzero(&self) -> u64 {
+        let nz = self.counts.iter().filter(|&&c| c > 0).count() as u64;
+        self.total.checked_div(nz).unwrap_or(0)
+    }
+
+    /// Fraction of all accesses captured by the `k` hottest rows — the
+    /// skew statistic motivating dynamic counter assignment (§III-B).
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.top_rows(k).iter().map(|&(_, c)| c).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// Down-samples the histogram into `buckets` equal row ranges (for
+    /// terminal plotting of Fig. 3).
+    pub fn bucketize(&self, buckets: usize) -> Vec<u64> {
+        assert!(buckets > 0);
+        let per = self.counts.len().div_ceil(buckets);
+        self.counts.chunks(per).map(|c| c.iter().sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, AccessStream};
+
+    #[test]
+    fn black_is_spike_dominated_face_is_band_dominated() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let black = catalog::by_name("black").unwrap();
+        let face = catalog::by_name("face").unwrap();
+        let hb = RowHistogram::collect(
+            &cfg,
+            6,
+            AccessStream::new(&black, &cfg, 0, 1, 1).take(300_000),
+        );
+        let hf = RowHistogram::collect(
+            &cfg,
+            8,
+            AccessStream::new(&face, &cfg, 0, 1, 1).take(300_000),
+        );
+        // Fig. 3: both are skewed, but blackscholes concentrates far more
+        // mass in its top-2 rows than facesim's broad band does.
+        assert!(hb.top_k_share(2) > 0.25, "black top2 {}", hb.top_k_share(2));
+        assert!(hf.top_k_share(2) < hb.top_k_share(2));
+        assert!(hf.top_k_share(4096) > 0.4, "face band {}", hf.top_k_share(4096));
+    }
+
+    #[test]
+    fn totals_and_buckets_are_consistent() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let spec = catalog::by_name("com1").unwrap();
+        let h = RowHistogram::collect(
+            &cfg,
+            0,
+            AccessStream::new(&spec, &cfg, 0, 1, 2).take(100_000),
+        );
+        assert_eq!(h.counts().iter().sum::<u64>(), h.total());
+        let buckets = h.bucketize(64);
+        assert_eq!(buckets.iter().sum::<u64>(), h.total());
+        assert_eq!(h.bank(), 0);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_histogram() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let h = RowHistogram::collect(&cfg, 0, std::iter::empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean_nonzero(), 0);
+        assert_eq!(h.top_k_share(5), 0.0);
+        assert!(h.top_rows(3).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # cat-workloads — synthetic memory workloads and rowhammer kernels
+//!
+//! The paper evaluates on 18 workloads from the Memory Scheduling
+//! Championship (commercial server traces plus PARSEC, SPEC and Biobench
+//! selections) and on 12 synthetic kernel attacks (§VI, §VIII-D). The MSC
+//! traces are not redistributable, so this crate synthesizes statistically
+//! matched substitutes:
+//!
+//! * [`WorkloadSpec`] — a workload model: access rate, read/write mix and a
+//!   row-popularity mixture of Gaussian hot clusters, a Zipf-distributed
+//!   hot set and a uniform floor, with optional intra-epoch phase shifts
+//!   and cross-epoch drift (what DRCAT's reconfiguration tracks).
+//! * [`catalog`] — the 18 named workloads grouped by suite, calibrated so
+//!   a DRAM bank sees the kind of row-access skew the paper's Fig. 3 shows.
+//! * [`KernelAttack`] — the §VIII-D attack kernels: 4 Gaussian-placed
+//!   target rows per bank, blended with a benign workload in
+//!   Heavy/Medium/Light ratios.
+//! * [`RowHistogram`] — per-bank row-access frequency collection (Fig. 3).
+//!
+//! ```
+//! use cat_workloads::{catalog, AccessStream};
+//! use cat_sim::SystemConfig;
+//!
+//! let cfg = SystemConfig::dual_core_two_channel();
+//! let spec = catalog::by_name("black").unwrap();
+//! // Core 0 of 2, one epoch, deterministic seed.
+//! let stream = AccessStream::new(&spec, &cfg, 0, 1, 42);
+//! assert_eq!(stream.count() as u64, spec.accesses_per_epoch / cfg.cores as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alias;
+mod attack;
+pub mod catalog;
+mod histogram;
+mod mix;
+mod spec;
+mod stream;
+
+pub use alias::AliasTable;
+pub use attack::{AttackMode, KernelAttack};
+pub use histogram::RowHistogram;
+pub use mix::Mix;
+pub use spec::{Cluster, Suite, WorkloadSpec, ZipfMix};
+pub use stream::AccessStream;

@@ -1,0 +1,127 @@
+//! Multiprogrammed workload mixes: interleave the traces of different
+//! workloads across cores (the commercial MSC traces are server
+//! consolidations; mixes also model the paper's multi-core experiments
+//! where each core runs a different program).
+
+use cat_sim::{MemAccess, SystemConfig};
+
+use crate::spec::WorkloadSpec;
+use crate::stream::AccessStream;
+
+/// A named set of per-core workloads.
+///
+/// ```
+/// use cat_workloads::{catalog, Mix};
+/// use cat_sim::SystemConfig;
+///
+/// let cfg = SystemConfig::dual_core_two_channel();
+/// let mix = Mix::new("web+bio", vec![
+///     catalog::by_name("com1").unwrap(),
+///     catalog::by_name("mum").unwrap(),
+/// ]);
+/// let traces = mix.traces(&cfg, 1, 99);
+/// assert_eq!(traces.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mix {
+    name: String,
+    members: Vec<WorkloadSpec>,
+}
+
+impl Mix {
+    /// Creates a mix; core `i` runs `members[i % members.len()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(name: impl Into<String>, members: Vec<WorkloadSpec>) -> Self {
+        assert!(!members.is_empty(), "a mix needs at least one workload");
+        Mix {
+            name: name.into(),
+            members,
+        }
+    }
+
+    /// Mix label for result tables.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The member workloads.
+    pub fn members(&self) -> &[WorkloadSpec] {
+        &self.members
+    }
+
+    /// Builds one trace per core of `config`, spanning `epochs` epochs.
+    ///
+    /// Each core draws from its own workload at that workload's per-core
+    /// rate, so heterogeneous mixes produce heterogeneous traffic shares —
+    /// matching how consolidation skews bank pressure.
+    pub fn traces(
+        &self,
+        config: &SystemConfig,
+        epochs: u64,
+        seed: u64,
+    ) -> Vec<Box<dyn Iterator<Item = MemAccess> + Send>> {
+        (0..config.cores)
+            .map(|core| {
+                let spec = &self.members[core % self.members.len()];
+                Box::new(AccessStream::new(spec, config, core, epochs, seed))
+                    as Box<dyn Iterator<Item = MemAccess> + Send>
+            })
+            .collect()
+    }
+
+    /// Total accesses per epoch across all cores of `config`.
+    pub fn accesses_per_epoch(&self, config: &SystemConfig) -> u64 {
+        (0..config.cores)
+            .map(|core| {
+                let spec = &self.members[core % self.members.len()];
+                spec.accesses_per_epoch / config.cores as u64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn cores_round_robin_over_members() {
+        let cfg = cat_sim::SystemConfig::quad_core_two_channel();
+        let mix = Mix::new(
+            "pair",
+            vec![
+                catalog::by_name("black").unwrap(),
+                catalog::by_name("libq").unwrap(),
+            ],
+        );
+        let traces = mix.traces(&cfg, 1, 5);
+        assert_eq!(traces.len(), 4);
+        // Cores 0/2 run black (5.5M/4 accesses each), 1/3 run libq (12M/4).
+        let lens: Vec<usize> = traces.into_iter().map(|t| t.count()).collect();
+        assert_eq!(lens[0], lens[2]);
+        assert_eq!(lens[1], lens[3]);
+        assert!(lens[1] > lens[0], "libq is the heavier member");
+    }
+
+    #[test]
+    fn accesses_per_epoch_sums_member_rates() {
+        let cfg = cat_sim::SystemConfig::dual_core_two_channel();
+        let black = catalog::by_name("black").unwrap();
+        let libq = catalog::by_name("libq").unwrap();
+        let mix = Mix::new("pair", vec![black.clone(), libq.clone()]);
+        let expect = black.accesses_per_epoch / 2 + libq.accesses_per_epoch / 2;
+        assert_eq!(mix.accesses_per_epoch(&cfg), expect);
+        assert_eq!(mix.name(), "pair");
+        assert_eq!(mix.members().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_mix_rejected() {
+        let _ = Mix::new("none", vec![]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Workload models: row-popularity mixtures with phase behaviour.
+
+/// Benchmark suite grouping (the paper's COMM / PARSEC / SPEC / BIO).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Commercial server traces (`com1`–`com5`).
+    Comm,
+    /// PARSEC multithreaded benchmarks.
+    Parsec,
+    /// SPEC CPU benchmarks.
+    Spec,
+    /// Biobench bioinformatics benchmarks.
+    Bio,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::Comm => "COMM",
+            Suite::Parsec => "PARSEC",
+            Suite::Spec => "SPEC",
+            Suite::Bio => "BIO",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A Gaussian hot cluster of rows inside one bank: the "hot band" shapes of
+/// Fig. 3.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Cluster {
+    /// Global bank index the cluster lives in (wrapped into the system's
+    /// bank count at generation time).
+    pub bank: u32,
+    /// Centre row as a fraction of the bank's rows (0.0‥1.0).
+    pub center_frac: f64,
+    /// Standard deviation in rows.
+    pub sigma_rows: f64,
+    /// Fraction of all accesses hitting this cluster.
+    pub weight: f64,
+}
+
+/// A Zipf-distributed hot set: rank `k` receives weight `k^-s`; ranks are
+/// scattered pseudo-randomly (but deterministically) over the whole memory.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ZipfMix {
+    /// Zipf exponent `s` (larger = more skewed).
+    pub s: f64,
+    /// Number of distinct hot rows in the set.
+    pub ranks: usize,
+    /// Fraction of all accesses drawn from this component.
+    pub weight: f64,
+}
+
+/// A complete synthetic workload description.
+///
+/// The weights of `clusters`, `zipf` and `uniform_weight` are normalised at
+/// generation time; `uniform_weight` is the background floor spread evenly
+/// over the whole address space (this is what exhausts spare CAT counters
+/// and differentiates the schemes — see `DESIGN.md`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Short name used in figures, e.g. `"black"`.
+    pub name: &'static str,
+    /// Benchmark suite.
+    pub suite: Suite,
+    /// Memory accesses per 64 ms epoch, system-wide.
+    pub accesses_per_epoch: u64,
+    /// Fraction of accesses that are stores.
+    pub write_frac: f64,
+    /// Gaussian hot clusters.
+    pub clusters: Vec<Cluster>,
+    /// Zipf hot set.
+    pub zipf: Option<ZipfMix>,
+    /// Uniform background weight.
+    pub uniform_weight: f64,
+    /// Intra-epoch phase changes: the hot set shifts this many times per
+    /// epoch (0 = stationary).
+    pub shifts_per_epoch: u32,
+    /// Rows the hot set shifts by at each phase change.
+    pub shift_rows: u32,
+    /// Rows the hot set drifts per epoch (cross-epoch phase behaviour —
+    /// what DRCAT tracks and PRCAT forgets).
+    pub drift_rows_per_epoch: u32,
+    /// Fraction of peak CPU throughput the workload sustains (calibrates
+    /// the instruction gap between memory accesses).
+    pub cpu_utilization: f64,
+}
+
+impl WorkloadSpec {
+    /// Sum of all popularity-component weights (before normalisation).
+    pub fn total_weight(&self) -> f64 {
+        self.clusters.iter().map(|c| c.weight).sum::<f64>()
+            + self.zipf.map_or(0.0, |z| z.weight)
+            + self.uniform_weight
+    }
+
+    /// Mean instruction gap for `cores` cores at `peak_ipc` retired
+    /// instructions per core-second: the gap that makes this workload's
+    /// epoch last ~64 ms of CPU time at the configured utilisation.
+    pub fn mean_gap(&self, cores: usize, peak_instr_per_core_epoch: f64) -> u32 {
+        let per_core = self.accesses_per_epoch as f64 / cores as f64;
+        let instr = peak_instr_per_core_epoch * self.cpu_utilization;
+        ((instr / per_core).max(1.0) - 1.0).round() as u32
+    }
+
+    /// Basic sanity checks used by tests and the catalog.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.accesses_per_epoch == 0 {
+            return Err(format!("{}: zero accesses", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.write_frac) {
+            return Err(format!("{}: bad write fraction", self.name));
+        }
+        if self.total_weight() <= 0.0 {
+            return Err(format!("{}: no popularity mass", self.name));
+        }
+        if !(0.05..=1.0).contains(&self.cpu_utilization) {
+            return Err(format!("{}: bad cpu utilization", self.name));
+        }
+        for c in &self.clusters {
+            if !(0.0..=1.0).contains(&c.center_frac) || c.sigma_rows < 0.0 || c.weight < 0.0 {
+                return Err(format!("{}: bad cluster {c:?}", self.name));
+            }
+        }
+        if let Some(z) = self.zipf {
+            if z.ranks == 0 || z.s < 0.0 || z.weight < 0.0 {
+                return Err(format!("{}: bad zipf {z:?}", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            suite: Suite::Comm,
+            accesses_per_epoch: 1_000_000,
+            write_frac: 0.3,
+            clusters: vec![Cluster { bank: 0, center_frac: 0.5, sigma_rows: 3.0, weight: 0.2 }],
+            zipf: Some(ZipfMix { s: 1.1, ranks: 1024, weight: 0.5 }),
+            uniform_weight: 0.3,
+            shifts_per_epoch: 0,
+            shift_rows: 0,
+            drift_rows_per_epoch: 0,
+            cpu_utilization: 0.8,
+        }
+    }
+
+    #[test]
+    fn weights_sum() {
+        assert!((spec().total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_calibration() {
+        // 1M accesses over 2 cores, 409.6M instructions per core-epoch at
+        // 80% utilisation → gap ≈ 409.6M × 0.8 / 500K − 1 ≈ 654.
+        let g = spec().mean_gap(2, 409.6e6);
+        assert!((600..700).contains(&g), "gap {g}");
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut s = spec();
+        s.accesses_per_epoch = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.write_frac = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.clusters[0].center_frac = 2.0;
+        assert!(s.validate().is_err());
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Parsec.to_string(), "PARSEC");
+    }
+}

@@ -1,0 +1,347 @@
+//! The per-core access-stream generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cat_sim::{AddressMapping, MemAccess, SystemConfig};
+
+use crate::alias::AliasTable;
+use crate::spec::WorkloadSpec;
+
+/// SplitMix64 — cheap, deterministic scatter of Zipf ranks over memory.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+enum Component {
+    /// (bank, centre row, sigma)
+    Cluster(u32, f64, f64),
+    Zipf,
+    Uniform,
+}
+
+/// A deterministic, cheap (O(1) per access) generator of one core's memory
+/// trace for one workload, spanning a whole number of 64 ms epochs.
+///
+/// All cores of a run share the same hot rows (shared data) but draw
+/// independent access sequences; phases shift the hot set within an epoch
+/// and drift moves it across epochs, per the [`WorkloadSpec`].
+pub struct AccessStream {
+    rng: SmallRng,
+    mapping: AddressMapping,
+    components: Vec<Component>,
+    comp_table: AliasTable,
+    zipf_table: Option<AliasTable>,
+    zipf_salt: u64,
+    // Geometry.
+    total_banks: u32,
+    ranks_per_channel: u32,
+    banks_per_rank: u32,
+    rows: u32,
+    lines_per_row: u32,
+    // Rates.
+    write_frac: f64,
+    gap_mean: u32,
+    // Phases.
+    per_core_epoch: u64,
+    shifts_per_epoch: u32,
+    shift_rows: u32,
+    drift_rows_per_epoch: u32,
+    produced: u64,
+    remaining: u64,
+    gauss_spare: Option<f64>,
+}
+
+impl AccessStream {
+    /// Builds the trace of core `core` (of `config.cores`) covering
+    /// `epochs` auto-refresh epochs.
+    pub fn new(
+        spec: &WorkloadSpec,
+        config: &SystemConfig,
+        core: usize,
+        epochs: u64,
+        seed: u64,
+    ) -> Self {
+        spec.validate().expect("workload spec must be valid");
+        assert!(core < config.cores);
+        let mut components = Vec::new();
+        let mut weights = Vec::new();
+        for c in &spec.clusters {
+            components.push(Component::Cluster(
+                c.bank % config.total_banks(),
+                c.center_frac * f64::from(config.rows_per_bank),
+                c.sigma_rows,
+            ));
+            weights.push(c.weight);
+        }
+        let zipf_table = spec.zipf.map(|z| {
+            components.push(Component::Zipf);
+            weights.push(z.weight);
+            AliasTable::zipf(z.ranks, z.s)
+        });
+        if spec.uniform_weight > 0.0 {
+            components.push(Component::Uniform);
+            weights.push(spec.uniform_weight);
+        }
+        let per_core_epoch = spec.accesses_per_epoch / config.cores as u64;
+        let cpu_hz = config.mem_clock_mhz as f64 * 1e6 * config.cpu_per_mem_cycle as f64;
+        let peak_instr = config.retire_width as f64 * cpu_hz * config.epoch_ms as f64 / 1000.0;
+        let name_salt = spec
+            .name
+            .bytes()
+            .fold(0u64, |acc, b| splitmix64(acc ^ u64::from(b)));
+        AccessStream {
+            rng: SmallRng::seed_from_u64(splitmix64(seed ^ (core as u64) << 32 ^ name_salt)),
+            mapping: AddressMapping::new(config),
+            components,
+            comp_table: AliasTable::new(&weights),
+            zipf_table,
+            zipf_salt: name_salt,
+            total_banks: config.total_banks(),
+            ranks_per_channel: config.ranks_per_channel,
+            banks_per_rank: config.banks_per_rank,
+            rows: config.rows_per_bank,
+            lines_per_row: config.lines_per_row,
+            write_frac: spec.write_frac,
+            gap_mean: spec.mean_gap(config.cores, peak_instr),
+            per_core_epoch: per_core_epoch.max(1),
+            shifts_per_epoch: spec.shifts_per_epoch,
+            shift_rows: spec.shift_rows,
+            drift_rows_per_epoch: spec.drift_rows_per_epoch,
+            produced: 0,
+            remaining: per_core_epoch * epochs,
+            gauss_spare: None,
+        }
+    }
+
+    /// Standard normal via Box-Muller (cached spare).
+    fn gauss(&mut self) -> f64 {
+        if let Some(s) = self.gauss_spare.take() {
+            return s;
+        }
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+        self.gauss_spare = Some(r * sin);
+        r * cos
+    }
+
+    /// Current hot-set offset in rows (phase shifts + cross-epoch drift).
+    fn row_offset(&self) -> u64 {
+        let epoch = self.produced / self.per_core_epoch;
+        let in_epoch = self.produced % self.per_core_epoch;
+        let phase = if self.shifts_per_epoch == 0 {
+            0
+        } else {
+            in_epoch * u64::from(self.shifts_per_epoch) / self.per_core_epoch
+        };
+        epoch * u64::from(self.drift_rows_per_epoch) + phase * u64::from(self.shift_rows)
+    }
+
+    fn sample_location(&mut self) -> (u32, u32) {
+        let offset = self.row_offset();
+        let idx = self.comp_table.sample(&mut self.rng);
+        match self.components[idx] {
+            Component::Cluster(bank, center, sigma) => {
+                let n = self.gauss();
+                let row = (center + n * sigma).round() as i64 + offset as i64;
+                (bank, row.rem_euclid(i64::from(self.rows)) as u32)
+            }
+            Component::Zipf => {
+                let rank = self
+                    .zipf_table
+                    .as_ref()
+                    .expect("zipf component implies table")
+                    .sample(&mut self.rng) as u64;
+                let h = splitmix64(self.zipf_salt ^ rank.wrapping_mul(0x2545_f491_4f6c_dd1d));
+                let bank = (h % u64::from(self.total_banks)) as u32;
+                let row = ((h >> 24) + offset) % u64::from(self.rows);
+                (bank, row as u32)
+            }
+            Component::Uniform => {
+                let bank = self.rng.gen_range(0..self.total_banks);
+                let row = self.rng.gen_range(0..self.rows);
+                (bank, row)
+            }
+        }
+    }
+
+    /// Decomposes a global bank index into (channel, rank, bank).
+    fn split_bank(&self, global: u32) -> (u32, u32, u32) {
+        let bank = global % self.banks_per_rank;
+        let rest = global / self.banks_per_rank;
+        let rank = rest % self.ranks_per_channel;
+        let channel = rest / self.ranks_per_channel;
+        (channel, rank, bank)
+    }
+
+    /// The calibrated mean instruction gap.
+    pub fn gap_mean(&self) -> u32 {
+        self.gap_mean
+    }
+
+    /// Accesses per epoch produced by this core.
+    pub fn per_core_epoch(&self) -> u64 {
+        self.per_core_epoch
+    }
+}
+
+impl Iterator for AccessStream {
+    type Item = MemAccess;
+
+    fn next(&mut self) -> Option<MemAccess> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (global_bank, row) = self.sample_location();
+        let (channel, rank, bank) = self.split_bank(global_bank);
+        let col = self.rng.gen_range(0..self.lines_per_row);
+        let addr = self.mapping.encode_line(channel, rank, bank, row, col);
+        let gap = if self.gap_mean == 0 {
+            0
+        } else {
+            self.rng.gen_range(self.gap_mean / 2..=self.gap_mean + self.gap_mean / 2)
+        };
+        let write = self.rng.gen::<f64>() < self.write_frac;
+        self.produced += 1;
+        Some(MemAccess { gap, write, addr })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Cluster, Suite, ZipfMix};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "unit",
+            suite: Suite::Parsec,
+            accesses_per_epoch: 100_000,
+            write_frac: 0.25,
+            clusters: vec![Cluster { bank: 3, center_frac: 0.25, sigma_rows: 4.0, weight: 0.4 }],
+            zipf: Some(ZipfMix { s: 1.2, ranks: 512, weight: 0.4 }),
+            uniform_weight: 0.2,
+            shifts_per_epoch: 0,
+            shift_rows: 0,
+            drift_rows_per_epoch: 0,
+            cpu_utilization: 0.8,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let a: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5).take(100).collect();
+        let b: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5).take(100).collect();
+        let c: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 6).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cores_share_hot_rows_but_not_sequences() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let a: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5).take(2_000).collect();
+        let b: Vec<_> = AccessStream::new(&spec(), &cfg, 1, 1, 5).take(2_000).collect();
+        assert_ne!(a, b, "different cores draw different sequences");
+        // Both hit the cluster bank heavily.
+        let map = AddressMapping::new(&cfg);
+        let count_bank3 = |v: &[MemAccess]| {
+            v.iter()
+                .filter(|m| map.decode(m.addr).global_bank(&cfg) == 3)
+                .count()
+        };
+        assert!(count_bank3(&a) > 600);
+        assert!(count_bank3(&b) > 600);
+    }
+
+    #[test]
+    fn stream_length_is_epochs_times_rate() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let n = AccessStream::new(&spec(), &cfg, 0, 3, 1).count();
+        assert_eq!(n as u64, 3 * 100_000 / 2);
+    }
+
+    #[test]
+    fn write_fraction_approximately_respected() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let writes = AccessStream::new(&spec(), &cfg, 0, 1, 1)
+            .filter(|m| m.write)
+            .count();
+        let total = 50_000.0;
+        let frac = writes as f64 / total;
+        assert!((frac - 0.25).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn cluster_rows_concentrate_around_center() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let map = AddressMapping::new(&cfg);
+        let center = 16_384u32; // 0.25 × 65536
+        let near = AccessStream::new(&spec(), &cfg, 0, 1, 2)
+            .take(10_000)
+            .filter(|m| {
+                let loc = map.decode(m.addr);
+                loc.global_bank(&cfg) == 3 && (i64::from(loc.row) - i64::from(center)).abs() < 20
+            })
+            .count();
+        // Cluster weight 0.4 ⇒ ≈ 4000 of 10000 accesses within ±20 rows.
+        assert!(near > 3_000, "cluster hits {near}");
+    }
+
+    #[test]
+    fn drift_moves_the_hot_set_between_epochs() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let mut s = spec();
+        s.clusters[0].sigma_rows = 1.0;
+        s.zipf = None;
+        s.uniform_weight = 0.0;
+        s.drift_rows_per_epoch = 1_000;
+        let map = AddressMapping::new(&cfg);
+        let rows: Vec<u32> = AccessStream::new(&s, &cfg, 0, 2, 3)
+            .map(|m| map.decode(m.addr).row)
+            .collect();
+        let (first, second) = rows.split_at(rows.len() / 2);
+        let mean = |v: &[u32]| v.iter().map(|&r| f64::from(r)).sum::<f64>() / v.len() as f64;
+        let delta = mean(second) - mean(first);
+        assert!((delta - 1_000.0).abs() < 50.0, "drift delta {delta}");
+    }
+
+    #[test]
+    fn phase_shifts_move_the_hot_set_within_an_epoch() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let mut s = spec();
+        s.clusters[0].sigma_rows = 1.0;
+        s.zipf = None;
+        s.uniform_weight = 0.0;
+        s.shifts_per_epoch = 2;
+        s.shift_rows = 5_000;
+        let map = AddressMapping::new(&cfg);
+        let rows: Vec<u32> = AccessStream::new(&s, &cfg, 0, 1, 3)
+            .map(|m| map.decode(m.addr).row)
+            .collect();
+        let (first, second) = rows.split_at(rows.len() / 2);
+        let mean = |v: &[u32]| v.iter().map(|&r| f64::from(r)).sum::<f64>() / v.len() as f64;
+        let delta = mean(second) - mean(first);
+        assert!((delta - 5_000.0).abs() < 100.0, "shift delta {delta}");
+    }
+
+    #[test]
+    fn gap_mean_tracks_cpu_utilization() {
+        let cfg = SystemConfig::dual_core_two_channel();
+        let s = spec();
+        let stream = AccessStream::new(&s, &cfg, 0, 1, 1);
+        // 409.6M instr/core-epoch × 0.8 / 50K accesses ≈ 6554.
+        assert!((6_000..7_000).contains(&stream.gap_mean()), "{}", stream.gap_mean());
+    }
+}

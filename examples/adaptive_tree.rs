@@ -1,0 +1,57 @@
+//! Visualising the adaptive tree (the paper's Fig. 4): a biased access
+//! pattern grows a deep, unbalanced tree around the hot rows, while a
+//! uniform pattern converges to the balanced SCA-like shape.
+//!
+//! Run with: `cargo run --release --example adaptive_tree`
+
+use catree::{CatConfig, CatTree, MitigationScheme, RowId};
+
+fn show(title: &str, tree: &CatTree) {
+    let shape = tree.shape();
+    println!("\n=== {title} ===");
+    println!("{}", shape.render());
+    println!(
+        "leaves: {}   max depth: {}   partition ok: {}",
+        shape.leaves().len(),
+        shape.max_depth(),
+        shape.is_partition(tree.rows()),
+    );
+}
+
+fn main() -> Result<(), catree::ConfigError> {
+    let config = CatConfig::new(1024, 8, 6, 512)?;
+
+    // Fig. 4(a): biased references — 80 % of accesses hammer rows 700-703.
+    let mut biased = CatTree::new(config.clone());
+    for i in 0..4_000u32 {
+        let row = if i % 5 != 0 { 700 + i % 4 } else { (i * 617) % 1024 };
+        biased.on_activation(RowId(row));
+    }
+    show("biased references (Fig. 4a): unbalanced tree", &biased);
+
+    // Fig. 4(b): uniform references — counters spread evenly.
+    let mut uniform = CatTree::new(config);
+    for i in 0..4_000u32 {
+        // Rotate across regions so the rate is uniform in time.
+        let row = (i % 4) * 256 + (i * 61) % 256;
+        uniform.on_activation(RowId(row));
+    }
+    show("uniform references (Fig. 4b): balanced tree", &uniform);
+
+    let hot_leaf = biased
+        .shape()
+        .leaves()
+        .iter()
+        .find(|l| l.range.contains(700))
+        .map(|l| l.depth)
+        .unwrap();
+    println!(
+        "\nhot-row leaf depth under bias: {hot_leaf} (uniform max: {})",
+        uniform.shape().max_depth()
+    );
+    println!(
+        "\nGraphviz export of the biased tree (pipe into `dot -Tsvg`):\n{}",
+        biased.shape().to_dot("biased_cat")
+    );
+    Ok(())
+}

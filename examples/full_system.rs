@@ -1,0 +1,72 @@
+//! Full-system run: one workload through the USIMM-style timing simulator
+//! under every mitigation scheme, reporting the paper's two metrics —
+//! CMRPO (crosstalk-mitigation refresh power overhead) and ETO (execution
+//! time overhead).
+//!
+//! Run with: `cargo run --release --example full_system [workload]`
+
+use catree::{cmrpo_from_stats, AccessStream, SchemeSpec, Simulator, SystemConfig};
+
+fn traces(
+    spec: &catree::WorkloadSpec,
+    cfg: &SystemConfig,
+    budget: u64,
+) -> Vec<Box<dyn Iterator<Item = catree::MemAccess> + Send>> {
+    (0..cfg.cores)
+        .map(|core| {
+            Box::new(AccessStream::new(spec, cfg, core, 1, 1234).take(budget as usize))
+                as Box<dyn Iterator<Item = catree::MemAccess> + Send>
+        })
+        .collect()
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "face".into());
+    let spec = catree::workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name}; try one of {:?}",
+            catree::workloads::all().iter().map(|w| w.name).collect::<Vec<_>>()));
+    let cfg = SystemConfig::dual_core_two_channel();
+    let t = 32_768;
+    // Keep the example snappy: a quarter-epoch slice per core.
+    let budget = spec.accesses_per_epoch / cfg.cores as u64 / 4;
+
+    println!("workload {} ({}), {} accesses/core", spec.name, spec.suite, budget);
+    let mut base = Simulator::new(cfg.clone(), SchemeSpec::None);
+    let baseline = base.run(traces(&spec, &cfg, budget));
+    println!(
+        "baseline: {} cycles = {:.2} ms, {} reads / {} writes",
+        baseline.cycles,
+        baseline.seconds * 1e3,
+        baseline.reads,
+        baseline.writes
+    );
+
+    println!("\n{:<12} {:>9} {:>12} {:>9} {:>8}", "scheme", "refreshes", "victim rows", "CMRPO", "ETO");
+    for spec_s in [
+        SchemeSpec::pra(0.002),
+        SchemeSpec::Sca { counters: 64, threshold: t },
+        SchemeSpec::Sca { counters: 128, threshold: t },
+        SchemeSpec::Prcat { counters: 64, levels: 11, threshold: t },
+        SchemeSpec::Drcat { counters: 64, levels: 11, threshold: t },
+    ] {
+        let mut sim = Simulator::new(cfg.clone(), spec_s);
+        let report = sim.run(traces(&spec, &cfg, budget));
+        // Any scheme instance carries the profile; use bank 0's.
+        let profile = sim.schemes().next().expect("scheme attached").hardware();
+        let cmrpo = cmrpo_from_stats(
+            &profile,
+            &report.scheme_stats,
+            cfg.total_banks(),
+            cfg.rows_per_bank,
+            report.seconds,
+        );
+        println!(
+            "{:<12} {:>9} {:>12} {:>8.2}% {:>7.3}%",
+            spec_s.label(),
+            report.scheme_stats.refresh_events,
+            report.scheme_stats.refreshed_rows,
+            cmrpo.total() * 100.0,
+            report.eto(baseline.cycles) * 100.0
+        );
+    }
+}

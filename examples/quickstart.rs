@@ -1,0 +1,49 @@
+//! Quickstart: protect one DRAM bank with DRCAT and watch it catch a
+//! hammered row.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use catree::{CatConfig, Drcat, MitigationScheme, RowId};
+
+fn main() -> Result<(), catree::ConfigError> {
+    // The paper's default per-bank configuration: 64K rows, M = 64
+    // counters, trees up to L = 11 levels, refresh threshold T = 32K.
+    let config = CatConfig::new(65_536, 64, 11, 32_768)?;
+    println!("split thresholds per level: {:?}", config.split_thresholds().as_slice());
+
+    let mut scheme = Drcat::new(config);
+
+    // An aggressor hammers row 31_337 while background traffic touches the
+    // rest of the bank.
+    let aggressor = RowId(31_337);
+    let mut victim_refreshes = 0u64;
+    for i in 0..200_000u32 {
+        let row = if i % 4 != 0 { aggressor } else { RowId((i * 2_654_435_761u32.wrapping_mul(7)) % 65_536) };
+        for range in scheme.on_activation(row) {
+            println!(
+                "refresh #{:<3} rows {}..={} ({} rows) after {} activations",
+                scheme.stats().refresh_events,
+                range.lo(),
+                range.hi(),
+                range.len(),
+                i + 1
+            );
+            victim_refreshes += range.len();
+        }
+    }
+
+    let stats = scheme.stats();
+    println!("\n--- DRCAT_64 after 200K activations ---");
+    println!("refresh events:      {}", stats.refresh_events);
+    println!("victim rows:         {victim_refreshes}");
+    println!("tree splits:         {}", stats.splits);
+    println!("reconfigurations:    {}", stats.reconfigurations);
+    println!("SRAM accesses/act.:  {:.2}", stats.sram_accesses_per_activation());
+    println!(
+        "deepest leaf:        level {} of max {}",
+        scheme.tree().shape().max_depth(),
+        scheme.tree().config().max_levels() - 1
+    );
+    assert!(stats.refresh_events > 0, "the hammered row must be caught");
+    Ok(())
+}

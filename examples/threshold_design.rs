@@ -1,0 +1,45 @@
+//! Split-threshold design space (§IV-D, Fig. 6): the cost model that
+//! decides when an unbalanced tree beats a balanced one, and the threshold
+//! schedules each policy produces.
+//!
+//! Run with: `cargo run --release --example threshold_design`
+
+use catree::thresholds::{cost, SplitThresholds, ThresholdPolicy};
+
+fn main() {
+    // --- Fig. 6 / Eqs. 2-4: cost of balanced vs unbalanced 4-counter CAT.
+    let n = 65_536.0;
+    let w = n / 4.0; // rows per quarter-group
+    let r = 655_360.0; // references per interval
+    let t = 32_768.0;
+    println!("CostSCA = w·R/T = {:.0} refreshed rows/interval", cost::cost_sca(w, r, t));
+    println!("critical bias x* = 3w = {:.0} extra references\n", cost::critical_bias(w));
+    println!("{:>10} {:>14} {:>10}", "bias x/w", "CostCAT", "CAT wins?");
+    for mult in [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 10.0, 20.0] {
+        let c = cost::cost_cat(w, mult * w, r, t);
+        println!(
+            "{:>10.1} {:>14.0} {:>10}",
+            mult,
+            c,
+            if c < cost::cost_sca(w, r, t) { "yes" } else { "no" }
+        );
+    }
+
+    // --- Threshold schedules for the paper's configuration.
+    println!("\nthreshold schedules for M = 64 (λ = 6), T = 32K:");
+    for (l, label) in [(10u32, "L = 10 (paper example)"), (11, "L = 11 (evaluation)")] {
+        println!("  {label}");
+        for policy in [
+            ThresholdPolicy::PaperCurve,
+            ThresholdPolicy::Doubling,
+            ThresholdPolicy::Uniform,
+        ] {
+            let s = SplitThresholds::new(policy, 32_768, 6, l);
+            println!("    {:<12} {:?}", policy.to_string(), &s.as_slice()[5..]);
+        }
+    }
+    println!(
+        "\nthe PaperCurve row for L = 10 reproduces the published values\n\
+         T5..T9 = 5155, 10309, 12886, 16384, 32768 exactly."
+    );
+}

@@ -1,0 +1,121 @@
+//! Fidelity tests pinning the reproduction to the paper's published
+//! numbers wherever exact values exist: split thresholds, Table II
+//! entries, Eq. 1 crossovers, Figure 5/7 structures and the cost model.
+
+use catree::thresholds::{cost, SplitThresholds, ThresholdPolicy};
+use catree::SchemeKind;
+
+#[test]
+fn published_split_thresholds_m64_l10() {
+    let t = SplitThresholds::new(ThresholdPolicy::PaperCurve, 32_768, 6, 10);
+    assert_eq!(
+        &t.as_slice()[5..],
+        &[5_155, 10_309, 12_886, 16_384, 32_768],
+        "§IV-D's quoted thresholds must be reproduced exactly"
+    );
+}
+
+#[test]
+fn published_table2_spot_checks() {
+    use catree::energy::table2::{area_mm2, dynamic_nj_per_access, static_nj_per_interval};
+    // One row per scheme, exact to the printed precision.
+    assert!((dynamic_nj_per_access(SchemeKind::Drcat, 128, 11, 32_768) - 5.83e-4).abs() < 1e-9);
+    assert!((static_nj_per_interval(SchemeKind::Prcat, 512, 32_768) - 1.02e5).abs() < 1e-1);
+    assert!((area_mm2(SchemeKind::Sca, 32, 32_768) - 1.86e-2).abs() < 1e-6);
+}
+
+#[test]
+fn figure1_survivability_crossovers() {
+    use catree::reliability::{chipkill_log10, log10_unsurvivability};
+    // The p the paper selects per threshold is exactly the smallest of its
+    // sweep that beats Chipkill (§VIII-C uses these pairs).
+    let q0 = [
+        (65_536u32, 0.001f64, 10.0f64),
+        (32_768, 0.002, 10.0),
+        (16_384, 0.003, 20.0),
+        (8_192, 0.005, 40.0),
+    ];
+    let grid = [0.001, 0.002, 0.003, 0.004, 0.005, 0.006];
+    for (t, p_pick, q) in q0 {
+        let smallest_ok = grid
+            .iter()
+            .copied()
+            .find(|&p| log10_unsurvivability(p, t, q, 5.0) < chipkill_log10())
+            .expect("some p must survive");
+        assert_eq!(
+            smallest_ok, p_pick,
+            "T = {t}: paper picks p = {p_pick}, our Eq. 1 says {smallest_ok}"
+        );
+    }
+}
+
+#[test]
+fn equation4_crossover() {
+    let w = 8_192.0;
+    let r = 1.0e6;
+    let t = 32_768.0;
+    let sca = cost::cost_sca(w, r, t);
+    assert!(cost::cost_cat(w, 3.0 * w - 1.0, r, t) > sca);
+    assert!(cost::cost_cat(w, 3.0 * w + 1.0, r, t) < sca);
+}
+
+#[test]
+fn figure5_and_7_structures() {
+    use catree::{CatConfig, Drcat, MitigationScheme, RowId};
+    let cfg = CatConfig::new(32, 8, 6, 64)
+        .unwrap()
+        .with_policy(ThresholdPolicy::Doubling)
+        .with_lambda(1)
+        .unwrap();
+    let mut d = Drcat::new(cfg);
+    // Figure 5(a) choreography (see cat-core's unit tests for the detailed
+    // walk-through).
+    for _ in 0..32 {
+        d.on_activation(RowId(4));
+    }
+    for _ in 0..12 {
+        d.on_activation(RowId(12));
+    }
+    assert_eq!(d.tree().shape().depth_profile(), vec![3, 5, 5, 4, 3, 4, 4, 1]);
+    // Figure 7: load §V-B's weight state, drive the hot counter to T.
+    d.force_weights(&[1, 0, 2, 1, 1, 1, 2, 2]);
+    for _ in 0..48 {
+        d.on_activation(RowId(12));
+    }
+    assert_eq!(d.tree().shape().depth_profile(), vec![3, 4, 4, 3, 5, 5, 4, 1]);
+    assert_eq!(d.weights(), &[0, 0, 1, 1, 0, 0, 1, 1]);
+}
+
+#[test]
+fn prng_specification() {
+    use catree::energy::prng;
+    assert!((prng::ENG_PRNG_9BITS_NJ - 2.625e-2).abs() < 1e-6);
+    assert!((prng::AREA_MM2 - 4.004e-3).abs() < 1e-9);
+}
+
+#[test]
+fn counter_width_is_log2_t() {
+    use catree::CatConfig;
+    for (t, bits) in [(65_536u32, 16u32), (32_768, 15), (16_384, 14), (8_192, 13)] {
+        assert_eq!(
+            CatConfig::new(65_536, 64, 11, t).unwrap().counter_bits(),
+            bits
+        );
+    }
+}
+
+#[test]
+fn sram_access_bound_matches_section7() {
+    // §VII-A: dynamic energy accounts for 2 ‥ L − log2(M/4) SRAM accesses.
+    use catree::{CatConfig, CatTree, MitigationScheme, RowId};
+    let cfg = CatConfig::new(65_536, 64, 11, 4_096).unwrap();
+    let mut tree = CatTree::new(cfg);
+    for i in 0..2_000_000u32 {
+        let row = if i.is_multiple_of(2) { 4_242 } else { i.wrapping_mul(48_271) % 65_536 };
+        tree.on_activation(RowId(row));
+    }
+    let per_access = tree.stats().sram_accesses_per_activation();
+    // Reads ∈ [1 inode + counter, …]; with writes included the average must
+    // sit inside the architectural bound of L − log2(M) + 2 + 1 writes.
+    assert!((2.0..=8.0).contains(&per_access), "{per_access}");
+}
