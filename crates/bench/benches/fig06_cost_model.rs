@@ -6,8 +6,8 @@
 use cat_bench::banner;
 use cat_core::thresholds::cost;
 use cat_core::{CatConfig, CatTree, MitigationScheme, RowId, Sca};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cat_prng::rngs::SmallRng;
+use cat_prng::{Rng, SeedableRng};
 
 /// Refreshed rows of a scheme on the Fig. 6 workload: R references, a
 /// fraction `x/(x+N)` of which target one hot block of N/8 rows.

@@ -1,11 +1,17 @@
-//! Criterion micro-benchmarks: per-activation cost of each mitigation
-//! scheme (the software analogue of §VII-A's latency table — SCA one SRAM
-//! access, CAT 2‥L−log2(M)+2 pointer hops, DRCAT's extra weight work) and
-//! the cost of a DRCAT reconfiguration.
+//! Micro-benchmarks: per-activation cost of each mitigation scheme (the
+//! software analogue of §VII-A's latency table — SCA one SRAM access, CAT
+//! 2‥L−log2(M)+2 pointer hops, DRCAT's extra weight work) and the cost of a
+//! DRCAT reconfiguration.
+//!
+//! Hand-rolled `std::time::Instant` harness (no criterion — the workspace
+//! builds offline): each measurement warms up, then reports the mean
+//! ns/iteration over the best of several timed batches. Set `REPRO_QUICK=1`
+//! to shrink batch sizes for fast iteration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
+use cat_bench::{banner, quick_factor};
 use cat_core::{
     CatConfig, CatTree, CounterCache, CounterCacheConfig, Drcat, MitigationScheme, Pra, Prcat,
     RowId, Sca,
@@ -23,100 +29,123 @@ fn row(i: u64) -> RowId {
     }
 }
 
-fn bench_activation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("on_activation");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
-
-    macro_rules! bench_scheme {
-        ($name:expr, $mk:expr) => {
-            group.bench_function($name, |b| {
-                let mut scheme = $mk;
-                // Pre-grow the structures so we measure steady state.
-                for i in 0..200_000u64 {
-                    scheme.on_activation(row(i));
-                }
-                let mut i = 0u64;
-                b.iter(|| {
-                    i += 1;
-                    black_box(scheme.on_activation(row(i)));
-                });
-            });
-        };
-    }
-
-    bench_scheme!("SCA_64", Sca::new(ROWS, 64, T).unwrap());
-    bench_scheme!("SCA_128", Sca::new(ROWS, 128, T).unwrap());
-    bench_scheme!("PRA_0.002", Pra::new(ROWS, 0.002, 1).unwrap());
-    bench_scheme!(
-        "CAT_64_L11",
-        CatTree::new(CatConfig::new(ROWS, 64, 11, T).unwrap())
-    );
-    bench_scheme!(
-        "PRCAT_64_L11",
-        Prcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap())
-    );
-    bench_scheme!(
-        "DRCAT_64_L11",
-        Drcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap())
-    );
-    bench_scheme!(
-        "DRCAT_64_L14",
-        Drcat::new(CatConfig::new(ROWS, 64, 14, T).unwrap())
-    );
-    bench_scheme!(
-        "CounterCache_1024",
-        CounterCache::new(ROWS, CounterCacheConfig::with_entries(1024, 8).unwrap(), T).unwrap()
-    );
-    group.finish();
-}
-
-fn bench_reconfiguration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("drcat_reconfigure");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.bench_function("merge_plus_split", |b| {
-        b.iter_batched(
-            || {
-                // A fully grown DRCAT with a saturated hot counter one
-                // refresh away from reconfiguring.
-                let mut d = Drcat::new(CatConfig::new(1024, 16, 8, 256).unwrap());
-                for i in 0..20_000u64 {
-                    d.on_activation(RowId(((i as u32) * 37) % 1024));
-                }
-                let mut w = vec![0u8; 16];
-                w[0] = 2; // next refresh event on a level-tracked counter saturates
-                d.force_weights(&w);
-                d
-            },
-            |mut d| {
-                for _ in 0..256 {
-                    black_box(d.on_activation(RowId(5)));
-                }
-                d
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
-
-fn bench_tree_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tree");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.bench_function("prcat_epoch_reset", |b| {
-        let mut p = Prcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap());
-        for i in 0..100_000u64 {
-            p.on_activation(row(i));
+/// Times `iters` calls of `f(i)` and returns nanoseconds per call; reports
+/// the best of `reps` batches (minimum is the standard noise rejector for
+/// micro-measurements).
+fn best_ns_per_iter<F: FnMut(u64)>(iters: u64, reps: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut i = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            i += 1;
+            f(i);
         }
-        b.iter(|| {
-            p.on_epoch_end();
-            black_box(p.tree().active_counters())
-        });
-    });
-    group.finish();
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
 }
 
-criterion_group!(benches, bench_activation, bench_reconfiguration, bench_tree_build);
-criterion_main!(benches);
+/// Measures one scheme, generically — monomorphized so `on_activation` can
+/// inline exactly as it did under the old criterion macro (a `dyn` call
+/// would add dispatch overhead comparable to the cheapest schemes' cost).
+fn report<S: MitigationScheme>(name: &str, iters: u64, mut scheme: S) {
+    // Pre-grow the structures so we measure steady state.
+    for i in 0..200_000u64 {
+        scheme.on_activation(row(i));
+    }
+    let ns = best_ns_per_iter(iters, 5, |i| {
+        black_box(scheme.on_activation(row(i)));
+    });
+    println!("{name:>20}  {ns:>8.1} ns/op");
+}
+
+fn bench_activation() {
+    banner("micro: on_activation (ns/op, steady state, best of 5)");
+    let iters = 2_000_000 / quick_factor();
+
+    report("SCA_64", iters, Sca::new(ROWS, 64, T).unwrap());
+    report("SCA_128", iters, Sca::new(ROWS, 128, T).unwrap());
+    report("PRA_0.002", iters, Pra::new(ROWS, 0.002, 1).unwrap());
+    report(
+        "CAT_64_L11",
+        iters,
+        CatTree::new(CatConfig::new(ROWS, 64, 11, T).unwrap()),
+    );
+    report(
+        "PRCAT_64_L11",
+        iters,
+        Prcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap()),
+    );
+    report(
+        "DRCAT_64_L11",
+        iters,
+        Drcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap()),
+    );
+    report(
+        "DRCAT_64_L14",
+        iters,
+        Drcat::new(CatConfig::new(ROWS, 64, 14, T).unwrap()),
+    );
+    report(
+        "CounterCache_1024",
+        iters,
+        CounterCache::new(ROWS, CounterCacheConfig::with_entries(1024, 8).unwrap(), T).unwrap(),
+    );
+}
+
+fn bench_reconfiguration() {
+    banner("micro: drcat_reconfigure (merge + split, ns/256-activation burst)");
+    // A fully grown DRCAT with a saturated hot counter one refresh away
+    // from reconfiguring; grown once, then cloned per timed burst so each
+    // burst starts from identical state and triggers the reconfiguration.
+    let prototype = {
+        let mut d = Drcat::new(CatConfig::new(1024, 16, 8, 256).unwrap());
+        for i in 0..20_000u64 {
+            d.on_activation(RowId(((i as u32) * 37) % 1024));
+        }
+        let mut w = vec![0u8; 16];
+        w[0] = 2; // next refresh event on a level-tracked counter saturates
+        d.force_weights(&w);
+        d
+    };
+    let batches = 2_000 / quick_factor();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let mut pool: Vec<Drcat> = (0..batches).map(|_| prototype.clone()).collect();
+        let start = Instant::now();
+        for d in &mut pool {
+            for _ in 0..256 {
+                black_box(d.on_activation(RowId(5)));
+            }
+        }
+        let ns = start.elapsed().as_nanos() as f64 / batches as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    println!("{:>20}  {best:>8.1} ns/burst", "merge_plus_split");
+}
+
+fn bench_tree_build() {
+    banner("micro: prcat_epoch_reset (ns/op, best of 5)");
+    let mut p = Prcat::new(CatConfig::new(ROWS, 64, 11, T).unwrap());
+    for i in 0..100_000u64 {
+        p.on_activation(row(i));
+    }
+    let iters = 200_000 / quick_factor();
+    let ns = best_ns_per_iter(iters, 5, |_| {
+        p.on_epoch_end();
+        black_box(p.tree().active_counters());
+    });
+    println!("{:>20}  {ns:>8.1} ns/op", "prcat_epoch_reset");
+}
+
+fn main() {
+    bench_activation();
+    bench_reconfiguration();
+    bench_tree_build();
+}

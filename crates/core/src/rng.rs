@@ -7,8 +7,8 @@
 //! paper's Monte-Carlo study (and ours, in `cat-reliability`) shows its
 //! unsurvivability collapses once an attacker can track the state.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use cat_prng::rngs::StdRng;
+use cat_prng::{RngCore, SeedableRng};
 
 /// A source of `k`-bit random words used to take refresh decisions.
 pub trait DecisionRng {

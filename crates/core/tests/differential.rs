@@ -1,40 +1,69 @@
-//! Differential and property-based tests: the SRAM pointer-chasing CAT of
+//! Differential and property-style tests: the SRAM pointer-chasing CAT of
 //! §IV-C must be observationally identical to the naive Algorithm-1
-//! implementation with explicit range registers, on arbitrary access
-//! sequences and configurations; and core invariants must hold throughout.
+//! implementation with explicit range registers, on many access sequences
+//! and configurations; and core invariants must hold throughout.
+//!
+//! Formerly `proptest`-based; the workspace builds offline with no external
+//! crates, so the random exploration is now a *deterministic* sweep: a
+//! fixed grid of configurations (every combination the old strategy could
+//! emit) subsampled to the same case counts, with every access-pattern seed
+//! derived from the documented [`BASE_SEED`] by case index. A failure
+//! therefore always reproduces bit-for-bit — the panic message names the
+//! config and seed of the failing case.
 
 use cat_core::tree::reference::ReferenceCat;
 use cat_core::{CatConfig, CatTree, Drcat, MitigationScheme, RowId, ThresholdPolicy};
-use proptest::prelude::*;
+use cat_prng::rngs::StdRng;
+use cat_prng::{splitmix64, Rng, SeedableRng};
+
+/// All randomized cases derive their seed as `splitmix64(BASE_SEED ^ index)`
+/// — change nothing here without updating the docs above.
+const BASE_SEED: u64 = 0xCA7_B1FF_D1FF_5EED;
 
 /// Small configurations that exercise every interesting corner: different
-/// λ, policies, thresholds, tree heights.
-fn arb_config() -> impl Strategy<Value = CatConfig> {
-    let policies = prop_oneof![
-        Just(ThresholdPolicy::PaperCurve),
-        Just(ThresholdPolicy::Doubling),
-        Just(ThresholdPolicy::Uniform),
+/// λ, policies, thresholds, tree heights. This is the exact grid the old
+/// `arb_config` proptest strategy drew from.
+fn config_grid() -> Vec<CatConfig> {
+    let policies = [
+        ThresholdPolicy::PaperCurve,
+        ThresholdPolicy::Doubling,
+        ThresholdPolicy::Uniform,
     ];
-    (
-        prop_oneof![Just(256u32), Just(512), Just(1024)],
-        prop_oneof![Just(4usize), Just(8), Just(16)],
-        2u32..=6,
-        prop_oneof![Just(32u32), Just(64), Just(100), Just(256)],
-        policies,
-        1u32..=3,
-    )
-        .prop_filter_map(
-            "valid config",
-            |(rows, counters, extra_levels, t, policy, lambda)| {
-                let lambda = lambda.min(counters.trailing_zeros());
-                let max_levels = lambda + extra_levels;
-                CatConfig::new(rows, counters, max_levels, t)
-                    .ok()?
-                    .with_policy(policy)
-                    .with_lambda(lambda)
-                    .ok()
-            },
-        )
+    let mut out = Vec::new();
+    for rows in [256u32, 512, 1024] {
+        for counters in [4usize, 8, 16] {
+            for extra_levels in 2u32..=6 {
+                for t in [32u32, 64, 100, 256] {
+                    for policy in policies {
+                        for lambda in 1u32..=3 {
+                            let lambda = lambda.min(counters.trailing_zeros());
+                            let max_levels = lambda + extra_levels;
+                            let cfg = CatConfig::new(rows, counters, max_levels, t)
+                                .ok()
+                                .map(|c| c.with_policy(policy))
+                                .and_then(|c| c.with_lambda(lambda).ok());
+                            if let Some(cfg) = cfg {
+                                out.push(cfg);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(!out.is_empty(), "the grid must contain valid configs");
+    out
+}
+
+/// Deterministically subsamples the grid down to ~`n` evenly spread cases.
+fn sampled_configs(n: usize) -> Vec<CatConfig> {
+    let grid = config_grid();
+    let stride = (grid.len() / n).max(1);
+    grid.into_iter().step_by(stride).collect()
+}
+
+fn case_seed(index: usize) -> u64 {
+    splitmix64(BASE_SEED ^ index as u64)
 }
 
 fn leaf_tuples(tree: &CatTree) -> Vec<(u32, u32, u32, u8)> {
@@ -52,18 +81,16 @@ fn reference_tuples(cat: &ReferenceCat) -> Vec<(u32, u32, u32, u8)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The pointer tree and the reference implementation must agree on
-    /// every refresh decision and end in identical states.
-    #[test]
-    fn pointer_tree_equals_reference(config in arb_config(), seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// The pointer tree and the reference implementation must agree on every
+/// refresh decision and end in identical states.
+#[test]
+fn pointer_tree_equals_reference() {
+    for (case, config) in sampled_configs(64).into_iter().enumerate() {
+        let seed = case_seed(case);
+        let mut rng = StdRng::seed_from_u64(seed);
         let rows = config.rows();
         let mut fast = CatTree::new(config.clone());
-        let mut slow = ReferenceCat::new(config);
+        let mut slow = ReferenceCat::new(config.clone());
 
         // A mix of hammering and background noise.
         let hot = rng.gen_range(0..rows);
@@ -71,42 +98,58 @@ proptest! {
             let row = if i % 3 != 0 { hot } else { rng.gen_range(0..rows) };
             let a = fast.record(RowId(row));
             let b = slow.record(RowId(row));
-            prop_assert_eq!(a.refresh, b, "diverged at access {} (row {})", i, row);
+            assert_eq!(
+                a.refresh, b,
+                "diverged at access {i} (row {row}, case {case}, seed {seed:#x}, config {config:?})"
+            );
         }
-        prop_assert_eq!(leaf_tuples(&fast), reference_tuples(&slow));
+        assert_eq!(
+            leaf_tuples(&fast),
+            reference_tuples(&slow),
+            "final states differ (case {case}, seed {seed:#x}, config {config:?})"
+        );
     }
+}
 
-    /// The leaves always partition the bank, depths never exceed L−1, and
-    /// counter values stay below their level thresholds.
-    #[test]
-    fn structural_invariants_hold(config in arb_config(), seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// The leaves always partition the bank, depths never exceed L−1, and
+/// counter values stay below their level thresholds.
+#[test]
+fn structural_invariants_hold() {
+    for (case, config) in sampled_configs(64).into_iter().enumerate() {
+        let seed = case_seed(0x1000 ^ case);
+        let mut rng = StdRng::seed_from_u64(seed);
         let rows = config.rows();
         let max_level = config.max_levels() - 1;
         let t = config.refresh_threshold();
-        let mut tree = CatTree::new(config);
+        let mut tree = CatTree::new(config.clone());
         for _ in 0..3000u32 {
             tree.record(RowId(rng.gen_range(0..rows)));
-            // (Checking every step is the point of the property.)
         }
         let shape = tree.shape();
-        prop_assert!(shape.is_partition(rows));
+        assert!(
+            shape.is_partition(rows),
+            "not a partition (case {case}, seed {seed:#x}, config {config:?})"
+        );
         for leaf in shape.leaves() {
-            prop_assert!(u32::from(leaf.depth) <= max_level);
-            prop_assert!(leaf.value < t, "counter must reset at T");
+            assert!(u32::from(leaf.depth) <= max_level, "case {case}, seed {seed:#x}");
+            assert!(
+                leaf.value < t,
+                "counter must reset at T (case {case}, seed {seed:#x})"
+            );
         }
     }
+}
 
-    /// DRCAT reconfiguration (merges + splits) preserves the partition and
-    /// the counter budget on arbitrary two-phase workloads.
-    #[test]
-    fn drcat_invariants_across_phases(config in arb_config(), seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// DRCAT reconfiguration (merges + splits) preserves the partition and the
+/// counter budget on arbitrary two-phase workloads.
+#[test]
+fn drcat_invariants_across_phases() {
+    for (case, config) in sampled_configs(64).into_iter().enumerate() {
+        let seed = case_seed(0x2000 ^ case);
+        let mut rng = StdRng::seed_from_u64(seed);
         let rows = config.rows();
         let m = config.counters();
-        let mut d = Drcat::new(config);
+        let mut d = Drcat::new(config.clone());
         let hot_a = rng.gen_range(0..rows);
         let hot_b = rng.gen_range(0..rows);
         for i in 0..6000u32 {
@@ -115,46 +158,53 @@ proptest! {
             d.on_activation(RowId(row));
         }
         let shape = d.tree().shape();
-        prop_assert!(shape.is_partition(rows));
-        prop_assert!(shape.leaves().len() <= m);
+        assert!(
+            shape.is_partition(rows),
+            "not a partition (case {case}, seed {seed:#x}, config {config:?})"
+        );
+        assert!(shape.leaves().len() <= m, "case {case}, seed {seed:#x}");
         // Weight registers stay within their 2-bit range.
         for &w in d.weights() {
-            prop_assert!(w <= 3);
+            assert!(w <= 3, "case {case}, seed {seed:#x}");
         }
     }
+}
 
-    /// The safety guarantee: per-aggressor exposure never exceeds T for any
-    /// deterministic scheme, on arbitrary access patterns.
-    #[test]
-    fn exposure_never_exceeds_threshold(config in arb_config(), seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// The safety guarantee: per-aggressor exposure never exceeds T for any
+/// deterministic scheme, on arbitrary access patterns.
+#[test]
+fn exposure_never_exceeds_threshold() {
+    for (case, config) in sampled_configs(64).into_iter().enumerate() {
+        let seed = case_seed(0x3000 ^ case);
+        let mut rng = StdRng::seed_from_u64(seed);
         let rows = config.rows();
         let t = config.refresh_threshold();
         let hot = rng.gen_range(0..rows);
-        let mut d = Drcat::new(config);
+        let mut d = Drcat::new(config.clone());
         let mut oracle = cat_core::oracle::SafetyOracle::new(rows, t);
         for i in 0..5000u32 {
             let row = if i % 2 == 0 { hot } else { rng.gen_range(0..rows) };
             let refreshes = d.on_activation(RowId(row));
             oracle.on_activation(RowId(row), &refreshes);
         }
-        prop_assert_eq!(oracle.violations(), 0);
-        prop_assert!(oracle.worst_exposure() <= u64::from(t));
+        assert_eq!(
+            oracle.violations(),
+            0,
+            "case {case}, seed {seed:#x}, config {config:?}"
+        );
+        assert!(oracle.worst_exposure() <= u64::from(t), "case {case}, seed {seed:#x}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Degeneracy: a CAT whose maximum height equals its pre-split depth
-    /// (L = λ) can never split, so it must be observationally identical to
-    /// SCA with 2^{λ−1} counters — "the CAT approach … mimics SCA".
-    #[test]
-    fn cat_with_no_headroom_equals_sca(seed in any::<u64>()) {
-        use cat_core::Sca;
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Degeneracy: a CAT whose maximum height equals its pre-split depth
+/// (L = λ) can never split, so it must be observationally identical to SCA
+/// with 2^{λ−1} counters — "the CAT approach … mimics SCA".
+#[test]
+fn cat_with_no_headroom_equals_sca() {
+    use cat_core::Sca;
+    for case in 0..32usize {
+        let seed = case_seed(0x4000 ^ case);
+        let mut rng = StdRng::seed_from_u64(seed);
         let rows = 1024u32;
         let t = 128u32;
         // M = 16, λ = 4 → 8 active counters covering 128 rows each.
@@ -165,17 +215,23 @@ proptest! {
             let row = rng.gen_range(0..rows);
             let a = cat.record(RowId(row)).refresh;
             let b: Vec<_> = sca.on_activation(RowId(row)).into_iter().collect();
-            prop_assert_eq!(a.into_iter().collect::<Vec<_>>(), b);
+            assert_eq!(
+                a.into_iter().collect::<Vec<_>>(),
+                b,
+                "case {case}, seed {seed:#x}, row {row}"
+            );
         }
     }
+}
 
-    /// The Space-Saving extension honours the same exposure guarantee as
-    /// the deterministic schemes, on arbitrary hostile mixes.
-    #[test]
-    fn space_saving_exposure_never_exceeds_threshold(seed in any::<u64>()) {
-        use cat_core::SpaceSaving;
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// The Space-Saving extension honours the same exposure guarantee as the
+/// deterministic schemes, on arbitrary hostile mixes.
+#[test]
+fn space_saving_exposure_never_exceeds_threshold() {
+    use cat_core::SpaceSaving;
+    for case in 0..32usize {
+        let seed = case_seed(0x5000 ^ case);
+        let mut rng = StdRng::seed_from_u64(seed);
         let rows = 512u32;
         let t = 64u32;
         let k = rng.gen_range(1usize..32);
@@ -187,8 +243,11 @@ proptest! {
             let refreshes = ss.on_activation(RowId(row));
             oracle.on_activation(RowId(row), &refreshes);
         }
-        prop_assert_eq!(oracle.violations(), 0);
-        prop_assert!(oracle.worst_exposure() <= u64::from(t));
+        assert_eq!(oracle.violations(), 0, "case {case}, seed {seed:#x}, k {k}");
+        assert!(
+            oracle.worst_exposure() <= u64::from(t),
+            "case {case}, seed {seed:#x}, k {k}"
+        );
     }
 }
 
@@ -229,11 +288,10 @@ fn prcat_forgets_drcat_remembers() {
 /// row, so refreshes shrink to the deepest-level group.
 #[test]
 fn drcat_refreshes_fewer_rows_than_prcat_on_stable_patterns() {
-    use rand::{Rng, SeedableRng};
     let cfg = CatConfig::new(65_536, 64, 11, 1024).unwrap();
     let mut prcat = cat_core::Prcat::new(cfg.clone());
     let mut drcat = Drcat::new(cfg);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut rng = StdRng::seed_from_u64(9);
     for _epoch in 0..10 {
         for i in 0..30_000u32 {
             // Uniform noise first (eats the spare counters), then the

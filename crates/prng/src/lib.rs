@@ -1,0 +1,344 @@
+//! # cat-prng — in-repo seeded pseudo-random number generation
+//!
+//! This workspace must build with **no network access** (see the repository
+//! README), so it cannot depend on the `rand` crate. This crate provides the
+//! small, deterministic subset of `rand`'s API that the simulation and
+//! workload layers actually use, backed by SplitMix64 and the xoshiro256
+//! family:
+//!
+//! * [`SeedableRng::seed_from_u64`] — reproducible construction,
+//! * [`RngCore::next_u32`] / [`RngCore::next_u64`] — raw word output,
+//! * [`Rng::gen`] — standard draws (`f64` in `[0, 1)`, integers, `bool`),
+//! * [`Rng::gen_range`] — uniform draws from `a..b` / `a..=b` ranges,
+//! * [`Rng::gen_bool`] — Bernoulli draws,
+//! * [`rngs::SmallRng`] (xoshiro256++) and [`rngs::StdRng`] (xoshiro256**).
+//!
+//! Everything is deterministic per seed; nothing reads OS entropy. The
+//! generators are statistical-quality, **not** cryptographic — exactly the
+//! role `SmallRng` plays in `rand`.
+//!
+//! ```
+//! use cat_prng::rngs::SmallRng;
+//! use cat_prng::{Rng, SeedableRng};
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! let x: f64 = a.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = a.gen_range(10u32..20);
+//! assert!((10..20).contains(&k));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+use core::ops::{Range, RangeInclusive};
+
+/// SplitMix64: the standard 64-bit mixing step, also used to expand a
+/// single `u64` seed into generator state.
+///
+/// ```
+/// assert_ne!(cat_prng::splitmix64(1), cat_prng::splitmix64(2));
+/// ```
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A source of raw random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose whole sequence is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable "from the standard distribution": uniform over the whole
+/// value range for integers, uniform in `[0, 1)` for floats, fair coin for
+/// `bool`.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// 53 mantissa bits, uniform in `[0, 1)`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// 24 mantissa bits, uniform in `[0, 1)`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by rejection sampling (no modulo bias).
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Largest multiple of `span` that fits in u64; draws above it would
+    // bias the low residues.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_range_int {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Span in the same-width *unsigned* type: a signed
+                // subtraction could overflow (e.g. `-100i8..100`), and a
+                // signed intermediate would sign-extend into u64.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == <$u>::MAX as u64 {
+                    // The full value range: every raw draw is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        // u < 1.0, but rounding can still land exactly on `end` (e.g. a
+        // near-1 u whose scaled value rounds up); keep the range half-open.
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down()
+        }
+    }
+}
+
+/// The user-facing sampling interface, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn small_and_std_rngs_differ() {
+        let mut s = SmallRng::seed_from_u64(9);
+        let mut t = StdRng::seed_from_u64(9);
+        assert_ne!(
+            (0..4).map(|_| s.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| t.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&a));
+            let b = rng.gen_range(5u64..=5);
+            assert_eq!(b, 5);
+            let c = rng.gen_range(0usize..3);
+            assert!(c < 3);
+            let d = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&d));
+            let e = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&e));
+            // Adjacent-float range: rounding would hit `end` half the time
+            // without the half-open clamp.
+            let tight = rng.gen_range(1.0f64..(1.0 + f64::EPSILON));
+            assert_eq!(tight, 1.0);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_the_positive_half_stay_in_bounds() {
+        // Regression: the span must be computed in the same-width unsigned
+        // type — a signed intermediate wraps (e.g. 200 as i8 = -56) and
+        // sign-extends into a near-2^64 span.
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&a), "i8 out of range: {a}");
+            let b = rng.gen_range(-2_000_000_000i32..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&b));
+            let c = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = c; // full range: any value is valid
+            let d = rng.gen_range(-128i8..=127);
+            let _ = d;
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let err = (f64::from(c) - n as f64 / 10.0).abs() / (n as f64 / 10.0);
+            assert!(err < 0.05, "bucket off by {err}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "gen_bool frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rng.gen_range(5u32..5);
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw<R: Rng>(rng: &mut R) -> u64 {
+            rng.gen()
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        let r = &mut rng;
+        let _ = draw(r);
+        let _ = r.next_u32();
+    }
+}

@@ -21,8 +21,8 @@
 //! tens of intervals — the regime the paper's 25-interval figure lives in.
 
 use cat_core::rng::{DecisionRng, IdealRng, Lfsr16};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cat_prng::rngs::StdRng;
+use cat_prng::{Rng, SeedableRng};
 
 /// Counts refresh-free windows of `t` draws under an ideal PRNG — the
 /// Monte-Carlo estimate of `(1 − p_eff)^T` behind Eq. 1.

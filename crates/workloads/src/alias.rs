@@ -3,16 +3,17 @@
 //! the per-access cost must stay in nanoseconds since workload generation
 //! runs inside the simulator's hot loop.
 
-use rand::Rng;
+use cat_prng::Rng;
 
 /// A precomputed alias table over `n` outcomes.
 ///
 /// ```
+/// use cat_prng::rngs::SmallRng;
+/// use cat_prng::SeedableRng;
 /// use cat_workloads::AliasTable;
-/// use rand::SeedableRng;
 ///
 /// let table = AliasTable::new(&[1.0, 1.0, 2.0]);
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut rng = SmallRng::seed_from_u64(1);
 /// let mut counts = [0u32; 3];
 /// for _ in 0..40_000 {
 ///     counts[table.sample(&mut rng)] += 1;
@@ -96,12 +97,13 @@ impl AliasTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use cat_prng::rngs::SmallRng;
+    use cat_prng::SeedableRng;
 
     #[test]
     fn matches_expected_frequencies() {
         let table = AliasTable::new(&[4.0, 3.0, 2.0, 1.0]);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         let mut counts = [0u64; 4];
         let n = 200_000;
         for _ in 0..n {
@@ -117,7 +119,7 @@ mod tests {
     #[test]
     fn zipf_is_head_heavy() {
         let table = AliasTable::zipf(1024, 1.2);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = SmallRng::seed_from_u64(3);
         let mut head = 0u64;
         let n = 100_000;
         for _ in 0..n {
@@ -132,7 +134,7 @@ mod tests {
     #[test]
     fn single_outcome() {
         let table = AliasTable::new(&[5.0]);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(table.sample(&mut rng), 0);
         assert_eq!(table.len(), 1);
         assert!(!table.is_empty());
@@ -141,7 +143,7 @@ mod tests {
     #[test]
     fn zero_weight_outcomes_never_sampled() {
         let table = AliasTable::new(&[1.0, 0.0, 1.0]);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..10_000 {
             assert_ne!(table.sample(&mut rng), 1);
         }

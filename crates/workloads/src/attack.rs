@@ -2,8 +2,8 @@
 //! Gaussian-distributed target rows per bank, blended with a benign
 //! workload at Heavy/Medium/Light ratios.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cat_prng::rngs::SmallRng;
+use cat_prng::{Rng, SeedableRng};
 
 use cat_sim::{AddressMapping, MemAccess, SystemConfig};
 

@@ -1,7 +1,7 @@
 //! The per-core access-stream generator.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cat_prng::rngs::SmallRng;
+use cat_prng::{Rng, SeedableRng};
 
 use cat_sim::{AddressMapping, MemAccess, SystemConfig};
 

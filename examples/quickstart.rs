@@ -18,7 +18,7 @@ fn main() -> Result<(), catree::ConfigError> {
     let aggressor = RowId(31_337);
     let mut victim_refreshes = 0u64;
     for i in 0..200_000u32 {
-        let row = if i % 4 != 0 { aggressor } else { RowId((i * 2_654_435_761u32.wrapping_mul(7)) % 65_536) };
+        let row = if i % 4 != 0 { aggressor } else { RowId(i.wrapping_mul(2_654_435_761).wrapping_mul(7) % 65_536) };
         for range in scheme.on_activation(row) {
             println!(
                 "refresh #{:<3} rows {}..={} ({} rows) after {} activations",

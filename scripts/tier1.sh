@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must build (release, all targets), the
+# whole test suite must pass, and clippy must be clean. Run from anywhere.
+#
+# The workspace builds fully offline — if this script ever tries to touch a
+# registry, a crates.io dependency snuck in (see README.md, "Offline build
+# constraint") and that is itself the failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --workspace --all-targets
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+# The examples are part of the public API surface: build them all and run
+# the quickstart end to end (also exercised by tests/examples_smoke.rs).
+cargo build --release --examples
+cargo run --release --quiet --example quickstart >/dev/null
+
+echo "tier-1: OK"

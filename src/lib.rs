@@ -36,6 +36,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Seeded pseudo-random number generation: the workspace's zero-dependency
+/// replacement for the `rand` crate (the build must work offline), exposing
+/// `Rng`/`SeedableRng` traits and the `rngs::{SmallRng, StdRng}` generators.
+pub use cat_prng as prng;
+
 pub use cat_core::{
     oracle, rng, thresholds, tree, CatConfig, CatTree, ConfigError, CounterCache,
     CounterCacheConfig, Drcat, HardwareProfile, MitigationScheme, Pra, Prcat, Refreshes, RowId,

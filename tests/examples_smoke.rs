@@ -1,0 +1,66 @@
+//! Workspace smoke test: every `examples/` target must keep compiling, and
+//! `quickstart` must run to completion — this pins the facade's public API
+//! surface (a rename or re-export removal that breaks the examples fails
+//! here, not in a user's checkout).
+//!
+//! The nested cargo invocation uses its own target directory so it can
+//! never contend for the build lock of the outer `cargo test`. It builds
+//! from local path dependencies only, so it stays offline-safe.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Every example target in `examples/` (kept in sync by the assertion in
+/// [`examples_build_and_quickstart_runs`]).
+const EXAMPLES: [&str; 5] = [
+    "adaptive_tree",
+    "attack_defense",
+    "full_system",
+    "quickstart",
+    "threshold_design",
+];
+
+fn cargo_in_workspace() -> Command {
+    let mut cmd = Command::new(env!("CARGO"));
+    let root = env!("CARGO_MANIFEST_DIR");
+    cmd.current_dir(root)
+        // A dedicated target dir: no lock contention with the enclosing
+        // `cargo test`, at the cost of one extra debug build of the tree.
+        .env("CARGO_TARGET_DIR", Path::new(root).join("target/smoke-examples"))
+        .env("CARGO_NET_OFFLINE", "true");
+    cmd
+}
+
+#[test]
+fn examples_build_and_quickstart_runs() {
+    // The list above must cover exactly what is on disk.
+    let mut on_disk: Vec<String> = std::fs::read_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("examples"))
+        .expect("examples/ must exist")
+        .map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.trim_end_matches(".rs").to_string()
+        })
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk, EXAMPLES, "update EXAMPLES when adding an example");
+
+    let status = cargo_in_workspace()
+        .args(["build", "--examples"])
+        .status()
+        .expect("cargo must spawn");
+    assert!(status.success(), "`cargo build --examples` failed");
+
+    let output = cargo_in_workspace()
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("cargo must spawn");
+    assert!(
+        output.status.success(),
+        "quickstart failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "quickstart must print its walkthrough"
+    );
+}
