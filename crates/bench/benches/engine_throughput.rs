@@ -1,0 +1,203 @@
+//! Engine throughput: activations/sec for the three ways of driving the
+//! per-bank mitigation schemes over the same pre-decoded workload trace —
+//!
+//! * `boxed-dyn`    — the old hand-rolled loop: `Vec<Option<Box<dyn
+//!   MitigationScheme>>>`, one virtual call per activation, modulo epoch
+//!   rollover (kept here as the baseline the engine replaced);
+//! * `instance`     — `cat_engine::BankEngine::process` over the
+//!   statically-dispatched `SchemeInstance` shards;
+//! * `sharded-N`    — `BankEngine::process_sharded` with N bank-shard
+//!   threads (bit-identical results by the engine's determinism contract).
+//!
+//! The schemes measured are the per-bank state machines with real
+//! per-activation work: the paper's tree family (PRCAT/DRCAT) and the
+//! counter-cache baseline. Trivial-arithmetic schemes (SCA-class, a few ns
+//! per activation — see `micro_schemes`) gain from the statically-dispatched
+//! `instance` path but are bound by the `(bank, row)` partition pass when
+//! sharded, so they only profit from sharding on multi-core hosts.
+//!
+//! Hand-rolled `std::time::Instant` harness (no criterion — the workspace
+//! builds offline); each measurement reports the best of several repeats.
+//! Set `BENCH_ENGINE_JSON=/path/to/BENCH_engine.json` to also write the
+//! numbers as JSON (`scripts/bench.sh` does).
+
+use std::time::Instant;
+
+use cat_bench::{banner, decode_trace, quick_factor};
+use cat_core::{MitigationScheme, RowId, SchemeSpec, SchemeStats};
+use cat_engine::BankEngine;
+use cat_sim::SystemConfig;
+use cat_workloads::catalog;
+
+const EPOCHS: u64 = 4;
+const REPS: u32 = 5;
+
+struct Measurement {
+    scheme: String,
+    path: &'static str,
+    acts_per_sec: f64,
+    refresh_events: u64,
+}
+
+/// Best-of-`REPS` activations/sec for `f`, which replays the whole trace
+/// once per call and returns the aggregate stats (used as a checksum so the
+/// compared paths provably did the same work).
+fn measure<F: FnMut() -> SchemeStats>(accesses: u64, mut f: F) -> (f64, SchemeStats) {
+    let mut best = 0.0f64;
+    let mut stats = SchemeStats::default();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        stats = f();
+        let rate = accesses as f64 / start.elapsed().as_secs_f64();
+        if rate > best {
+            best = rate;
+        }
+    }
+    (best, stats)
+}
+
+/// The pre-engine loop, reproduced verbatim as the baseline.
+fn boxed_dyn_loop(
+    cfg: &SystemConfig,
+    spec: SchemeSpec,
+    entries: &[(u16, u32)],
+    per_epoch: u64,
+) -> SchemeStats {
+    let mut schemes: Vec<Option<Box<dyn MitigationScheme + Send>>> = (0..cfg.total_banks())
+        .map(|b| spec.build(cfg.rows_per_bank, b))
+        .collect();
+    let mut accesses = 0u64;
+    for &(bank, row) in entries {
+        if let Some(s) = &mut schemes[bank as usize] {
+            s.on_activation(RowId(row));
+        }
+        accesses += 1;
+        if accesses.is_multiple_of(per_epoch) {
+            for s in schemes.iter_mut().flatten() {
+                s.on_epoch_end();
+            }
+        }
+    }
+    let mut stats = SchemeStats::default();
+    for s in schemes.iter().flatten() {
+        stats.merge(s.stats());
+    }
+    stats
+}
+
+fn main() {
+    banner("engine throughput: boxed-dyn vs SchemeInstance vs sharded engine");
+    let cfg = SystemConfig::dual_core_two_channel();
+    let trace = decode_trace(&catalog::by_name("swapt").unwrap(), &cfg, EPOCHS, 0xCA7);
+    let accesses = trace.entries.len() as u64;
+    println!(
+        "trace: swapt, {accesses} accesses over {} banks (REPRO_QUICK factor {})\n",
+        cfg.total_banks(),
+        quick_factor()
+    );
+
+    let specs = [
+        SchemeSpec::Prcat {
+            counters: 64,
+            levels: 11,
+            threshold: 32_768,
+        },
+        SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: 32_768,
+        },
+        SchemeSpec::CounterCache {
+            entries: 1024,
+            ways: 8,
+            threshold: 32_768,
+        },
+    ];
+    let mut results: Vec<Measurement> = Vec::new();
+    println!(
+        "{:<12} {:<12} {:>14} {:>10}",
+        "scheme", "path", "acts/sec", "speedup"
+    );
+    for spec in specs {
+        let (base_rate, base_stats) = measure(accesses, || {
+            boxed_dyn_loop(&cfg, spec, &trace.entries, trace.per_epoch)
+        });
+        let mut row = |path: &'static str, rate: f64, stats: &SchemeStats| {
+            assert_eq!(
+                stats,
+                &base_stats,
+                "{} {path}: paths must do identical work",
+                spec.label()
+            );
+            println!(
+                "{:<12} {:<12} {:>14.0} {:>9.2}x",
+                spec.label(),
+                path,
+                rate,
+                rate / base_rate
+            );
+            results.push(Measurement {
+                scheme: spec.label(),
+                path,
+                acts_per_sec: rate,
+                refresh_events: stats.refresh_events,
+            });
+        };
+        row("boxed-dyn", base_rate, &base_stats);
+
+        let (rate, stats) = measure(accesses, || {
+            let mut engine = BankEngine::new(spec, cfg.total_banks(), cfg.rows_per_bank)
+                .with_epoch_length(trace.per_epoch);
+            engine.process(&trace.entries);
+            engine.stats()
+        });
+        row("instance", rate, &stats);
+
+        for shards in [2usize, 4] {
+            let (rate, stats) = measure(accesses, || {
+                let mut engine = BankEngine::new(spec, cfg.total_banks(), cfg.rows_per_bank)
+                    .with_epoch_length(trace.per_epoch);
+                engine.process_sharded(&trace.entries, shards);
+                engine.stats()
+            });
+            let path: &'static str = if shards == 2 {
+                "sharded-2"
+            } else {
+                "sharded-4"
+            };
+            row(path, rate, &stats);
+        }
+        println!();
+    }
+
+    if let Ok(path) = std::env::var("BENCH_ENGINE_JSON") {
+        write_json(&path, accesses, &results);
+        println!("wrote {path}");
+    }
+}
+
+/// Minimal JSON writer (the workspace has no serde — offline build).
+fn write_json(path: &str, accesses: u64, results: &[Measurement]) {
+    let mut rows = String::new();
+    for (i, m) in results.iter().enumerate() {
+        let boxed = results
+            .iter()
+            .find(|b| b.scheme == m.scheme && b.path == "boxed-dyn")
+            .expect("baseline measured first");
+        rows.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"path\": \"{}\", \"acts_per_sec\": {:.0}, \
+             \"speedup_vs_boxed_dyn\": {:.4}, \"refresh_events\": {}}}{}\n",
+            m.scheme,
+            m.path,
+            m.acts_per_sec,
+            m.acts_per_sec / boxed.acts_per_sec,
+            m.refresh_events,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"trace\": \"swapt\",\n  \
+         \"accesses\": {accesses},\n  \"results\": [\n{rows}  ]\n}}\n"
+    );
+    std::fs::write(path, json).expect("write BENCH_ENGINE_JSON");
+}

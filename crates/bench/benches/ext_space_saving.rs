@@ -22,10 +22,24 @@ fn main() {
     for w in catalog::sweep_subset() {
         let trace = decode_trace(&w, &cfg, 2, 4242);
         let cells: Vec<f64> = [
-            SchemeSpec::Drcat { counters: 64, levels: 11, threshold: t },
-            SchemeSpec::SpaceSaving { counters: 64, threshold: t },
-            SchemeSpec::Drcat { counters: 256, levels: 11, threshold: t },
-            SchemeSpec::SpaceSaving { counters: 256, threshold: t },
+            SchemeSpec::Drcat {
+                counters: 64,
+                levels: 11,
+                threshold: t,
+            },
+            SchemeSpec::SpaceSaving {
+                counters: 64,
+                threshold: t,
+            },
+            SchemeSpec::Drcat {
+                counters: 256,
+                levels: 11,
+                threshold: t,
+            },
+            SchemeSpec::SpaceSaving {
+                counters: 256,
+                threshold: t,
+            },
         ]
         .iter()
         .map(|&s| replay_cmrpo(&cfg, s, &trace).total())

@@ -10,15 +10,18 @@
 //! 25 refresh intervals" claim for LFSR-based PRA.
 
 use cat_bench::banner;
-use cat_reliability::{
-    chipkill_log10, ideal_window_failures, lfsr_attack, log10_unsurvivability,
-};
+use cat_reliability::{chipkill_log10, ideal_window_failures, lfsr_attack, log10_unsurvivability};
 
 fn main() {
     banner("Figure 1: PRA 5-year unsurvivability, log10((1-p)^T · Q0 · Q1)");
     let ps = [0.001, 0.002, 0.003, 0.004, 0.005, 0.006];
     // The paper pairs Q0 = 10, 15, 20, 40 with T = 32K, 24K, 16K, 8K.
-    let configs = [(32_768u32, 10.0), (24_576, 15.0), (16_384, 20.0), (8_192, 40.0)];
+    let configs = [
+        (32_768u32, 10.0),
+        (24_576, 15.0),
+        (16_384, 20.0),
+        (8_192, 40.0),
+    ];
     print!("{:>10} {:>5}", "T", "Q0");
     for p in ps {
         print!(" {:>9}", format!("p={p}"));
@@ -47,9 +50,7 @@ fn main() {
         let quantised = ((p * 512.0).round() / 512.0).max(1.0 / 512.0);
         let analytic = (1.0 - quantised).powi(t as i32);
         let mc = ideal_window_failures(p, 9, t, windows, 7) as f64 / windows as f64;
-        println!(
-            "T = {t:>5}, p = {p}: analytic (1-p)^T = {analytic:.5}, Monte-Carlo = {mc:.5}"
-        );
+        println!("T = {t:>5}, p = {p}: analytic (1-p)^T = {analytic:.5}, Monte-Carlo = {mc:.5}");
     }
 
     banner("§III-A: LFSR-based PRA under state recovery (T = 16K, p = 0.005)");
@@ -64,7 +65,8 @@ fn main() {
                 "{:>12} {:>20} {:>18} {:>10}",
                 observe,
                 out.recovery_accesses.map_or("—".into(), |r| r.to_string()),
-                out.failure_interval.map_or(">budget".into(), |i| i.to_string()),
+                out.failure_interval
+                    .map_or(">budget".into(), |i| i.to_string()),
                 if out.evasion_clean { "clean" } else { "-" }
             );
         }

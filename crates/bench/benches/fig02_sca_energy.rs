@@ -20,7 +20,10 @@ fn main() {
     let slice = 4 * quick_factor(); // quarter-epoch per workload
 
     banner("Figure 2: SCA energy overhead vs number of counters (per bank, per 64 ms)");
-    println!("measuring refresh rows over {} workloads …", workloads.len());
+    println!(
+        "measuring refresh rows over {} workloads …",
+        workloads.len()
+    );
 
     // Average refresh rows and accesses per bank per interval.
     let mut refresh_rows = vec![0f64; ms.len()];
@@ -33,7 +36,10 @@ fn main() {
             let stream = system_stream(w, &cfg, 1, 11).take(budget);
             let r = run_functional(
                 &cfg,
-                SchemeSpec::Sca { counters: m, threshold: t },
+                SchemeSpec::Sca {
+                    counters: m,
+                    threshold: t,
+                },
                 stream,
                 u64::MAX,
             );

@@ -30,7 +30,10 @@ fn main() {
         let w = catalog::by_name(name).unwrap();
         let budget = (w.accesses_per_epoch / quick_factor()) as usize;
         let hist = RowHistogram::collect(&cfg, bank, system_stream(&w, &cfg, 1, 21).take(budget));
-        println!("\n--- {name} (bank {bank}, {} in-bank accesses) ---", hist.total());
+        println!(
+            "\n--- {name} (bank {bank}, {} in-bank accesses) ---",
+            hist.total()
+        );
         println!("[{}]", spark(&hist.bucketize(64)));
         println!(" row 0{:>60}", format!("row {}", cfg.rows_per_bank - 1));
         let top = hist.top_rows(5);

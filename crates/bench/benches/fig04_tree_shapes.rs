@@ -20,7 +20,13 @@ fn main() {
     banner("Figure 4(a): biased references → unbalanced tree (M = 8, L = 6)");
     let biased = grow(
         &cfg,
-        (0..4_000u32).map(|i| if i % 5 != 0 { 700 + i % 4 } else { (i * 617) % 1024 }),
+        (0..4_000u32).map(|i| {
+            if i % 5 != 0 {
+                700 + i % 4
+            } else {
+                (i * 617) % 1024
+            }
+        }),
     );
     println!("{}", biased.shape().render());
     println!("depth profile: {:?}", biased.shape().depth_profile());

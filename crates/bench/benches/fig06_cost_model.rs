@@ -33,7 +33,10 @@ fn main() {
     let r = 400_000u64;
 
     banner("Eqs. 2–4: analytical cost model (N = 4096, T = 1024, R = 400K)");
-    println!("CostSCA = w·R/T = {:.0} rows/interval", cost::cost_sca(w, r as f64, f64::from(t)));
+    println!(
+        "CostSCA = w·R/T = {:.0} rows/interval",
+        cost::cost_sca(w, r as f64, f64::from(t))
+    );
     println!("critical bias x* = 3w = {:.0}\n", cost::critical_bias(w));
     println!(
         "{:>7} {:>12} {:>12} | {:>12} {:>12}  (empirical, refreshed rows)",

@@ -15,10 +15,24 @@ fn schemes(t: u32) -> Vec<SchemeSpec> {
     let p = if t >= 32_768 { 0.002 } else { 0.003 };
     vec![
         SchemeSpec::pra(p),
-        SchemeSpec::Sca { counters: 64, threshold: t },
-        SchemeSpec::Sca { counters: 128, threshold: t },
-        SchemeSpec::Prcat { counters: 64, levels: 11, threshold: t },
-        SchemeSpec::Drcat { counters: 64, levels: 11, threshold: t },
+        SchemeSpec::Sca {
+            counters: 64,
+            threshold: t,
+        },
+        SchemeSpec::Sca {
+            counters: 128,
+            threshold: t,
+        },
+        SchemeSpec::Prcat {
+            counters: 64,
+            levels: 11,
+            threshold: t,
+        },
+        SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: t,
+        },
     ]
 }
 

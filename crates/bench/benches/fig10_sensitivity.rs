@@ -34,13 +34,24 @@ fn main() {
         ));
         println!("{:>5} {:>10}  DRCAT_L…", "M", "SCA");
         for m in [32usize, 64, 128, 256, 512] {
-            let sca = mean_cmrpo(&cfg, SchemeSpec::Sca { counters: m, threshold: t }, &traces);
+            let sca = mean_cmrpo(
+                &cfg,
+                SchemeSpec::Sca {
+                    counters: m,
+                    threshold: t,
+                },
+                &traces,
+            );
             print!("{:>5} {:>9.2}% ", m, sca * 100.0);
             let lmin = (m as u32).trailing_zeros() + 1;
             for l in lmin..=14 {
                 let d = mean_cmrpo(
                     &cfg,
-                    SchemeSpec::Drcat { counters: m, levels: l, threshold: t },
+                    SchemeSpec::Drcat {
+                        counters: m,
+                        levels: l,
+                        threshold: t,
+                    },
                     &traces,
                 );
                 print!(" L{l}:{:>5.2}%", d * 100.0);

@@ -27,9 +27,27 @@ fn mean_cmrpo(cfg: &SystemConfig, spec: SchemeSpec, traces: &[DecodedTrace]) -> 
 
 fn main() {
     let systems = [
-        ("dual-core/2ch", SystemConfig::dual_core_two_channel(), 1.0, 128usize, 64usize),
-        ("quad-core/2ch", SystemConfig::quad_core_two_channel(), 2.0, 256, 128),
-        ("quad-core/4ch", SystemConfig::quad_core_four_channel(), 2.0, 256, 128),
+        (
+            "dual-core/2ch",
+            SystemConfig::dual_core_two_channel(),
+            1.0,
+            128usize,
+            64usize,
+        ),
+        (
+            "quad-core/2ch",
+            SystemConfig::quad_core_two_channel(),
+            2.0,
+            256,
+            128,
+        ),
+        (
+            "quad-core/4ch",
+            SystemConfig::quad_core_four_channel(),
+            2.0,
+            256,
+            128,
+        ),
     ];
     // Decode each workload once per system (mapping and rate differ).
     let traces: Vec<Vec<DecodedTrace>> = systems
@@ -43,7 +61,10 @@ fn main() {
         .collect();
 
     for t in [32_768u32, 16_384] {
-        banner(&format!("Figure 11 (T = {}K): CMRPO vs cores / channels", t / 1024));
+        banner(&format!(
+            "Figure 11 (T = {}K): CMRPO vs cores / channels",
+            t / 1024
+        ));
         let p = if t >= 32_768 { 0.002 } else { 0.003 };
         println!(
             "{:<16} {:>10} {:>10} {:>10} {:>10}",
@@ -51,15 +72,30 @@ fn main() {
         );
         for ((name, cfg, _, sca_m, cat_m), tr) in systems.iter().zip(&traces) {
             let pra = mean_cmrpo(cfg, SchemeSpec::pra(p), tr);
-            let sca = mean_cmrpo(cfg, SchemeSpec::Sca { counters: *sca_m, threshold: t }, tr);
+            let sca = mean_cmrpo(
+                cfg,
+                SchemeSpec::Sca {
+                    counters: *sca_m,
+                    threshold: t,
+                },
+                tr,
+            );
             let prcat = mean_cmrpo(
                 cfg,
-                SchemeSpec::Prcat { counters: *cat_m, levels: 11, threshold: t },
+                SchemeSpec::Prcat {
+                    counters: *cat_m,
+                    levels: 11,
+                    threshold: t,
+                },
                 tr,
             );
             let drcat = mean_cmrpo(
                 cfg,
-                SchemeSpec::Drcat { counters: *cat_m, levels: 11, threshold: t },
+                SchemeSpec::Drcat {
+                    counters: *cat_m,
+                    levels: 11,
+                    threshold: t,
+                },
                 tr,
             );
             println!(

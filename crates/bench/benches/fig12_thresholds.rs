@@ -35,15 +35,30 @@ fn main() {
     );
     for (t, p, sca_m, cat_m) in rows {
         let pra = mean_cmrpo(&cfg, SchemeSpec::pra(p), &traces);
-        let sca = mean_cmrpo(&cfg, SchemeSpec::Sca { counters: sca_m, threshold: t }, &traces);
+        let sca = mean_cmrpo(
+            &cfg,
+            SchemeSpec::Sca {
+                counters: sca_m,
+                threshold: t,
+            },
+            &traces,
+        );
         let prcat = mean_cmrpo(
             &cfg,
-            SchemeSpec::Prcat { counters: cat_m, levels: 11, threshold: t },
+            SchemeSpec::Prcat {
+                counters: cat_m,
+                levels: 11,
+                threshold: t,
+            },
             &traces,
         );
         let drcat = mean_cmrpo(
             &cfg,
-            SchemeSpec::Drcat { counters: cat_m, levels: 11, threshold: t },
+            SchemeSpec::Drcat {
+                counters: cat_m,
+                levels: 11,
+                threshold: t,
+            },
             &traces,
         );
         println!(
@@ -65,9 +80,20 @@ fn main() {
     let subset = ["face", "com2", "libq"];
     let specs = [
         SchemeSpec::pra(0.005),
-        SchemeSpec::Sca { counters: 256, threshold: t },
-        SchemeSpec::Prcat { counters: 128, levels: 11, threshold: t },
-        SchemeSpec::Drcat { counters: 128, levels: 11, threshold: t },
+        SchemeSpec::Sca {
+            counters: 256,
+            threshold: t,
+        },
+        SchemeSpec::Prcat {
+            counters: 128,
+            levels: 11,
+            threshold: t,
+        },
+        SchemeSpec::Drcat {
+            counters: 128,
+            levels: 11,
+            threshold: t,
+        },
     ];
     for spec in specs {
         let mut etos = Vec::new();

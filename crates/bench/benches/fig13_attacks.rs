@@ -20,8 +20,11 @@ fn attack_traces(
     let budget = (benign.accesses_per_epoch / cfg.cores as u64 / 3 / quick_factor()) as usize;
     (0..cfg.cores)
         .map(|core| {
-            Box::new(kernel.stream(benign, cfg, mode, core, 64, seed).take(budget))
-                as Box<dyn Iterator<Item = MemAccess> + Send>
+            Box::new(
+                kernel
+                    .stream(benign, cfg, mode, core, 64, seed)
+                    .take(budget),
+            ) as Box<dyn Iterator<Item = MemAccess> + Send>
         })
         .collect()
 }
@@ -36,13 +39,27 @@ fn main() {
         "{:>7} {:>8} {:>12} {:>12} {:>12}",
         "T", "mode", "SCA", "PRCAT", "DRCAT"
     );
-    for (t, sca_m, cat_m) in [(32_768u32, 128usize, 64usize), (16_384, 128, 64), (8_192, 256, 128)]
-    {
+    for (t, sca_m, cat_m) in [
+        (32_768u32, 128usize, 64usize),
+        (16_384, 128, 64),
+        (8_192, 256, 128),
+    ] {
         for mode in [AttackMode::Heavy, AttackMode::Medium, AttackMode::Light] {
             let specs = [
-                SchemeSpec::Sca { counters: sca_m, threshold: t },
-                SchemeSpec::Prcat { counters: cat_m, levels: 11, threshold: t },
-                SchemeSpec::Drcat { counters: cat_m, levels: 11, threshold: t },
+                SchemeSpec::Sca {
+                    counters: sca_m,
+                    threshold: t,
+                },
+                SchemeSpec::Prcat {
+                    counters: cat_m,
+                    levels: 11,
+                    threshold: t,
+                },
+                SchemeSpec::Drcat {
+                    counters: cat_m,
+                    levels: 11,
+                    threshold: t,
+                },
             ];
             // One baseline per kernel, shared by every scheme.
             let baselines: Vec<u64> = kernels

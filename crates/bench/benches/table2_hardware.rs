@@ -12,10 +12,15 @@ fn main() {
     println!(
         "{:>5} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11} | {:>9} {:>9} {:>9}",
         "M",
-        "DRCAT dyn", "DRCAT stat",
-        "PRCAT dyn", "PRCAT stat",
-        "SCA dyn", "SCA stat",
-        "DRCAT mm2", "PRCAT mm2", "SCA mm2"
+        "DRCAT dyn",
+        "DRCAT stat",
+        "PRCAT dyn",
+        "PRCAT stat",
+        "SCA dyn",
+        "SCA stat",
+        "DRCAT mm2",
+        "PRCAT mm2",
+        "SCA mm2"
     );
     for m in [32usize, 64, 128, 256, 512] {
         println!(
@@ -39,7 +44,10 @@ fn main() {
     println!("throughput  {} Gbps", prng::THROUGHPUT_GBPS);
     println!("power       {} mW", prng::POWER_MW);
     println!("efficiency  {:.2e} nJ/bit", prng::NJ_PER_BIT);
-    println!("eng_PRNG    {:.4e} nJ (9 bits per access)", prng::ENG_PRNG_9BITS_NJ);
+    println!(
+        "eng_PRNG    {:.4e} nJ (9 bits per access)",
+        prng::ENG_PRNG_9BITS_NJ
+    );
 
     banner("Derived observations the paper calls out (§VII-A)");
     let prcat64 = area_mm2(SchemeKind::Prcat, 64, 32_768);

@@ -15,6 +15,7 @@
 
 use cat_core::HardwareProfile;
 use cat_energy::{cmrpo_from_stats, CmrpoBreakdown};
+use cat_engine::BankEngine;
 use cat_sim::functional::run_functional;
 use cat_sim::{MemAccess, SchemeSpec, SimReport, Simulator, SystemConfig};
 use cat_workloads::{AccessStream, WorkloadSpec};
@@ -42,10 +43,16 @@ pub fn system_stream(
 }
 
 /// Builds the hardware profile a [`SchemeSpec`] would occupy per bank.
+///
+/// Computed directly from the spec — no scheme instance (or counter tree)
+/// is constructed and thrown away.
+///
+/// # Panics
+///
+/// Panics for [`SchemeSpec::None`], which has no hardware.
 pub fn profile_of(spec: SchemeSpec, rows: u32) -> HardwareProfile {
-    spec.build(rows, 0)
+    spec.profile(rows)
         .expect("profile requested for a real scheme")
-        .hardware()
 }
 
 /// Functional CMRPO of `scheme` on `workload` over `epochs` 64 ms epochs.
@@ -107,35 +114,20 @@ pub fn decode_trace(
 }
 
 /// CMRPO of `scheme` replaying a pre-decoded trace (same semantics as
-/// [`functional_cmrpo`]).
-pub fn replay_cmrpo(cfg: &SystemConfig, scheme: SchemeSpec, trace: &DecodedTrace) -> CmrpoBreakdown {
-    use cat_core::RowId;
-    let mut schemes: Vec<Option<Box<dyn cat_core::MitigationScheme + Send>>> =
-        (0..cfg.total_banks())
-            .map(|b| scheme.build(cfg.rows_per_bank, b))
-            .collect();
-    let mut stats = cat_core::SchemeStats::default();
-    let mut since_epoch = 0u64;
-    for &(bank, row) in &trace.entries {
-        if let Some(s) = &mut schemes[bank as usize] {
-            s.on_activation(RowId(row));
-        }
-        since_epoch += 1;
-        if since_epoch == trace.per_epoch {
-            since_epoch = 0;
-            for s in schemes.iter_mut().flatten() {
-                s.on_epoch_end();
-            }
-        }
-    }
-    for s in schemes.iter_mut().flatten() {
-        stats.merge(s.stats());
-    }
+/// [`functional_cmrpo`]) through the multi-bank engine.
+pub fn replay_cmrpo(
+    cfg: &SystemConfig,
+    scheme: SchemeSpec,
+    trace: &DecodedTrace,
+) -> CmrpoBreakdown {
+    let mut engine = BankEngine::new(scheme, cfg.total_banks(), cfg.rows_per_bank)
+        .with_epoch_length(trace.per_epoch);
+    engine.process(&trace.entries);
     let exec_seconds =
         trace.entries.len() as f64 / trace.per_epoch as f64 * cfg.epoch_ms as f64 / 1e3;
     cmrpo_from_stats(
         &profile_of(scheme, cfg.rows_per_bank),
-        &stats,
+        &engine.stats(),
         cfg.total_banks(),
         cfg.rows_per_bank,
         exec_seconds,
@@ -203,7 +195,10 @@ mod tests {
         let w = catalog::by_name("swapt").unwrap();
         let c = functional_cmrpo(
             &cfg,
-            SchemeSpec::Sca { counters: 64, threshold: 32_768 },
+            SchemeSpec::Sca {
+                counters: 64,
+                threshold: 32_768,
+            },
             &w,
             1,
             1,

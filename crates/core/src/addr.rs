@@ -74,7 +74,10 @@ impl RowRange {
 
     /// Range holding a single row.
     pub fn single(row: RowId) -> Self {
-        RowRange { lo: row.0, hi: row.0 }
+        RowRange {
+            lo: row.0,
+            hi: row.0,
+        }
     }
 
     /// Lowest row of the range.
@@ -139,7 +142,10 @@ mod tests {
     #[test]
     fn expand_clamps_at_bank_edges() {
         let bank = 64;
-        assert_eq!(RowRange::new(0, 3).expand_victims(bank), RowRange::new(0, 4));
+        assert_eq!(
+            RowRange::new(0, 3).expand_victims(bank),
+            RowRange::new(0, 4)
+        );
         assert_eq!(
             RowRange::new(60, 63).expand_victims(bank),
             RowRange::new(59, 63)

@@ -263,12 +263,9 @@ mod tests {
     fn config_validation() {
         assert!(CounterCacheConfig::with_entries(48, 4).is_err());
         assert!(CounterCacheConfig::with_entries(64, 0).is_err());
-        assert!(CounterCache::new(
-            1000,
-            CounterCacheConfig::with_entries(16, 4).unwrap(),
-            8
-        )
-        .is_err());
+        assert!(
+            CounterCache::new(1000, CounterCacheConfig::with_entries(16, 4).unwrap(), 8).is_err()
+        );
         let cfg = CounterCacheConfig::with_entries(64, 4).unwrap();
         assert_eq!(cfg.entries(), 64);
         assert_eq!(cfg.sets, 16);

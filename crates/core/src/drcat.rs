@@ -221,7 +221,10 @@ mod tests {
         let split_right = &shape.leaves()[5];
         assert_eq!(split_left.counter, 6, "hot counter keeps the left half");
         assert_eq!(split_right.counter, 3, "released counter (paper C2) reused");
-        assert_eq!(split_left.value, 0, "hot pair restarts counting after refresh");
+        assert_eq!(
+            split_left.value, 0,
+            "hot pair restarts counting after refresh"
+        );
         assert_eq!(d.stats().merges, 1);
         assert_eq!(d.stats().reconfigurations, 1);
     }
@@ -252,7 +255,11 @@ mod tests {
             d.on_activation(RowId(900));
         }
         let shape = d.tree().shape();
-        let hot = shape.leaves().iter().find(|l| l.range.contains(900)).unwrap();
+        let hot = shape
+            .leaves()
+            .iter()
+            .find(|l| l.range.contains(900))
+            .unwrap();
         assert_eq!(
             u32::from(hot.depth),
             d.tree().config().max_levels() - 1,

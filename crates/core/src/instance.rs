@@ -1,0 +1,211 @@
+//! [`SchemeInstance`] — the six concrete mitigation schemes behind one enum,
+//! dispatched statically.
+//!
+//! The per-activation virtual call through `Box<dyn MitigationScheme>` costs
+//! an indirect branch plus a heap pointer chase on the hottest path in the
+//! repo (every simulated row activation). `SchemeInstance` replaces it with
+//! an enum match the compiler can inline, while [`SchemeInstance::Boxed`]
+//! keeps the trait-object escape hatch for schemes defined outside this
+//! crate.
+
+use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes};
+use crate::{CounterCache, Drcat, Pra, Prcat, RowId, Sca, SchemeStats, SpaceSaving};
+
+/// One concrete mitigation scheme, statically dispatched.
+///
+/// Constructed from a [`crate::SchemeSpec`] via
+/// [`build_instance`](crate::SchemeSpec::build_instance); also implements
+/// [`MitigationScheme`] itself so it can stand wherever a trait object was
+/// expected.
+///
+/// ```
+/// use cat_core::{MitigationScheme, RowId, SchemeSpec};
+/// let spec = SchemeSpec::Sca { counters: 64, threshold: 4096 };
+/// let mut instance = spec.build_instance(65_536, 0).unwrap();
+/// instance.on_activation(RowId(7));
+/// assert_eq!(instance.stats().activations, 1);
+/// assert_eq!(instance.name(), "SCA_64");
+/// ```
+pub enum SchemeInstance {
+    /// Probabilistic row activation.
+    Pra(Pra),
+    /// Static counter assignment.
+    Sca(Sca),
+    /// Periodically reset CAT.
+    Prcat(Prcat),
+    /// Dynamically reconfigured CAT.
+    Drcat(Drcat),
+    /// Per-row counters in DRAM with an on-chip counter cache.
+    CounterCache(CounterCache),
+    /// Space-Saving frequent-item tracker.
+    SpaceSaving(SpaceSaving),
+    /// Escape hatch: any external [`MitigationScheme`] behind a trait object
+    /// (pays the virtual call the other variants avoid).
+    Boxed(Box<dyn MitigationScheme + Send>),
+}
+
+/// Delegates one method call to whichever variant is live.
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            SchemeInstance::Pra($inner) => $body,
+            SchemeInstance::Sca($inner) => $body,
+            SchemeInstance::Prcat($inner) => $body,
+            SchemeInstance::Drcat($inner) => $body,
+            SchemeInstance::CounterCache($inner) => $body,
+            SchemeInstance::SpaceSaving($inner) => $body,
+            SchemeInstance::Boxed($inner) => $body,
+        }
+    };
+}
+
+impl SchemeInstance {
+    /// Records the activation of `row`; see
+    /// [`MitigationScheme::on_activation`].
+    #[inline]
+    pub fn on_activation(&mut self, row: RowId) -> Refreshes {
+        dispatch!(self, s => s.on_activation(row))
+    }
+
+    /// Signals an auto-refresh epoch boundary; see
+    /// [`MitigationScheme::on_epoch_end`].
+    #[inline]
+    pub fn on_epoch_end(&mut self) {
+        dispatch!(self, s => s.on_epoch_end())
+    }
+
+    /// Event counts accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &SchemeStats {
+        dispatch!(self, s => s.stats())
+    }
+
+    /// Hardware footprint description for the energy/area model.
+    pub fn hardware(&self) -> HardwareProfile {
+        dispatch!(self, s => s.hardware())
+    }
+
+    /// Number of rows in the protected bank.
+    pub fn rows(&self) -> u32 {
+        dispatch!(self, s => s.rows())
+    }
+
+    /// Human-readable name, e.g. `"DRCAT_64"`.
+    pub fn name(&self) -> String {
+        dispatch!(self, s => s.name())
+    }
+
+    /// Drives a whole run of activations through the scheme, feeding each
+    /// returned [`Refreshes`] to `sink`.
+    ///
+    /// The variant match is hoisted out of the loop, so each arm compiles to
+    /// a monomorphic inner loop with `on_activation` inlined — this is the
+    /// batched hot path of `cat-engine`'s sharded runner.
+    #[inline]
+    pub fn run(&mut self, rows: &[u32], mut sink: impl FnMut(Refreshes)) {
+        dispatch!(self, s => {
+            for &row in rows {
+                sink(s.on_activation(RowId(row)));
+            }
+        })
+    }
+
+    /// Converts into a trait object. A [`SchemeInstance::Boxed`] variant is
+    /// unwrapped rather than double-boxed.
+    pub fn into_boxed(self) -> Box<dyn MitigationScheme + Send> {
+        match self {
+            SchemeInstance::Boxed(b) => b,
+            other => Box::new(other),
+        }
+    }
+}
+
+impl MitigationScheme for SchemeInstance {
+    fn on_activation(&mut self, row: RowId) -> Refreshes {
+        SchemeInstance::on_activation(self, row)
+    }
+
+    fn on_epoch_end(&mut self) {
+        SchemeInstance::on_epoch_end(self)
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        SchemeInstance::stats(self)
+    }
+
+    fn hardware(&self) -> HardwareProfile {
+        SchemeInstance::hardware(self)
+    }
+
+    fn rows(&self) -> u32 {
+        SchemeInstance::rows(self)
+    }
+
+    fn name(&self) -> String {
+        SchemeInstance::name(self)
+    }
+}
+
+impl std::fmt::Debug for SchemeInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeInstance")
+            .field("name", &self.name())
+            .field("rows", &self.rows())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchemeSpec;
+
+    #[test]
+    fn instance_matches_boxed_build() {
+        let spec = SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: 512,
+        };
+        let mut instance = spec.build_instance(4096, 0).unwrap();
+        let mut boxed = spec.build(4096, 0).unwrap();
+        for i in 0..20_000u32 {
+            let row = RowId(if i % 3 == 0 { 77 } else { i % 4096 });
+            assert_eq!(instance.on_activation(row), boxed.on_activation(row));
+        }
+        instance.on_epoch_end();
+        boxed.on_epoch_end();
+        assert_eq!(instance.stats(), boxed.stats());
+        assert_eq!(instance.name(), boxed.name());
+        assert_eq!(instance.hardware(), boxed.hardware());
+        assert!(
+            instance.stats().refresh_events > 0,
+            "hammered row must fire"
+        );
+    }
+
+    #[test]
+    fn boxed_escape_hatch_delegates() {
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 64,
+        };
+        let mut ext = SchemeInstance::Boxed(spec.build(1024, 0).unwrap());
+        for _ in 0..64 {
+            ext.on_activation(RowId(3));
+        }
+        assert_eq!(ext.stats().activations, 64);
+        assert_eq!(ext.name(), "SCA_16");
+        assert_eq!(ext.rows(), 1024);
+        // into_boxed must not double-box.
+        let b = ext.into_boxed();
+        assert_eq!(b.name(), "SCA_16");
+        assert!(format!("{:?}", SchemeInstance::Boxed(b)).contains("SCA_16"));
+    }
+
+    #[test]
+    fn instance_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SchemeInstance>();
+    }
+}

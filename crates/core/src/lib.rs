@@ -57,14 +57,16 @@ mod addr;
 mod config;
 mod counter_cache;
 mod drcat;
+mod instance;
+pub mod oracle;
 mod pra;
 mod prcat;
+pub mod rng;
 mod sca;
 mod scheme;
 mod space_saving;
+mod spec;
 mod stats;
-pub mod oracle;
-pub mod rng;
 pub mod thresholds;
 pub mod tree;
 
@@ -72,11 +74,13 @@ pub use addr::{RowId, RowRange};
 pub use config::{CatConfig, ConfigError};
 pub use counter_cache::{CounterCache, CounterCacheConfig};
 pub use drcat::Drcat;
+pub use instance::SchemeInstance;
 pub use pra::Pra;
 pub use prcat::Prcat;
 pub use sca::Sca;
-pub use space_saving::SpaceSaving;
 pub use scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+pub use space_saving::SpaceSaving;
+pub use spec::{ParseSpecError, SchemeSpec, PRA_DEFAULT_SEED};
 pub use stats::SchemeStats;
 pub use thresholds::{SplitThresholds, ThresholdPolicy};
 pub use tree::CatTree;

@@ -218,8 +218,7 @@ mod tests {
 
     #[test]
     fn works_with_lfsr_backend() {
-        let mut pra =
-            Pra::with_rng(1024, 0.01, 9, Box::new(Lfsr16::new(0xBEEF))).unwrap();
+        let mut pra = Pra::with_rng(1024, 0.01, 9, Box::new(Lfsr16::new(0xBEEF))).unwrap();
         let mut fired = 0u32;
         for _ in 0..65_535 {
             if !pra.on_activation(RowId(512)).is_empty() {

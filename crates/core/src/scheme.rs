@@ -71,7 +71,9 @@ pub struct Refreshes {
 impl Refreshes {
     /// No refresh required.
     pub fn none() -> Self {
-        Refreshes { slots: [None, None] }
+        Refreshes {
+            slots: [None, None],
+        }
     }
 
     /// Refresh a single range.
@@ -95,11 +97,7 @@ impl Refreshes {
 
     /// Total number of rows across the requested ranges.
     pub fn total_rows(&self) -> u64 {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|range| range.len())
-            .sum()
+        self.slots.iter().flatten().map(|range| range.len()).sum()
     }
 
     /// Number of requested ranges (0, 1 or 2).

@@ -135,7 +135,11 @@ impl MitigationScheme for SpaceSaving {
         } else if self.table.len() < self.k {
             // Before any takeover happens, untracked rows truly have count
             // zero, so a fresh slot starts clean.
-            self.table.push(Slot { row: row.0, estimate: 1, next_fire: t });
+            self.table.push(Slot {
+                row: row.0,
+                estimate: 1,
+                next_fire: t,
+            });
             self.table.last_mut().expect("just pushed")
         } else {
             // Take over the minimum entry with min + 1 — the Space-Saving
@@ -151,7 +155,11 @@ impl MitigationScheme for SpaceSaving {
                 .expect("k > 0")
                 .0;
             let min = self.table[idx].estimate;
-            self.table[idx] = Slot { row: row.0, estimate: min + 1, next_fire: t.max(min + 1) };
+            self.table[idx] = Slot {
+                row: row.0,
+                estimate: min + 1,
+                next_fire: t.max(min + 1),
+            };
             let fire_now = min + 1 >= t;
             let slot = &mut self.table[idx];
             if fire_now {
@@ -242,7 +250,10 @@ mod tests {
             }
         }
         let fired = fired_at.expect("hammered row must fire");
-        assert!(fired <= 200, "must fire at or before T true accesses: {fired}");
+        assert!(
+            fired <= 200,
+            "must fire at or before T true accesses: {fired}"
+        );
     }
 
     #[test]
@@ -251,7 +262,11 @@ mod tests {
         let mut ss = SpaceSaving::new(1024, 16, t).unwrap();
         let mut oracle = SafetyOracle::new(1024, t);
         for i in 0..200_000u32 {
-            let row = if i % 3 == 0 { RowId(123) } else { RowId((i * 657) % 1024) };
+            let row = if i % 3 == 0 {
+                RowId(123)
+            } else {
+                RowId((i * 657) % 1024)
+            };
             let refreshes = ss.on_activation(row);
             oracle.on_activation(row, &refreshes);
         }

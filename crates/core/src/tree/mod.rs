@@ -246,7 +246,10 @@ impl CatTree {
     /// the reconfiguration counter module's split handling.
     pub fn record(&mut self, row: RowId) -> Activation {
         let rows = self.config.rows();
-        assert!(row.0 < rows, "row {row} out of range (bank has {rows} rows)");
+        assert!(
+            row.0 < rows,
+            "row {row} out of range (bank has {rows} rows)"
+        );
         self.stats.activations += 1;
         let (mut c, mut lo, mut hi, mut slot, visits) = self.locate(row.0);
         // One read per traversed intermediate node, plus the counter
@@ -348,7 +351,13 @@ impl CatTree {
     /// C5 is promoted and C2 released) carrying the *maximum* of the two
     /// counter values — merging must never under-count any row in the
     /// combined group. Returns the released counter index.
-    pub(crate) fn merge_pair(&mut self, slot: ParentSlot, inode: u16, left: u16, right: u16) -> u16 {
+    pub(crate) fn merge_pair(
+        &mut self,
+        slot: ParentSlot,
+        inode: u16,
+        left: u16,
+        right: u16,
+    ) -> u16 {
         debug_assert_eq!(
             self.inodes[inode as usize].both_leaves(),
             Some((left, right))

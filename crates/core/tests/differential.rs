@@ -95,7 +95,11 @@ fn pointer_tree_equals_reference() {
         // A mix of hammering and background noise.
         let hot = rng.gen_range(0..rows);
         for i in 0..4000u32 {
-            let row = if i % 3 != 0 { hot } else { rng.gen_range(0..rows) };
+            let row = if i % 3 != 0 {
+                hot
+            } else {
+                rng.gen_range(0..rows)
+            };
             let a = fast.record(RowId(row));
             let b = slow.record(RowId(row));
             assert_eq!(
@@ -131,7 +135,10 @@ fn structural_invariants_hold() {
             "not a partition (case {case}, seed {seed:#x}, config {config:?})"
         );
         for leaf in shape.leaves() {
-            assert!(u32::from(leaf.depth) <= max_level, "case {case}, seed {seed:#x}");
+            assert!(
+                u32::from(leaf.depth) <= max_level,
+                "case {case}, seed {seed:#x}"
+            );
             assert!(
                 leaf.value < t,
                 "counter must reset at T (case {case}, seed {seed:#x})"
@@ -154,7 +161,11 @@ fn drcat_invariants_across_phases() {
         let hot_b = rng.gen_range(0..rows);
         for i in 0..6000u32 {
             let hot = if i < 3000 { hot_a } else { hot_b };
-            let row = if i % 4 == 0 { rng.gen_range(0..rows) } else { hot };
+            let row = if i % 4 == 0 {
+                rng.gen_range(0..rows)
+            } else {
+                hot
+            };
             d.on_activation(RowId(row));
         }
         let shape = d.tree().shape();
@@ -183,7 +194,11 @@ fn exposure_never_exceeds_threshold() {
         let mut d = Drcat::new(config.clone());
         let mut oracle = cat_core::oracle::SafetyOracle::new(rows, t);
         for i in 0..5000u32 {
-            let row = if i % 2 == 0 { hot } else { rng.gen_range(0..rows) };
+            let row = if i % 2 == 0 {
+                hot
+            } else {
+                rng.gen_range(0..rows)
+            };
             let refreshes = d.on_activation(RowId(row));
             oracle.on_activation(RowId(row), &refreshes);
         }
@@ -192,7 +207,10 @@ fn exposure_never_exceeds_threshold() {
             0,
             "case {case}, seed {seed:#x}, config {config:?}"
         );
-        assert!(oracle.worst_exposure() <= u64::from(t), "case {case}, seed {seed:#x}");
+        assert!(
+            oracle.worst_exposure() <= u64::from(t),
+            "case {case}, seed {seed:#x}"
+        );
     }
 }
 
@@ -239,7 +257,11 @@ fn space_saving_exposure_never_exceeds_threshold() {
         let mut ss = SpaceSaving::new(rows, k, t).unwrap();
         let mut oracle = cat_core::oracle::SafetyOracle::new(rows, t);
         for i in 0..20_000u32 {
-            let row = if i % 2 == 0 { hot } else { rng.gen_range(0..rows) };
+            let row = if i % 2 == 0 {
+                hot
+            } else {
+                rng.gen_range(0..rows)
+            };
             let refreshes = ss.on_activation(RowId(row));
             oracle.on_activation(RowId(row), &refreshes);
         }

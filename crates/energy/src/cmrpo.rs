@@ -194,7 +194,11 @@ mod tests {
 
     #[test]
     fn display_formats_percentages() {
-        let c = CmrpoBreakdown { dynamic: 0.01, static_: 0.02, refresh: 0.03 };
+        let c = CmrpoBreakdown {
+            dynamic: 0.01,
+            static_: 0.02,
+            refresh: 0.03,
+        };
         let s = c.to_string();
         assert!(s.contains("6.00%"), "{s}");
     }

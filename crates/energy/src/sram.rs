@@ -99,7 +99,10 @@ mod tests {
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!(min_idx > 0 && min_idx < ms.len() - 1, "interior minimum: {totals:?}");
+        assert!(
+            min_idx > 0 && min_idx < ms.len() - 1,
+            "interior minimum: {totals:?}"
+        );
     }
 
     #[test]

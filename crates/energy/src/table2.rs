@@ -117,9 +117,7 @@ fn level_scale(kind: SchemeKind, m: usize, levels: u32) -> f64 {
 /// assert!((e - 4.30e-4).abs() < 1e-9);
 /// ```
 pub fn dynamic_nj_per_access(kind: SchemeKind, m: usize, levels: u32, threshold: u32) -> f64 {
-    interp(rows_for(kind), 0, m)
-        * threshold_scale(kind, threshold)
-        * level_scale(kind, m, levels)
+    interp(rows_for(kind), 0, m) * threshold_scale(kind, threshold) * level_scale(kind, m, levels)
 }
 
 /// Static (leakage) energy per 64 ms refresh interval, in nJ — the raw

@@ -1,0 +1,527 @@
+//! # cat-engine — the sharded, statically-dispatched multi-bank engine
+//!
+//! Every consumer of the mitigation schemes drives the same per-bank state
+//! machines: one scheme instance per DRAM bank, an `on_activation` per `ACT`,
+//! an `on_epoch_end` at every auto-refresh epoch boundary, and a stats merge
+//! at the end. [`BankEngine`] is the single implementation of that loop; the
+//! functional simulator, the timed simulator and the CMRPO replay harness all
+//! sit on top of it.
+//!
+//! Schemes are held as [`SchemeInstance`] values (enum static dispatch, no
+//! per-activation virtual call) built from a [`SchemeSpec`].
+//!
+//! ## Determinism contract
+//!
+//! [`BankEngine::process_sharded`] partitions **banks** (never per-bank
+//! order) into contiguous shards and replays each shard's banks on its own
+//! thread, bank by bank. Because
+//!
+//! 1. every scheme instance is per-bank state touched by exactly one shard,
+//! 2. each bank replays its own activations in original stream order
+//!    (schemes never observe other banks' activations, so the inter-bank
+//!    interleaving is immaterial),
+//! 3. epoch boundaries are positions in the *global* access stream, applied
+//!    to each bank at the same point of its own activation subsequence
+//!    regardless of sharding, and
+//! 4. PRA draws from a per-bank PRNG seeded from `(base seed, bank index)`,
+//!
+//! the resulting [`SchemeStats`] — aggregated in bank order — are
+//! **bit-identical for every shard count**, including the unsharded
+//! [`BankEngine::process`] path. The equivalence is asserted for every
+//! [`SchemeSpec`] variant by `tests/equivalence.rs`.
+//!
+//! ## Batching rationale
+//!
+//! The engine consumes pre-decoded `(bank, row)` batches instead of single
+//! accesses: decoding addresses and driving schemes have very different
+//! costs, and batching keeps the scheme-driving inner loop free of iterator
+//! and dispatch overhead (and is what makes bank-sharding possible at all —
+//! a shard must be able to scan ahead in the stream). Single-access callers
+//! (the cycle-based timing simulator) use [`BankEngine::activate`] instead.
+//!
+//! ```
+//! use cat_engine::BankEngine;
+//! use cat_core::SchemeSpec;
+//!
+//! let spec = SchemeSpec::Sca { counters: 64, threshold: 1024 };
+//! let mut engine = BankEngine::new(spec, 4, 65_536).with_epoch_length(10_000);
+//! let batch: Vec<(u16, u32)> = (0..20_000).map(|i| ((i % 4) as u16, 7)).collect();
+//! engine.process(&batch);
+//! let report = engine.report();
+//! assert_eq!(report.accesses, 20_000);
+//! assert_eq!(report.epochs, 2);
+//! assert!(report.scheme_stats.refresh_events > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cat_core::{Refreshes, RowId, SchemeInstance, SchemeSpec, SchemeStats};
+
+/// Aggregate outcome of one [`BankEngine::process`] batch, computed by
+/// differencing O(banks) stats snapshots around the batch — the
+/// per-activation loops carry no accounting at all.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Accesses processed in this batch.
+    pub accesses: u64,
+    /// Mitigation refresh commands the batch triggered.
+    pub refresh_events: u64,
+    /// Victim rows covered by those refreshes.
+    pub refreshed_rows: u64,
+    /// Epoch boundaries crossed during the batch.
+    pub epochs: u64,
+}
+
+/// Snapshot of an engine's accumulated state, shaped like the reports the
+/// simulator layers expose.
+#[derive(Clone, Debug, Default)]
+pub struct EngineReport {
+    /// Accesses processed.
+    pub accesses: u64,
+    /// Epochs processed.
+    pub epochs: u64,
+    /// Row activations per bank (counted whether or not a scheme is
+    /// attached).
+    pub activations_per_bank: Vec<u64>,
+    /// Scheme statistics aggregated across banks (in bank order).
+    pub scheme_stats: SchemeStats,
+    /// Per-bank scheme statistics (empty when the spec is
+    /// [`SchemeSpec::None`]).
+    pub per_bank_stats: Vec<SchemeStats>,
+}
+
+/// A multi-bank mitigation engine: one [`SchemeInstance`] shard per bank,
+/// batched activation processing with epoch accounting, and a deterministic
+/// bank-sharded multi-threaded runner.
+pub struct BankEngine {
+    banks: Vec<Option<SchemeInstance>>,
+    activations: Vec<u64>,
+    accesses: u64,
+    epochs: u64,
+    /// Accesses per auto-refresh epoch; `None` disables access-count epoch
+    /// accounting (the timed simulator fires epochs by cycle count instead).
+    epoch_len: Option<u64>,
+}
+
+impl BankEngine {
+    /// Creates an engine for `banks` banks of `rows_per_bank` rows each,
+    /// instantiating `spec` per bank (PRA banks get distinct deterministic
+    /// seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is invalid for the bank geometry.
+    pub fn new(spec: SchemeSpec, banks: u32, rows_per_bank: u32) -> Self {
+        BankEngine {
+            banks: (0..banks)
+                .map(|b| spec.build_instance(rows_per_bank, b))
+                .collect(),
+            activations: vec![0; banks as usize],
+            accesses: 0,
+            epochs: 0,
+            epoch_len: None,
+        }
+    }
+
+    /// Enables access-count epoch accounting: every `accesses_per_epoch`
+    /// processed accesses, every bank receives an `on_epoch_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses_per_epoch` is zero.
+    pub fn with_epoch_length(mut self, accesses_per_epoch: u64) -> Self {
+        assert!(accesses_per_epoch > 0, "epoch must contain accesses");
+        self.epoch_len = Some(accesses_per_epoch);
+        self
+    }
+
+    /// Number of banks (with or without an attached scheme).
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Accesses processed so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Epoch boundaries processed so far (batched and manual).
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Row activations observed per bank.
+    pub fn activations_per_bank(&self) -> &[u64] {
+        &self.activations
+    }
+
+    /// Drives one activation through bank `bank` and returns the refreshes
+    /// the scheme requests. Fires no epoch boundaries — the single-access
+    /// callers (the timing simulator) own their epoch clock and call
+    /// [`end_epoch`](Self::end_epoch) themselves. The access still counts
+    /// toward [`accesses`](Self::accesses), which is also the phase
+    /// reference for [`process`](Self::process)'s access-count epochs, so
+    /// don't mix `activate` with an epoch-length-configured batched engine.
+    #[inline]
+    pub fn activate(&mut self, bank: usize, row: u32) -> Refreshes {
+        self.activations[bank] += 1;
+        self.accesses += 1;
+        match &mut self.banks[bank] {
+            Some(scheme) => scheme.on_activation(RowId(row)),
+            None => Refreshes::none(),
+        }
+    }
+
+    /// Signals an auto-refresh epoch boundary to every bank.
+    pub fn end_epoch(&mut self) {
+        self.epochs += 1;
+        for s in self.banks.iter_mut().flatten() {
+            s.on_epoch_end();
+        }
+    }
+
+    /// Running totals of (refresh events, refreshed rows) across banks.
+    /// Cheap (O(banks)); differencing two snapshots gives a batch's outcome
+    /// without putting any accounting in the per-activation loop.
+    fn refresh_totals(&self) -> (u64, u64) {
+        let mut events = 0u64;
+        let mut rows = 0u64;
+        for s in self.banks.iter().flatten() {
+            let stats = s.stats();
+            events += stats.refresh_events;
+            rows += stats.refreshed_rows;
+        }
+        (events, rows)
+    }
+
+    /// Processes a batch of `(bank, row)` activations in order, firing epoch
+    /// boundaries (if configured) at the right global positions, and returns
+    /// the incrementally-aggregated outcome of the batch.
+    pub fn process(&mut self, batch: &[(u16, u32)]) -> BatchOutcome {
+        let mut out = BatchOutcome {
+            accesses: batch.len() as u64,
+            ..BatchOutcome::default()
+        };
+        let (events_before, rows_before) = self.refresh_totals();
+        // Countdown to the next boundary instead of a per-access modulo.
+        let mut until_epoch = self
+            .epoch_len
+            .map(|len| len - self.accesses % len)
+            .unwrap_or(u64::MAX);
+        for &(bank, row) in batch {
+            self.activate(bank as usize, row);
+            until_epoch -= 1;
+            if until_epoch == 0 {
+                self.end_epoch();
+                out.epochs += 1;
+                until_epoch = self.epoch_len.expect("countdown only runs with epochs on");
+            }
+        }
+        let (events, rows) = self.refresh_totals();
+        out.refresh_events = events - events_before;
+        out.refreshed_rows = rows - rows_before;
+        out
+    }
+
+    /// Processes a batch like [`process`](Self::process), but partitioned
+    /// per bank and replayed bank-by-bank on `shards` scoped threads (each
+    /// thread owns a contiguous range of banks). Results are bit-identical
+    /// to the sequential path for every shard count (see the crate-level
+    /// determinism contract).
+    ///
+    /// Beyond the thread-level parallelism, the per-bank replay is also the
+    /// fastest sequential path: each bank's activations run through one
+    /// monomorphic [`SchemeInstance::run`] loop (no per-access dispatch)
+    /// with that bank's counter state hot in cache.
+    ///
+    /// `shards` is clamped to `1..=bank_count`.
+    pub fn process_sharded(&mut self, batch: &[(u16, u32)], shards: usize) -> BatchOutcome {
+        // Work in sub-batches small enough that the partition buffer stays
+        // cache-resident between the scatter and the replay — for large
+        // batches this roughly halves the memory traffic of the sharded
+        // path. Epoch state composes across sub-batches by construction.
+        const CHUNK_ACCESSES: usize = 1 << 20;
+        let (events_before, rows_before) = self.refresh_totals();
+        let nbanks = self.banks.len().max(1);
+        let mut scratch = ShardScratch {
+            counts: vec![0; nbanks],
+            starts: vec![0; nbanks + 1],
+            cursor: vec![0; nbanks],
+            flat: vec![0; batch.len().min(CHUNK_ACCESSES)],
+            epoch_cuts: vec![Vec::new(); nbanks],
+        };
+        let mut epochs = 0u64;
+        for chunk in batch.chunks(CHUNK_ACCESSES) {
+            epochs += self.sharded_chunk(chunk, shards, &mut scratch);
+        }
+        let (events, rows) = self.refresh_totals();
+        BatchOutcome {
+            accesses: batch.len() as u64,
+            epochs,
+            refresh_events: events - events_before,
+            refreshed_rows: rows - rows_before,
+        }
+    }
+
+    /// One cache-sized sub-batch of [`process_sharded`](Self::process_sharded);
+    /// returns the number of epoch boundaries crossed.
+    fn sharded_chunk(
+        &mut self,
+        batch: &[(u16, u32)],
+        shards: usize,
+        scratch: &mut ShardScratch,
+    ) -> u64 {
+        let nbanks = self.banks.len().max(1);
+        let shards = shards.clamp(1, nbanks);
+        let chunk = nbanks.div_ceil(shards);
+
+        // Partition the stream per bank into one flat counting-sort buffer
+        // (exact sizes, no reallocation), recording for every bank at which
+        // local positions the global epoch boundaries fall, so each bank
+        // replays exactly the subsequence it saw — epochs included — in
+        // original order.
+        let ShardScratch {
+            counts,
+            starts,
+            cursor,
+            flat,
+            epoch_cuts,
+        } = scratch;
+        counts.fill(0);
+        for &(bank, _) in batch {
+            counts[bank as usize] += 1;
+        }
+        for b in 0..nbanks {
+            starts[b + 1] = starts[b] + counts[b];
+        }
+        cursor.copy_from_slice(&starts[..nbanks]);
+        let flat = &mut flat[..batch.len()];
+        for cuts in epoch_cuts.iter_mut() {
+            cuts.clear();
+        }
+        // Scatter in epoch-delimited segments (no per-access epoch check).
+        let mut epochs_in_batch = 0u64;
+        let mut done = 0usize;
+        let mut until_epoch = self
+            .epoch_len
+            .map(|len| len - self.accesses % len)
+            .unwrap_or(u64::MAX);
+        while done < batch.len() {
+            let remaining = batch.len() - done;
+            let seg = remaining.min(usize::try_from(until_epoch).unwrap_or(usize::MAX));
+            for &(bank, row) in &batch[done..done + seg] {
+                let b = bank as usize;
+                flat[cursor[b]] = row;
+                cursor[b] += 1;
+            }
+            done += seg;
+            if seg as u64 == until_epoch {
+                epochs_in_batch += 1;
+                until_epoch = self
+                    .epoch_len
+                    .expect("boundaries only occur with epochs on");
+                for (cuts, (&cur, &start)) in
+                    epoch_cuts.iter_mut().zip(cursor.iter().zip(starts.iter()))
+                {
+                    cuts.push(cur - start);
+                }
+            } else {
+                until_epoch -= seg as u64;
+            }
+        }
+        for (count, &c) in self.activations.iter_mut().zip(counts.iter()) {
+            *count += c as u64;
+        }
+
+        let bank_rows: Vec<&[u32]> = (0..nbanks)
+            .map(|b| &flat[starts[b]..starts[b + 1]])
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .banks
+                .chunks_mut(chunk)
+                .zip(bank_rows.chunks(chunk).zip(epoch_cuts.chunks(chunk)))
+                .map(|(banks, (rows, cuts))| scope.spawn(move || run_shard(banks, rows, cuts)))
+                .collect();
+            for h in handles {
+                h.join().expect("shard panicked");
+            }
+        });
+        self.accesses += batch.len() as u64;
+        self.epochs += epochs_in_batch;
+        epochs_in_batch
+    }
+
+    /// Scheme statistics aggregated across banks, in bank order.
+    pub fn stats(&self) -> SchemeStats {
+        let mut total = SchemeStats::default();
+        for s in self.banks.iter().flatten() {
+            total.merge(s.stats());
+        }
+        total
+    }
+
+    /// Per-bank scheme statistics (banks without a scheme are skipped, so
+    /// this is empty for [`SchemeSpec::None`]).
+    pub fn per_bank_stats(&self) -> Vec<SchemeStats> {
+        self.banks.iter().flatten().map(|s| *s.stats()).collect()
+    }
+
+    /// The attached scheme instances (banks without a scheme are skipped).
+    pub fn schemes(&self) -> impl Iterator<Item = &SchemeInstance> {
+        self.banks.iter().flatten()
+    }
+
+    /// Snapshot of everything the simulator layers report.
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            accesses: self.accesses,
+            epochs: self.epochs,
+            activations_per_bank: self.activations.clone(),
+            scheme_stats: self.stats(),
+            per_bank_stats: self.per_bank_stats(),
+        }
+    }
+}
+
+/// Reusable partition buffers for [`BankEngine::process_sharded`] (one
+/// allocation per call, not per cache-sized sub-batch).
+struct ShardScratch {
+    counts: Vec<usize>,
+    starts: Vec<usize>,
+    cursor: Vec<usize>,
+    flat: Vec<u32>,
+    epoch_cuts: Vec<Vec<usize>>,
+}
+
+/// Replays one shard's banks, bank by bank: each bank's whole activation
+/// subsequence runs through one monomorphic [`SchemeInstance::run`] loop,
+/// with that bank's epoch ends fired at the recorded cut positions.
+///
+/// No per-activation accounting happens here — the schemes track their own
+/// [`SchemeStats`], and the caller diffs aggregate snapshots. Keeping the
+/// sink empty lets the compiler drop the `Refreshes` return path from the
+/// inlined loops entirely.
+fn run_shard(banks: &mut [Option<SchemeInstance>], rows: &[&[u32]], epoch_cuts: &[Vec<usize>]) {
+    for (scheme, (bank_rows, cuts)) in banks.iter_mut().zip(rows.iter().zip(epoch_cuts)) {
+        let Some(scheme) = scheme else { continue };
+        let mut next = 0usize;
+        for &cut in cuts {
+            scheme.run(&bank_rows[next..cut], |_| {});
+            next = cut;
+            scheme.on_epoch_end();
+        }
+        scheme.run(&bank_rows[next..], |_| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: u64, banks: u16) -> Vec<(u16, u32)> {
+        // Deterministic hot/cold mix across all banks.
+        (0..n)
+            .map(|i| {
+                let bank = (i % u64::from(banks)) as u16;
+                let row = if i % 3 == 0 {
+                    99
+                } else {
+                    (i.wrapping_mul(2_654_435_761) % 4096) as u32
+                };
+                (bank, row)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn epoch_accounting_fires_at_global_positions() {
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 1 << 20,
+        };
+        let mut engine = BankEngine::new(spec, 4, 4096).with_epoch_length(1_000);
+        let out = engine.process(&batch(2_500, 4));
+        assert_eq!(out.epochs, 2);
+        assert_eq!(engine.epochs(), 2);
+        // The boundary state carries across process calls.
+        let out = engine.process(&batch(500, 4));
+        assert_eq!(out.epochs, 1);
+        assert_eq!(engine.accesses(), 3_000);
+    }
+
+    #[test]
+    fn none_spec_counts_activations_only() {
+        let mut engine = BankEngine::new(SchemeSpec::None, 4, 4096).with_epoch_length(100);
+        engine.process(&batch(400, 4));
+        assert_eq!(engine.activations_per_bank(), &[100, 100, 100, 100]);
+        assert!(engine.per_bank_stats().is_empty());
+        assert_eq!(engine.stats(), SchemeStats::default());
+        assert_eq!(engine.epochs(), 4);
+    }
+
+    #[test]
+    fn batch_outcome_matches_scheme_stats_delta() {
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 64,
+        };
+        let mut engine = BankEngine::new(spec, 4, 4096);
+        let out = engine.process(&batch(10_000, 4));
+        let stats = engine.stats();
+        assert_eq!(out.refresh_events, stats.refresh_events);
+        assert_eq!(out.refreshed_rows, stats.refreshed_rows);
+        assert!(out.refresh_events > 0);
+    }
+
+    #[test]
+    fn sharded_equals_sequential_here_too() {
+        // The exhaustive per-spec sweep lives in tests/equivalence.rs; this
+        // is the quick in-crate smoke check.
+        let spec = SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: 256,
+        };
+        let trace = batch(50_000, 8);
+        let mut seq = BankEngine::new(spec, 8, 4096).with_epoch_length(7_000);
+        seq.process(&trace);
+        for shards in [1, 2, 4, 8, 64] {
+            let mut sharded = BankEngine::new(spec, 8, 4096).with_epoch_length(7_000);
+            sharded.process_sharded(&trace, shards);
+            assert_eq!(sharded.stats(), seq.stats(), "{shards} shards");
+            assert_eq!(sharded.per_bank_stats(), seq.per_bank_stats());
+            assert_eq!(sharded.activations_per_bank(), seq.activations_per_bank());
+            assert_eq!(sharded.epochs(), seq.epochs());
+            assert_eq!(sharded.accesses(), seq.accesses());
+        }
+        assert!(seq.stats().refresh_events > 0);
+    }
+
+    #[test]
+    fn activate_drives_single_accesses() {
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 4,
+        };
+        let mut engine = BankEngine::new(spec, 2, 4096);
+        let mut rows = 0u64;
+        for _ in 0..16 {
+            rows += engine.activate(1, 123).total_rows();
+        }
+        engine.end_epoch();
+        assert!(rows > 0, "threshold 4 must fire within 16 activations");
+        assert_eq!(engine.activations_per_bank(), &[0, 16]);
+        assert_eq!(engine.epochs(), 1);
+        let report = engine.report();
+        assert_eq!(report.accesses, 16);
+        assert_eq!(report.per_bank_stats.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must contain accesses")]
+    fn zero_epoch_length_rejected() {
+        let _ = BankEngine::new(SchemeSpec::None, 1, 4096).with_epoch_length(0);
+    }
+}

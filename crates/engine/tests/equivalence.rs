@@ -1,0 +1,157 @@
+//! Differential test: for every `SchemeSpec` variant the batched and the
+//! bank-sharded engine paths must produce exactly the same `SchemeStats` as
+//! the old sequential boxed-dyn per-access loop, invariant under 1/2/4 shard
+//! threads. PRA is included — per-bank PRNG seeding makes bank-sharding
+//! deterministic.
+
+use cat_core::{MitigationScheme, RowId, SchemeSpec, SchemeStats};
+use cat_engine::BankEngine;
+
+const BANKS: u32 = 16;
+const ROWS: u32 = 8192;
+const EPOCH: u64 = 25_000;
+
+/// Deterministic trace mixing a few hammered rows with a spread background,
+/// across all banks (splitmix-style mixing, no RNG dependency).
+fn trace(n: u64) -> Vec<(u16, u32)> {
+    (0..n)
+        .map(|i| {
+            let mut z = i
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x6a09_e667);
+            z ^= z >> 27;
+            z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+            let bank = (z % u64::from(BANKS)) as u16;
+            let row = if i % 4 != 0 {
+                // Hot rows, distinct per bank, hammered 75% of the time.
+                1000 + u32::from(bank)
+            } else {
+                ((z >> 32) % u64::from(ROWS)) as u32
+            };
+            (bank, row)
+        })
+        .collect()
+}
+
+/// The loop every consumer used to hand-roll before `cat-engine` existed:
+/// boxed trait objects, per-access virtual dispatch, modulo epoch rollover.
+fn old_sequential_loop(spec: SchemeSpec, trace: &[(u16, u32)]) -> (SchemeStats, Vec<SchemeStats>) {
+    let mut schemes: Vec<Option<Box<dyn MitigationScheme + Send>>> =
+        (0..BANKS).map(|b| spec.build(ROWS, b)).collect();
+    let mut accesses = 0u64;
+    for &(bank, row) in trace {
+        if let Some(s) = &mut schemes[bank as usize] {
+            s.on_activation(RowId(row));
+        }
+        accesses += 1;
+        if accesses.is_multiple_of(EPOCH) {
+            for s in schemes.iter_mut().flatten() {
+                s.on_epoch_end();
+            }
+        }
+    }
+    let mut total = SchemeStats::default();
+    let mut per_bank = Vec::new();
+    for s in schemes.iter().flatten() {
+        per_bank.push(*s.stats());
+        total.merge(s.stats());
+    }
+    (total, per_bank)
+}
+
+fn all_specs() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::None,
+        SchemeSpec::pra(0.002),
+        SchemeSpec::Sca {
+            counters: 64,
+            threshold: 512,
+        },
+        SchemeSpec::Prcat {
+            counters: 64,
+            levels: 11,
+            threshold: 512,
+        },
+        SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: 512,
+        },
+        SchemeSpec::CounterCache {
+            entries: 256,
+            ways: 4,
+            threshold: 512,
+        },
+        SchemeSpec::SpaceSaving {
+            counters: 64,
+            threshold: 512,
+        },
+    ]
+}
+
+#[test]
+fn engine_matches_old_loop_for_every_spec_and_shard_count() {
+    let trace = trace(150_000);
+    for spec in all_specs() {
+        let (old_total, old_per_bank) = old_sequential_loop(spec, &trace);
+
+        // Batched, unsharded.
+        let mut engine = BankEngine::new(spec, BANKS, ROWS).with_epoch_length(EPOCH);
+        engine.process(&trace);
+        assert_eq!(engine.stats(), old_total, "{spec}: batched != old loop");
+        assert_eq!(
+            engine.per_bank_stats(),
+            old_per_bank,
+            "{spec}: per-bank mismatch"
+        );
+        assert_eq!(engine.epochs(), 150_000 / EPOCH);
+
+        // Sharded, 1/2/4 threads.
+        for shards in [1usize, 2, 4] {
+            let mut sharded = BankEngine::new(spec, BANKS, ROWS).with_epoch_length(EPOCH);
+            sharded.process_sharded(&trace, shards);
+            assert_eq!(
+                sharded.stats(),
+                old_total,
+                "{spec}: {shards}-shard stats != old loop"
+            );
+            assert_eq!(
+                sharded.per_bank_stats(),
+                old_per_bank,
+                "{spec}: {shards}-shard per-bank mismatch"
+            );
+            assert_eq!(
+                sharded.activations_per_bank(),
+                engine.activations_per_bank()
+            );
+            assert_eq!(sharded.epochs(), engine.epochs());
+        }
+
+        // The comparison must not be vacuous: every real scheme fires.
+        if spec != SchemeSpec::None {
+            assert!(
+                old_total.refresh_events > 0,
+                "{spec}: trace too tame, no refreshes to compare"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_batches_compose_across_process_calls() {
+    // Epoch state must carry across repeated sharded batches exactly as in
+    // one big sequential run.
+    let spec = SchemeSpec::Drcat {
+        counters: 64,
+        levels: 11,
+        threshold: 512,
+    };
+    let trace = trace(90_000);
+    let (old_total, _) = old_sequential_loop(spec, &trace);
+    let mut engine = BankEngine::new(spec, BANKS, ROWS).with_epoch_length(EPOCH);
+    for chunk in trace.chunks(13_337) {
+        engine.process_sharded(chunk, 4);
+    }
+    assert_eq!(engine.stats(), old_total);
+    assert_eq!(engine.epochs(), 90_000 / EPOCH);
+}

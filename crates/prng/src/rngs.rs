@@ -45,7 +45,9 @@ pub struct SmallRng {
 
 impl SeedableRng for SmallRng {
     fn seed_from_u64(seed: u64) -> Self {
-        SmallRng { s: expand_seed(seed) }
+        SmallRng {
+            s: expand_seed(seed),
+        }
     }
 }
 
@@ -78,10 +80,7 @@ impl SeedableRng for StdRng {
 
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
-        let out = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         xoshiro_advance!(self.s);
         out
     }
@@ -97,7 +96,10 @@ mod tests {
         // implementation of xoshiro256++.
         let mut rng = SmallRng { s: [1, 2, 3, 4] };
         let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
-        assert_eq!(got, vec![41943041, 58720359, 3588806011781223, 3591011842654386]);
+        assert_eq!(
+            got,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
     }
 
     #[test]

@@ -59,8 +59,14 @@ mod tests {
         // lower than the Chipkill's 1E-4".
         let at_001 = log10_unsurvivability(0.001, 32_768, 10.0, 5.0);
         let at_002 = log10_unsurvivability(0.002, 32_768, 10.0, 5.0);
-        assert!(at_001 > chipkill_log10(), "p=0.001 fails chipkill: {at_001}");
-        assert!(at_002 < chipkill_log10(), "p=0.002 beats chipkill: {at_002}");
+        assert!(
+            at_001 > chipkill_log10(),
+            "p=0.001 fails chipkill: {at_001}"
+        );
+        assert!(
+            at_002 < chipkill_log10(),
+            "p=0.002 beats chipkill: {at_002}"
+        );
     }
 
     #[test]
@@ -71,7 +77,11 @@ mod tests {
             let ok = log10_unsurvivability(p_needed, t, 40.0, 5.0);
             assert!(ok < chipkill_log10(), "T={t} p={p_needed}: {ok}");
             let not_ok = log10_unsurvivability(p_needed / 2.5, t, 40.0, 5.0);
-            assert!(not_ok > chipkill_log10(), "T={t} p={}: {not_ok}", p_needed / 2.5);
+            assert!(
+                not_ok > chipkill_log10(),
+                "T={t} p={}: {not_ok}",
+                p_needed / 2.5
+            );
         }
     }
 

@@ -292,10 +292,7 @@ mod tests {
     fn lfsr_effective_probability_near_nominal() {
         let p_eff = lfsr_effective_probability(0.005, 9, 0xACE1);
         // Quantised nominal is 3/512 ≈ 0.00586.
-        assert!(
-            (p_eff - 3.0 / 512.0).abs() < 0.002,
-            "effective p {p_eff}"
-        );
+        assert!((p_eff - 3.0 / 512.0).abs() < 0.002, "effective p {p_eff}");
     }
 
     #[test]

@@ -121,8 +121,10 @@ mod tests {
         for (ch, bank, row, col) in [(0, 0, 0, 0), (1, 7, 65_535, 255), (0, 3, 40_000, 100)] {
             let addr = map.encode_line(ch, 0, bank, row, col);
             let loc = map.decode(addr);
-            assert_eq!((loc.channel, loc.rank, loc.bank, loc.row, loc.col),
-                       (ch, 0, bank, row, col));
+            assert_eq!(
+                (loc.channel, loc.rank, loc.bank, loc.row, loc.col),
+                (ch, 0, bank, row, col)
+            );
         }
     }
 
@@ -133,7 +135,10 @@ mod tests {
         for (ch, rk, bank, row) in [(3, 1, 7, 131_071), (2, 0, 5, 1)] {
             let addr = map.encode_line(ch, rk, bank, row, 9);
             let loc = map.decode(addr);
-            assert_eq!((loc.channel, loc.rank, loc.bank, loc.row), (ch, rk, bank, row));
+            assert_eq!(
+                (loc.channel, loc.rank, loc.bank, loc.row),
+                (ch, rk, bank, row)
+            );
         }
     }
 
@@ -178,12 +183,24 @@ mod tests {
         let m2 = AddressMapping::new(&cfg2);
         let m4 = AddressMapping::new(&cfg4);
         let addrs: Vec<u64> = (0..1024u64)
-            .map(|i| m2.encode_line((i % 2) as u32, 0, ((i / 2) % 8) as u32, (i * 97 % 65_536) as u32, 0))
+            .map(|i| {
+                m2.encode_line(
+                    (i % 2) as u32,
+                    0,
+                    ((i / 2) % 8) as u32,
+                    (i * 97 % 65_536) as u32,
+                    0,
+                )
+            })
             .collect();
-        let banks2: std::collections::HashSet<u32> =
-            addrs.iter().map(|&a| m2.decode(a).global_bank(&cfg2)).collect();
-        let banks4: std::collections::HashSet<u32> =
-            addrs.iter().map(|&a| m4.decode(a).global_bank(&cfg4)).collect();
+        let banks2: std::collections::HashSet<u32> = addrs
+            .iter()
+            .map(|&a| m2.decode(a).global_bank(&cfg2))
+            .collect();
+        let banks4: std::collections::HashSet<u32> = addrs
+            .iter()
+            .map(|&a| m4.decode(a).global_bank(&cfg4))
+            .collect();
         assert!(banks4.len() >= banks2.len());
     }
 }

@@ -49,7 +49,6 @@ pub(crate) struct Channel {
     scan_limit: usize,
     pub reads_issued: u64,
     pub writes_issued: u64,
-    
 }
 
 impl Channel {
@@ -154,7 +153,11 @@ impl Channel {
         if self.bus_free_at > data_at {
             return; // data bus cannot take another burst yet
         }
-        let queue = if use_writes { &self.write_q } else { &self.read_q };
+        let queue = if use_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         let mut chosen = None;
         for (i, r) in queue.iter().enumerate().take(self.scan_limit) {
             let b = (r.loc.rank * self.banks_per_rank + r.loc.bank) as usize;
@@ -205,13 +208,23 @@ mod tests {
     }
 
     fn loc(bank: u32, row: u32) -> Location {
-        Location { channel: 0, rank: 0, bank, row, col: 0 }
+        Location {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+            col: 0,
+        }
     }
 
     #[test]
     fn read_completes_after_rcd_cas_burst() {
         let mut ch = channel();
-        ch.read_q.push_back(Request { req: 0, loc: loc(0, 5), write: false });
+        ch.read_q.push_back(Request {
+            req: 0,
+            loc: loc(0, 5),
+            write: false,
+        });
         let mut noop = |_: usize, _: u32| 0u64;
         // Auto-refresh hits at t_refi; use a cycle before that.
         ch.tick(100, &mut noop);
@@ -228,8 +241,16 @@ mod tests {
     #[test]
     fn bank_conflict_serialises_requests() {
         let mut ch = channel();
-        ch.read_q.push_back(Request { req: 0, loc: loc(2, 5), write: false });
-        ch.read_q.push_back(Request { req: 1, loc: loc(2, 9), write: false });
+        ch.read_q.push_back(Request {
+            req: 0,
+            loc: loc(2, 5),
+            write: false,
+        });
+        ch.read_q.push_back(Request {
+            req: 1,
+            loc: loc(2, 9),
+            write: false,
+        });
         let mut noop = |_: usize, _: u32| 0u64;
         ch.tick(10, &mut noop);
         ch.tick(11, &mut noop);
@@ -241,9 +262,21 @@ mod tests {
     #[test]
     fn younger_request_to_free_bank_bypasses_blocked_head() {
         let mut ch = channel();
-        ch.read_q.push_back(Request { req: 0, loc: loc(0, 1), write: false });
-        ch.read_q.push_back(Request { req: 1, loc: loc(0, 2), write: false });
-        ch.read_q.push_back(Request { req: 2, loc: loc(1, 3), write: false });
+        ch.read_q.push_back(Request {
+            req: 0,
+            loc: loc(0, 1),
+            write: false,
+        });
+        ch.read_q.push_back(Request {
+            req: 1,
+            loc: loc(0, 2),
+            write: false,
+        });
+        ch.read_q.push_back(Request {
+            req: 2,
+            loc: loc(1, 3),
+            write: false,
+        });
         let mut noop = |_: usize, _: u32| 0u64;
         ch.tick(10, &mut noop); // req 0 (bank 0)
         ch.tick(30, &mut noop); // bank 0 busy → req 2 (bank 1) goes
@@ -262,7 +295,11 @@ mod tests {
         assert_eq!(ch.banks[3].refresh_busy_cycles, 100 * t.t_rc);
         assert_eq!(ch.pending_refresh_banks, 0);
         // A read to that bank cannot issue until the refresh ends.
-        ch.read_q.push_back(Request { req: 0, loc: loc(3, 0), write: false });
+        ch.read_q.push_back(Request {
+            req: 0,
+            loc: loc(3, 0),
+            write: false,
+        });
         ch.tick(11, &mut noop);
         assert_eq!(ch.reads_issued, 0);
         ch.tick(10 + 100 * t.t_rc, &mut noop);
@@ -272,7 +309,11 @@ mod tests {
     #[test]
     fn activation_hook_sees_issued_rows() {
         let mut ch = channel();
-        ch.read_q.push_back(Request { req: 0, loc: loc(4, 1234), write: false });
+        ch.read_q.push_back(Request {
+            req: 0,
+            loc: loc(4, 1234),
+            write: false,
+        });
         let mut seen = Vec::new();
         let mut hook = |bank: usize, row: u32| {
             seen.push((bank, row));
@@ -288,12 +329,23 @@ mod tests {
     fn write_drain_hysteresis() {
         let mut ch = channel();
         for i in 0..40 {
-            ch.write_q.push_back(Request { req: i, loc: loc(i % 8, i), write: true });
+            ch.write_q.push_back(Request {
+                req: i,
+                loc: loc(i % 8, i),
+                write: true,
+            });
         }
-        ch.read_q.push_back(Request { req: 99, loc: loc(0, 0), write: false });
+        ch.read_q.push_back(Request {
+            req: 99,
+            loc: loc(0, 0),
+            write: false,
+        });
         let mut noop = |_: usize, _: u32| 0u64;
         ch.tick(10, &mut noop);
-        assert_eq!(ch.writes_issued, 1, "above high watermark: drain writes first");
+        assert_eq!(
+            ch.writes_issued, 1,
+            "above high watermark: drain writes first"
+        );
     }
 
     #[test]

@@ -152,7 +152,11 @@ mod tests {
     use super::*;
 
     fn rec(gap: u32, write: bool) -> MemAccess {
-        MemAccess { gap, write, addr: 0 }
+        MemAccess {
+            gap,
+            write,
+            addr: 0,
+        }
     }
 
     #[test]

@@ -2,13 +2,22 @@
 //! activation stream. Used for the wide CMRPO parameter sweeps (Figs. 2,
 //! 10, 12) where refresh-row counts — not cycle-accurate delays — are
 //! needed, at two orders of magnitude more speed than the timed model.
+//!
+//! The scheme-driving loop itself lives in [`cat_engine::BankEngine`]; this
+//! module only decodes addresses into `(bank, row)` batches and feeds them
+//! to the engine.
 
-use cat_core::{MitigationScheme, RowId, SchemeStats};
+use cat_core::SchemeStats;
+use cat_engine::BankEngine;
 
 use crate::address::AddressMapping;
 use crate::config::SystemConfig;
 use crate::scheme_spec::SchemeSpec;
 use crate::trace::MemAccess;
+
+/// Decoded accesses buffered per engine batch (amortises the batch-call
+/// overhead without holding a whole trace in memory).
+const BATCH: usize = 8192;
 
 /// Result of a functional run.
 #[derive(Clone, Debug, Default)]
@@ -25,9 +34,9 @@ pub struct FunctionalReport {
     pub epochs: u64,
 }
 
-/// Replays an access stream through per-bank scheme instances, invoking
-/// epoch resets every `accesses_per_epoch` accesses (the stream is assumed
-/// to be rate-uniform within an epoch — see `DESIGN.md`).
+/// Replays an access stream through the multi-bank engine, invoking epoch
+/// resets every `accesses_per_epoch` accesses (the stream is assumed to be
+/// rate-uniform within an epoch — see `DESIGN.md`).
 ///
 /// ```
 /// use cat_sim::functional::run_functional;
@@ -52,34 +61,28 @@ pub fn run_functional(
 ) -> FunctionalReport {
     assert!(accesses_per_epoch > 0, "epoch must contain accesses");
     let mapping = AddressMapping::new(config);
-    let mut schemes: Vec<Option<Box<dyn MitigationScheme + Send>>> = (0..config.total_banks())
-        .map(|b| spec.build(config.rows_per_bank, b))
-        .collect();
-    let mut activations = vec![0u64; config.total_banks() as usize];
-    let mut report = FunctionalReport::default();
+    let mut engine = BankEngine::new(spec, config.total_banks(), config.rows_per_bank)
+        .with_epoch_length(accesses_per_epoch);
 
+    let mut batch: Vec<(u16, u32)> = Vec::with_capacity(BATCH);
     for access in stream {
         let loc = mapping.decode(access.addr);
-        let bank = loc.global_bank(config) as usize;
-        activations[bank] += 1;
-        if let Some(scheme) = &mut schemes[bank] {
-            scheme.on_activation(RowId(loc.row));
-        }
-        report.accesses += 1;
-        if report.accesses % accesses_per_epoch == 0 {
-            report.epochs += 1;
-            for s in schemes.iter_mut().flatten() {
-                s.on_epoch_end();
-            }
+        batch.push((loc.global_bank(config) as u16, loc.row));
+        if batch.len() == BATCH {
+            engine.process(&batch);
+            batch.clear();
         }
     }
+    engine.process(&batch);
 
-    report.activations_per_bank = activations;
-    for scheme in schemes.iter().flatten() {
-        report.per_bank_stats.push(*scheme.stats());
-        report.scheme_stats.merge(scheme.stats());
+    let report = engine.report();
+    FunctionalReport {
+        accesses: report.accesses,
+        activations_per_bank: report.activations_per_bank,
+        scheme_stats: report.scheme_stats,
+        per_bank_stats: report.per_bank_stats,
+        epochs: report.epochs,
     }
-    report
 }
 
 #[cfg(test)]
@@ -91,19 +94,24 @@ mod tests {
         (0..n).map(move |i| MemAccess {
             gap: 0,
             write: false,
-            addr: map.encode_line(0, 0, 2, if i % 2 == 0 { 7_777 } else { (i % 65_536) as u32 }, 0),
+            addr: map.encode_line(
+                0,
+                0,
+                2,
+                if i % 2 == 0 {
+                    7_777
+                } else {
+                    (i % 65_536) as u32
+                },
+                0,
+            ),
         })
     }
 
     #[test]
     fn counts_land_in_the_right_bank() {
         let cfg = SystemConfig::dual_core_two_channel();
-        let r = run_functional(
-            &cfg,
-            SchemeSpec::None,
-            hot_stream(&cfg, 10_000),
-            1_000_000,
-        );
+        let r = run_functional(&cfg, SchemeSpec::None, hot_stream(&cfg, 10_000), 1_000_000);
         assert_eq!(r.accesses, 10_000);
         // channel 0, rank 0, bank 2 → global bank 2.
         assert_eq!(r.activations_per_bank[2], 10_000);
@@ -113,7 +121,11 @@ mod tests {
     #[test]
     fn schemes_fire_in_functional_mode() {
         let cfg = SystemConfig::dual_core_two_channel();
-        let spec = SchemeSpec::Drcat { counters: 64, levels: 11, threshold: 2_048 };
+        let spec = SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: 2_048,
+        };
         let r = run_functional(&cfg, spec, hot_stream(&cfg, 50_000), 1_000_000);
         assert!(r.scheme_stats.refresh_events > 0);
         assert!(r.scheme_stats.refreshed_rows > 0);
@@ -124,6 +136,17 @@ mod tests {
         let cfg = SystemConfig::dual_core_two_channel();
         let r = run_functional(&cfg, SchemeSpec::None, hot_stream(&cfg, 10_000), 2_500);
         assert_eq!(r.epochs, 4);
+    }
+
+    #[test]
+    fn epochs_fire_inside_and_across_batches() {
+        // Epoch length smaller than one engine batch and not a divisor of
+        // it: boundaries must land mid-batch and carry across batches.
+        let cfg = SystemConfig::dual_core_two_channel();
+        let n = super::BATCH as u64 * 3 + 500;
+        let r = run_functional(&cfg, SchemeSpec::None, hot_stream(&cfg, n), 3_000);
+        assert_eq!(r.epochs, n / 3_000);
+        assert_eq!(r.accesses, n);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`functional`] — a fast timing-free mode that drives only the
 //!   mitigation schemes (used for the large CMRPO parameter sweeps).
 //!
+//! Both modes drive the per-bank schemes through `cat_engine::BankEngine`
+//! (statically-dispatched [`cat_core::SchemeInstance`] shards); the
+//! [`SchemeSpec`] type itself lives in `cat-core` and is re-exported here.
+//!
 //! ```
 //! use cat_sim::{SchemeSpec, SystemConfig, Simulator};
 //!

@@ -57,9 +57,15 @@ mod tests {
 
     #[test]
     fn eto_is_relative_slowdown() {
-        let r = SimReport { cycles: 110, ..SimReport::default() };
+        let r = SimReport {
+            cycles: 110,
+            ..SimReport::default()
+        };
         assert!((r.eto(100) - 0.10).abs() < 1e-12);
-        let r = SimReport { cycles: 100, ..SimReport::default() };
+        let r = SimReport {
+            cycles: 100,
+            ..SimReport::default()
+        };
         assert_eq!(r.eto(100), 0.0);
     }
 
@@ -67,7 +73,12 @@ mod tests {
     fn activation_rate_handles_zero_time() {
         let r = SimReport::default();
         assert_eq!(r.activation_rate(), 0.0);
-        let r = SimReport { reads: 100, writes: 50, seconds: 0.5, ..SimReport::default() };
+        let r = SimReport {
+            reads: 100,
+            writes: 50,
+            seconds: 0.5,
+            ..SimReport::default()
+        };
         assert_eq!(r.activation_rate(), 300.0);
     }
 

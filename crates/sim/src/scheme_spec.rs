@@ -1,199 +1,20 @@
-//! Declarative scheme selection for simulations: which mitigation scheme to
-//! instantiate per bank.
+//! Compatibility shim: [`SchemeSpec`] moved down into `cat-core` so the
+//! engine and every other layer can build schemes without depending on the
+//! simulator. `cat_sim::SchemeSpec` remains a valid path.
 
-use cat_core::{
-    CatConfig, CounterCache, CounterCacheConfig, Drcat, MitigationScheme, Pra, Prcat, Sca,
-    SpaceSaving, ThresholdPolicy,
-};
-
-/// Which crosstalk-mitigation scheme a simulation attaches to every bank.
-///
-/// ```
-/// use cat_sim::SchemeSpec;
-/// let spec = SchemeSpec::Drcat { counters: 64, levels: 11, threshold: 32_768 };
-/// let scheme = spec.build(65_536, 0).unwrap();
-/// assert_eq!(scheme.name(), "DRCAT_64");
-/// assert_eq!(SchemeSpec::None.build(65_536, 0).is_none(), true);
-/// ```
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub enum SchemeSpec {
-    /// No mitigation (baseline for ETO).
-    None,
-    /// Probabilistic row activation with nominal probability `p`.
-    Pra {
-        /// Refresh probability per activation.
-        p: f64,
-        /// PRNG word width in bits (paper: 9).
-        bits: u32,
-        /// Base seed (per-bank seeds derive from it).
-        seed: u64,
-    },
-    /// Static counter assignment with `counters` uniform groups.
-    Sca {
-        /// Counters per bank.
-        counters: usize,
-        /// Refresh threshold `T`.
-        threshold: u32,
-    },
-    /// Periodically reset CAT.
-    Prcat {
-        /// Counters per bank (`M`).
-        counters: usize,
-        /// Maximum tree levels (`L`).
-        levels: u32,
-        /// Refresh threshold `T`.
-        threshold: u32,
-    },
-    /// Dynamically reconfigured CAT.
-    Drcat {
-        /// Counters per bank (`M`).
-        counters: usize,
-        /// Maximum tree levels (`L`).
-        levels: u32,
-        /// Refresh threshold `T`.
-        threshold: u32,
-    },
-    /// Per-row counters in DRAM with an on-chip counter cache.
-    CounterCache {
-        /// Cached counter entries per bank.
-        entries: usize,
-        /// Associativity.
-        ways: usize,
-        /// Refresh threshold `T`.
-        threshold: u32,
-    },
-    /// Space-Saving frequent-item tracker (extension baseline; DESIGN.md §6).
-    SpaceSaving {
-        /// Tracking counters per bank.
-        counters: usize,
-        /// Refresh threshold `T`.
-        threshold: u32,
-    },
-}
-
-impl SchemeSpec {
-    /// PRA with the paper's defaults (9 random bits per access).
-    pub fn pra(p: f64) -> Self {
-        SchemeSpec::Pra { p, bits: 9, seed: 0x5eed_cafe }
-    }
-
-    /// Instantiates the scheme for one bank of `rows` rows.
-    ///
-    /// Returns `None` for [`SchemeSpec::None`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the specification is invalid for the bank geometry (these
-    /// are programming errors in experiment definitions, not runtime
-    /// conditions).
-    pub fn build(&self, rows: u32, bank_index: u32) -> Option<Box<dyn MitigationScheme + Send>> {
-        match *self {
-            SchemeSpec::None => None,
-            SchemeSpec::Pra { p, bits, seed } => {
-                let rng = Box::new(cat_core::rng::IdealRng::seeded(
-                    seed ^ (u64::from(bank_index) << 32) ^ 0x9e37_79b9,
-                ));
-                Some(Box::new(
-                    Pra::with_rng(rows, p, bits, rng).expect("valid PRA spec"),
-                ))
-            }
-            SchemeSpec::Sca { counters, threshold } => Some(Box::new(
-                Sca::new(rows, counters, threshold).expect("valid SCA spec"),
-            )),
-            SchemeSpec::Prcat {
-                counters,
-                levels,
-                threshold,
-            } => {
-                let cfg = CatConfig::new(rows, counters, levels, threshold)
-                    .expect("valid PRCAT spec")
-                    .with_policy(ThresholdPolicy::PaperCurve);
-                Some(Box::new(Prcat::new(cfg)))
-            }
-            SchemeSpec::Drcat {
-                counters,
-                levels,
-                threshold,
-            } => {
-                let cfg = CatConfig::new(rows, counters, levels, threshold)
-                    .expect("valid DRCAT spec")
-                    .with_policy(ThresholdPolicy::PaperCurve);
-                Some(Box::new(Drcat::new(cfg)))
-            }
-            SchemeSpec::CounterCache {
-                entries,
-                ways,
-                threshold,
-            } => {
-                let cache = CounterCacheConfig::with_entries(entries, ways)
-                    .expect("valid counter-cache spec");
-                Some(Box::new(
-                    CounterCache::new(rows, cache, threshold).expect("valid counter-cache spec"),
-                ))
-            }
-            SchemeSpec::SpaceSaving { counters, threshold } => Some(Box::new(
-                SpaceSaving::new(rows, counters, threshold).expect("valid space-saving spec"),
-            )),
-        }
-    }
-
-    /// Short label used in result tables, e.g. `PRA_0.002` or `DRCAT_64`.
-    pub fn label(&self) -> String {
-        match *self {
-            SchemeSpec::None => "baseline".to_string(),
-            SchemeSpec::Pra { p, .. } => format!("PRA_{p}"),
-            SchemeSpec::Sca { counters, .. } => format!("SCA_{counters}"),
-            SchemeSpec::Prcat { counters, .. } => format!("PRCAT_{counters}"),
-            SchemeSpec::Drcat { counters, .. } => format!("DRCAT_{counters}"),
-            SchemeSpec::CounterCache { entries, .. } => format!("CC_{entries}"),
-            SchemeSpec::SpaceSaving { counters, .. } => format!("SS_{counters}"),
-        }
-    }
-}
+pub use cat_core::SchemeSpec;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn builds_every_scheme() {
-        let specs = [
-            SchemeSpec::pra(0.002),
-            SchemeSpec::Sca { counters: 64, threshold: 32_768 },
-            SchemeSpec::Prcat { counters: 64, levels: 11, threshold: 32_768 },
-            SchemeSpec::Drcat { counters: 64, levels: 11, threshold: 32_768 },
-            SchemeSpec::CounterCache { entries: 1024, ways: 8, threshold: 32_768 },
-            SchemeSpec::SpaceSaving { counters: 64, threshold: 32_768 },
-        ];
-        for spec in specs {
-            let s = spec.build(65_536, 3).expect("buildable");
-            assert_eq!(s.rows(), 65_536);
-            assert!(!spec.label().is_empty());
-        }
-        assert!(SchemeSpec::None.build(65_536, 0).is_none());
-        assert_eq!(SchemeSpec::None.label(), "baseline");
-    }
-
-    #[test]
-    fn pra_banks_get_distinct_seeds() {
-        use cat_core::RowId;
-        let spec = SchemeSpec::pra(0.5);
-        let mut a = spec.build(1024, 0).unwrap();
-        let mut b = spec.build(1024, 1).unwrap();
-        // With p = 0.5 the decision streams diverge almost immediately if
-        // the seeds differ.
-        let fire = |s: &mut Box<dyn cat_core::MitigationScheme + Send>| {
-            (0..64).map(|_| !s.on_activation(RowId(5)).is_empty()).collect::<Vec<_>>()
-        };
-        assert_ne!(fire(&mut a), fire(&mut b));
-    }
-
-    #[test]
-    fn labels_match_paper_notation() {
-        assert_eq!(SchemeSpec::pra(0.002).label(), "PRA_0.002");
-        assert_eq!(
-            SchemeSpec::Sca { counters: 128, threshold: 16_384 }.label(),
-            "SCA_128"
-        );
+    fn reexport_is_the_core_type() {
+        // The old `cat_sim::SchemeSpec` spelling keeps working and is the
+        // same type the engine consumes.
+        let spec: SchemeSpec = "drcat:64:11:32768".parse().unwrap();
+        let engine = cat_engine::BankEngine::new(spec, 2, 65_536);
+        assert_eq!(engine.bank_count(), 2);
+        assert_eq!(engine.schemes().count(), 2);
     }
 }

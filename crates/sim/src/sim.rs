@@ -1,7 +1,8 @@
 //! The cycle-based system simulator tying cores, channels and mitigation
 //! schemes together.
 
-use cat_core::{MitigationScheme, RowId};
+use cat_core::MitigationScheme;
+use cat_engine::BankEngine;
 
 use crate::address::AddressMapping;
 use crate::config::SystemConfig;
@@ -12,14 +13,14 @@ use crate::scheme_spec::SchemeSpec;
 use crate::trace::MemAccess;
 
 /// A multi-core, multi-channel DRAM system with one mitigation-scheme
-/// instance per bank.
+/// instance per bank, driven through [`cat_engine::BankEngine`].
 ///
 /// See the crate-level example for usage; [`Simulator::run`] consumes one
 /// trace per core and returns a [`SimReport`].
 pub struct Simulator {
     config: SystemConfig,
     mapping: AddressMapping,
-    schemes: Vec<Option<Box<dyn MitigationScheme + Send>>>,
+    engine: BankEngine,
     /// Hard cap on simulated cycles (runaway guard).
     max_cycles: u64,
 }
@@ -28,12 +29,12 @@ impl Simulator {
     /// Creates a simulator for `config`, instantiating `spec` per bank.
     pub fn new(config: SystemConfig, spec: SchemeSpec) -> Self {
         let mapping = AddressMapping::new(&config);
-        let schemes = (0..config.total_banks())
-            .map(|b| spec.build(config.rows_per_bank, b))
-            .collect();
+        // Epoch boundaries are cycle-driven here, so the engine's
+        // access-count epoch accounting stays disabled.
+        let engine = BankEngine::new(spec, config.total_banks(), config.rows_per_bank);
         Simulator {
             mapping,
-            schemes,
+            engine,
             max_cycles: 40 * config.cycles_per_epoch(),
             config,
         }
@@ -68,8 +69,7 @@ impl Simulator {
             .into_iter()
             .map(|t| Core::new(t, cfg.rob_size))
             .collect();
-        let mut channels: Vec<Channel> =
-            (0..cfg.channels).map(|_| Channel::new(cfg)).collect();
+        let mut channels: Vec<Channel> = (0..cfg.channels).map(|_| Channel::new(cfg)).collect();
         let mut completed: Vec<bool> = Vec::with_capacity(1 << 16);
 
         let commit_budget = (cfg.retire_width as u64 * cfg.cpu_per_mem_cycle) as u32;
@@ -90,21 +90,17 @@ impl Simulator {
             // Auto-refresh epoch boundary: every row has been refreshed.
             if cycle.is_multiple_of(epoch_cycles) {
                 epochs += 1;
-                for s in self.schemes.iter_mut().flatten() {
-                    s.on_epoch_end();
-                }
+                self.engine.end_epoch();
             }
 
             // Memory controllers.
             for (ci, ch) in channels.iter_mut().enumerate() {
                 ch.harvest_completions(cycle, &mut completed);
-                let schemes = &mut self.schemes;
+                let engine = &mut self.engine;
                 let mut on_activation = |bank_in_ch: usize, row: u32| -> u64 {
-                    let global = ci * banks_per_channel + bank_in_ch;
-                    match &mut schemes[global] {
-                        Some(scheme) => scheme.on_activation(RowId(row)).total_rows(),
-                        None => 0,
-                    }
+                    engine
+                        .activate(ci * banks_per_channel + bank_in_ch, row)
+                        .total_rows()
                 };
                 ch.tick(cycle, &mut on_activation);
             }
@@ -124,12 +120,20 @@ impl Simulator {
                         if ch.write_queue_full() {
                             return IssueResult::Stall;
                         }
-                        ch.write_q.push_back(Request { req: u32::MAX, loc, write: true });
+                        ch.write_q.push_back(Request {
+                            req: u32::MAX,
+                            loc,
+                            write: true,
+                        });
                         IssueResult::Write
                     } else {
                         let req = completed_len.len() as u32;
                         completed_len.push(false);
-                        ch.read_q.push_back(Request { req, loc, write: false });
+                        ch.read_q.push_back(Request {
+                            req,
+                            loc,
+                            write: false,
+                        });
                         IssueResult::Read(req)
                     }
                 };
@@ -158,16 +162,21 @@ impl Simulator {
                 report.mitigation_busy_cycles += b.refresh_busy_cycles;
             }
         }
-        for scheme in self.schemes.iter().flatten() {
-            report.per_bank_stats.push(*scheme.stats());
-            report.scheme_stats.merge(scheme.stats());
-        }
+        report.per_bank_stats = self.engine.per_bank_stats();
+        report.scheme_stats = self.engine.stats();
         report
     }
 
     /// Access to the per-bank schemes after a run (diagnostics).
     pub fn schemes(&self) -> impl Iterator<Item = &(dyn MitigationScheme + Send)> {
-        self.schemes.iter().flatten().map(|b| b.as_ref())
+        self.engine
+            .schemes()
+            .map(|s| s as &(dyn MitigationScheme + Send))
+    }
+
+    /// Access to the underlying multi-bank engine (diagnostics).
+    pub fn engine(&self) -> &BankEngine {
+        &self.engine
     }
 }
 
@@ -235,7 +244,10 @@ mod tests {
         let rb = base.run(mk(&cfg));
         let mut sim = Simulator::new(
             cfg.clone(),
-            SchemeSpec::Sca { counters: 16, threshold: 8_192 },
+            SchemeSpec::Sca {
+                counters: 16,
+                threshold: 8_192,
+            },
         );
         let rs = sim.run(mk(&cfg));
         assert!(rs.scheme_stats.refresh_events > 0);
@@ -276,7 +288,11 @@ mod tests {
         let t1 = spread_trace(&cfg, 150_000, 60, 2);
         let mut sim = Simulator::new(
             cfg,
-            SchemeSpec::Prcat { counters: 64, levels: 11, threshold: 32_768 },
+            SchemeSpec::Prcat {
+                counters: 64,
+                levels: 11,
+                threshold: 32_768,
+            },
         );
         let r = sim.run(vec![Box::new(t0.into_iter()), Box::new(t1.into_iter())]);
         assert!(r.epochs >= 1, "run must span at least one epoch");

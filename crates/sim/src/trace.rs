@@ -29,8 +29,16 @@ mod tests {
             t.count()
         }
         let v = vec![
-            MemAccess { gap: 1, write: false, addr: 0 },
-            MemAccess { gap: 2, write: true, addr: 64 },
+            MemAccess {
+                gap: 1,
+                write: false,
+                addr: 0,
+            },
+            MemAccess {
+                gap: 2,
+                write: true,
+                addr: 64,
+            },
         ];
         assert_eq!(count(v.into_iter()), 2);
     }

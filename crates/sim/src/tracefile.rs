@@ -57,7 +57,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -84,7 +88,10 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<MemAccess>, ParseTraceError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let err = |message: String| ParseTraceError { line: i + 1, message };
+        let err = |message: String| ParseTraceError {
+            line: i + 1,
+            message,
+        };
         let gap: u32 = parts
             .next()
             .ok_or_else(|| err("missing gap".into()))?
@@ -97,10 +104,15 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<MemAccess>, ParseTraceError> {
             other => return Err(err(format!("expected R or W, got {other}"))),
         };
         let addr_s = parts.next().ok_or_else(|| err("missing address".into()))?;
-        let addr = if let Some(hex) = addr_s.strip_prefix("0x").or_else(|| addr_s.strip_prefix("0X")) {
+        let addr = if let Some(hex) = addr_s
+            .strip_prefix("0x")
+            .or_else(|| addr_s.strip_prefix("0X"))
+        {
             u64::from_str_radix(hex, 16).map_err(|e| err(format!("bad address: {e}")))?
         } else {
-            addr_s.parse().map_err(|e| err(format!("bad address: {e}")))?
+            addr_s
+                .parse()
+                .map_err(|e| err(format!("bad address: {e}")))?
         };
         if parts.next().is_some() {
             return Err(err("trailing tokens".into()));
@@ -117,9 +129,21 @@ mod tests {
     #[test]
     fn round_trip() {
         let accesses = vec![
-            MemAccess { gap: 0, write: false, addr: 0 },
-            MemAccess { gap: 1_000_000, write: true, addr: u64::MAX >> 8 },
-            MemAccess { gap: 7, write: false, addr: 0xdead_beef },
+            MemAccess {
+                gap: 0,
+                write: false,
+                addr: 0,
+            },
+            MemAccess {
+                gap: 1_000_000,
+                write: true,
+                addr: u64::MAX >> 8,
+            },
+            MemAccess {
+                gap: 7,
+                write: false,
+                addr: 0xdead_beef,
+            },
         ];
         let mut buf = Vec::new();
         write_trace(&mut buf, accesses.iter().copied()).unwrap();
@@ -134,8 +158,16 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                MemAccess { gap: 5, write: false, addr: 0x40 },
-                MemAccess { gap: 3, write: true, addr: 64 },
+                MemAccess {
+                    gap: 5,
+                    write: false,
+                    addr: 0x40
+                },
+                MemAccess {
+                    gap: 3,
+                    write: true,
+                    addr: 64
+                },
             ]
         );
     }

@@ -80,9 +80,7 @@ impl KernelAttack {
                         let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                         let u2: f64 = rng.gen();
                         let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-                        let row = (center + n * sigma)
-                            .round()
-                            .rem_euclid(rows) as u32;
+                        let row = (center + n * sigma).round().rem_euclid(rows) as u32;
                         targets.push(mapping.encode_line(ch, rk, bk, row, 0));
                     }
                 }
@@ -207,8 +205,14 @@ mod tests {
         let cfg = SystemConfig::dual_core_two_channel();
         let benign = catalog::by_name("swapt").unwrap();
         let k = KernelAttack::new(5, &cfg);
-        let a: Vec<_> = k.stream(&benign, &cfg, AttackMode::Medium, 0, 1, 3).take(100).collect();
-        let b: Vec<_> = k.stream(&benign, &cfg, AttackMode::Medium, 0, 1, 3).take(100).collect();
+        let a: Vec<_> = k
+            .stream(&benign, &cfg, AttackMode::Medium, 0, 1, 3)
+            .take(100)
+            .collect();
+        let b: Vec<_> = k
+            .stream(&benign, &cfg, AttackMode::Medium, 0, 1, 3)
+            .take(100)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -29,7 +29,12 @@ fn base(name: &'static str, suite: Suite, rate_m: f64) -> WorkloadSpec {
 }
 
 fn cluster(bank: u32, center_frac: f64, sigma_rows: f64, weight: f64) -> Cluster {
-    Cluster { bank, center_frac, sigma_rows, weight }
+    Cluster {
+        bank,
+        center_frac,
+        sigma_rows,
+        weight,
+    }
 }
 
 /// Builds the full 18-workload catalog.
@@ -48,7 +53,11 @@ pub fn all() -> Vec<WorkloadSpec> {
     .enumerate()
     {
         let mut w = base(name, Suite::Comm, rate);
-        w.zipf = Some(ZipfMix { s, ranks, weight: 0.6 });
+        w.zipf = Some(ZipfMix {
+            s,
+            ranks,
+            weight: 0.6,
+        });
         w.clusters = vec![cluster(i as u32 * 3 + 1, 0.3 + 0.1 * i as f64, 64.0, 0.12)];
         w.uniform_weight = 0.28;
         w.write_frac = 0.33;
@@ -59,13 +68,21 @@ pub fn all() -> Vec<WorkloadSpec> {
 
     // ---- PARSEC ----
     let mut swapt = base("swapt", Suite::Parsec, 5.0);
-    swapt.zipf = Some(ZipfMix { s: 0.9, ranks: 1024, weight: 0.5 });
+    swapt.zipf = Some(ZipfMix {
+        s: 0.9,
+        ranks: 1024,
+        weight: 0.5,
+    });
     swapt.clusters = vec![cluster(2, 0.6, 128.0, 0.15)];
     swapt.uniform_weight = 0.35;
     v.push(swapt);
 
     let mut fluid = base("fluid", Suite::Parsec, 6.5);
-    fluid.zipf = Some(ZipfMix { s: 1.0, ranks: 2048, weight: 0.3 });
+    fluid.zipf = Some(ZipfMix {
+        s: 1.0,
+        ranks: 2048,
+        weight: 0.3,
+    });
     fluid.clusters = vec![
         cluster(4, 0.2, 96.0, 0.15),
         cluster(9, 0.5, 96.0, 0.15),
@@ -75,24 +92,33 @@ pub fn all() -> Vec<WorkloadSpec> {
     v.push(fluid);
 
     let mut str_ = base("str", Suite::Parsec, 9.0);
-    str_.zipf = Some(ZipfMix { s: 0.6, ranks: 256, weight: 0.15 });
+    str_.zipf = Some(ZipfMix {
+        s: 0.6,
+        ranks: 256,
+        weight: 0.15,
+    });
     str_.uniform_weight = 0.85;
     str_.write_frac = 0.4; // streaming copy kernels write heavily
     v.push(str_);
 
     // blackscholes: Fig. 3 (left) — a couple of extremely hot rows.
     let mut black = base("black", Suite::Parsec, 5.5);
-    black.clusters = vec![
-        cluster(6, 0.42, 1.5, 0.28),
-        cluster(6, 0.71, 1.5, 0.22),
-    ];
-    black.zipf = Some(ZipfMix { s: 1.2, ranks: 512, weight: 0.30 });
+    black.clusters = vec![cluster(6, 0.42, 1.5, 0.28), cluster(6, 0.71, 1.5, 0.22)];
+    black.zipf = Some(ZipfMix {
+        s: 1.2,
+        ranks: 512,
+        weight: 0.30,
+    });
     black.uniform_weight = 0.20;
     black.write_frac = 0.2;
     v.push(black);
 
     let mut ferret = base("ferret", Suite::Parsec, 7.0);
-    ferret.zipf = Some(ZipfMix { s: 1.25, ranks: 1024, weight: 0.6 });
+    ferret.zipf = Some(ZipfMix {
+        s: 1.25,
+        ranks: 1024,
+        weight: 0.6,
+    });
     ferret.clusters = vec![cluster(11, 0.35, 32.0, 0.15)];
     v.push(ferret);
 
@@ -103,19 +129,31 @@ pub fn all() -> Vec<WorkloadSpec> {
         cluster(8, 0.15, 3.0, 0.10),
         cluster(8, 0.88, 3.0, 0.10),
     ];
-    face.zipf = Some(ZipfMix { s: 1.1, ranks: 1024, weight: 0.25 });
+    face.zipf = Some(ZipfMix {
+        s: 1.1,
+        ranks: 1024,
+        weight: 0.25,
+    });
     face.uniform_weight = 0.20;
     v.push(face);
 
     let mut freq = base("freq", Suite::Parsec, 6.5);
-    freq.zipf = Some(ZipfMix { s: 1.0, ranks: 2048, weight: 0.55 });
+    freq.zipf = Some(ZipfMix {
+        s: 1.0,
+        ranks: 2048,
+        weight: 0.55,
+    });
     freq.clusters = vec![cluster(13, 0.5, 48.0, 0.15)];
     freq.uniform_weight = 0.30;
     v.push(freq);
 
     // ---- SPEC ----
     let mut mtc = base("MTC", Suite::Spec, 10.0);
-    mtc.zipf = Some(ZipfMix { s: 1.15, ranks: 4096, weight: 0.5 });
+    mtc.zipf = Some(ZipfMix {
+        s: 1.15,
+        ranks: 4096,
+        weight: 0.5,
+    });
     mtc.clusters = vec![cluster(5, 0.25, 64.0, 0.15)];
     mtc.uniform_weight = 0.35;
     mtc.shifts_per_epoch = 2;
@@ -123,33 +161,53 @@ pub fn all() -> Vec<WorkloadSpec> {
     v.push(mtc);
 
     let mut mtf = base("MTF", Suite::Spec, 9.0);
-    mtf.zipf = Some(ZipfMix { s: 1.1, ranks: 4096, weight: 0.5 });
+    mtf.zipf = Some(ZipfMix {
+        s: 1.1,
+        ranks: 4096,
+        weight: 0.5,
+    });
     mtf.clusters = vec![cluster(10, 0.65, 64.0, 0.15)];
     mtf.uniform_weight = 0.35;
     mtf.drift_rows_per_epoch = 2048;
     v.push(mtf);
 
     let mut libq = base("libq", Suite::Spec, 12.0);
-    libq.zipf = Some(ZipfMix { s: 0.8, ranks: 128, weight: 0.3 });
+    libq.zipf = Some(ZipfMix {
+        s: 0.8,
+        ranks: 128,
+        weight: 0.3,
+    });
     libq.clusters = vec![cluster(1, 0.5, 256.0, 0.10)];
     libq.uniform_weight = 0.60;
     libq.write_frac = 0.25;
     v.push(libq);
 
     let mut leslie = base("leslie", Suite::Spec, 7.0);
-    leslie.zipf = Some(ZipfMix { s: 1.05, ranks: 2048, weight: 0.45 });
+    leslie.zipf = Some(ZipfMix {
+        s: 1.05,
+        ranks: 2048,
+        weight: 0.45,
+    });
     leslie.clusters = vec![cluster(7, 0.4, 80.0, 0.15), cluster(12, 0.7, 80.0, 0.15)];
     v.push(leslie);
 
     // ---- BIO: genome-index lookups, deep Zipf skew. ----
     let mut mum = base("mum", Suite::Bio, 8.5);
-    mum.zipf = Some(ZipfMix { s: 1.35, ranks: 8192, weight: 0.65 });
+    mum.zipf = Some(ZipfMix {
+        s: 1.35,
+        ranks: 8192,
+        weight: 0.65,
+    });
     mum.clusters = vec![cluster(3, 0.3, 16.0, 0.10)];
     mum.write_frac = 0.15;
     v.push(mum);
 
     let mut tigr = base("tigr", Suite::Bio, 7.5);
-    tigr.zipf = Some(ZipfMix { s: 1.45, ranks: 8192, weight: 0.70 });
+    tigr.zipf = Some(ZipfMix {
+        s: 1.45,
+        ranks: 8192,
+        weight: 0.70,
+    });
     tigr.clusters = vec![cluster(15, 0.6, 16.0, 0.10)];
     tigr.uniform_weight = 0.20;
     tigr.write_frac = 0.15;
@@ -193,8 +251,8 @@ mod tests {
         let unique: std::collections::HashSet<&&str> = names.iter().collect();
         assert_eq!(unique.len(), 18);
         for expected in [
-            "com1", "com2", "com3", "com4", "com5", "swapt", "fluid", "str", "black",
-            "ferret", "face", "freq", "MTC", "MTF", "libq", "leslie", "mum", "tigr",
+            "com1", "com2", "com3", "com4", "com5", "swapt", "fluid", "str", "black", "ferret",
+            "face", "freq", "MTC", "MTF", "libq", "leslie", "mum", "tigr",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

@@ -41,7 +41,11 @@ impl RowHistogram {
                 total += 1;
             }
         }
-        RowHistogram { bank, counts, total }
+        RowHistogram {
+            bank,
+            counts,
+            total,
+        }
     }
 
     /// The observed bank.
@@ -122,7 +126,11 @@ mod tests {
         // mass in its top-2 rows than facesim's broad band does.
         assert!(hb.top_k_share(2) > 0.25, "black top2 {}", hb.top_k_share(2));
         assert!(hf.top_k_share(2) < hb.top_k_share(2));
-        assert!(hf.top_k_share(4096) > 0.4, "face band {}", hf.top_k_share(4096));
+        assert!(
+            hf.top_k_share(4096) > 0.4,
+            "face band {}",
+            hf.top_k_share(4096)
+        );
     }
 
     #[test]

@@ -142,8 +142,17 @@ mod tests {
             suite: Suite::Comm,
             accesses_per_epoch: 1_000_000,
             write_frac: 0.3,
-            clusters: vec![Cluster { bank: 0, center_frac: 0.5, sigma_rows: 3.0, weight: 0.2 }],
-            zipf: Some(ZipfMix { s: 1.1, ranks: 1024, weight: 0.5 }),
+            clusters: vec![Cluster {
+                bank: 0,
+                center_frac: 0.5,
+                sigma_rows: 3.0,
+                weight: 0.2,
+            }],
+            zipf: Some(ZipfMix {
+                s: 1.1,
+                ranks: 1024,
+                weight: 0.5,
+            }),
             uniform_weight: 0.3,
             shifts_per_epoch: 0,
             shift_rows: 0,

@@ -205,7 +205,8 @@ impl Iterator for AccessStream {
         let gap = if self.gap_mean == 0 {
             0
         } else {
-            self.rng.gen_range(self.gap_mean / 2..=self.gap_mean + self.gap_mean / 2)
+            self.rng
+                .gen_range(self.gap_mean / 2..=self.gap_mean + self.gap_mean / 2)
         };
         let write = self.rng.gen::<f64>() < self.write_frac;
         self.produced += 1;
@@ -228,8 +229,17 @@ mod tests {
             suite: Suite::Parsec,
             accesses_per_epoch: 100_000,
             write_frac: 0.25,
-            clusters: vec![Cluster { bank: 3, center_frac: 0.25, sigma_rows: 4.0, weight: 0.4 }],
-            zipf: Some(ZipfMix { s: 1.2, ranks: 512, weight: 0.4 }),
+            clusters: vec![Cluster {
+                bank: 3,
+                center_frac: 0.25,
+                sigma_rows: 4.0,
+                weight: 0.4,
+            }],
+            zipf: Some(ZipfMix {
+                s: 1.2,
+                ranks: 512,
+                weight: 0.4,
+            }),
             uniform_weight: 0.2,
             shifts_per_epoch: 0,
             shift_rows: 0,
@@ -241,9 +251,15 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = SystemConfig::dual_core_two_channel();
-        let a: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5).take(100).collect();
-        let b: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5).take(100).collect();
-        let c: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 6).take(100).collect();
+        let a: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5)
+            .take(100)
+            .collect();
+        let b: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5)
+            .take(100)
+            .collect();
+        let c: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 6)
+            .take(100)
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -251,8 +267,12 @@ mod tests {
     #[test]
     fn cores_share_hot_rows_but_not_sequences() {
         let cfg = SystemConfig::dual_core_two_channel();
-        let a: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5).take(2_000).collect();
-        let b: Vec<_> = AccessStream::new(&spec(), &cfg, 1, 1, 5).take(2_000).collect();
+        let a: Vec<_> = AccessStream::new(&spec(), &cfg, 0, 1, 5)
+            .take(2_000)
+            .collect();
+        let b: Vec<_> = AccessStream::new(&spec(), &cfg, 1, 1, 5)
+            .take(2_000)
+            .collect();
         assert_ne!(a, b, "different cores draw different sequences");
         // Both hit the cluster bank heavily.
         let map = AddressMapping::new(&cfg);
@@ -342,6 +362,10 @@ mod tests {
         let s = spec();
         let stream = AccessStream::new(&s, &cfg, 0, 1, 1);
         // 409.6M instr/core-epoch × 0.8 / 50K accesses ≈ 6554.
-        assert!((6_000..7_000).contains(&stream.gap_mean()), "{}", stream.gap_mean());
+        assert!(
+            (6_000..7_000).contains(&stream.gap_mean()),
+            "{}",
+            stream.gap_mean()
+        );
     }
 }

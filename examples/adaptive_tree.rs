@@ -24,7 +24,11 @@ fn main() -> Result<(), catree::ConfigError> {
     // Fig. 4(a): biased references — 80 % of accesses hammer rows 700-703.
     let mut biased = CatTree::new(config.clone());
     for i in 0..4_000u32 {
-        let row = if i % 5 != 0 { 700 + i % 4 } else { (i * 617) % 1024 };
+        let row = if i % 5 != 0 {
+            700 + i % 4
+        } else {
+            (i * 617) % 1024
+        };
         biased.on_activation(RowId(row));
     }
     show("biased references (Fig. 4a): unbalanced tree", &biased);

@@ -1,22 +1,21 @@
 //! Rowhammer attack vs. defences:
 //!
 //! 1. A kernel attack (§VIII-D) hammers 4 Gaussian-placed rows per bank;
-//!    DRCAT confines it — the safety oracle confirms no victim exposure
-//!    ever exceeds the refresh threshold.
+//!    DRCAT — driven across every bank by the multi-bank `BankEngine` —
+//!    confines it: the safety oracle confirms no victim exposure on the
+//!    most-hammered bank ever exceeds the refresh threshold.
 //! 2. PRA backed by a cheap LFSR collapses: a state-recovery attacker
 //!    (§III-A's Monte-Carlo observation) learns the PRNG state from the
 //!    refresh timing side channel and then evades every refresh.
 //!
 //! Run with: `cargo run --release --example attack_defense`
 
+use catree::engine::BankEngine;
 use catree::oracle::SafetyOracle;
 use catree::reliability::lfsr_attack;
-use catree::{
-    AddressMapping, AttackMode, CatConfig, Drcat, KernelAttack, MitigationScheme, RowId,
-    SystemConfig,
-};
+use catree::{AddressMapping, AttackMode, KernelAttack, RowId, SchemeSpec, SystemConfig};
 
-fn main() -> Result<(), catree::ConfigError> {
+fn main() {
     let cfg = SystemConfig::dual_core_two_channel();
     let mapping = AddressMapping::new(&cfg);
     let threshold = 16_384;
@@ -25,23 +24,41 @@ fn main() -> Result<(), catree::ConfigError> {
     println!("== kernel attack vs DRCAT_64 (T = 16K) ==");
     let benign = catree::workloads::by_name("com1").unwrap();
     let attack = KernelAttack::new(4, &cfg);
-    // One DRCAT instance + oracle for the most-hammered bank.
+    // Every bank gets a DRCAT instance via the engine; the safety oracle
+    // shadows the most-hammered bank.
+    let spec: SchemeSpec = format!("drcat:64:11:{threshold}")
+        .parse()
+        .expect("valid spec");
+    let mut engine = BankEngine::new(spec, cfg.total_banks(), cfg.rows_per_bank);
     let watched_bank = 0u32;
-    let mut scheme = Drcat::new(CatConfig::new(cfg.rows_per_bank, 64, 11, threshold)?);
     let mut oracle = SafetyOracle::new(cfg.rows_per_bank, threshold);
-    let mut bank_hits = 0u64;
-    for access in attack.stream(&benign, &cfg, AttackMode::Heavy, 0, 1, 99).take(3_000_000) {
+    for access in attack
+        .stream(&benign, &cfg, AttackMode::Heavy, 0, 1, 99)
+        .take(3_000_000)
+    {
         let loc = mapping.decode(access.addr);
-        if loc.global_bank(&cfg) == watched_bank {
-            bank_hits += 1;
-            let refreshes = scheme.on_activation(RowId(loc.row));
+        let bank = loc.global_bank(&cfg);
+        let refreshes = engine.activate(bank as usize, loc.row);
+        if bank == watched_bank {
             oracle.on_activation(RowId(loc.row), &refreshes);
         }
     }
-    println!("bank {watched_bank}: {bank_hits} activations");
-    println!("refresh events:   {}", scheme.stats().refresh_events);
-    println!("victim rows:      {}", scheme.stats().refreshed_rows);
-    println!("worst exposure:   {} (threshold {threshold})", oracle.worst_exposure());
+    let bank_stats = engine.per_bank_stats()[watched_bank as usize];
+    println!(
+        "bank {watched_bank}: {} of {} activations",
+        bank_stats.activations,
+        engine.accesses()
+    );
+    println!("refresh events:   {}", bank_stats.refresh_events);
+    println!("victim rows:      {}", bank_stats.refreshed_rows);
+    println!(
+        "all banks:        {} refresh events",
+        engine.stats().refresh_events
+    );
+    println!(
+        "worst exposure:   {} (threshold {threshold})",
+        oracle.worst_exposure()
+    );
     println!("violations:       {}", oracle.violations());
     assert_eq!(oracle.violations(), 0, "DRCAT must confine the attack");
 
@@ -62,5 +79,4 @@ fn main() -> Result<(), catree::ConfigError> {
         f64::from(threshold) * (1.0 - 0.005f64).log10()
     );
     println!("the LFSR attack replaces that exponent with a small constant number of intervals.");
-    Ok(())
 }

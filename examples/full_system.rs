@@ -22,15 +22,24 @@ fn traces(
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "face".into());
-    let spec = catree::workloads::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown workload {name}; try one of {:?}",
-            catree::workloads::all().iter().map(|w| w.name).collect::<Vec<_>>()));
+    let spec = catree::workloads::by_name(&name).unwrap_or_else(|| {
+        panic!(
+            "unknown workload {name}; try one of {:?}",
+            catree::workloads::all()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+        )
+    });
     let cfg = SystemConfig::dual_core_two_channel();
     let t = 32_768;
     // Keep the example snappy: a quarter-epoch slice per core.
     let budget = spec.accesses_per_epoch / cfg.cores as u64 / 4;
 
-    println!("workload {} ({}), {} accesses/core", spec.name, spec.suite, budget);
+    println!(
+        "workload {} ({}), {} accesses/core",
+        spec.name, spec.suite, budget
+    );
     let mut base = Simulator::new(cfg.clone(), SchemeSpec::None);
     let baseline = base.run(traces(&spec, &cfg, budget));
     println!(
@@ -41,18 +50,36 @@ fn main() {
         baseline.writes
     );
 
-    println!("\n{:<12} {:>9} {:>12} {:>9} {:>8}", "scheme", "refreshes", "victim rows", "CMRPO", "ETO");
+    println!(
+        "\n{:<12} {:>9} {:>12} {:>9} {:>8}",
+        "scheme", "refreshes", "victim rows", "CMRPO", "ETO"
+    );
     for spec_s in [
         SchemeSpec::pra(0.002),
-        SchemeSpec::Sca { counters: 64, threshold: t },
-        SchemeSpec::Sca { counters: 128, threshold: t },
-        SchemeSpec::Prcat { counters: 64, levels: 11, threshold: t },
-        SchemeSpec::Drcat { counters: 64, levels: 11, threshold: t },
+        SchemeSpec::Sca {
+            counters: 64,
+            threshold: t,
+        },
+        SchemeSpec::Sca {
+            counters: 128,
+            threshold: t,
+        },
+        SchemeSpec::Prcat {
+            counters: 64,
+            levels: 11,
+            threshold: t,
+        },
+        SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: t,
+        },
     ] {
+        // The simulator drives all banks through cat-engine's BankEngine;
+        // the hardware profile comes straight from the spec.
         let mut sim = Simulator::new(cfg.clone(), spec_s);
         let report = sim.run(traces(&spec, &cfg, budget));
-        // Any scheme instance carries the profile; use bank 0's.
-        let profile = sim.schemes().next().expect("scheme attached").hardware();
+        let profile = spec_s.profile(cfg.rows_per_bank).expect("scheme attached");
         let cmrpo = cmrpo_from_stats(
             &profile,
             &report.scheme_stats,

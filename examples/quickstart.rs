@@ -9,7 +9,10 @@ fn main() -> Result<(), catree::ConfigError> {
     // The paper's default per-bank configuration: 64K rows, M = 64
     // counters, trees up to L = 11 levels, refresh threshold T = 32K.
     let config = CatConfig::new(65_536, 64, 11, 32_768)?;
-    println!("split thresholds per level: {:?}", config.split_thresholds().as_slice());
+    println!(
+        "split thresholds per level: {:?}",
+        config.split_thresholds().as_slice()
+    );
 
     let mut scheme = Drcat::new(config);
 
@@ -18,7 +21,11 @@ fn main() -> Result<(), catree::ConfigError> {
     let aggressor = RowId(31_337);
     let mut victim_refreshes = 0u64;
     for i in 0..200_000u32 {
-        let row = if i % 4 != 0 { aggressor } else { RowId(i.wrapping_mul(2_654_435_761).wrapping_mul(7) % 65_536) };
+        let row = if i % 4 != 0 {
+            aggressor
+        } else {
+            RowId(i.wrapping_mul(2_654_435_761).wrapping_mul(7) % 65_536)
+        };
         for range in scheme.on_activation(row) {
             println!(
                 "refresh #{:<3} rows {}..={} ({} rows) after {} activations",
@@ -38,7 +45,10 @@ fn main() -> Result<(), catree::ConfigError> {
     println!("victim rows:         {victim_refreshes}");
     println!("tree splits:         {}", stats.splits);
     println!("reconfigurations:    {}", stats.reconfigurations);
-    println!("SRAM accesses/act.:  {:.2}", stats.sram_accesses_per_activation());
+    println!(
+        "SRAM accesses/act.:  {:.2}",
+        stats.sram_accesses_per_activation()
+    );
     println!(
         "deepest leaf:        level {} of max {}",
         scheme.tree().shape().max_depth(),

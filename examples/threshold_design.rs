@@ -12,8 +12,14 @@ fn main() {
     let w = n / 4.0; // rows per quarter-group
     let r = 655_360.0; // references per interval
     let t = 32_768.0;
-    println!("CostSCA = w·R/T = {:.0} refreshed rows/interval", cost::cost_sca(w, r, t));
-    println!("critical bias x* = 3w = {:.0} extra references\n", cost::critical_bias(w));
+    println!(
+        "CostSCA = w·R/T = {:.0} refreshed rows/interval",
+        cost::cost_sca(w, r, t)
+    );
+    println!(
+        "critical bias x* = 3w = {:.0} extra references\n",
+        cost::critical_bias(w)
+    );
     println!("{:>10} {:>14} {:>10}", "bias x/w", "CostCAT", "CAT wins?");
     for mult in [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 10.0, 20.0] {
         let c = cost::cost_cat(w, mult * w, r, t);
@@ -21,13 +27,20 @@ fn main() {
             "{:>10.1} {:>14.0} {:>10}",
             mult,
             c,
-            if c < cost::cost_sca(w, r, t) { "yes" } else { "no" }
+            if c < cost::cost_sca(w, r, t) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 
     // --- Threshold schedules for the paper's configuration.
     println!("\nthreshold schedules for M = 64 (λ = 6), T = 32K:");
-    for (l, label) in [(10u32, "L = 10 (paper example)"), (11, "L = 11 (evaluation)")] {
+    for (l, label) in [
+        (10u32, "L = 10 (paper example)"),
+        (11, "L = 11 (evaluation)"),
+    ] {
         println!("  {label}");
         for policy in [
             ThresholdPolicy::PaperCurve,

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Perf trajectory: run the engine throughput bench and record the numbers in
+# BENCH_engine.json at the repo root (committed, so regressions show in
+# review). Pass REPRO_QUICK=1 for a fast smoke run — but commit numbers from
+# a full run only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+BENCH_ENGINE_JSON="$PWD/BENCH_engine.json" \
+    cargo bench -p cat-bench --bench engine_throughput
+
+echo "bench: wrote BENCH_engine.json"

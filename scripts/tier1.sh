@@ -10,6 +10,7 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+cargo fmt --all --check
 cargo build --release --workspace --all-targets
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings

@@ -43,18 +43,24 @@ pub use cat_prng as prng;
 
 pub use cat_core::{
     oracle, rng, thresholds, tree, CatConfig, CatTree, ConfigError, CounterCache,
-    CounterCacheConfig, Drcat, HardwareProfile, MitigationScheme, Pra, Prcat, Refreshes, RowId,
-    RowRange, SchemeKind, SchemeStats, Sca, SpaceSaving, SplitThresholds, ThresholdPolicy,
+    CounterCacheConfig, Drcat, HardwareProfile, MitigationScheme, ParseSpecError, Pra, Prcat,
+    Refreshes, RowId, RowRange, Sca, SchemeInstance, SchemeKind, SchemeStats, SpaceSaving,
+    SplitThresholds, ThresholdPolicy,
 };
 pub use cat_energy::{cmrpo_from_stats, CmrpoBreakdown};
+pub use cat_engine::{BankEngine, BatchOutcome, EngineReport};
 pub use cat_sim::{
-    functional, tracefile, AddressMapping, Location, MappingPolicy, MemAccess, SchemeSpec, SimReport,
-    Simulator, SystemConfig, TimingParams,
+    functional, tracefile, AddressMapping, Location, MappingPolicy, MemAccess, SchemeSpec,
+    SimReport, Simulator, SystemConfig, TimingParams,
 };
 pub use cat_workloads::{
     AccessStream, AttackMode, Cluster, KernelAttack, Mix, RowHistogram, Suite, WorkloadSpec,
     ZipfMix,
 };
+
+/// Sharded, statically-dispatched multi-bank engine driving the mitigation
+/// schemes (see `cat-engine` for the determinism contract).
+pub use cat_engine as engine;
 
 /// Hardware energy/area model (paper Table II) and CMRPO accounting.
 pub mod energy {

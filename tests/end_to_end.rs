@@ -3,8 +3,8 @@
 //! paper-level qualitative claims the reproduction must uphold.
 
 use catree::{
-    cmrpo_from_stats, AccessStream, AttackMode, KernelAttack, MemAccess,
-    SchemeSpec, Simulator, SystemConfig,
+    cmrpo_from_stats, AccessStream, AttackMode, KernelAttack, MemAccess, SchemeSpec, Simulator,
+    SystemConfig,
 };
 
 fn traces(
@@ -32,10 +32,25 @@ fn timed_pipeline_runs_all_schemes() {
 
     for spec in [
         SchemeSpec::pra(0.002),
-        SchemeSpec::Sca { counters: 64, threshold: 4_096 },
-        SchemeSpec::Prcat { counters: 64, levels: 11, threshold: 4_096 },
-        SchemeSpec::Drcat { counters: 64, levels: 11, threshold: 4_096 },
-        SchemeSpec::CounterCache { entries: 1024, ways: 8, threshold: 4_096 },
+        SchemeSpec::Sca {
+            counters: 64,
+            threshold: 4_096,
+        },
+        SchemeSpec::Prcat {
+            counters: 64,
+            levels: 11,
+            threshold: 4_096,
+        },
+        SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: 4_096,
+        },
+        SchemeSpec::CounterCache {
+            entries: 1024,
+            ways: 8,
+            threshold: 4_096,
+        },
     ] {
         let mut sim = Simulator::new(cfg.clone(), spec);
         let r = sim.run(traces(&w, &cfg, budget, 3));
@@ -75,9 +90,19 @@ fn cmrpo_ordering_matches_figure8() {
         )
         .total()
     };
-    let sca64 = total(SchemeSpec::Sca { counters: 64, threshold: t });
-    let sca128 = total(SchemeSpec::Sca { counters: 128, threshold: t });
-    let drcat = total(SchemeSpec::Drcat { counters: 64, levels: 11, threshold: t });
+    let sca64 = total(SchemeSpec::Sca {
+        counters: 64,
+        threshold: t,
+    });
+    let sca128 = total(SchemeSpec::Sca {
+        counters: 128,
+        threshold: t,
+    });
+    let drcat = total(SchemeSpec::Drcat {
+        counters: 64,
+        levels: 11,
+        threshold: t,
+    });
     let pra = total(SchemeSpec::pra(0.003));
     assert!(drcat < sca128, "DRCAT {drcat} < SCA128 {sca128}");
     assert!(sca128 < sca64, "SCA128 {sca128} < SCA64 {sca64}");
@@ -98,10 +123,23 @@ fn halving_threshold_hurts_sca_more_than_drcat() {
             .scheme_stats
             .refreshed_rows as f64
     };
-    let sca_32 = refreshed(SchemeSpec::Sca { counters: 64, threshold: 32_768 });
-    let sca_16 = refreshed(SchemeSpec::Sca { counters: 64, threshold: 16_384 });
-    let drcat_16 = refreshed(SchemeSpec::Drcat { counters: 64, levels: 11, threshold: 16_384 });
-    assert!(sca_16 > sca_32 * 1.6, "SCA refresh rows ~double: {sca_32} → {sca_16}");
+    let sca_32 = refreshed(SchemeSpec::Sca {
+        counters: 64,
+        threshold: 32_768,
+    });
+    let sca_16 = refreshed(SchemeSpec::Sca {
+        counters: 64,
+        threshold: 16_384,
+    });
+    let drcat_16 = refreshed(SchemeSpec::Drcat {
+        counters: 64,
+        levels: 11,
+        threshold: 16_384,
+    });
+    assert!(
+        sca_16 > sca_32 * 1.6,
+        "SCA refresh rows ~double: {sca_32} → {sca_16}"
+    );
     // What Fig. 8 actually shows: at the lower threshold, DRCAT's adaptive
     // groups refresh far fewer rows than SCA's fixed 1024-row groups.
     assert!(
@@ -117,10 +155,12 @@ fn attack_blend_respects_intensity_and_is_confined() {
     let kernel = KernelAttack::new(7, &cfg);
     // Heavier attacks produce more mitigation refreshes under DRCAT.
     let rows_for = |mode: AttackMode| {
-        let spec = SchemeSpec::Drcat { counters: 64, levels: 11, threshold: 8_192 };
-        let stream = kernel
-            .stream(&benign, &cfg, mode, 0, 4, 11)
-            .take(2_000_000);
+        let spec = SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: 8_192,
+        };
+        let stream = kernel.stream(&benign, &cfg, mode, 0, 4, 11).take(2_000_000);
         catree::functional::run_functional(&cfg, spec, stream, benign.accesses_per_epoch)
             .scheme_stats
             .refreshed_rows
@@ -139,7 +179,10 @@ fn per_bank_stats_sum_to_aggregate() {
     let w = catree::workloads::by_name("libq").unwrap();
     let mut sim = Simulator::new(
         cfg.clone(),
-        SchemeSpec::Sca { counters: 32, threshold: 2_048 },
+        SchemeSpec::Sca {
+            counters: 32,
+            threshold: 2_048,
+        },
     );
     let r = sim.run(traces(&w, &cfg, 50_000, 9));
     let summed: u64 = r.per_bank_stats.iter().map(|s| s.refreshed_rows).sum();
@@ -160,7 +203,10 @@ fn four_channel_spreads_refresh_pressure() {
         let stream = AccessStream::new(&w, &one, 0, 1, 13);
         catree::functional::run_functional(
             cfg,
-            SchemeSpec::Sca { counters: 128, threshold: 16_384 },
+            SchemeSpec::Sca {
+                counters: 128,
+                threshold: 16_384,
+            },
             stream,
             w.accesses_per_epoch,
         )
@@ -181,10 +227,25 @@ fn energy_model_agrees_with_scheme_profiles() {
     // model for every spec the benches use.
     let specs = [
         SchemeSpec::pra(0.005),
-        SchemeSpec::Sca { counters: 256, threshold: 8_192 },
-        SchemeSpec::Prcat { counters: 128, levels: 12, threshold: 8_192 },
-        SchemeSpec::Drcat { counters: 32, levels: 6, threshold: 65_536 },
-        SchemeSpec::CounterCache { entries: 2_048, ways: 16, threshold: 32_768 },
+        SchemeSpec::Sca {
+            counters: 256,
+            threshold: 8_192,
+        },
+        SchemeSpec::Prcat {
+            counters: 128,
+            levels: 12,
+            threshold: 8_192,
+        },
+        SchemeSpec::Drcat {
+            counters: 32,
+            levels: 6,
+            threshold: 65_536,
+        },
+        SchemeSpec::CounterCache {
+            entries: 2_048,
+            ways: 16,
+            threshold: 32_768,
+        },
     ];
     let stats = catree::SchemeStats {
         activations: 1_000_000,
@@ -195,6 +256,10 @@ fn energy_model_agrees_with_scheme_profiles() {
     for spec in specs {
         let profile = spec.build(65_536, 0).unwrap().hardware();
         let c = cmrpo_from_stats(&profile, &stats, 16, 65_536, 0.064);
-        assert!(c.total().is_finite() && c.total() > 0.0, "{}: {c}", spec.label());
+        assert!(
+            c.total().is_finite() && c.total() > 0.0,
+            "{}: {c}",
+            spec.label()
+        );
     }
 }

@@ -26,7 +26,10 @@ fn cargo_in_workspace() -> Command {
     cmd.current_dir(root)
         // A dedicated target dir: no lock contention with the enclosing
         // `cargo test`, at the cost of one extra debug build of the tree.
-        .env("CARGO_TARGET_DIR", Path::new(root).join("target/smoke-examples"))
+        .env(
+            "CARGO_TARGET_DIR",
+            Path::new(root).join("target/smoke-examples"),
+        )
         .env("CARGO_NET_OFFLINE", "true");
     cmd
 }
@@ -34,13 +37,14 @@ fn cargo_in_workspace() -> Command {
 #[test]
 fn examples_build_and_quickstart_runs() {
     // The list above must cover exactly what is on disk.
-    let mut on_disk: Vec<String> = std::fs::read_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("examples"))
-        .expect("examples/ must exist")
-        .map(|e| {
-            let name = e.unwrap().file_name().into_string().unwrap();
-            name.trim_end_matches(".rs").to_string()
-        })
-        .collect();
+    let mut on_disk: Vec<String> =
+        std::fs::read_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("examples"))
+            .expect("examples/ must exist")
+            .map(|e| {
+                let name = e.unwrap().file_name().into_string().unwrap();
+                name.trim_end_matches(".rs").to_string()
+            })
+            .collect();
     on_disk.sort();
     assert_eq!(on_disk, EXAMPLES, "update EXAMPLES when adding an example");
 

@@ -76,13 +76,19 @@ fn figure5_and_7_structures() {
     for _ in 0..12 {
         d.on_activation(RowId(12));
     }
-    assert_eq!(d.tree().shape().depth_profile(), vec![3, 5, 5, 4, 3, 4, 4, 1]);
+    assert_eq!(
+        d.tree().shape().depth_profile(),
+        vec![3, 5, 5, 4, 3, 4, 4, 1]
+    );
     // Figure 7: load §V-B's weight state, drive the hot counter to T.
     d.force_weights(&[1, 0, 2, 1, 1, 1, 2, 2]);
     for _ in 0..48 {
         d.on_activation(RowId(12));
     }
-    assert_eq!(d.tree().shape().depth_profile(), vec![3, 4, 4, 3, 5, 5, 4, 1]);
+    assert_eq!(
+        d.tree().shape().depth_profile(),
+        vec![3, 4, 4, 3, 5, 5, 4, 1]
+    );
     assert_eq!(d.weights(), &[0, 0, 1, 1, 0, 0, 1, 1]);
 }
 
@@ -111,7 +117,11 @@ fn sram_access_bound_matches_section7() {
     let cfg = CatConfig::new(65_536, 64, 11, 4_096).unwrap();
     let mut tree = CatTree::new(cfg);
     for i in 0..2_000_000u32 {
-        let row = if i.is_multiple_of(2) { 4_242 } else { i.wrapping_mul(48_271) % 65_536 };
+        let row = if i.is_multiple_of(2) {
+            4_242
+        } else {
+            i.wrapping_mul(48_271) % 65_536
+        };
         tree.on_activation(RowId(row));
     }
     let per_access = tree.stats().sram_accesses_per_activation();

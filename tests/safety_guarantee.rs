@@ -52,7 +52,12 @@ fn verify_system(
     }
 }
 
-fn stream(name: &str, cfg: &SystemConfig, n: usize, seed: u64) -> impl Iterator<Item = catree::MemAccess> {
+fn stream(
+    name: &str,
+    cfg: &SystemConfig,
+    n: usize,
+    seed: u64,
+) -> impl Iterator<Item = catree::MemAccess> {
     let w = catree::workloads::by_name(name).unwrap();
     let mut one = cfg.clone();
     one.cores = 1;
@@ -65,7 +70,11 @@ fn drcat_guarantee_under_benign_traffic() {
     let t = 2_048; // small threshold stresses the guarantee harder
     verify_system(
         &cfg,
-        SchemeSpec::Drcat { counters: 64, levels: 11, threshold: t },
+        SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: t,
+        },
         t,
         stream("black", &cfg, 3_000_000, 21),
         1_000_000,
@@ -78,7 +87,11 @@ fn prcat_guarantee_across_epoch_resets() {
     let t = 2_048;
     verify_system(
         &cfg,
-        SchemeSpec::Prcat { counters: 64, levels: 11, threshold: t },
+        SchemeSpec::Prcat {
+            counters: 64,
+            levels: 11,
+            threshold: t,
+        },
         t,
         stream("com2", &cfg, 3_000_000, 22),
         500_000, // several epochs
@@ -96,7 +109,10 @@ fn sca_guarantee_under_attack() {
         .take(2_000_000);
     verify_system(
         &cfg,
-        SchemeSpec::Sca { counters: 128, threshold: t },
+        SchemeSpec::Sca {
+            counters: 128,
+            threshold: t,
+        },
         t,
         accesses,
         1_000_000,
@@ -114,7 +130,11 @@ fn drcat_guarantee_under_attack_with_reconfiguration() {
         .take(2_000_000);
     verify_system(
         &cfg,
-        SchemeSpec::Drcat { counters: 32, levels: 10, threshold: t },
+        SchemeSpec::Drcat {
+            counters: 32,
+            levels: 10,
+            threshold: t,
+        },
         t,
         accesses,
         700_000,
@@ -127,7 +147,11 @@ fn counter_cache_guarantee_exact_per_row() {
     let t = 1_024;
     verify_system(
         &cfg,
-        SchemeSpec::CounterCache { entries: 512, ways: 8, threshold: t },
+        SchemeSpec::CounterCache {
+            entries: 512,
+            ways: 8,
+            threshold: t,
+        },
         t,
         stream("mum", &cfg, 1_500_000, 25),
         800_000,
