@@ -6,8 +6,12 @@
 //!   rollover (kept here as the baseline the engine replaced);
 //! * `instance`     — `cat_engine::BankEngine::process` over the
 //!   statically-dispatched `SchemeInstance` shards;
-//! * `sharded-N`    — `BankEngine::process_sharded` with N bank-shard
-//!   threads (bit-identical results by the engine's determinism contract).
+//! * `pool-N`       — `BankEngine::process_sharded` with N bank-shard
+//!   threads on the persistent worker pool (bit-identical results by the
+//!   engine's determinism contract). These rows were `sharded-N` before
+//!   the pool landed, when every 1M-access sub-batch paid a scoped
+//!   spawn/join per shard — the overhead that made `sharded-4` lose to
+//!   `sharded-2`.
 //!
 //! The schemes measured are the per-bank state machines with real
 //! per-activation work: the paper's tree family (PRCAT/DRCAT) and the
@@ -60,7 +64,7 @@ fn measure<F: FnMut() -> SchemeStats>(accesses: u64, mut f: F) -> (f64, SchemeSt
 fn boxed_dyn_loop(
     cfg: &SystemConfig,
     spec: SchemeSpec,
-    entries: &[(u16, u32)],
+    entries: &[(u32, u32)],
     per_epoch: u64,
 ) -> SchemeStats {
     let mut schemes: Vec<Option<Box<dyn MitigationScheme + Send>>> = (0..cfg.total_banks())
@@ -86,7 +90,7 @@ fn boxed_dyn_loop(
 }
 
 fn main() {
-    banner("engine throughput: boxed-dyn vs SchemeInstance vs sharded engine");
+    banner("engine throughput: boxed-dyn vs SchemeInstance vs pool-sharded engine");
     let cfg = SystemConfig::dual_core_two_channel();
     let trace = decode_trace(&catalog::by_name("swapt").unwrap(), &cfg, EPOCHS, 0xCA7);
     let accesses = trace.entries.len() as u64;
@@ -154,17 +158,17 @@ fn main() {
         row("instance", rate, &stats);
 
         for shards in [2usize, 4] {
+            // The engine (and so its worker pool) lives across the repeats
+            // of one measurement only in the sense that matters: within a
+            // replay the pool threads are spawned once and fed all 20
+            // sub-batches over channels.
             let (rate, stats) = measure(accesses, || {
                 let mut engine = BankEngine::new(spec, cfg.total_banks(), cfg.rows_per_bank)
                     .with_epoch_length(trace.per_epoch);
                 engine.process_sharded(&trace.entries, shards);
                 engine.stats()
             });
-            let path: &'static str = if shards == 2 {
-                "sharded-2"
-            } else {
-                "sharded-4"
-            };
+            let path: &'static str = if shards == 2 { "pool-2" } else { "pool-4" };
             row(path, rate, &stats);
         }
         println!();

@@ -15,7 +15,7 @@
 
 use cat_core::HardwareProfile;
 use cat_energy::{cmrpo_from_stats, CmrpoBreakdown};
-use cat_engine::BankEngine;
+use cat_engine::MemorySystem;
 use cat_sim::functional::run_functional;
 use cat_sim::{MemAccess, SchemeSpec, SimReport, Simulator, SystemConfig};
 use cat_workloads::{AccessStream, WorkloadSpec};
@@ -86,13 +86,15 @@ pub fn functional_cmrpo(
 /// a mitigation scheme with it, so the CMRPO sweeps decode each workload
 /// once and replay it across every scheme configuration.
 pub struct DecodedTrace {
-    /// `(global bank, row)` pairs in access order.
-    pub entries: Vec<(u16, u32)>,
+    /// `(global bank, row)` pairs in access order (full-width bank ids —
+    /// the decode path never narrows them).
+    pub entries: Vec<(u32, u32)>,
     /// Accesses per 64 ms epoch.
     pub per_epoch: u64,
 }
 
-/// Decodes `epochs` epochs of a workload into bank/row pairs.
+/// Decodes `epochs` epochs of a workload into bank/row pairs through the
+/// engine layer's decode front-end.
 pub fn decode_trace(
     spec: &WorkloadSpec,
     cfg: &SystemConfig,
@@ -102,10 +104,7 @@ pub fn decode_trace(
     let epochs = (epochs / quick_factor()).max(1);
     let mapping = cat_sim::AddressMapping::new(cfg);
     let entries = system_stream(spec, cfg, epochs, seed)
-        .map(|a| {
-            let loc = mapping.decode(a.addr);
-            (loc.global_bank(cfg) as u16, loc.row)
-        })
+        .map(|a| mapping.decode_bank_row(a.addr))
         .collect();
     DecodedTrace {
         entries,
@@ -114,20 +113,19 @@ pub fn decode_trace(
 }
 
 /// CMRPO of `scheme` replaying a pre-decoded trace (same semantics as
-/// [`functional_cmrpo`]) through the multi-bank engine.
+/// [`functional_cmrpo`]) through a [`MemorySystem`].
 pub fn replay_cmrpo(
     cfg: &SystemConfig,
     scheme: SchemeSpec,
     trace: &DecodedTrace,
 ) -> CmrpoBreakdown {
-    let mut engine = BankEngine::new(scheme, cfg.total_banks(), cfg.rows_per_bank)
-        .with_epoch_length(trace.per_epoch);
-    engine.process(&trace.entries);
+    let mut system = MemorySystem::new(cfg, scheme).with_epoch_length(trace.per_epoch);
+    system.process(&trace.entries);
     let exec_seconds =
         trace.entries.len() as f64 / trace.per_epoch as f64 * cfg.epoch_ms as f64 / 1e3;
     cmrpo_from_stats(
         &profile_of(scheme, cfg.rows_per_bank),
-        &engine.stats(),
+        &system.stats(),
         cfg.total_banks(),
         cfg.rows_per_bank,
         exec_seconds,

@@ -1,0 +1,324 @@
+//! Physical-address ↔ DRAM-location mapping.
+//!
+//! USIMM's default policy — and the paper's Table I — orders the fields
+//! `rw:rk:bk:ch:col:offset` from most to least significant bit. The field
+//! *widths* derive from the geometry counts, so the same policy covers the
+//! paper's 2-channel and 4-channel systems (§VIII-B) as well as arbitrary
+//! power-of-two geometries (the multi-channel front-end is
+//! [`crate::MemorySystem`]).
+//!
+//! This module used to live in `cat-sim`; it moved down into `cat-engine`
+//! so the engine can own the whole decode-to-scheme path without depending
+//! on the simulator. `cat-sim` re-exports these types and converts its
+//! `SystemConfig` into a [`MemGeometry`].
+
+use std::fmt;
+
+/// The DRAM geometry an address mapping (and a [`crate::MemorySystem`])
+/// is built over. Every field must be a nonzero power of two — see
+/// [`MemGeometry::validate`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemGeometry {
+    /// Number of memory channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks_per_channel: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Cache lines per row.
+    pub lines_per_row: u32,
+    /// Cache-line size in bytes.
+    pub line_bytes: u32,
+}
+
+/// A geometry field that is not a nonzero power of two.
+///
+/// The bit-field address mapping aliases silently on non-power-of-two
+/// counts (e.g. `banks_per_rank: 6` decodes two different addresses to the
+/// same bank), so constructors hard-error instead.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GeometryError {
+    field: &'static str,
+    value: u32,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory geometry field `{}` must be a nonzero power of two, got {} \
+             (a bit-field address map would silently alias)",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl MemGeometry {
+    /// Checks that every field is a nonzero power of two (the bit-field
+    /// mapping is only injective under that condition).
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        let fields = [
+            ("channels", self.channels),
+            ("ranks_per_channel", self.ranks_per_channel),
+            ("banks_per_rank", self.banks_per_rank),
+            ("rows_per_bank", self.rows_per_bank),
+            ("lines_per_row", self.lines_per_row),
+            ("line_bytes", self.line_bytes),
+        ];
+        for (field, value) in fields {
+            if !value.is_power_of_two() {
+                return Err(GeometryError { field, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total banks in the system.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Banks per channel.
+    pub fn banks_per_channel(&self) -> u32 {
+        self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Flat bank index of a decoded location across the whole system
+    /// (`channel · ranks · banks + rank · banks + bank`).
+    pub fn global_bank(&self, loc: &Location) -> u32 {
+        (loc.channel * self.ranks_per_channel + loc.rank) * self.banks_per_rank + loc.bank
+    }
+}
+
+impl From<&MemGeometry> for MemGeometry {
+    fn from(g: &MemGeometry) -> Self {
+        *g
+    }
+}
+
+/// A decoded DRAM location.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Cache-line column within the row.
+    pub col: u32,
+}
+
+impl Location {
+    /// Flat bank index across the whole system
+    /// (`channel · ranks · banks + rank · banks + bank`).
+    pub fn global_bank(&self, geometry: impl Into<MemGeometry>) -> u32 {
+        geometry.into().global_bank(self)
+    }
+}
+
+/// Bit-field description of an address mapping.
+///
+/// ```
+/// use cat_engine::{AddressMapping, MemGeometry};
+/// let geometry = MemGeometry {
+///     channels: 2,
+///     ranks_per_channel: 1,
+///     banks_per_rank: 8,
+///     rows_per_bank: 65_536,
+///     lines_per_row: 256,
+///     line_bytes: 64,
+/// };
+/// let map = AddressMapping::new(&geometry);
+/// let loc = map.decode(map.encode_line(1, 0, 3, 1_234, 17));
+/// assert_eq!((loc.channel, loc.bank, loc.row, loc.col), (1, 3, 1_234, 17));
+/// assert_eq!(map.decode_bank_row(map.encode_line(1, 0, 3, 9, 0)), (11, 9));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AddressMapping {
+    offset_bits: u32,
+    col_bits: u32,
+    ch_bits: u32,
+    bk_bits: u32,
+    rk_bits: u32,
+    row_mask: u32,
+    geometry: MemGeometry,
+}
+
+fn bits_for(n: u32) -> u32 {
+    debug_assert!(n.is_power_of_two());
+    n.trailing_zeros()
+}
+
+impl AddressMapping {
+    /// Builds the mapping for a memory geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`MemGeometry::validate`] — a release
+    /// build must never decode through an aliasing map.
+    pub fn new(geometry: impl Into<MemGeometry>) -> Self {
+        let g = geometry.into();
+        if let Err(e) = g.validate() {
+            panic!("invalid memory geometry: {e}");
+        }
+        AddressMapping {
+            offset_bits: bits_for(g.line_bytes),
+            col_bits: bits_for(g.lines_per_row),
+            ch_bits: bits_for(g.channels),
+            bk_bits: bits_for(g.banks_per_rank),
+            rk_bits: bits_for(g.ranks_per_channel),
+            row_mask: g.rows_per_bank - 1,
+            geometry: g,
+        }
+    }
+
+    /// The geometry this mapping was built for.
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geometry
+    }
+
+    /// Decodes a byte address into its DRAM location.
+    pub fn decode(&self, addr: u64) -> Location {
+        let mut a = addr >> self.offset_bits;
+        let col = (a & ((1 << self.col_bits) - 1)) as u32;
+        a >>= self.col_bits;
+        let channel = (a & ((1 << self.ch_bits) - 1)) as u32;
+        a >>= self.ch_bits;
+        let bank = (a & ((1 << self.bk_bits) - 1)) as u32;
+        a >>= self.bk_bits;
+        let rank = if self.rk_bits == 0 {
+            0
+        } else {
+            (a & ((1 << self.rk_bits) - 1)) as u32
+        };
+        a >>= self.rk_bits;
+        let row = (a as u32) & self.row_mask;
+        Location {
+            channel,
+            rank,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Flat bank index of a decoded location (delegates to
+    /// [`MemGeometry::global_bank`] — the formula lives there, once).
+    pub fn global_bank(&self, loc: &Location) -> u32 {
+        self.geometry.global_bank(loc)
+    }
+
+    /// Decodes a byte address straight to `(global bank, row)` — the form
+    /// the engines consume. This is the whole decode front-end of the
+    /// batched paths, so bank ids are full `u32`s end to end (no narrowing
+    /// cast anywhere between here and the per-bank schemes).
+    pub fn decode_bank_row(&self, addr: u64) -> (u32, u32) {
+        let loc = self.decode(addr);
+        (self.global_bank(&loc), loc.row)
+    }
+
+    /// Composes the byte address of a cache line at the given location —
+    /// the inverse of [`decode`](Self::decode); used by the workload
+    /// generators.
+    pub fn encode_line(&self, channel: u32, rank: u32, bank: u32, row: u32, col: u32) -> u64 {
+        let mut a = u64::from(row & self.row_mask);
+        a = (a << self.rk_bits) | u64::from(rank);
+        a = (a << self.bk_bits) | u64::from(bank);
+        a = (a << self.ch_bits) | u64::from(channel);
+        a = (a << self.col_bits) | u64::from(col);
+        a << self.offset_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> MemGeometry {
+        MemGeometry {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            rows_per_bank: 65_536,
+            lines_per_row: 256,
+            line_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let map = AddressMapping::new(geometry());
+        for (ch, bank, row, col) in [(0, 0, 0, 0), (1, 7, 65_535, 255), (0, 3, 40_000, 100)] {
+            let addr = map.encode_line(ch, 0, bank, row, col);
+            let loc = map.decode(addr);
+            assert_eq!(
+                (loc.channel, loc.rank, loc.bank, loc.row, loc.col),
+                (ch, 0, bank, row, col)
+            );
+        }
+    }
+
+    #[test]
+    fn wide_geometry_round_trips_past_u16_banks() {
+        // 8 × 4 × 4096 = 131_072 banks: global ids overflow u16 and must
+        // survive the whole decode path unclipped.
+        let g = MemGeometry {
+            channels: 8,
+            ranks_per_channel: 4,
+            banks_per_rank: 4096,
+            rows_per_bank: 16,
+            lines_per_row: 2,
+            line_bytes: 64,
+        };
+        let map = AddressMapping::new(g);
+        assert_eq!(g.total_banks(), 131_072);
+        for global in [0u32, 65_535, 65_536, 70_001, 131_071] {
+            let bank = global % g.banks_per_rank;
+            let rank = (global / g.banks_per_rank) % g.ranks_per_channel;
+            let channel = global / g.banks_per_channel();
+            let addr = map.encode_line(channel, rank, bank, 5, 1);
+            assert_eq!(map.decode_bank_row(addr), (global, 5));
+            assert_eq!(map.decode(addr).global_bank(g), global);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero power of two")]
+    fn non_power_of_two_banks_hard_error() {
+        // This must fail in release builds too — it used to be only a
+        // debug_assert, silently aliasing the map in --release.
+        let g = MemGeometry {
+            banks_per_rank: 6,
+            ..geometry()
+        };
+        let _ = AddressMapping::new(g);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero power of two")]
+    fn zero_field_hard_error() {
+        let g = MemGeometry {
+            channels: 0,
+            ..geometry()
+        };
+        let _ = AddressMapping::new(g);
+    }
+
+    #[test]
+    fn geometry_error_names_the_field() {
+        let g = MemGeometry {
+            rows_per_bank: 100,
+            ..geometry()
+        };
+        let e = g.validate().unwrap_err();
+        assert!(e.to_string().contains("rows_per_bank"));
+        assert!(e.to_string().contains("100"));
+    }
+}

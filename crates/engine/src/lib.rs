@@ -5,7 +5,9 @@
 //! an `on_epoch_end` at every auto-refresh epoch boundary, and a stats merge
 //! at the end. [`BankEngine`] is the single implementation of that loop; the
 //! functional simulator, the timed simulator and the CMRPO replay harness all
-//! sit on top of it.
+//! sit on top of it. [`MemorySystem`] adds the system-level front-end —
+//! physical-address decode ([`AddressMapping`]) routing into per-channel
+//! `BankEngine`s — so no consumer hand-rolls channel/rank/bank math.
 //!
 //! Schemes are held as [`SchemeInstance`] values (enum static dispatch, no
 //! per-activation virtual call) built from a [`SchemeSpec`].
@@ -14,7 +16,7 @@
 //!
 //! [`BankEngine::process_sharded`] partitions **banks** (never per-bank
 //! order) into contiguous shards and replays each shard's banks on its own
-//! thread, bank by bank. Because
+//! long-lived worker thread, bank by bank. Because
 //!
 //! 1. every scheme instance is per-bank state touched by exactly one shard,
 //! 2. each bank replays its own activations in original stream order
@@ -24,11 +26,15 @@
 //!    to each bank at the same point of its own activation subsequence
 //!    regardless of sharding, and
 //! 4. PRA draws from a per-bank PRNG seeded from `(base seed, bank index)`,
+//!    where the bank index is the engine's
+//!    [`bank base`](BankEngine::with_bank_base) plus the local index — so a
+//!    bank keeps its seed no matter which channel engine it lands in,
 //!
 //! the resulting [`SchemeStats`] — aggregated in bank order — are
 //! **bit-identical for every shard count**, including the unsharded
-//! [`BankEngine::process`] path. The equivalence is asserted for every
-//! [`SchemeSpec`] variant by `tests/equivalence.rs`.
+//! [`BankEngine::process`] path and the [`MemorySystem`] per-channel
+//! routing. The equivalence is asserted for every [`SchemeSpec`] variant by
+//! `tests/equivalence.rs`.
 //!
 //! ## Batching rationale
 //!
@@ -38,6 +44,16 @@
 //! and dispatch overhead (and is what makes bank-sharding possible at all —
 //! a shard must be able to scan ahead in the stream). Single-access callers
 //! (the cycle-based timing simulator) use [`BankEngine::activate`] instead.
+//! Bank ids are full `u32`s: the decode front-end never narrows them, so
+//! geometries beyond 65 536 banks route correctly.
+//!
+//! ## Worker pool
+//!
+//! Sharded processing runs on a persistent pool of shard threads (see
+//! [`pool`](self)) spawned once per engine lifetime and fed sub-batches
+//! over channels — the first implementation spawned scoped threads per
+//! cache-sized sub-batch, which cost enough that 4 shards lost to 2 on
+//! multi-million-access replays.
 //!
 //! ```
 //! use cat_engine::BankEngine;
@@ -45,7 +61,7 @@
 //!
 //! let spec = SchemeSpec::Sca { counters: 64, threshold: 1024 };
 //! let mut engine = BankEngine::new(spec, 4, 65_536).with_epoch_length(10_000);
-//! let batch: Vec<(u16, u32)> = (0..20_000).map(|i| ((i % 4) as u16, 7)).collect();
+//! let batch: Vec<(u32, u32)> = (0..20_000).map(|i| (i % 4, 7)).collect();
 //! engine.process(&batch);
 //! let report = engine.report();
 //! assert_eq!(report.accesses, 20_000);
@@ -56,7 +72,51 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod address;
+mod pool;
+mod system;
+
+pub use address::{AddressMapping, GeometryError, Location, MemGeometry};
+pub use system::MemorySystem;
+
 use cat_core::{Refreshes, RowId, SchemeInstance, SchemeSpec, SchemeStats};
+use pool::ShardPool;
+
+/// Splits `len` batched accesses into epoch-delimited segments: `f` is
+/// called once per non-empty segment in order with the segment's index
+/// range and whether the segment ends exactly on an epoch boundary (fire
+/// `on_epoch_end` there). Returns the number of boundaries crossed.
+///
+/// This is *the* epoch-phase arithmetic — the flat batched path, the
+/// sharded scatter and the [`MemorySystem`] router all delegate here so
+/// the three paths cannot drift apart (their bit-identical equivalence
+/// depends on agreeing about boundary positions).
+pub(crate) fn for_each_epoch_segment(
+    len: usize,
+    accesses_so_far: u64,
+    epoch_len: Option<u64>,
+    mut f: impl FnMut(std::ops::Range<usize>, bool),
+) -> u64 {
+    let mut until_epoch = epoch_len
+        .map(|l| l - accesses_so_far % l)
+        .unwrap_or(u64::MAX);
+    let mut epochs = 0u64;
+    let mut done = 0usize;
+    while done < len {
+        let remaining = len - done;
+        let seg = remaining.min(usize::try_from(until_epoch).unwrap_or(usize::MAX));
+        let on_boundary = seg as u64 == until_epoch;
+        f(done..done + seg, on_boundary);
+        done += seg;
+        if on_boundary {
+            epochs += 1;
+            until_epoch = epoch_len.expect("boundaries only occur with epochs on");
+        } else {
+            until_epoch -= seg as u64;
+        }
+    }
+    epochs
+}
 
 /// Aggregate outcome of one [`BankEngine::process`] batch, computed by
 /// differencing O(banks) stats snapshots around the batch — the
@@ -93,7 +153,7 @@ pub struct EngineReport {
 
 /// A multi-bank mitigation engine: one [`SchemeInstance`] shard per bank,
 /// batched activation processing with epoch accounting, and a deterministic
-/// bank-sharded multi-threaded runner.
+/// bank-sharded runner on a persistent worker pool.
 pub struct BankEngine {
     banks: Vec<Option<SchemeInstance>>,
     activations: Vec<u64>,
@@ -102,6 +162,10 @@ pub struct BankEngine {
     /// Accesses per auto-refresh epoch; `None` disables access-count epoch
     /// accounting (the timed simulator fires epochs by cycle count instead).
     epoch_len: Option<u64>,
+    /// Persistent shard workers, spawned lazily on the first sharded batch
+    /// and kept for the engine's lifetime (rebuilt only if the shard count
+    /// changes).
+    pool: Option<ShardPool>,
 }
 
 impl BankEngine {
@@ -113,14 +177,29 @@ impl BankEngine {
     ///
     /// Panics if `spec` is invalid for the bank geometry.
     pub fn new(spec: SchemeSpec, banks: u32, rows_per_bank: u32) -> Self {
+        Self::with_bank_base(spec, banks, rows_per_bank, 0)
+    }
+
+    /// Like [`new`](Self::new), but bank `b` is instantiated as bank index
+    /// `bank_base + b`. [`MemorySystem`] builds its per-channel engines
+    /// with the channel's first global bank as the base, so every bank
+    /// keeps the PRA seed it would have in one system-wide engine — that
+    /// is what keeps per-channel routing bit-identical to the flat path.
+    pub fn with_bank_base(
+        spec: SchemeSpec,
+        banks: u32,
+        rows_per_bank: u32,
+        bank_base: u32,
+    ) -> Self {
         BankEngine {
             banks: (0..banks)
-                .map(|b| spec.build_instance(rows_per_bank, b))
+                .map(|b| spec.build_instance(rows_per_bank, bank_base + b))
                 .collect(),
             activations: vec![0; banks as usize],
             accesses: 0,
             epochs: 0,
             epoch_len: None,
+            pool: None,
         }
     }
 
@@ -159,12 +238,30 @@ impl BankEngine {
     /// Drives one activation through bank `bank` and returns the refreshes
     /// the scheme requests. Fires no epoch boundaries — the single-access
     /// callers (the timing simulator) own their epoch clock and call
-    /// [`end_epoch`](Self::end_epoch) themselves. The access still counts
-    /// toward [`accesses`](Self::accesses), which is also the phase
-    /// reference for [`process`](Self::process)'s access-count epochs, so
-    /// don't mix `activate` with an epoch-length-configured batched engine.
+    /// [`end_epoch`](Self::end_epoch) themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was configured with
+    /// [`with_epoch_length`](Self::with_epoch_length): the access would
+    /// advance the batched epoch phase without ever firing a boundary,
+    /// silently corrupting every later [`process`](Self::process) call.
+    /// Single-access and access-count-epoch driving cannot be mixed.
     #[inline]
     pub fn activate(&mut self, bank: usize, row: u32) -> Refreshes {
+        assert!(
+            self.epoch_len.is_none(),
+            "BankEngine::activate cannot be mixed with access-count epoch accounting \
+             (with_epoch_length): the access would shift the batched epoch phase. \
+             Drive epochs from your own clock via end_epoch() instead."
+        );
+        self.activate_unchecked(bank, row)
+    }
+
+    /// The shared single-activation path; batched callers manage the epoch
+    /// phase themselves.
+    #[inline]
+    fn activate_unchecked(&mut self, bank: usize, row: u32) -> Refreshes {
         self.activations[bank] += 1;
         self.accesses += 1;
         match &mut self.banks[bank] {
@@ -198,26 +295,25 @@ impl BankEngine {
     /// Processes a batch of `(bank, row)` activations in order, firing epoch
     /// boundaries (if configured) at the right global positions, and returns
     /// the incrementally-aggregated outcome of the batch.
-    pub fn process(&mut self, batch: &[(u16, u32)]) -> BatchOutcome {
+    pub fn process(&mut self, batch: &[(u32, u32)]) -> BatchOutcome {
         let mut out = BatchOutcome {
             accesses: batch.len() as u64,
             ..BatchOutcome::default()
         };
         let (events_before, rows_before) = self.refresh_totals();
-        // Countdown to the next boundary instead of a per-access modulo.
-        let mut until_epoch = self
-            .epoch_len
-            .map(|len| len - self.accesses % len)
-            .unwrap_or(u64::MAX);
-        for &(bank, row) in batch {
-            self.activate(bank as usize, row);
-            until_epoch -= 1;
-            if until_epoch == 0 {
-                self.end_epoch();
-                out.epochs += 1;
-                until_epoch = self.epoch_len.expect("countdown only runs with epochs on");
-            }
-        }
+        out.epochs = for_each_epoch_segment(
+            batch.len(),
+            self.accesses,
+            self.epoch_len,
+            |range, on_boundary| {
+                for &(bank, row) in &batch[range] {
+                    self.activate_unchecked(bank as usize, row);
+                }
+                if on_boundary {
+                    self.end_epoch();
+                }
+            },
+        );
         let (events, rows) = self.refresh_totals();
         out.refresh_events = events - events_before;
         out.refreshed_rows = rows - rows_before;
@@ -225,8 +321,9 @@ impl BankEngine {
     }
 
     /// Processes a batch like [`process`](Self::process), but partitioned
-    /// per bank and replayed bank-by-bank on `shards` scoped threads (each
-    /// thread owns a contiguous range of banks). Results are bit-identical
+    /// per bank and replayed bank-by-bank on `shards` persistent worker
+    /// threads (each owns a contiguous range of banks; threads are spawned
+    /// once and fed sub-batches over channels). Results are bit-identical
     /// to the sequential path for every shard count (see the crate-level
     /// determinism contract).
     ///
@@ -235,26 +332,28 @@ impl BankEngine {
     /// monomorphic [`SchemeInstance::run`] loop (no per-access dispatch)
     /// with that bank's counter state hot in cache.
     ///
-    /// `shards` is clamped to `1..=bank_count`.
-    pub fn process_sharded(&mut self, batch: &[(u16, u32)], shards: usize) -> BatchOutcome {
-        // Work in sub-batches small enough that the partition buffer stays
+    /// `shards` is clamped to `1..=bank_count`; changing the count between
+    /// calls rebuilds the pool (the only time threads respawn).
+    pub fn process_sharded(&mut self, batch: &[(u32, u32)], shards: usize) -> BatchOutcome {
+        // Work in sub-batches small enough that the partition buffers stay
         // cache-resident between the scatter and the replay — for large
         // batches this roughly halves the memory traffic of the sharded
         // path. Epoch state composes across sub-batches by construction.
         const CHUNK_ACCESSES: usize = 1 << 20;
         let (events_before, rows_before) = self.refresh_totals();
         let nbanks = self.banks.len().max(1);
-        let mut scratch = ShardScratch {
-            counts: vec![0; nbanks],
-            starts: vec![0; nbanks + 1],
-            cursor: vec![0; nbanks],
-            flat: vec![0; batch.len().min(CHUNK_ACCESSES)],
-            epoch_cuts: vec![Vec::new(); nbanks],
-        };
+        let shards = shards.clamp(1, nbanks);
+        if self.pool.as_ref().map(ShardPool::shards) != Some(shards) {
+            self.pool = Some(ShardPool::new(shards, nbanks));
+        }
+        let mut pool = self.pool.take().expect("pool just ensured");
+        pool.loan(&mut self.banks);
         let mut epochs = 0u64;
         for chunk in batch.chunks(CHUNK_ACCESSES) {
-            epochs += self.sharded_chunk(chunk, shards, &mut scratch);
+            epochs += self.sharded_chunk(&mut pool, chunk);
         }
+        pool.reclaim(&mut self.banks);
+        self.pool = Some(pool);
         let (events, rows) = self.refresh_totals();
         BatchOutcome {
             accesses: batch.len() as u64,
@@ -265,89 +364,85 @@ impl BankEngine {
     }
 
     /// One cache-sized sub-batch of [`process_sharded`](Self::process_sharded);
-    /// returns the number of epoch boundaries crossed.
-    fn sharded_chunk(
-        &mut self,
-        batch: &[(u16, u32)],
-        shards: usize,
-        scratch: &mut ShardScratch,
-    ) -> u64 {
-        let nbanks = self.banks.len().max(1);
-        let shards = shards.clamp(1, nbanks);
-        let chunk = nbanks.div_ceil(shards);
+    /// returns the number of epoch boundaries crossed. The banks are loaned
+    /// to `pool`'s workers for the duration of the enclosing batch.
+    fn sharded_chunk(&mut self, pool: &mut ShardPool, batch: &[(u32, u32)]) -> u64 {
+        let nbanks = self.activations.len().max(1);
+        let shards = pool.shards();
 
-        // Partition the stream per bank into one flat counting-sort buffer
-        // (exact sizes, no reallocation), recording for every bank at which
-        // local positions the global epoch boundaries fall, so each bank
-        // replays exactly the subsequence it saw — epochs included — in
-        // original order.
-        let ShardScratch {
-            counts,
-            starts,
-            cursor,
-            flat,
-            epoch_cuts,
-        } = scratch;
-        counts.fill(0);
+        // Per-bank counts for this chunk, then per-worker job buffers with
+        // exact segment sizes (acquiring a buffer blocks once the worker is
+        // more than one job behind — that backpressure is the pipeline).
+        pool.counts.fill(0);
         for &(bank, _) in batch {
-            counts[bank as usize] += 1;
+            pool.counts[bank as usize] += 1;
         }
-        for b in 0..nbanks {
-            starts[b + 1] = starts[b] + counts[b];
+        let mut jobs: Vec<pool::RunJob> = Vec::with_capacity(shards);
+        let mut bank0 = 0usize;
+        for w in 0..shards {
+            let mut job = pool.acquire(w);
+            let nb = pool.worker_banks(w);
+            job.lens.clear();
+            job.lens.extend_from_slice(&pool.counts[bank0..bank0 + nb]);
+            let total: usize = job.lens.iter().sum();
+            // No clear() first: the scatter writes every slot in [0..total)
+            // exactly once (cursors cover sum(lens)), so stale contents of
+            // the recycled buffer are never read and resize only zero-fills
+            // genuine growth.
+            job.rows.resize(total, 0);
+            job.cuts.resize_with(nb, Vec::new);
+            let mut acc = 0usize;
+            for b in 0..nb {
+                pool.cursor[bank0 + b] = acc;
+                pool.starts[bank0 + b] = acc;
+                acc += pool.counts[bank0 + b];
+            }
+            bank0 += nb;
+            jobs.push(job);
         }
-        cursor.copy_from_slice(&starts[..nbanks]);
-        let flat = &mut flat[..batch.len()];
-        for cuts in epoch_cuts.iter_mut() {
+        for cuts in pool.epoch_cuts.iter_mut() {
             cuts.clear();
         }
-        // Scatter in epoch-delimited segments (no per-access epoch check).
-        let mut epochs_in_batch = 0u64;
-        let mut done = 0usize;
-        let mut until_epoch = self
-            .epoch_len
-            .map(|len| len - self.accesses % len)
-            .unwrap_or(u64::MAX);
-        while done < batch.len() {
-            let remaining = batch.len() - done;
-            let seg = remaining.min(usize::try_from(until_epoch).unwrap_or(usize::MAX));
-            for &(bank, row) in &batch[done..done + seg] {
-                let b = bank as usize;
-                flat[cursor[b]] = row;
-                cursor[b] += 1;
-            }
-            done += seg;
-            if seg as u64 == until_epoch {
-                epochs_in_batch += 1;
-                until_epoch = self
-                    .epoch_len
-                    .expect("boundaries only occur with epochs on");
-                for (cuts, (&cur, &start)) in
-                    epoch_cuts.iter_mut().zip(cursor.iter().zip(starts.iter()))
-                {
-                    cuts.push(cur - start);
-                }
-            } else {
-                until_epoch -= seg as u64;
-            }
-        }
-        for (count, &c) in self.activations.iter_mut().zip(counts.iter()) {
+
+        // Scatter in epoch-delimited segments (no per-access epoch check),
+        // recording for every bank at which local positions the global
+        // epoch boundaries fall, so each bank replays exactly the
+        // subsequence it saw — epochs included — in original order.
+        let epochs_in_batch = {
+            let mut slices: Vec<&mut [u32]> =
+                jobs.iter_mut().map(|j| j.rows.as_mut_slice()).collect();
+            for_each_epoch_segment(
+                batch.len(),
+                self.accesses,
+                self.epoch_len,
+                |range, on_boundary| {
+                    for &(bank, row) in &batch[range] {
+                        let b = bank as usize;
+                        slices[pool.shard_of(b)][pool.cursor[b]] = row;
+                        pool.cursor[b] += 1;
+                    }
+                    if on_boundary {
+                        for b in 0..nbanks {
+                            pool.epoch_cuts[b].push(pool.cursor[b] - pool.starts[b]);
+                        }
+                    }
+                },
+            )
+        };
+        for (count, &c) in self.activations.iter_mut().zip(pool.counts.iter()) {
             *count += c as u64;
         }
 
-        let bank_rows: Vec<&[u32]> = (0..nbanks)
-            .map(|b| &flat[starts[b]..starts[b + 1]])
-            .collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .banks
-                .chunks_mut(chunk)
-                .zip(bank_rows.chunks(chunk).zip(epoch_cuts.chunks(chunk)))
-                .map(|(banks, (rows, cuts))| scope.spawn(move || run_shard(banks, rows, cuts)))
-                .collect();
-            for h in handles {
-                h.join().expect("shard panicked");
+        let mut bank0 = 0usize;
+        for (w, mut job) in jobs.into_iter().enumerate() {
+            let nb = pool.worker_banks(w);
+            for (local, cuts) in job.cuts.iter_mut().enumerate() {
+                cuts.clear();
+                cuts.extend_from_slice(&pool.epoch_cuts[bank0 + local]);
             }
-        });
+            bank0 += nb;
+            pool.submit(w, job);
+        }
         self.accesses += batch.len() as u64;
         self.epochs += epochs_in_batch;
         epochs_in_batch
@@ -385,46 +480,15 @@ impl BankEngine {
     }
 }
 
-/// Reusable partition buffers for [`BankEngine::process_sharded`] (one
-/// allocation per call, not per cache-sized sub-batch).
-struct ShardScratch {
-    counts: Vec<usize>,
-    starts: Vec<usize>,
-    cursor: Vec<usize>,
-    flat: Vec<u32>,
-    epoch_cuts: Vec<Vec<usize>>,
-}
-
-/// Replays one shard's banks, bank by bank: each bank's whole activation
-/// subsequence runs through one monomorphic [`SchemeInstance::run`] loop,
-/// with that bank's epoch ends fired at the recorded cut positions.
-///
-/// No per-activation accounting happens here — the schemes track their own
-/// [`SchemeStats`], and the caller diffs aggregate snapshots. Keeping the
-/// sink empty lets the compiler drop the `Refreshes` return path from the
-/// inlined loops entirely.
-fn run_shard(banks: &mut [Option<SchemeInstance>], rows: &[&[u32]], epoch_cuts: &[Vec<usize>]) {
-    for (scheme, (bank_rows, cuts)) in banks.iter_mut().zip(rows.iter().zip(epoch_cuts)) {
-        let Some(scheme) = scheme else { continue };
-        let mut next = 0usize;
-        for &cut in cuts {
-            scheme.run(&bank_rows[next..cut], |_| {});
-            next = cut;
-            scheme.on_epoch_end();
-        }
-        scheme.run(&bank_rows[next..], |_| {});
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn batch(n: u64, banks: u16) -> Vec<(u16, u32)> {
+    fn batch(n: u64, banks: u32) -> Vec<(u32, u32)> {
         // Deterministic hot/cold mix across all banks.
         (0..n)
             .map(|i| {
-                let bank = (i % u64::from(banks)) as u16;
+                let bank = (i % u64::from(banks)) as u32;
                 let row = if i % 3 == 0 {
                     99
                 } else {
@@ -500,6 +564,26 @@ mod tests {
     }
 
     #[test]
+    fn pool_survives_shard_count_changes() {
+        // The persistent pool is rebuilt when the shard count changes and
+        // keeps producing sequential-identical results either way.
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 128,
+        };
+        let trace = batch(30_000, 8);
+        let mut seq = BankEngine::new(spec, 8, 4096).with_epoch_length(4_000);
+        seq.process(&trace);
+        let mut pooled = BankEngine::new(spec, 8, 4096).with_epoch_length(4_000);
+        for (chunk, shards) in trace.chunks(10_000).zip([2usize, 4, 2]) {
+            pooled.process_sharded(chunk, shards);
+        }
+        assert_eq!(pooled.stats(), seq.stats());
+        assert_eq!(pooled.epochs(), seq.epochs());
+        assert_eq!(pooled.activations_per_bank(), seq.activations_per_bank());
+    }
+
+    #[test]
     fn activate_drives_single_accesses() {
         let spec = SchemeSpec::Sca {
             counters: 16,
@@ -517,6 +601,15 @@ mod tests {
         let report = engine.report();
         assert_eq!(report.accesses, 16);
         assert_eq!(report.per_bank_stats.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be mixed with access-count epoch accounting")]
+    fn activate_on_epoch_configured_engine_is_rejected() {
+        // Mixing the single-access path into a batched engine used to be a
+        // doc caveat that silently shifted every later epoch boundary.
+        let mut engine = BankEngine::new(SchemeSpec::None, 2, 4096).with_epoch_length(1_000);
+        let _ = engine.activate(0, 1);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The persistent shard worker pool behind
+//! [`BankEngine::process_sharded`](crate::BankEngine::process_sharded).
+//!
+//! The first sharded runner spawned `std::thread::scope` threads per
+//! cache-sized sub-batch — measurably wrong once batches got large:
+//! `BENCH_engine.json` showed 4 shards *losing* to 2 because a 20M-access
+//! replay paid 80 spawn/join pairs. This pool spawns each shard's worker
+//! thread **once per engine lifetime** and feeds it sub-batches over
+//! channels instead.
+//!
+//! ## Ownership protocol
+//!
+//! Between public engine calls the engine owns every bank, so the
+//! single-access path, stats accessors and iterators all work unchanged.
+//! For the duration of one `process_sharded` call the banks are *loaned*
+//! to the workers:
+//!
+//! 1. [`ShardPool::loan`] moves each shard's contiguous bank range into its
+//!    worker (one `Vec` move per shard, not per access);
+//! 2. for every sub-batch the engine scatters rows into a [`RunJob`] per
+//!    shard and sends it; the worker replays it bank by bank and sends the
+//!    buffer back for reuse (up to [`JOBS_IN_FLIGHT`] jobs pipeline, so the
+//!    engine scatters sub-batch *k+1* while workers replay *k*);
+//! 3. [`ShardPool::reclaim`] collects the banks back in shard order.
+//!
+//! Determinism is untouched: each bank is owned by exactly one worker,
+//! each worker consumes its jobs in FIFO order, and epoch cut positions
+//! are computed serially by the engine — so the replay each bank sees is
+//! byte-for-byte the one the scoped-thread runner produced.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use cat_core::SchemeInstance;
+
+/// Sub-batches pipelined per worker: 2 lets the engine scatter the next
+/// job while the worker replays the current one; more would only add
+/// memory.
+const JOBS_IN_FLIGHT: usize = 2;
+
+/// One shard's share of a sub-batch: each bank's activation subsequence,
+/// concatenated, with per-bank epoch cut positions.
+pub(crate) struct RunJob {
+    /// Rows for every bank of the shard, bank-major, in stream order.
+    pub rows: Vec<u32>,
+    /// Rows per bank (`rows` segment lengths, one per bank in the shard).
+    pub lens: Vec<usize>,
+    /// Per bank: positions *within the bank's segment* where a global
+    /// epoch boundary falls.
+    pub cuts: Vec<Vec<usize>>,
+}
+
+impl RunJob {
+    fn empty() -> Self {
+        RunJob {
+            rows: Vec::new(),
+            lens: Vec::new(),
+            cuts: Vec::new(),
+        }
+    }
+}
+
+enum ToWorker {
+    /// Loan the shard's banks to the worker.
+    Banks(Vec<Option<SchemeInstance>>),
+    /// Replay one sub-batch.
+    Run(RunJob),
+    /// Return the loaned banks.
+    Collect,
+}
+
+enum FromWorker {
+    /// A processed job buffer, ready for reuse.
+    Job(RunJob),
+    /// The loaned banks, returned on `Collect`.
+    Banks(Vec<Option<SchemeInstance>>),
+}
+
+struct Worker {
+    tx: Option<Sender<ToWorker>>,
+    rx: Receiver<FromWorker>,
+    handle: Option<JoinHandle<()>>,
+    /// Recycled job buffers not currently at the worker.
+    free: Vec<RunJob>,
+    /// Jobs sent but not yet returned.
+    inflight: usize,
+    /// Banks in this shard.
+    banks: usize,
+}
+
+/// Long-lived shard worker threads plus the scatter scratch shared by all
+/// sub-batches (see the module docs for the ownership protocol).
+pub(crate) struct ShardPool {
+    workers: Vec<Worker>,
+    /// `bank → worker` lookup (avoids a division per scattered access).
+    shard_of: Vec<u32>,
+    /// Scatter scratch, all sized `nbanks`.
+    pub counts: Vec<usize>,
+    pub cursor: Vec<usize>,
+    pub starts: Vec<usize>,
+    pub epoch_cuts: Vec<Vec<usize>>,
+}
+
+impl ShardPool {
+    /// Spawns `shards` workers covering `nbanks` banks in contiguous
+    /// ranges (all but the last of size `ceil(nbanks / shards)`).
+    pub fn new(shards: usize, nbanks: usize) -> Self {
+        let chunk = nbanks.div_ceil(shards);
+        let mut workers = Vec::with_capacity(shards);
+        let mut shard_of = vec![0u32; nbanks];
+        let mut bank0 = 0usize;
+        for w in 0..shards {
+            let banks = chunk.min(nbanks - bank0);
+            for s in &mut shard_of[bank0..bank0 + banks] {
+                *s = w as u32;
+            }
+            bank0 += banks;
+            let (tx, worker_rx) = channel::<ToWorker>();
+            let (worker_tx, rx) = channel::<FromWorker>();
+            let handle = std::thread::Builder::new()
+                .name(format!("cat-shard-{w}"))
+                .spawn(move || worker_loop(worker_rx, worker_tx))
+                .expect("spawn shard worker");
+            workers.push(Worker {
+                tx: Some(tx),
+                rx,
+                handle: Some(handle),
+                free: (0..JOBS_IN_FLIGHT).map(|_| RunJob::empty()).collect(),
+                inflight: 0,
+                banks,
+            });
+        }
+        ShardPool {
+            workers,
+            shard_of,
+            counts: vec![0; nbanks],
+            cursor: vec![0; nbanks],
+            starts: vec![0; nbanks],
+            epoch_cuts: vec![Vec::new(); nbanks],
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker index owning `bank`.
+    #[inline]
+    pub fn shard_of(&self, bank: usize) -> usize {
+        self.shard_of[bank] as usize
+    }
+
+    /// Banks owned by worker `w`.
+    pub fn worker_banks(&self, w: usize) -> usize {
+        self.workers[w].banks
+    }
+
+    /// Moves the engine's banks into the workers, one contiguous range
+    /// each. `banks` is left empty.
+    pub fn loan(&mut self, banks: &mut Vec<Option<SchemeInstance>>) {
+        debug_assert_eq!(banks.len(), self.shard_of.len());
+        let mut rest = std::mem::take(banks);
+        for w in &mut self.workers {
+            let tail = rest.split_off(w.banks.min(rest.len()));
+            w.send(ToWorker::Banks(rest));
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+    }
+
+    /// Waits for all outstanding jobs, then moves the banks back into
+    /// `banks` in shard order.
+    pub fn reclaim(&mut self, banks: &mut Vec<Option<SchemeInstance>>) {
+        for w in &mut self.workers {
+            w.send(ToWorker::Collect);
+            loop {
+                match w.recv() {
+                    FromWorker::Job(job) => {
+                        w.inflight -= 1;
+                        w.free.push(job);
+                    }
+                    FromWorker::Banks(mut b) => {
+                        banks.append(&mut b);
+                        break;
+                    }
+                }
+            }
+            debug_assert_eq!(w.inflight, 0);
+        }
+    }
+
+    /// A job buffer for worker `w`: recycled if one is free, otherwise
+    /// blocks until the worker returns one (this is the pipeline's
+    /// backpressure).
+    pub fn acquire(&mut self, w: usize) -> RunJob {
+        let worker = &mut self.workers[w];
+        if let Some(job) = worker.free.pop() {
+            return job;
+        }
+        match worker.recv() {
+            FromWorker::Job(job) => {
+                worker.inflight -= 1;
+                job
+            }
+            FromWorker::Banks(_) => unreachable!("no Collect outstanding during a batch"),
+        }
+    }
+
+    /// Queues one sub-batch on worker `w`.
+    pub fn submit(&mut self, w: usize, job: RunJob) {
+        let worker = &mut self.workers[w];
+        worker.inflight += 1;
+        worker.send(ToWorker::Run(job));
+    }
+}
+
+impl Worker {
+    fn send(&self, msg: ToWorker) {
+        self.tx
+            .as_ref()
+            .expect("pool not shut down")
+            .send(msg)
+            .expect("shard worker panicked");
+    }
+
+    fn recv(&self) -> FromWorker {
+        self.rx.recv().expect("shard worker panicked")
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's receive loop; join so no
+        // thread outlives its engine.
+        for w in &mut self.workers {
+            w.tx = None;
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
+    let mut banks: Vec<Option<SchemeInstance>> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Banks(b) => banks = b,
+            ToWorker::Run(job) => {
+                run_job(&mut banks, &job);
+                if tx.send(FromWorker::Job(job)).is_err() {
+                    return;
+                }
+            }
+            ToWorker::Collect => {
+                if tx
+                    .send(FromWorker::Banks(std::mem::take(&mut banks)))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Replays one job, bank by bank: each bank's whole activation subsequence
+/// runs through one monomorphic [`SchemeInstance::run`] loop, with that
+/// bank's epoch ends fired at the recorded cut positions.
+///
+/// No per-activation accounting happens here — the schemes track their own
+/// stats, and the engine diffs aggregate snapshots. Keeping the sink empty
+/// lets the compiler drop the `Refreshes` return path from the inlined
+/// loops entirely.
+fn run_job(banks: &mut [Option<SchemeInstance>], job: &RunJob) {
+    let mut offset = 0usize;
+    for (i, bank) in banks.iter_mut().enumerate() {
+        let len = job.lens[i];
+        let rows = &job.rows[offset..offset + len];
+        offset += len;
+        let Some(scheme) = bank else { continue };
+        let mut next = 0usize;
+        for &cut in &job.cuts[i] {
+            scheme.run(&rows[next..cut], |_| {});
+            next = cut;
+            scheme.on_epoch_end();
+        }
+        scheme.run(&rows[next..], |_| {});
+    }
+}

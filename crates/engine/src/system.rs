@@ -1,0 +1,411 @@
+//! [`MemorySystem`] — the system-level front-end over per-channel
+//! [`BankEngine`]s.
+//!
+//! ABACuS and CoMeT evaluate mitigation trackers as *memory-system*
+//! components sitting behind a channel/rank/bank decode, and every consumer
+//! in this repo used to hand-roll exactly that layer: decode an address,
+//! flatten it to a global bank id, feed an engine. `MemorySystem` owns that
+//! path — [`AddressMapping`] decode, per-channel routing, global epoch
+//! accounting — behind the same batched `process`/report API as
+//! [`BankEngine`], at whole-system scope.
+//!
+//! ## Equivalence
+//!
+//! Routing through per-channel engines is bit-identical to one system-wide
+//! engine (asserted by `tests/equivalence.rs`):
+//!
+//! * the global bank order is channel-major, so per-channel engines with a
+//!   [bank base](BankEngine::with_bank_base) hold exactly the banks (and
+//!   PRA seeds) of the flat engine's contiguous ranges;
+//! * per-bank access order is preserved by the stable scatter;
+//! * epoch boundaries are positions in the *system-wide* access stream:
+//!   batches are segmented at global boundaries and every channel engine
+//!   receives `on_epoch_end` at the same point of its own subsequence.
+
+use cat_core::{Refreshes, SchemeInstance, SchemeSpec, SchemeStats};
+
+use crate::{AddressMapping, BankEngine, BatchOutcome, EngineReport, MemGeometry};
+
+/// A whole memory system: address decode, per-channel [`BankEngine`]s,
+/// global epoch accounting, and optional pool-backed sharding.
+///
+/// ```
+/// use cat_core::SchemeSpec;
+/// use cat_engine::{MemGeometry, MemorySystem};
+///
+/// let geometry = MemGeometry {
+///     channels: 2,
+///     ranks_per_channel: 1,
+///     banks_per_rank: 8,
+///     rows_per_bank: 4096,
+///     lines_per_row: 256,
+///     line_bytes: 64,
+/// };
+/// let spec = SchemeSpec::Sca { counters: 64, threshold: 256 };
+/// let mut system = MemorySystem::new(&geometry, spec).with_epoch_length(10_000);
+/// // Route decoded (global bank, row) pairs — or raw addresses via decode().
+/// let batch: Vec<(u32, u32)> = (0..20_000).map(|i| (i % 16, 7)).collect();
+/// let out = system.process(&batch);
+/// assert_eq!(out.epochs, 2);
+/// assert!(system.stats().refresh_events > 0);
+/// ```
+pub struct MemorySystem {
+    geometry: MemGeometry,
+    mapping: AddressMapping,
+    channels: Vec<BankEngine>,
+    banks_per_channel: u32,
+    epoch_len: Option<u64>,
+    accesses: u64,
+    epochs: u64,
+    shards: usize,
+    /// Per-channel scatter buffers, reused across batches.
+    route: Vec<Vec<(u32, u32)>>,
+}
+
+impl MemorySystem {
+    /// Builds a system for `geometry`, instantiating `spec` on every bank
+    /// (channel engines are seeded with their global bank base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`MemGeometry::validate`] or `spec` is
+    /// invalid for the bank geometry.
+    pub fn new(geometry: impl Into<MemGeometry>, spec: SchemeSpec) -> Self {
+        let geometry = geometry.into();
+        let mapping = AddressMapping::new(geometry);
+        let banks_per_channel = geometry.banks_per_channel();
+        let channels: Vec<BankEngine> = (0..geometry.channels)
+            .map(|c| {
+                BankEngine::with_bank_base(
+                    spec,
+                    banks_per_channel,
+                    geometry.rows_per_bank,
+                    c * banks_per_channel,
+                )
+            })
+            .collect();
+        let route = (0..geometry.channels).map(|_| Vec::new()).collect();
+        MemorySystem {
+            geometry,
+            mapping,
+            channels,
+            banks_per_channel,
+            epoch_len: None,
+            accesses: 0,
+            epochs: 0,
+            shards: 1,
+            route,
+        }
+    }
+
+    /// Enables access-count epoch accounting: every `accesses_per_epoch`
+    /// *system-wide* accesses, every bank receives an `on_epoch_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses_per_epoch` is zero.
+    pub fn with_epoch_length(mut self, accesses_per_epoch: u64) -> Self {
+        assert!(accesses_per_epoch > 0, "epoch must contain accesses");
+        self.epoch_len = Some(accesses_per_epoch);
+        self
+    }
+
+    /// Runs each channel's banks on `shards` persistent worker threads per
+    /// channel (1 = sequential in the calling thread, the default).
+    /// Results are bit-identical for every shard count.
+    ///
+    /// Channels are processed serially per epoch segment, each parallel
+    /// internally — so `shards` is also the effective system-wide
+    /// parallelism, but every channel engine keeps its *own* pool
+    /// (`channels × shards` threads total, all but one channel's parked on
+    /// an empty queue at any moment). A pool shared across channels — and
+    /// overlapping the channels themselves — is future work tracked in the
+    /// ROADMAP.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// The system geometry.
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geometry
+    }
+
+    /// The address mapping (for callers that need full [`crate::Location`]
+    /// decode, e.g. the timing simulator's channel queues).
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// Total banks across all channels.
+    pub fn bank_count(&self) -> usize {
+        self.channels.iter().map(BankEngine::bank_count).sum()
+    }
+
+    /// System-wide accesses processed so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Epoch boundaries processed so far (batched and manual).
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Decodes a physical byte address to `(global bank, row)` — the batch
+    /// entry format of [`process`](Self::process).
+    #[inline]
+    pub fn decode(&self, addr: u64) -> (u32, u32) {
+        self.mapping.decode_bank_row(addr)
+    }
+
+    /// Processes a batch of `(global bank, row)` activations in order:
+    /// routes each to its channel engine and fires epoch boundaries (if
+    /// configured) at the right system-wide positions (the segmentation is
+    /// shared with the engine's sharded path — see
+    /// `for_each_epoch_segment`).
+    pub fn process(&mut self, batch: &[(u32, u32)]) -> BatchOutcome {
+        let mut out = BatchOutcome {
+            accesses: batch.len() as u64,
+            ..BatchOutcome::default()
+        };
+        let channels = &mut self.channels;
+        let route = &mut self.route;
+        let banks_per_channel = self.banks_per_channel;
+        let shards = self.shards;
+        let epochs = crate::for_each_epoch_segment(
+            batch.len(),
+            self.accesses,
+            self.epoch_len,
+            |range, on_boundary| {
+                for buf in route.iter_mut() {
+                    buf.clear();
+                }
+                for &(bank, row) in &batch[range] {
+                    let ch = (bank / banks_per_channel) as usize;
+                    route[ch].push((bank % banks_per_channel, row));
+                }
+                for (ch, engine) in channels.iter_mut().enumerate() {
+                    let sub = &route[ch];
+                    if sub.is_empty() {
+                        continue; // skip the per-batch pool/snapshot overhead
+                    }
+                    let o = if shards > 1 {
+                        engine.process_sharded(sub, shards)
+                    } else {
+                        engine.process(sub)
+                    };
+                    out.refresh_events += o.refresh_events;
+                    out.refreshed_rows += o.refreshed_rows;
+                }
+                if on_boundary {
+                    for engine in channels.iter_mut() {
+                        engine.end_epoch();
+                    }
+                }
+            },
+        );
+        self.accesses += batch.len() as u64;
+        self.epochs += epochs;
+        out.epochs = epochs;
+        out
+    }
+
+    /// Decodes and processes a batch of physical addresses (see
+    /// [`process`](Self::process)).
+    pub fn process_addrs(&mut self, addrs: &[u64]) -> BatchOutcome {
+        let batch: Vec<(u32, u32)> = addrs.iter().map(|&a| self.decode(a)).collect();
+        self.process(&batch)
+    }
+
+    /// Drives one activation through global bank `bank` and returns the
+    /// refreshes the scheme requests. Fires no epoch boundaries — see
+    /// [`BankEngine::activate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was configured with
+    /// [`with_epoch_length`](Self::with_epoch_length) (single accesses and
+    /// access-count epochs cannot be mixed) or `bank` is out of range.
+    #[inline]
+    pub fn activate_global(&mut self, bank: u32, row: u32) -> Refreshes {
+        assert!(
+            self.epoch_len.is_none(),
+            "MemorySystem::activate_global/activate_in_channel cannot be mixed with \
+             access-count epoch accounting (with_epoch_length): the access would shift \
+             the batched epoch phase. Drive epochs from your own clock via end_epoch() \
+             instead."
+        );
+        self.accesses += 1;
+        let ch = (bank / self.banks_per_channel) as usize;
+        self.channels[ch].activate((bank % self.banks_per_channel) as usize, row)
+    }
+
+    /// [`activate_global`](Self::activate_global) addressed as
+    /// `(channel, bank-in-channel)` — the coordinates the per-channel
+    /// memory controllers use.
+    #[inline]
+    pub fn activate_in_channel(&mut self, channel: usize, bank: usize, row: u32) -> Refreshes {
+        self.activate_global(channel as u32 * self.banks_per_channel + bank as u32, row)
+    }
+
+    /// Signals an auto-refresh epoch boundary to every bank of every
+    /// channel.
+    pub fn end_epoch(&mut self) {
+        self.epochs += 1;
+        for engine in &mut self.channels {
+            engine.end_epoch();
+        }
+    }
+
+    /// Scheme statistics aggregated across all banks, in global bank order.
+    pub fn stats(&self) -> SchemeStats {
+        let mut total = SchemeStats::default();
+        for engine in &self.channels {
+            total.merge(&engine.stats());
+        }
+        total
+    }
+
+    /// Per-bank scheme statistics in global bank order (banks without a
+    /// scheme are skipped).
+    pub fn per_bank_stats(&self) -> Vec<SchemeStats> {
+        self.channels
+            .iter()
+            .flat_map(BankEngine::per_bank_stats)
+            .collect()
+    }
+
+    /// Row activations observed per bank, in global bank order.
+    pub fn activations_per_bank(&self) -> Vec<u64> {
+        self.channels
+            .iter()
+            .flat_map(|e| e.activations_per_bank().iter().copied())
+            .collect()
+    }
+
+    /// The attached scheme instances in global bank order (banks without a
+    /// scheme are skipped).
+    pub fn schemes(&self) -> impl Iterator<Item = &SchemeInstance> {
+        self.channels.iter().flat_map(BankEngine::schemes)
+    }
+
+    /// The per-channel engines, in channel order (diagnostics).
+    pub fn channel_engines(&self) -> &[BankEngine] {
+        &self.channels
+    }
+
+    /// Snapshot of everything the simulator layers report, at system scope.
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            accesses: self.accesses,
+            epochs: self.epochs,
+            activations_per_bank: self.activations_per_bank(),
+            scheme_stats: self.stats(),
+            per_bank_stats: self.per_bank_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> MemGeometry {
+        MemGeometry {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            rows_per_bank: 4096,
+            lines_per_row: 16,
+            line_bytes: 64,
+        }
+    }
+
+    fn batch(n: u64) -> Vec<(u32, u32)> {
+        (0..n)
+            .map(|i| {
+                let bank = (i % 16) as u32;
+                let row = if i % 3 == 0 {
+                    99
+                } else {
+                    (i.wrapping_mul(2_654_435_761) % 4096) as u32
+                };
+                (bank, row)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_match_flat_engine() {
+        // The exhaustive per-spec sweep lives in tests/equivalence.rs.
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 64,
+        };
+        let trace = batch(40_000);
+        let mut flat = BankEngine::new(spec, 16, 4096).with_epoch_length(9_000);
+        flat.process(&trace);
+        for shards in [1usize, 4] {
+            let mut system = MemorySystem::new(geometry(), spec)
+                .with_epoch_length(9_000)
+                .with_shards(shards);
+            system.process(&trace);
+            assert_eq!(system.stats(), flat.stats(), "{shards} shards");
+            assert_eq!(system.per_bank_stats(), flat.per_bank_stats());
+            assert_eq!(system.activations_per_bank(), flat.activations_per_bank());
+            assert_eq!(system.epochs(), flat.epochs());
+            assert_eq!(system.accesses(), flat.accesses());
+        }
+        assert!(flat.stats().refresh_events > 0);
+    }
+
+    #[test]
+    fn decode_and_addr_batches_route_by_address() {
+        let mut system = MemorySystem::new(geometry(), SchemeSpec::None);
+        let addr = system.mapping().encode_line(1, 0, 3, 42, 0);
+        assert_eq!(system.decode(addr), (11, 42));
+        system.process_addrs(&[addr, addr, addr]);
+        assert_eq!(system.activations_per_bank()[11], 3);
+        assert_eq!(system.accesses(), 3);
+    }
+
+    #[test]
+    fn single_access_path_reaches_the_right_channel() {
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 4,
+        };
+        let mut system = MemorySystem::new(geometry(), spec);
+        let mut rows = 0u64;
+        for _ in 0..16 {
+            rows += system.activate_in_channel(1, 2, 123).total_rows();
+        }
+        system.end_epoch();
+        assert!(rows > 0);
+        assert_eq!(system.activations_per_bank()[10], 16);
+        assert_eq!(system.epochs(), 1);
+        assert_eq!(system.report().accesses, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be mixed with access-count epoch accounting")]
+    fn activate_on_epoch_configured_system_is_rejected() {
+        let mut system = MemorySystem::new(geometry(), SchemeSpec::None).with_epoch_length(100);
+        let _ = system.activate_global(0, 1);
+    }
+
+    #[test]
+    fn epochs_fire_at_system_wide_positions_across_batches() {
+        let mut system = MemorySystem::new(geometry(), SchemeSpec::None).with_epoch_length(3_000);
+        let trace = batch(10_000);
+        let mut epochs = 0;
+        for chunk in trace.chunks(1_700) {
+            epochs += system.process(chunk).epochs;
+        }
+        assert_eq!(epochs, 3);
+        assert_eq!(system.epochs(), 3);
+        assert_eq!(system.accesses(), 10_000);
+    }
+}

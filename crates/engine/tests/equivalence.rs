@@ -1,19 +1,35 @@
-//! Differential test: for every `SchemeSpec` variant the batched and the
-//! bank-sharded engine paths must produce exactly the same `SchemeStats` as
-//! the old sequential boxed-dyn per-access loop, invariant under 1/2/4 shard
-//! threads. PRA is included — per-bank PRNG seeding makes bank-sharding
-//! deterministic.
+//! Differential test: for every `SchemeSpec` variant the batched engine,
+//! the pool-backed bank-sharded engine, and the per-channel `MemorySystem`
+//! routing must all produce exactly the same `SchemeStats` as the old
+//! sequential boxed-dyn per-access loop, invariant under 1/2/4/8 shard
+//! threads and arbitrary batch boundaries. PRA is included — per-bank PRNG
+//! seeding (with the channel engines' bank bases) makes both bank-sharding
+//! and channel routing deterministic.
 
 use cat_core::{MitigationScheme, RowId, SchemeSpec, SchemeStats};
-use cat_engine::BankEngine;
+use cat_engine::{BankEngine, MemGeometry, MemorySystem};
 
 const BANKS: u32 = 16;
 const ROWS: u32 = 8192;
 const EPOCH: u64 = 25_000;
 
+/// The 16 banks arranged as the 2-channel geometry the `MemorySystem`
+/// differential routes over (global bank order is channel-major, so flat
+/// engine bank `b` is channel `b / 8`, local bank `b % 8`).
+fn geometry() -> MemGeometry {
+    MemGeometry {
+        channels: 2,
+        ranks_per_channel: 1,
+        banks_per_rank: 8,
+        rows_per_bank: ROWS,
+        lines_per_row: 16,
+        line_bytes: 64,
+    }
+}
+
 /// Deterministic trace mixing a few hammered rows with a spread background,
 /// across all banks (splitmix-style mixing, no RNG dependency).
-fn trace(n: u64) -> Vec<(u16, u32)> {
+fn trace(n: u64) -> Vec<(u32, u32)> {
     (0..n)
         .map(|i| {
             let mut z = i
@@ -21,10 +37,10 @@ fn trace(n: u64) -> Vec<(u16, u32)> {
                 .wrapping_add(0x6a09_e667);
             z ^= z >> 27;
             z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
-            let bank = (z % u64::from(BANKS)) as u16;
+            let bank = (z % u64::from(BANKS)) as u32;
             let row = if i % 4 != 0 {
                 // Hot rows, distinct per bank, hammered 75% of the time.
-                1000 + u32::from(bank)
+                1000 + bank
             } else {
                 ((z >> 32) % u64::from(ROWS)) as u32
             };
@@ -35,7 +51,7 @@ fn trace(n: u64) -> Vec<(u16, u32)> {
 
 /// The loop every consumer used to hand-roll before `cat-engine` existed:
 /// boxed trait objects, per-access virtual dispatch, modulo epoch rollover.
-fn old_sequential_loop(spec: SchemeSpec, trace: &[(u16, u32)]) -> (SchemeStats, Vec<SchemeStats>) {
+fn old_sequential_loop(spec: SchemeSpec, trace: &[(u32, u32)]) -> (SchemeStats, Vec<SchemeStats>) {
     let mut schemes: Vec<Option<Box<dyn MitigationScheme + Send>>> =
         (0..BANKS).map(|b| spec.build(ROWS, b)).collect();
     let mut accesses = 0u64;
@@ -106,8 +122,8 @@ fn engine_matches_old_loop_for_every_spec_and_shard_count() {
         );
         assert_eq!(engine.epochs(), 150_000 / EPOCH);
 
-        // Sharded, 1/2/4 threads.
-        for shards in [1usize, 2, 4] {
+        // Pool-backed sharding, 1/2/4/8 worker threads.
+        for shards in [1usize, 2, 4, 8] {
             let mut sharded = BankEngine::new(spec, BANKS, ROWS).with_epoch_length(EPOCH);
             sharded.process_sharded(&trace, shards);
             assert_eq!(
@@ -138,9 +154,49 @@ fn engine_matches_old_loop_for_every_spec_and_shard_count() {
 }
 
 #[test]
+fn memory_system_matches_old_loop_for_every_spec_and_shard_count() {
+    // The per-channel routing front-end, sequential and pool-backed, must
+    // be bit-identical to the flat sequential engine (and so to the old
+    // loop) — including across batch boundaries that straddle epochs.
+    let trace = trace(150_000);
+    for spec in all_specs() {
+        let (old_total, old_per_bank) = old_sequential_loop(spec, &trace);
+        let mut flat = BankEngine::new(spec, BANKS, ROWS).with_epoch_length(EPOCH);
+        flat.process(&trace);
+
+        for shards in [1usize, 2, 4, 8] {
+            let mut system = MemorySystem::new(geometry(), spec)
+                .with_epoch_length(EPOCH)
+                .with_shards(shards);
+            for chunk in trace.chunks(13_337) {
+                system.process(chunk);
+            }
+            assert_eq!(
+                system.stats(),
+                old_total,
+                "{spec}: {shards}-shard system stats != old loop"
+            );
+            assert_eq!(
+                system.per_bank_stats(),
+                old_per_bank,
+                "{spec}: {shards}-shard system per-bank mismatch"
+            );
+            assert_eq!(
+                system.activations_per_bank(),
+                flat.activations_per_bank(),
+                "{spec}: {shards}-shard activations mismatch"
+            );
+            assert_eq!(system.epochs(), flat.epochs());
+            assert_eq!(system.accesses(), 150_000);
+        }
+    }
+}
+
+#[test]
 fn sharded_batches_compose_across_process_calls() {
     // Epoch state must carry across repeated sharded batches exactly as in
-    // one big sequential run.
+    // one big sequential run — and the persistent pool must keep producing
+    // identical results when fed many small batches.
     let spec = SchemeSpec::Drcat {
         counters: 64,
         levels: 11,

@@ -1,112 +1,29 @@
-//! Physical-address ↔ DRAM-location mapping.
+//! Address-mapping glue: the mapping itself lives in `cat-engine`
+//! ([`cat_engine::AddressMapping`], re-exported here), this module only
+//! converts a [`SystemConfig`] into the engine's [`MemGeometry`] so every
+//! existing `AddressMapping::new(&cfg)` / `loc.global_bank(&cfg)` call
+//! keeps working.
 //!
-//! USIMM's default policy — and the paper's Table I — orders the fields
-//! `rw:rk:bk:ch:col:offset` from most to least significant bit. The
-//! 4-channel policy keeps the field order but widens the channel and rank
-//! fields, spreading the same address stream over four times as many banks
-//! (§VIII-B).
+//! Both Table-I policies follow USIMM's `rw:rk:bk:ch:col:offset` field
+//! order; the field widths derive from the configured channel/rank/bank
+//! counts, which is what made the old `MappingPolicy`-matched widths
+//! redundant (and is what lets synthetic geometries far beyond Table I —
+//! including > 65 536 banks — decode correctly).
 
-use crate::{MappingPolicy, SystemConfig};
+pub use cat_engine::{AddressMapping, GeometryError, Location, MemGeometry};
 
-/// A decoded DRAM location.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub struct Location {
-    /// Channel index.
-    pub channel: u32,
-    /// Rank within the channel.
-    pub rank: u32,
-    /// Bank within the rank.
-    pub bank: u32,
-    /// Row within the bank.
-    pub row: u32,
-    /// Cache-line column within the row.
-    pub col: u32,
-}
+use crate::SystemConfig;
 
-impl Location {
-    /// Flat bank index across the whole system
-    /// (`channel · ranks · banks + rank · banks + bank`).
-    pub fn global_bank(&self, cfg: &SystemConfig) -> u32 {
-        (self.channel * cfg.ranks_per_channel + self.rank) * cfg.banks_per_rank + self.bank
-    }
-}
-
-/// Bit-field description of an address mapping.
-///
-/// ```
-/// use cat_sim::{AddressMapping, SystemConfig};
-/// let cfg = SystemConfig::dual_core_two_channel();
-/// let map = AddressMapping::new(&cfg);
-/// let loc = map.decode(map.encode_line(1, 0, 3, 1_234, 17));
-/// assert_eq!((loc.channel, loc.bank, loc.row, loc.col), (1, 3, 1_234, 17));
-/// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct AddressMapping {
-    offset_bits: u32,
-    col_bits: u32,
-    ch_bits: u32,
-    bk_bits: u32,
-    rk_bits: u32,
-    row_mask: u32,
-}
-
-fn bits_for(n: u32) -> u32 {
-    debug_assert!(n.is_power_of_two());
-    n.trailing_zeros()
-}
-
-impl AddressMapping {
-    /// Builds the mapping for a system configuration.
-    pub fn new(cfg: &SystemConfig) -> Self {
-        let (ch_bits, rk_bits) = match cfg.mapping {
-            MappingPolicy::TwoChannel => (1, 0),
-            MappingPolicy::FourChannel => (2, 1),
-        };
-        AddressMapping {
-            offset_bits: bits_for(cfg.line_bytes),
-            col_bits: bits_for(cfg.lines_per_row),
-            ch_bits,
-            bk_bits: bits_for(cfg.banks_per_rank),
-            rk_bits,
-            row_mask: cfg.rows_per_bank - 1,
+impl From<&SystemConfig> for MemGeometry {
+    fn from(cfg: &SystemConfig) -> Self {
+        MemGeometry {
+            channels: cfg.channels,
+            ranks_per_channel: cfg.ranks_per_channel,
+            banks_per_rank: cfg.banks_per_rank,
+            rows_per_bank: cfg.rows_per_bank,
+            lines_per_row: cfg.lines_per_row,
+            line_bytes: cfg.line_bytes,
         }
-    }
-
-    /// Decodes a byte address into its DRAM location.
-    pub fn decode(&self, addr: u64) -> Location {
-        let mut a = addr >> self.offset_bits;
-        let col = (a & ((1 << self.col_bits) - 1)) as u32;
-        a >>= self.col_bits;
-        let channel = (a & ((1 << self.ch_bits) - 1)) as u32;
-        a >>= self.ch_bits;
-        let bank = (a & ((1 << self.bk_bits) - 1)) as u32;
-        a >>= self.bk_bits;
-        let rank = if self.rk_bits == 0 {
-            0
-        } else {
-            (a & ((1 << self.rk_bits) - 1)) as u32
-        };
-        a >>= self.rk_bits;
-        let row = (a as u32) & self.row_mask;
-        Location {
-            channel,
-            rank,
-            bank,
-            row,
-            col,
-        }
-    }
-
-    /// Composes the byte address of a cache line at the given location —
-    /// the inverse of [`decode`](Self::decode); used by the workload
-    /// generators.
-    pub fn encode_line(&self, channel: u32, rank: u32, bank: u32, row: u32, col: u32) -> u64 {
-        let mut a = u64::from(row & self.row_mask);
-        a = (a << self.rk_bits) | u64::from(rank);
-        a = (a << self.bk_bits) | u64::from(bank);
-        a = (a << self.ch_bits) | u64::from(channel);
-        a = (a << self.col_bits) | u64::from(col);
-        a << self.offset_bits
     }
 }
 
@@ -166,6 +83,10 @@ mod tests {
                 for bk in 0..8 {
                     let loc = map.decode(map.encode_line(ch, rk, bk, 0, 0));
                     assert!(seen.insert(loc.global_bank(&cfg)));
+                    assert_eq!(
+                        map.decode_bank_row(map.encode_line(ch, rk, bk, 0, 0)).0,
+                        loc.global_bank(&cfg)
+                    );
                 }
             }
         }
@@ -202,5 +123,15 @@ mod tests {
             .map(|&a| m4.decode(a).global_bank(&cfg4))
             .collect();
         assert!(banks4.len() >= banks2.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero power of two")]
+    fn invalid_geometry_rejected_in_release_builds_too() {
+        // A release build with banks_per_rank: 6 used to produce a silently
+        // aliasing map (only a debug_assert guarded it).
+        let mut cfg = SystemConfig::dual_core_two_channel();
+        cfg.banks_per_rank = 6;
+        let _ = AddressMapping::new(&cfg);
     }
 }

@@ -1,11 +1,17 @@
 //! System configurations (the paper's Table I) and DDR3 timing parameters.
 
-/// Address-interleaving policy (§VIII-B).
+use cat_engine::{GeometryError, MemGeometry};
+
+/// Label for the paper's two Table-I interleavings (§VIII-B), used in
+/// result tables and figure legends.
 ///
-/// Both policies follow the paper's `rw:rk:bk:ch:col:offset` field order
-/// (row bits most significant); the 4-channel policy widens the channel and
-/// rank fields, quadrupling the number of banks while keeping the bank
-/// geometry fixed.
+/// This is descriptive only: the actual address mapping always follows the
+/// `rw:rk:bk:ch:col:offset` field order with widths derived from the
+/// configured channel/rank/bank *counts* (see `cat_engine::AddressMapping`),
+/// so the named constructors ([`SystemConfig::dual_core_two_channel`],
+/// [`SystemConfig::quad_core_four_channel`]) set this field consistently
+/// with their geometry, and arbitrary power-of-two geometries decode
+/// correctly regardless of the label.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum MappingPolicy {
     /// 2 channels × 1 rank × 8 banks = 16 banks.
@@ -160,6 +166,37 @@ impl SystemConfig {
         self.channels * self.ranks_per_channel * self.banks_per_rank
     }
 
+    /// The DRAM geometry as the engine layer's [`MemGeometry`] (what
+    /// `AddressMapping::new(&cfg)` and `MemorySystem::new(&cfg, …)` convert
+    /// to internally).
+    pub fn geometry(&self) -> MemGeometry {
+        MemGeometry::from(self)
+    }
+
+    /// Validates the configuration: every geometry field must be a nonzero
+    /// power of two (the bit-field address map aliases otherwise) and the
+    /// write-queue watermarks must satisfy `wq_low < wq_high ≤ capacity`
+    /// (drain hysteresis deadlocks or thrashes otherwise).
+    ///
+    /// [`crate::Simulator::new`] and the engine-layer constructors
+    /// (`AddressMapping::new`, `MemorySystem::new`) hard-error on invalid
+    /// input; call this to get the failure as a value instead of a panic.
+    pub fn validate(&self) -> Result<(), SystemConfigError> {
+        self.geometry()
+            .validate()
+            .map_err(SystemConfigError::Geometry)?;
+        if !(self.wq_low_watermark < self.wq_high_watermark
+            && self.wq_high_watermark <= self.write_queue_capacity)
+        {
+            return Err(SystemConfigError::Watermarks {
+                low: self.wq_low_watermark,
+                high: self.wq_high_watermark,
+                capacity: self.write_queue_capacity,
+            });
+        }
+        Ok(())
+    }
+
     /// Memory-bus cycles per auto-refresh epoch.
     pub fn cycles_per_epoch(&self) -> u64 {
         self.epoch_ms * self.mem_clock_mhz * 1000
@@ -170,6 +207,41 @@ impl SystemConfig {
         1.0 / (self.mem_clock_mhz as f64 * 1e6)
     }
 }
+
+/// Why a [`SystemConfig`] failed [`SystemConfig::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SystemConfigError {
+    /// A geometry field is not a nonzero power of two.
+    Geometry(GeometryError),
+    /// Write-queue watermarks violate `wq_low < wq_high ≤ capacity`.
+    Watermarks {
+        /// Configured `wq_low_watermark`.
+        low: usize,
+        /// Configured `wq_high_watermark`.
+        high: usize,
+        /// Configured `write_queue_capacity`.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SystemConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemConfigError::Geometry(e) => write!(f, "{e}"),
+            SystemConfigError::Watermarks {
+                low,
+                high,
+                capacity,
+            } => write!(
+                f,
+                "write-queue watermarks must satisfy wq_low < wq_high <= capacity, \
+                 got low {low}, high {high}, capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -210,5 +282,41 @@ mod tests {
     fn mapping_display() {
         assert_eq!(MappingPolicy::TwoChannel.to_string(), "2channels");
         assert_eq!(MappingPolicy::FourChannel.to_string(), "4channels");
+    }
+
+    #[test]
+    fn table1_configs_validate() {
+        for cfg in [
+            SystemConfig::dual_core_two_channel(),
+            SystemConfig::quad_core_two_channel(),
+            SystemConfig::quad_core_four_channel(),
+        ] {
+            cfg.validate().expect("Table I configs are valid");
+            assert_eq!(cfg.geometry().total_banks(), cfg.total_banks());
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_fails_validation() {
+        let mut cfg = SystemConfig::dual_core_two_channel();
+        cfg.banks_per_rank = 6;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, SystemConfigError::Geometry(_)));
+        assert!(err.to_string().contains("banks_per_rank"));
+    }
+
+    #[test]
+    fn misordered_watermarks_fail_validation() {
+        let mut cfg = SystemConfig::dual_core_two_channel();
+        cfg.wq_low_watermark = 50;
+        cfg.wq_high_watermark = 40;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SystemConfigError::Watermarks { .. })
+        ));
+        cfg.wq_low_watermark = 20;
+        cfg.wq_high_watermark = 65; // above capacity 64
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("capacity"));
     }
 }

@@ -62,8 +62,13 @@ impl Channel {
             draining: false,
             bus_free_at: 0,
             completions: BinaryHeap::new(),
-            next_refi: (0..cfg.ranks_per_channel)
-                .map(|r| cfg.timing.t_refi + u64::from(r) * cfg.timing.t_refi / 2)
+            // Stagger the per-rank auto-refresh evenly across one tREFI:
+            // rank r first refreshes at tREFI·(r+1)/ranks, so with R ranks
+            // some rank refreshes every tREFI/R cycles. (The old
+            // `tREFI + r·tREFI/2` spread only worked for ≤ 2 ranks; with
+            // more, later ranks started whole tREFIs late.)
+            next_refi: (0..u64::from(cfg.ranks_per_channel))
+                .map(|r| cfg.timing.t_refi * (r + 1) / u64::from(cfg.ranks_per_channel))
                 .collect(),
             banks_per_rank: cfg.banks_per_rank,
             timing: cfg.timing,
@@ -173,8 +178,23 @@ impl Channel {
             self.read_q.remove(i).expect("index valid")
         };
         let b = self.bank_index(&req.loc);
-        // Closed-page policy: ACT + RD/WR + PRE occupy the bank for tRC.
-        self.banks[b].busy_until = now + self.timing.t_rc;
+        // Closed-page policy: ACT + RD + PRE occupy the bank for tRC. A
+        // write must additionally complete its data burst and wait out the
+        // tWR write recovery before the precharge can finish, so the bank
+        // is busy for ACT → CWL (≈ CL here) → burst → tWR → tRP, never
+        // less than tRC. (tWR used to be defined but never read: writes
+        // wrongly freed the bank after plain tRC.)
+        let occupancy = if req.write {
+            (self.timing.t_rcd
+                + self.timing.t_cas
+                + self.timing.burst
+                + self.timing.t_wr
+                + self.timing.t_rp)
+                .max(self.timing.t_rc)
+        } else {
+            self.timing.t_rc
+        };
+        self.banks[b].busy_until = now + occupancy;
         self.banks[b].activations += 1;
         self.bus_free_at = data_at + self.timing.burst;
         if req.write {
@@ -357,5 +377,59 @@ mod tests {
         for b in 0..8 {
             assert!(ch.banks[b].busy_until >= t.t_refi + t.t_rfc);
         }
+    }
+
+    #[test]
+    fn write_recovery_blocks_follow_up_act_beyond_trc() {
+        let mut ch = channel();
+        ch.write_q.push_back(Request {
+            req: 0,
+            loc: loc(2, 5),
+            write: true,
+        });
+        let mut noop = |_: usize, _: u32| 0u64;
+        ch.tick(10, &mut noop); // read queue empty → the write issues
+        assert_eq!(ch.writes_issued, 1);
+        let t = TimingParams::default();
+        let recovered = 10 + t.t_rcd + t.t_cas + t.burst + t.t_wr + t.t_rp;
+        assert!(recovered > 10 + t.t_rc, "write recovery must outlast tRC");
+        assert_eq!(ch.banks[2].busy_until, recovered);
+        // A follow-up ACT to the same bank cannot issue at tRC — the write
+        // burst + tWR must complete before the precharge does.
+        ch.read_q.push_back(Request {
+            req: 0,
+            loc: loc(2, 9),
+            write: false,
+        });
+        ch.tick(10 + t.t_rc, &mut noop);
+        assert_eq!(ch.reads_issued, 0, "bank still in write recovery at tRC");
+        ch.tick(recovered, &mut noop);
+        assert_eq!(ch.reads_issued, 1);
+    }
+
+    #[test]
+    fn four_rank_auto_refresh_staggers_evenly() {
+        let mut cfg = SystemConfig::dual_core_two_channel();
+        cfg.ranks_per_channel = 4;
+        let mut ch = Channel::new(&cfg);
+        let t = cfg.timing;
+        // First refresh per rank spreads uniformly over one tREFI (the old
+        // tREFI + r·tREFI/2 formula put rank 3 at 2.5·tREFI).
+        assert_eq!(
+            ch.next_refi,
+            vec![t.t_refi / 4, t.t_refi / 2, 3 * t.t_refi / 4, t.t_refi]
+        );
+        // At tREFI/4, only rank 0's banks block for tRFC.
+        let mut noop = |_: usize, _: u32| 0u64;
+        ch.tick(t.t_refi / 4, &mut noop);
+        for b in 0..8 {
+            assert!(ch.banks[b].busy_until >= t.t_refi / 4 + t.t_rfc, "rank 0");
+        }
+        for b in 8..32 {
+            assert_eq!(ch.banks[b].busy_until, 0, "ranks 1..4 untouched");
+        }
+        // The stagger persists: rank 0 refreshes again exactly one tREFI
+        // later.
+        assert_eq!(ch.next_refi[0], t.t_refi / 4 + t.t_refi);
     }
 }

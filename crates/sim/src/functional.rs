@@ -3,14 +3,13 @@
 //! 10, 12) where refresh-row counts — not cycle-accurate delays — are
 //! needed, at two orders of magnitude more speed than the timed model.
 //!
-//! The scheme-driving loop itself lives in [`cat_engine::BankEngine`]; this
-//! module only decodes addresses into `(bank, row)` batches and feeds them
-//! to the engine.
+//! The decode-and-drive loop itself lives in [`cat_engine::MemorySystem`]
+//! (address decode, per-channel engines, global epoch accounting); this
+//! module only buffers the access stream into batches.
 
 use cat_core::SchemeStats;
-use cat_engine::BankEngine;
+use cat_engine::MemorySystem;
 
-use crate::address::AddressMapping;
 use crate::config::SystemConfig;
 use crate::scheme_spec::SchemeSpec;
 use crate::trace::MemAccess;
@@ -60,22 +59,19 @@ pub fn run_functional(
     accesses_per_epoch: u64,
 ) -> FunctionalReport {
     assert!(accesses_per_epoch > 0, "epoch must contain accesses");
-    let mapping = AddressMapping::new(config);
-    let mut engine = BankEngine::new(spec, config.total_banks(), config.rows_per_bank)
-        .with_epoch_length(accesses_per_epoch);
+    let mut system = MemorySystem::new(config, spec).with_epoch_length(accesses_per_epoch);
 
-    let mut batch: Vec<(u16, u32)> = Vec::with_capacity(BATCH);
+    let mut batch: Vec<(u32, u32)> = Vec::with_capacity(BATCH);
     for access in stream {
-        let loc = mapping.decode(access.addr);
-        batch.push((loc.global_bank(config) as u16, loc.row));
+        batch.push(system.decode(access.addr));
         if batch.len() == BATCH {
-            engine.process(&batch);
+            system.process(&batch);
             batch.clear();
         }
     }
-    engine.process(&batch);
+    system.process(&batch);
 
-    let report = engine.report();
+    let report = system.report();
     FunctionalReport {
         accesses: report.accesses,
         activations_per_bank: report.activations_per_bank,
@@ -88,6 +84,7 @@ pub fn run_functional(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::address::AddressMapping;
 
     fn hot_stream(cfg: &SystemConfig, n: u64) -> impl Iterator<Item = MemAccess> {
         let map = AddressMapping::new(cfg);
@@ -154,5 +151,46 @@ mod tests {
     fn zero_epoch_length_rejected() {
         let cfg = SystemConfig::dual_core_two_channel();
         let _ = run_functional(&cfg, SchemeSpec::None, std::iter::empty(), 0);
+    }
+
+    #[test]
+    fn bank_ids_beyond_u16_land_in_the_right_banks() {
+        // Regression test for the old `global_bank as u16` truncation: a
+        // synthetic geometry with 131_072 banks (2× the u16 range). Before
+        // the u32 widening, bank 65_536 + b silently aliased onto bank b.
+        let cfg = SystemConfig {
+            channels: 8,
+            ranks_per_channel: 4,
+            banks_per_rank: 4096,
+            rows_per_bank: 16,
+            lines_per_row: 2,
+            ..SystemConfig::dual_core_two_channel()
+        };
+        assert_eq!(cfg.total_banks(), 131_072);
+        let map = AddressMapping::new(&cfg);
+        let targets = [65_536u32, 70_001, 131_071];
+        let alias_of = |g: u32| g & 0xFFFF; // where the u16 cast used to land
+        let addr_of = |global: u32| {
+            let bank = global % cfg.banks_per_rank;
+            let rank = (global / cfg.banks_per_rank) % cfg.ranks_per_channel;
+            let channel = global / (cfg.ranks_per_channel * cfg.banks_per_rank);
+            map.encode_line(channel, rank, bank, u32::from(global as u8 % 16), 0)
+        };
+        let stream = (0..9_000u64).map(|i| MemAccess {
+            gap: 0,
+            write: false,
+            addr: addr_of(targets[(i % 3) as usize]),
+        });
+        let r = run_functional(&cfg, SchemeSpec::None, stream, 1_000_000);
+        assert_eq!(r.activations_per_bank.len(), 131_072);
+        for &t in &targets {
+            assert_eq!(r.activations_per_bank[t as usize], 3_000, "bank {t}");
+            assert_eq!(
+                r.activations_per_bank[alias_of(t) as usize],
+                0,
+                "u16 alias of bank {t} must stay cold"
+            );
+        }
+        assert_eq!(r.activations_per_bank.iter().sum::<u64>(), 9_000);
     }
 }

@@ -5,9 +5,13 @@
 //! This crate rebuilds the relevant subset of that infrastructure in Rust:
 //!
 //! * [`SystemConfig`] — Table-I system configurations (dual-core/2-channel
-//!   default, quad-core and 4-channel variants) with DDR3-1600 timing.
+//!   default, quad-core and 4-channel variants) with DDR3-1600 timing,
+//!   validated (power-of-two geometry, ordered write-queue watermarks)
+//!   before any simulation runs.
 //! * [`AddressMapping`] — the `rw:rk:bk:ch:col:offset` address mapping and
-//!   its 4-channel variant (§VIII-B).
+//!   its 4-channel variant (§VIII-B); the type itself lives in
+//!   `cat-engine` (as does the [`cat_engine::MemorySystem`] front-end) and
+//!   converts from `&SystemConfig`.
 //! * [`Simulator`] — a cycle-based timing model: per-core ROB-limited
 //!   front ends, FR-FCFS scheduling with closed-page policy, write-queue
 //!   drain, per-rank auto-refresh, and **mitigation refreshes that block the
@@ -55,8 +59,8 @@ mod sim;
 mod trace;
 pub mod tracefile;
 
-pub use address::{AddressMapping, Location};
-pub use config::{MappingPolicy, SystemConfig, TimingParams};
+pub use address::{AddressMapping, GeometryError, Location, MemGeometry};
+pub use config::{MappingPolicy, SystemConfig, SystemConfigError, TimingParams};
 pub use report::SimReport;
 pub use scheme_spec::SchemeSpec;
 pub use sim::Simulator;

@@ -2,9 +2,8 @@
 //! schemes together.
 
 use cat_core::MitigationScheme;
-use cat_engine::BankEngine;
+use cat_engine::MemorySystem;
 
-use crate::address::AddressMapping;
 use crate::config::SystemConfig;
 use crate::controller::{Channel, Request};
 use crate::cpu::{Core, IssueResult};
@@ -13,28 +12,35 @@ use crate::scheme_spec::SchemeSpec;
 use crate::trace::MemAccess;
 
 /// A multi-core, multi-channel DRAM system with one mitigation-scheme
-/// instance per bank, driven through [`cat_engine::BankEngine`].
+/// instance per bank, driven through [`cat_engine::MemorySystem`] (decode
+/// front-end + per-channel engines).
 ///
 /// See the crate-level example for usage; [`Simulator::run`] consumes one
 /// trace per core and returns a [`SimReport`].
 pub struct Simulator {
     config: SystemConfig,
-    mapping: AddressMapping,
-    engine: BankEngine,
+    system: MemorySystem,
     /// Hard cap on simulated cycles (runaway guard).
     max_cycles: u64,
 }
 
 impl Simulator {
     /// Creates a simulator for `config`, instantiating `spec` per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SystemConfig::validate`] (aliasing
+    /// geometry or misordered write-queue watermarks) or `spec` is invalid
+    /// for the bank geometry.
     pub fn new(config: SystemConfig, spec: SchemeSpec) -> Self {
-        let mapping = AddressMapping::new(&config);
-        // Epoch boundaries are cycle-driven here, so the engine's
+        if let Err(e) = config.validate() {
+            panic!("invalid system configuration: {e}");
+        }
+        // Epoch boundaries are cycle-driven here, so the system's
         // access-count epoch accounting stays disabled.
-        let engine = BankEngine::new(spec, config.total_banks(), config.rows_per_bank);
+        let system = MemorySystem::new(&config, spec);
         Simulator {
-            mapping,
-            engine,
+            system,
             max_cycles: 40 * config.cycles_per_epoch(),
             config,
         }
@@ -75,7 +81,6 @@ impl Simulator {
         let commit_budget = (cfg.retire_width as u64 * cfg.cpu_per_mem_cycle) as u32;
         let fetch_budget = (cfg.fetch_width as u64 * cfg.cpu_per_mem_cycle) as u32;
         let epoch_cycles = cfg.cycles_per_epoch();
-        let banks_per_channel = (cfg.ranks_per_channel * cfg.banks_per_rank) as usize;
 
         let mut cycle: u64 = 0;
         let mut epochs: u64 = 0;
@@ -90,17 +95,15 @@ impl Simulator {
             // Auto-refresh epoch boundary: every row has been refreshed.
             if cycle.is_multiple_of(epoch_cycles) {
                 epochs += 1;
-                self.engine.end_epoch();
+                self.system.end_epoch();
             }
 
             // Memory controllers.
             for (ci, ch) in channels.iter_mut().enumerate() {
                 ch.harvest_completions(cycle, &mut completed);
-                let engine = &mut self.engine;
+                let system = &mut self.system;
                 let mut on_activation = |bank_in_ch: usize, row: u32| -> u64 {
-                    engine
-                        .activate(ci * banks_per_channel + bank_in_ch, row)
-                        .total_rows()
+                    system.activate_in_channel(ci, bank_in_ch, row).total_rows()
                 };
                 ch.tick(cycle, &mut on_activation);
             }
@@ -110,7 +113,7 @@ impl Simulator {
             let mut all_done = true;
             for core in cores.iter_mut() {
                 core.commit(commit_budget, &completed);
-                let mapping = &self.mapping;
+                let mapping = self.system.mapping();
                 let channels = &mut channels;
                 let completed_len = &mut completed;
                 let mut issue = |access: &MemAccess| -> IssueResult {
@@ -162,27 +165,28 @@ impl Simulator {
                 report.mitigation_busy_cycles += b.refresh_busy_cycles;
             }
         }
-        report.per_bank_stats = self.engine.per_bank_stats();
-        report.scheme_stats = self.engine.stats();
+        report.per_bank_stats = self.system.per_bank_stats();
+        report.scheme_stats = self.system.stats();
         report
     }
 
     /// Access to the per-bank schemes after a run (diagnostics).
     pub fn schemes(&self) -> impl Iterator<Item = &(dyn MitigationScheme + Send)> {
-        self.engine
+        self.system
             .schemes()
             .map(|s| s as &(dyn MitigationScheme + Send))
     }
 
-    /// Access to the underlying multi-bank engine (diagnostics).
-    pub fn engine(&self) -> &BankEngine {
-        &self.engine
+    /// Access to the underlying memory system (diagnostics).
+    pub fn system(&self) -> &MemorySystem {
+        &self.system
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::address::AddressMapping;
     use crate::config::MappingPolicy;
 
     /// A trace hammering `count` accesses at one row of bank 0, channel 0.
@@ -304,5 +308,13 @@ mod tests {
         let cfg = SystemConfig::dual_core_two_channel();
         let mut sim = Simulator::new(cfg, SchemeSpec::None);
         let _ = sim.run(vec![Box::new(std::iter::empty())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid system configuration")]
+    fn construction_rejects_invalid_config() {
+        let mut cfg = SystemConfig::dual_core_two_channel();
+        cfg.wq_high_watermark = cfg.write_queue_capacity + 1;
+        let _ = Simulator::new(cfg, SchemeSpec::None);
     }
 }

@@ -10,50 +10,49 @@
 //!
 //! Run with: `cargo run --release --example attack_defense`
 
-use catree::engine::BankEngine;
+use catree::engine::MemorySystem;
 use catree::oracle::SafetyOracle;
 use catree::reliability::lfsr_attack;
-use catree::{AddressMapping, AttackMode, KernelAttack, RowId, SchemeSpec, SystemConfig};
+use catree::{AttackMode, KernelAttack, RowId, SchemeSpec, SystemConfig};
 
 fn main() {
     let cfg = SystemConfig::dual_core_two_channel();
-    let mapping = AddressMapping::new(&cfg);
     let threshold = 16_384;
 
     // --- Part 1: deterministic defence under a heavy kernel attack. ---
     println!("== kernel attack vs DRCAT_64 (T = 16K) ==");
     let benign = catree::workloads::by_name("com1").unwrap();
     let attack = KernelAttack::new(4, &cfg);
-    // Every bank gets a DRCAT instance via the engine; the safety oracle
-    // shadows the most-hammered bank.
+    // The memory system decodes every address and routes it to the DRCAT
+    // instance of its bank; the safety oracle shadows the most-hammered
+    // bank.
     let spec: SchemeSpec = format!("drcat:64:11:{threshold}")
         .parse()
         .expect("valid spec");
-    let mut engine = BankEngine::new(spec, cfg.total_banks(), cfg.rows_per_bank);
+    let mut system = MemorySystem::new(&cfg, spec);
     let watched_bank = 0u32;
     let mut oracle = SafetyOracle::new(cfg.rows_per_bank, threshold);
     for access in attack
         .stream(&benign, &cfg, AttackMode::Heavy, 0, 1, 99)
         .take(3_000_000)
     {
-        let loc = mapping.decode(access.addr);
-        let bank = loc.global_bank(&cfg);
-        let refreshes = engine.activate(bank as usize, loc.row);
+        let (bank, row) = system.decode(access.addr);
+        let refreshes = system.activate_global(bank, row);
         if bank == watched_bank {
-            oracle.on_activation(RowId(loc.row), &refreshes);
+            oracle.on_activation(RowId(row), &refreshes);
         }
     }
-    let bank_stats = engine.per_bank_stats()[watched_bank as usize];
+    let bank_stats = system.per_bank_stats()[watched_bank as usize];
     println!(
         "bank {watched_bank}: {} of {} activations",
         bank_stats.activations,
-        engine.accesses()
+        system.accesses()
     );
     println!("refresh events:   {}", bank_stats.refresh_events);
     println!("victim rows:      {}", bank_stats.refreshed_rows);
     println!(
         "all banks:        {} refresh events",
-        engine.stats().refresh_events
+        system.stats().refresh_events
     );
     println!(
         "worst exposure:   {} (threshold {threshold})",

@@ -49,6 +49,15 @@ fn main() {
         baseline.reads,
         baseline.writes
     );
+    // The simulator drives a cat_engine::MemorySystem: per-channel
+    // engines behind the address decode.
+    for (ch, engine) in base.system().channel_engines().iter().enumerate() {
+        println!(
+            "  channel {ch}: {} activations over {} banks",
+            engine.activations_per_bank().iter().sum::<u64>(),
+            engine.bank_count()
+        );
+    }
 
     println!(
         "\n{:<12} {:>9} {:>12} {:>9} {:>8}",

@@ -1,13 +1,69 @@
 #!/usr/bin/env bash
-# Perf trajectory: run the engine throughput bench and record the numbers in
+# Perf trajectory: run the engine throughput bench, record the numbers in
 # BENCH_engine.json at the repo root (committed, so regressions show in
-# review). Pass REPRO_QUICK=1 for a fast smoke run — but commit numbers from
-# a full run only.
+# review), and print a per-scheme/path delta table against the numbers
+# committed at HEAD. Pass REPRO_QUICK=1 for a fast smoke run — but commit
+# numbers from a full run only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
+
+OLD_JSON="$(mktemp)"
+trap 'rm -f "$OLD_JSON"' EXIT
+HAVE_OLD=0
+if git show HEAD:BENCH_engine.json >"$OLD_JSON" 2>/dev/null; then
+    HAVE_OLD=1
+fi
+
 BENCH_ENGINE_JSON="$PWD/BENCH_engine.json" \
     cargo bench -p cat-bench --bench engine_throughput
 
 echo "bench: wrote BENCH_engine.json"
+
+if [ "$HAVE_OLD" = 1 ]; then
+    echo
+    echo "delta vs committed BENCH_engine.json (HEAD):"
+    awk -F'"' '
+        # Result rows look like:
+        #   {"scheme": "PRCAT_64", "path": "pool-4", "acts_per_sec": NNN, ...
+        /"scheme":/ {
+            scheme = $4; path = $8
+            # acts_per_sec is the unquoted run after the 5th quoted token:
+            # {"scheme": "X", "path": "Y", "acts_per_sec": NNN, ...
+            rate = $11; sub(/^[^0-9]*/, "", rate); sub(/[^0-9].*$/, "", rate)
+            key = scheme "|" path
+            if (FILENAME == ARGV[1]) {
+                old[key] = rate
+            } else {
+                new[key] = rate
+                if (!(key in order)) { order[key] = ++n; keys[n] = key }
+            }
+        }
+        END {
+            printf "  %-12s %-12s %14s %14s %9s\n", \
+                "scheme", "path", "old acts/s", "new acts/s", "delta"
+            for (i = 1; i <= n; i++) {
+                key = keys[i]
+                split(key, kp, "|")
+                if (key in old && old[key] > 0) {
+                    d = (new[key] / old[key] - 1) * 100
+                    printf "  %-12s %-12s %14d %14d %+8.1f%%\n", \
+                        kp[1], kp[2], old[key], new[key], d
+                } else {
+                    printf "  %-12s %-12s %14s %14d %9s\n", \
+                        kp[1], kp[2], "-", new[key], "(new)"
+                }
+            }
+            for (key in old) {
+                if (!(key in new)) {
+                    split(key, kp, "|")
+                    printf "  %-12s %-12s %14d %14s %9s\n", \
+                        kp[1], kp[2], old[key], "-", "(gone)"
+                }
+            }
+        }
+    ' "$OLD_JSON" BENCH_engine.json
+else
+    echo "bench: no committed BENCH_engine.json at HEAD, skipping delta table"
+fi

@@ -48,10 +48,13 @@ pub use cat_core::{
     SplitThresholds, ThresholdPolicy,
 };
 pub use cat_energy::{cmrpo_from_stats, CmrpoBreakdown};
-pub use cat_engine::{BankEngine, BatchOutcome, EngineReport};
+pub use cat_engine::{
+    AddressMapping, BankEngine, BatchOutcome, EngineReport, GeometryError, Location, MemGeometry,
+    MemorySystem,
+};
 pub use cat_sim::{
-    functional, tracefile, AddressMapping, Location, MappingPolicy, MemAccess, SchemeSpec,
-    SimReport, Simulator, SystemConfig, TimingParams,
+    functional, tracefile, MappingPolicy, MemAccess, SchemeSpec, SimReport, Simulator,
+    SystemConfig, SystemConfigError, TimingParams,
 };
 pub use cat_workloads::{
     AccessStream, AttackMode, Cluster, KernelAttack, Mix, RowHistogram, Suite, WorkloadSpec,
@@ -59,7 +62,8 @@ pub use cat_workloads::{
 };
 
 /// Sharded, statically-dispatched multi-bank engine driving the mitigation
-/// schemes (see `cat-engine` for the determinism contract).
+/// schemes, plus the `MemorySystem` decode front-end (see `cat-engine` for
+/// the determinism contract).
 pub use cat_engine as engine;
 
 /// Hardware energy/area model (paper Table II) and CMRPO accounting.
