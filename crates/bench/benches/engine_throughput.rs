@@ -1,4 +1,4 @@
-//! Engine throughput: activations/sec for the three ways of driving the
+//! Engine throughput: activations/sec for the ways of driving the
 //! per-bank mitigation schemes over the same pre-decoded workload trace —
 //!
 //! * `boxed-dyn`    — the old hand-rolled loop: `Vec<Option<Box<dyn
@@ -11,7 +11,21 @@
 //!   engine's determinism contract). These rows were `sharded-N` before
 //!   the pool landed, when every 1M-access sub-batch paid a scoped
 //!   spawn/join per shard — the overhead that made `sharded-4` lose to
-//!   `sharded-2`.
+//!   `sharded-2`;
+//! * `stream`       — `cat_engine::MemorySystem` streaming ingestion:
+//!   `push_decoded` per access, staging buffer flushing through the
+//!   cut-aware routed batch path;
+//! * `overlap-N`    — `MemorySystem::with_shards(N)`: the whole system's
+//!   banks on **one shared pool** whose shards span all channels, so
+//!   independent channels overlap on the same workers;
+//! * `*-small`      — the same paths at an epoch length of 65 536 accesses
+//!   (hundreds of boundaries per replay): the cut-aware regression guard.
+//!   Before cuts travelled inside the batch, small epochs drained the
+//!   whole pool pipeline once per epoch segment; now `overlap-4-small`
+//!   and `pool-4-small` run the same one-loan-per-batch machinery and
+//!   must stay within measurement noise of each other (a sustained gap
+//!   means one path regressed). Small-epoch rows report speedups vs.
+//!   `boxed-dyn-small`.
 //!
 //! The schemes measured are the per-bank state machines with real
 //! per-activation work: the paper's tree family (PRCAT/DRCAT) and the
@@ -29,12 +43,15 @@ use std::time::Instant;
 
 use cat_bench::{banner, decode_trace, quick_factor};
 use cat_core::{MitigationScheme, RowId, SchemeSpec, SchemeStats};
-use cat_engine::BankEngine;
+use cat_engine::{BankEngine, MemorySystem};
 use cat_sim::SystemConfig;
 use cat_workloads::catalog;
 
 const EPOCHS: u64 = 4;
 const REPS: u32 = 5;
+/// Epoch length of the `*-small` rows, in accesses: far below the pool's
+/// 1M-access sub-batch, so every chunk carries many epoch cuts.
+const SMALL_EPOCH: u64 = 65_536;
 
 struct Measurement {
     scheme: String,
@@ -119,26 +136,30 @@ fn main() {
     ];
     let mut results: Vec<Measurement> = Vec::new();
     println!(
-        "{:<12} {:<12} {:>14} {:>10}",
+        "{:<12} {:<16} {:>14} {:>10}",
         "scheme", "path", "acts/sec", "speedup"
     );
     for spec in specs {
         let (base_rate, base_stats) = measure(accesses, || {
             boxed_dyn_loop(&cfg, spec, &trace.entries, trace.per_epoch)
         });
-        let mut row = |path: &'static str, rate: f64, stats: &SchemeStats| {
+        let mut row = |path: &'static str,
+                       rate: f64,
+                       stats: &SchemeStats,
+                       expected: &SchemeStats,
+                       vs: f64| {
             assert_eq!(
                 stats,
-                &base_stats,
+                expected,
                 "{} {path}: paths must do identical work",
                 spec.label()
             );
             println!(
-                "{:<12} {:<12} {:>14.0} {:>9.2}x",
+                "{:<12} {:<16} {:>14.0} {:>9.2}x",
                 spec.label(),
                 path,
                 rate,
-                rate / base_rate
+                rate / vs
             );
             results.push(Measurement {
                 scheme: spec.label(),
@@ -147,7 +168,7 @@ fn main() {
                 refresh_events: stats.refresh_events,
             });
         };
-        row("boxed-dyn", base_rate, &base_stats);
+        row("boxed-dyn", base_rate, &base_stats, &base_stats, base_rate);
 
         let (rate, stats) = measure(accesses, || {
             let mut engine = BankEngine::new(spec, cfg.total_banks(), cfg.rows_per_bank)
@@ -155,9 +176,9 @@ fn main() {
             engine.process(&trace.entries);
             engine.stats()
         });
-        row("instance", rate, &stats);
+        row("instance", rate, &stats, &base_stats, base_rate);
 
-        for shards in [2usize, 4] {
+        for (path, shards) in [("pool-2", 2usize), ("pool-4", 4)] {
             // The engine (and so its worker pool) lives across the repeats
             // of one measurement only in the sense that matters: within a
             // replay the pool threads are spawned once and fed all 20
@@ -168,9 +189,61 @@ fn main() {
                 engine.process_sharded(&trace.entries, shards);
                 engine.stats()
             });
-            let path: &'static str = if shards == 2 { "pool-2" } else { "pool-4" };
-            row(path, rate, &stats);
+            row(path, rate, &stats, &base_stats, base_rate);
         }
+
+        // Streaming ingestion: per-access push through the staging buffer,
+        // flushed through the cut-aware routed batch path.
+        let (rate, stats) = measure(accesses, || {
+            let mut system = MemorySystem::new(&cfg, spec).with_epoch_length(trace.per_epoch);
+            for &(bank, row) in &trace.entries {
+                system.push_decoded(bank, row);
+            }
+            system.flush();
+            system.stats()
+        });
+        row("stream", rate, &stats, &base_stats, base_rate);
+
+        // Overlapped channels: one shared pool spanning all channels.
+        for (path, shards) in [("overlap-2", 2usize), ("overlap-4", 4)] {
+            let (rate, stats) = measure(accesses, || {
+                let mut system = MemorySystem::new(&cfg, spec)
+                    .with_epoch_length(trace.per_epoch)
+                    .with_shards(shards);
+                system.process(&trace.entries);
+                system.stats()
+            });
+            row(path, rate, &stats, &base_stats, base_rate);
+        }
+
+        // Small-epoch rows: the cut-aware regression guard (speedups vs.
+        // the small-epoch boxed baseline — different epoch count, so the
+        // stats checksum differs from the rows above).
+        let (small_rate, small_stats) = measure(accesses, || {
+            boxed_dyn_loop(&cfg, spec, &trace.entries, SMALL_EPOCH)
+        });
+        row(
+            "boxed-dyn-small",
+            small_rate,
+            &small_stats,
+            &small_stats,
+            small_rate,
+        );
+        let (rate, stats) = measure(accesses, || {
+            let mut engine = BankEngine::new(spec, cfg.total_banks(), cfg.rows_per_bank)
+                .with_epoch_length(SMALL_EPOCH);
+            engine.process_sharded(&trace.entries, 4);
+            engine.stats()
+        });
+        row("pool-4-small", rate, &stats, &small_stats, small_rate);
+        let (rate, stats) = measure(accesses, || {
+            let mut system = MemorySystem::new(&cfg, spec)
+                .with_epoch_length(SMALL_EPOCH)
+                .with_shards(4);
+            system.process(&trace.entries);
+            system.stats()
+        });
+        row("overlap-4-small", rate, &stats, &small_stats, small_rate);
         println!();
     }
 
@@ -181,12 +254,19 @@ fn main() {
 }
 
 /// Minimal JSON writer (the workspace has no serde — offline build).
+/// `*-small` rows report their speedup against `boxed-dyn-small` (same
+/// epoch length); everything else against `boxed-dyn`.
 fn write_json(path: &str, accesses: u64, results: &[Measurement]) {
     let mut rows = String::new();
     for (i, m) in results.iter().enumerate() {
+        let baseline = if m.path.ends_with("-small") {
+            "boxed-dyn-small"
+        } else {
+            "boxed-dyn"
+        };
         let boxed = results
             .iter()
-            .find(|b| b.scheme == m.scheme && b.path == "boxed-dyn")
+            .find(|b| b.scheme == m.scheme && b.path == baseline)
             .expect("baseline measured first");
         rows.push_str(&format!(
             "    {{\"scheme\": \"{}\", \"path\": \"{}\", \"acts_per_sec\": {:.0}, \

@@ -114,6 +114,11 @@ pub fn decode_trace(
 
 /// CMRPO of `scheme` replaying a pre-decoded trace (same semantics as
 /// [`functional_cmrpo`]) through a [`MemorySystem`].
+///
+/// The whole trace goes down in one `process` call: the engine's cut-aware
+/// batch path fires every epoch boundary inside that single batch, so even
+/// sweeps whose `per_epoch` is far below the trace length visit each bank
+/// once per replay.
 pub fn replay_cmrpo(
     cfg: &SystemConfig,
     scheme: SchemeSpec,

@@ -7,12 +7,42 @@
 //! functional simulator, the timed simulator and the CMRPO replay harness all
 //! sit on top of it. [`MemorySystem`] adds the system-level front-end —
 //! physical-address decode ([`AddressMapping`]) routing into per-channel
-//! `BankEngine`s — so no consumer hand-rolls channel/rank/bank math.
+//! `BankEngine`s, plus streaming `push(addr)` ingestion — so no consumer
+//! hand-rolls channel/rank/bank math or its own batching buffer.
 //!
 //! Schemes are held as [`SchemeInstance`] values (enum static dispatch, no
 //! per-activation virtual call) built from a [`SchemeSpec`].
 //!
+//! ## The three execution paths
+//!
+//! Every batch reaches the banks through one of three paths, all
+//! bit-identical by the determinism contract below:
+//!
+//! * **flat** — [`BankEngine::process`]: one engine over all banks,
+//!   sequential in the calling thread. The reference semantics.
+//! * **routed** — [`MemorySystem::process`] with one shard (the default):
+//!   the batch is scattered once into per-channel sub-batches, the epoch
+//!   boundary positions are recorded per channel as *cut lists*, and each
+//!   channel engine replays its whole sub-batch in one
+//!   [`BankEngine::process_with_cuts`] call — banks are visited once per
+//!   batch, never once per epoch segment.
+//! * **pooled** — [`BankEngine::process_sharded`] or
+//!   [`MemorySystem::with_shards`]: banks are partitioned into contiguous
+//!   shards and replayed bank-by-bank on a persistent worker pool. At
+//!   system scope the pool is **shared across channels** (shards span the
+//!   global bank range), so independent channels overlap on the same
+//!   worker threads; the banks are loaned to the pool once per batch and
+//!   the workers fire the epoch cuts themselves.
+//!
+//! Single-access callers with their own epoch clock (the cycle-based
+//! timing simulator) use [`BankEngine::activate`] /
+//! [`MemorySystem::activate_global`] plus `end_epoch` instead; streaming
+//! callers stage accesses through [`MemorySystem::push`] and get the
+//! routed/pooled path on every flush.
+//!
 //! ## Determinism contract
+//!
+//! Spelled out with the invariants in `DESIGN.md §7`; the short form:
 //!
 //! [`BankEngine::process_sharded`] partitions **banks** (never per-bank
 //! order) into contiguous shards and replays each shard's banks on its own
@@ -82,40 +112,62 @@ pub use system::MemorySystem;
 use cat_core::{Refreshes, RowId, SchemeInstance, SchemeSpec, SchemeStats};
 use pool::ShardPool;
 
-/// Splits `len` batched accesses into epoch-delimited segments: `f` is
-/// called once per non-empty segment in order with the segment's index
-/// range and whether the segment ends exactly on an epoch boundary (fire
-/// `on_epoch_end` there). Returns the number of boundaries crossed.
+/// Computes the epoch **cut positions** inside a batch of `len` accesses:
+/// a cut at position `c` means "after the batch's first `c` accesses, a
+/// global epoch boundary falls" (`on_epoch_end` fires there). Positions are
+/// strictly increasing, in `1..=len`; `cuts` is cleared first.
 ///
 /// This is *the* epoch-phase arithmetic — the flat batched path, the
-/// sharded scatter and the [`MemorySystem`] router all delegate here so
-/// the three paths cannot drift apart (their bit-identical equivalence
-/// depends on agreeing about boundary positions).
-pub(crate) fn for_each_epoch_segment(
+/// sharded scatter and the [`MemorySystem`] router all derive their cut
+/// lists here, so the paths cannot drift apart (their bit-identical
+/// equivalence depends on agreeing about boundary positions, see
+/// `DESIGN.md §7`).
+pub(crate) fn epoch_cuts(
     len: usize,
     accesses_so_far: u64,
     epoch_len: Option<u64>,
-    mut f: impl FnMut(std::ops::Range<usize>, bool),
-) -> u64 {
-    let mut until_epoch = epoch_len
-        .map(|l| l - accesses_so_far % l)
-        .unwrap_or(u64::MAX);
-    let mut epochs = 0u64;
-    let mut done = 0usize;
-    while done < len {
-        let remaining = len - done;
-        let seg = remaining.min(usize::try_from(until_epoch).unwrap_or(usize::MAX));
-        let on_boundary = seg as u64 == until_epoch;
-        f(done..done + seg, on_boundary);
-        done += seg;
-        if on_boundary {
-            epochs += 1;
-            until_epoch = epoch_len.expect("boundaries only occur with epochs on");
-        } else {
-            until_epoch -= seg as u64;
-        }
+    cuts: &mut Vec<usize>,
+) {
+    cuts.clear();
+    let Some(l) = epoch_len else { return };
+    let mut next = l - accesses_so_far % l;
+    while next <= len as u64 {
+        cuts.push(next as usize); // next <= len, so the cast is exact
+        next += l;
     }
-    epochs
+}
+
+/// Walks `len` accesses as segments delimited by `cuts` (positions as in
+/// [`epoch_cuts`], but duplicates and `0` are allowed — they denote empty
+/// segments whose boundary still fires). `f` is called in order with each
+/// segment's index range and whether it ends on a boundary.
+pub(crate) fn for_each_segment(
+    len: usize,
+    cuts: &[usize],
+    mut f: impl FnMut(std::ops::Range<usize>, bool),
+) {
+    let mut prev = 0usize;
+    for &cut in cuts {
+        f(prev..cut, true);
+        prev = cut;
+    }
+    if prev < len {
+        f(prev..len, false);
+    }
+}
+
+/// Panics unless `cuts` is a valid cut list for a batch of `len` accesses:
+/// nondecreasing positions, none beyond `len`.
+pub(crate) fn validate_cuts(cuts: &[usize], len: usize) {
+    let mut prev = 0usize;
+    for &cut in cuts {
+        assert!(
+            cut >= prev,
+            "epoch cuts must be nondecreasing: {cut} after {prev}"
+        );
+        assert!(cut <= len, "epoch cut {cut} beyond batch of {len} accesses");
+        prev = cut;
+    }
 }
 
 /// Aggregate outcome of one [`BankEngine::process`] batch, computed by
@@ -131,6 +183,19 @@ pub struct BatchOutcome {
     pub refreshed_rows: u64,
     /// Epoch boundaries crossed during the batch.
     pub epochs: u64,
+}
+
+impl BatchOutcome {
+    /// Accumulates another batch's outcome into this one (every field is a
+    /// count, so aggregation is plain addition). The streaming front-end
+    /// uses this to report all automatic flushes in one
+    /// [`MemorySystem::flush`] outcome.
+    pub fn merge(&mut self, other: &BatchOutcome) {
+        self.accesses += other.accesses;
+        self.refresh_events += other.refresh_events;
+        self.refreshed_rows += other.refreshed_rows;
+        self.epochs += other.epochs;
+    }
 }
 
 /// Snapshot of an engine's accumulated state, shaped like the reports the
@@ -270,8 +335,29 @@ impl BankEngine {
         }
     }
 
-    /// Signals an auto-refresh epoch boundary to every bank.
+    /// Signals an auto-refresh epoch boundary to every bank — the manual
+    /// epoch clock for single-access and cut-list callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was configured with
+    /// [`with_epoch_length`](Self::with_epoch_length): the automatic clock
+    /// keeps firing at its own access-count positions regardless, so a
+    /// manual boundary would silently interleave two epoch clocks (the
+    /// same mixing every other entry point rejects).
     pub fn end_epoch(&mut self) {
+        assert!(
+            self.epoch_len.is_none(),
+            "BankEngine::end_epoch cannot be mixed with access-count epoch accounting \
+             (with_epoch_length): the automatic boundaries would keep firing at their \
+             own positions alongside the manual one"
+        );
+        self.fire_epoch();
+    }
+
+    /// The unguarded boundary used by the batch paths when the engine's
+    /// own access-count clock (or a caller's cut list) fires.
+    fn fire_epoch(&mut self) {
         self.epochs += 1;
         for s in self.banks.iter_mut().flatten() {
             s.on_epoch_end();
@@ -281,7 +367,7 @@ impl BankEngine {
     /// Running totals of (refresh events, refreshed rows) across banks.
     /// Cheap (O(banks)); differencing two snapshots gives a batch's outcome
     /// without putting any accounting in the per-activation loop.
-    fn refresh_totals(&self) -> (u64, u64) {
+    pub(crate) fn refresh_totals(&self) -> (u64, u64) {
         let mut events = 0u64;
         let mut rows = 0u64;
         for s in self.banks.iter().flatten() {
@@ -295,29 +381,82 @@ impl BankEngine {
     /// Processes a batch of `(bank, row)` activations in order, firing epoch
     /// boundaries (if configured) at the right global positions, and returns
     /// the incrementally-aggregated outcome of the batch.
+    ///
+    /// ```
+    /// use cat_core::SchemeSpec;
+    /// use cat_engine::BankEngine;
+    ///
+    /// let spec = SchemeSpec::Sca { counters: 16, threshold: 64 };
+    /// let mut engine = BankEngine::new(spec, 4, 4096).with_epoch_length(600);
+    /// let batch: Vec<(u32, u32)> = (0..1_000).map(|i| (i % 4, 7)).collect();
+    /// let out = engine.process(&batch);
+    /// assert_eq!((out.accesses, out.epochs), (1_000, 1));
+    /// assert!(out.refresh_events > 0);
+    /// ```
     pub fn process(&mut self, batch: &[(u32, u32)]) -> BatchOutcome {
-        let mut out = BatchOutcome {
-            accesses: batch.len() as u64,
-            ..BatchOutcome::default()
-        };
-        let (events_before, rows_before) = self.refresh_totals();
-        out.epochs = for_each_epoch_segment(
-            batch.len(),
-            self.accesses,
-            self.epoch_len,
-            |range, on_boundary| {
-                for &(bank, row) in &batch[range] {
-                    self.activate_unchecked(bank as usize, row);
-                }
-                if on_boundary {
-                    self.end_epoch();
-                }
-            },
+        let mut cuts = Vec::new();
+        epoch_cuts(batch.len(), self.accesses, self.epoch_len, &mut cuts);
+        self.run_with_cuts(batch, &cuts)
+    }
+
+    /// Processes a batch like [`process`](Self::process), but with the
+    /// epoch boundaries dictated by the caller instead of the engine's own
+    /// access counter: `cuts[i]` fires `on_epoch_end` on every bank after
+    /// the batch's first `cuts[i]` accesses. Positions must be
+    /// nondecreasing and at most `batch.len()`; `0` and duplicates are
+    /// allowed (boundaries before the first access / back-to-back empty
+    /// epochs). This is the entry point [`MemorySystem`] routes each
+    /// channel's whole batch through, so a channel's banks are visited once
+    /// per batch rather than once per epoch segment (`DESIGN.md §7`).
+    ///
+    /// ```
+    /// use cat_core::SchemeSpec;
+    /// use cat_engine::BankEngine;
+    ///
+    /// let spec = SchemeSpec::Sca { counters: 16, threshold: 64 };
+    /// let mut external = BankEngine::new(spec, 4, 4096);
+    /// let mut internal = BankEngine::new(spec, 4, 4096).with_epoch_length(600);
+    /// let batch: Vec<(u32, u32)> = (0..1_000).map(|i| (i % 4, 7)).collect();
+    /// external.process_with_cuts(&batch, &[600]);
+    /// internal.process(&batch);
+    /// assert_eq!(external.stats(), internal.stats());
+    /// assert_eq!(external.epochs(), 1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was configured with
+    /// [`with_epoch_length`](Self::with_epoch_length) (two epoch clocks
+    /// cannot be mixed) or if `cuts` is not a valid cut list.
+    pub fn process_with_cuts(&mut self, batch: &[(u32, u32)], cuts: &[usize]) -> BatchOutcome {
+        assert!(
+            self.epoch_len.is_none(),
+            "BankEngine::process_with_cuts cannot be mixed with access-count epoch \
+             accounting (with_epoch_length): the engine would fire each boundary twice"
         );
+        validate_cuts(cuts, batch.len());
+        self.run_with_cuts(batch, cuts)
+    }
+
+    /// The shared sequential core of [`process`](Self::process) and
+    /// [`process_with_cuts`](Self::process_with_cuts).
+    fn run_with_cuts(&mut self, batch: &[(u32, u32)], cuts: &[usize]) -> BatchOutcome {
+        let (events_before, rows_before) = self.refresh_totals();
+        for_each_segment(batch.len(), cuts, |range, on_boundary| {
+            for &(bank, row) in &batch[range] {
+                self.activate_unchecked(bank as usize, row);
+            }
+            if on_boundary {
+                self.fire_epoch();
+            }
+        });
         let (events, rows) = self.refresh_totals();
-        out.refresh_events = events - events_before;
-        out.refreshed_rows = rows - rows_before;
-        out
+        BatchOutcome {
+            accesses: batch.len() as u64,
+            epochs: cuts.len() as u64,
+            refresh_events: events - events_before,
+            refreshed_rows: rows - rows_before,
+        }
     }
 
     /// Processes a batch like [`process`](Self::process), but partitioned
@@ -334,12 +473,56 @@ impl BankEngine {
     ///
     /// `shards` is clamped to `1..=bank_count`; changing the count between
     /// calls rebuilds the pool (the only time threads respawn).
+    ///
+    /// ```
+    /// use cat_core::SchemeSpec;
+    /// use cat_engine::BankEngine;
+    ///
+    /// let spec = SchemeSpec::Drcat { counters: 64, levels: 11, threshold: 256 };
+    /// let batch: Vec<(u32, u32)> = (0..40_000).map(|i| (i % 8, i / 13 % 4096)).collect();
+    /// let mut flat = BankEngine::new(spec, 8, 4096).with_epoch_length(9_000);
+    /// let mut sharded = BankEngine::new(spec, 8, 4096).with_epoch_length(9_000);
+    /// flat.process(&batch);
+    /// sharded.process_sharded(&batch, 4);
+    /// assert_eq!(sharded.stats(), flat.stats()); // bit-identical, any shard count
+    /// ```
     pub fn process_sharded(&mut self, batch: &[(u32, u32)], shards: usize) -> BatchOutcome {
-        // Work in sub-batches small enough that the partition buffers stay
-        // cache-resident between the scatter and the replay — for large
-        // batches this roughly halves the memory traffic of the sharded
-        // path. Epoch state composes across sub-batches by construction.
-        const CHUNK_ACCESSES: usize = 1 << 20;
+        let mut cuts = Vec::new();
+        epoch_cuts(batch.len(), self.accesses, self.epoch_len, &mut cuts);
+        self.run_sharded(batch, &cuts, shards)
+    }
+
+    /// [`process_sharded`](Self::process_sharded) with caller-dictated
+    /// epoch boundaries — the sharded counterpart of
+    /// [`process_with_cuts`](Self::process_with_cuts). The banks are loaned
+    /// to the worker pool **once for the whole batch**; the workers fire
+    /// each bank's `on_epoch_end`s at the recorded positions of its own
+    /// subsequence, so small epochs no longer drain the pool pipeline per
+    /// segment (`DESIGN.md §7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`process_with_cuts`](Self::process_with_cuts).
+    pub fn process_sharded_with_cuts(
+        &mut self,
+        batch: &[(u32, u32)],
+        cuts: &[usize],
+        shards: usize,
+    ) -> BatchOutcome {
+        assert!(
+            self.epoch_len.is_none(),
+            "BankEngine::process_sharded_with_cuts cannot be mixed with access-count \
+             epoch accounting (with_epoch_length): the engine would fire each boundary twice"
+        );
+        validate_cuts(cuts, batch.len());
+        self.run_sharded(batch, cuts, shards)
+    }
+
+    /// The shared pool-backed core of the sharded entry points: ensures the
+    /// pool, loans the banks once, replays the whole batch (the pool chunks
+    /// it into cache-sized sub-batches internally), reclaims.
+    fn run_sharded(&mut self, batch: &[(u32, u32)], cuts: &[usize], shards: usize) -> BatchOutcome {
         let (events_before, rows_before) = self.refresh_totals();
         let nbanks = self.banks.len().max(1);
         let shards = shards.clamp(1, nbanks);
@@ -348,104 +531,41 @@ impl BankEngine {
         }
         let mut pool = self.pool.take().expect("pool just ensured");
         pool.loan(&mut self.banks);
-        let mut epochs = 0u64;
-        for chunk in batch.chunks(CHUNK_ACCESSES) {
-            epochs += self.sharded_chunk(&mut pool, chunk);
-        }
+        pool.run_batch(batch, cuts, &mut self.activations);
         pool.reclaim(&mut self.banks);
         self.pool = Some(pool);
+        self.accesses += batch.len() as u64;
+        self.epochs += cuts.len() as u64;
         let (events, rows) = self.refresh_totals();
         BatchOutcome {
             accesses: batch.len() as u64,
-            epochs,
+            epochs: cuts.len() as u64,
             refresh_events: events - events_before,
             refreshed_rows: rows - rows_before,
         }
     }
 
-    /// One cache-sized sub-batch of [`process_sharded`](Self::process_sharded);
-    /// returns the number of epoch boundaries crossed. The banks are loaned
-    /// to `pool`'s workers for the duration of the enclosing batch.
-    fn sharded_chunk(&mut self, pool: &mut ShardPool, batch: &[(u32, u32)]) -> u64 {
-        let nbanks = self.activations.len().max(1);
-        let shards = pool.shards();
+    /// Hands the per-bank scheme storage to [`MemorySystem`]'s shared pool
+    /// for the duration of one batch (the system-level counterpart of the
+    /// loan/reclaim protocol in [`pool`](self)). Outside a batch the vector
+    /// holds one entry per bank.
+    pub(crate) fn banks_storage(&mut self) -> &mut Vec<Option<SchemeInstance>> {
+        &mut self.banks
+    }
 
-        // Per-bank counts for this chunk, then per-worker job buffers with
-        // exact segment sizes (acquiring a buffer blocks once the worker is
-        // more than one job behind — that backpressure is the pipeline).
-        pool.counts.fill(0);
-        for &(bank, _) in batch {
-            pool.counts[bank as usize] += 1;
+    /// Folds the per-bank activation counts and epoch count of one
+    /// system-pooled batch into this engine's accounting ([`MemorySystem`]
+    /// drives the banks directly through the shared pool, bypassing the
+    /// per-engine batch paths).
+    pub(crate) fn absorb_pooled_batch(&mut self, counts: &[u64], epochs: u64) {
+        debug_assert_eq!(counts.len(), self.activations.len());
+        let mut total = 0u64;
+        for (bank, &count) in self.activations.iter_mut().zip(counts) {
+            *bank += count;
+            total += count;
         }
-        let mut jobs: Vec<pool::RunJob> = Vec::with_capacity(shards);
-        let mut bank0 = 0usize;
-        for w in 0..shards {
-            let mut job = pool.acquire(w);
-            let nb = pool.worker_banks(w);
-            job.lens.clear();
-            job.lens.extend_from_slice(&pool.counts[bank0..bank0 + nb]);
-            let total: usize = job.lens.iter().sum();
-            // No clear() first: the scatter writes every slot in [0..total)
-            // exactly once (cursors cover sum(lens)), so stale contents of
-            // the recycled buffer are never read and resize only zero-fills
-            // genuine growth.
-            job.rows.resize(total, 0);
-            job.cuts.resize_with(nb, Vec::new);
-            let mut acc = 0usize;
-            for b in 0..nb {
-                pool.cursor[bank0 + b] = acc;
-                pool.starts[bank0 + b] = acc;
-                acc += pool.counts[bank0 + b];
-            }
-            bank0 += nb;
-            jobs.push(job);
-        }
-        for cuts in pool.epoch_cuts.iter_mut() {
-            cuts.clear();
-        }
-
-        // Scatter in epoch-delimited segments (no per-access epoch check),
-        // recording for every bank at which local positions the global
-        // epoch boundaries fall, so each bank replays exactly the
-        // subsequence it saw — epochs included — in original order.
-        let epochs_in_batch = {
-            let mut slices: Vec<&mut [u32]> =
-                jobs.iter_mut().map(|j| j.rows.as_mut_slice()).collect();
-            for_each_epoch_segment(
-                batch.len(),
-                self.accesses,
-                self.epoch_len,
-                |range, on_boundary| {
-                    for &(bank, row) in &batch[range] {
-                        let b = bank as usize;
-                        slices[pool.shard_of(b)][pool.cursor[b]] = row;
-                        pool.cursor[b] += 1;
-                    }
-                    if on_boundary {
-                        for b in 0..nbanks {
-                            pool.epoch_cuts[b].push(pool.cursor[b] - pool.starts[b]);
-                        }
-                    }
-                },
-            )
-        };
-        for (count, &c) in self.activations.iter_mut().zip(pool.counts.iter()) {
-            *count += c as u64;
-        }
-
-        let mut bank0 = 0usize;
-        for (w, mut job) in jobs.into_iter().enumerate() {
-            let nb = pool.worker_banks(w);
-            for (local, cuts) in job.cuts.iter_mut().enumerate() {
-                cuts.clear();
-                cuts.extend_from_slice(&pool.epoch_cuts[bank0 + local]);
-            }
-            bank0 += nb;
-            pool.submit(w, job);
-        }
-        self.accesses += batch.len() as u64;
-        self.epochs += epochs_in_batch;
-        epochs_in_batch
+        self.accesses += total;
+        self.epochs += epochs;
     }
 
     /// Scheme statistics aggregated across banks, in bank order.
@@ -616,5 +736,14 @@ mod tests {
     #[should_panic(expected = "epoch must contain accesses")]
     fn zero_epoch_length_rejected() {
         let _ = BankEngine::new(SchemeSpec::None, 1, 4096).with_epoch_length(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end_epoch cannot be mixed")]
+    fn manual_epoch_on_epoch_configured_engine_is_rejected() {
+        // The automatic clock would keep firing at its own positions, so a
+        // manual boundary silently interleaves two epoch clocks.
+        let mut engine = BankEngine::new(SchemeSpec::None, 2, 4096).with_epoch_length(1_000);
+        engine.end_epoch();
     }
 }

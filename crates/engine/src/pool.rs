@@ -17,16 +17,27 @@
 //!
 //! 1. [`ShardPool::loan`] moves each shard's contiguous bank range into its
 //!    worker (one `Vec` move per shard, not per access);
-//! 2. for every sub-batch the engine scatters rows into a [`RunJob`] per
-//!    shard and sends it; the worker replays it bank by bank and sends the
+//! 2. [`ShardPool::run_batch`] chunks the batch into cache-sized
+//!    sub-batches; for each it scatters rows into a [`RunJob`] per shard
+//!    and sends it; the worker replays it bank by bank and sends the
 //!    buffer back for reuse (up to [`JOBS_IN_FLIGHT`] jobs pipeline, so the
 //!    engine scatters sub-batch *k+1* while workers replay *k*);
 //! 3. [`ShardPool::reclaim`] collects the banks back in shard order.
 //!
+//! Epoch boundaries arrive as an explicit **cut list** (positions in the
+//! batch where every bank's `on_epoch_end` fires — see
+//! `crate::epoch_cuts`), translated during the scatter into per-bank
+//! positions carried inside each [`RunJob`]. The workers fire the cuts
+//! themselves, which is what lets a caller loan its banks once per batch
+//! no matter how many epoch segments the batch spans (`DESIGN.md §7`).
+//!
 //! Determinism is untouched: each bank is owned by exactly one worker,
 //! each worker consumes its jobs in FIFO order, and epoch cut positions
 //! are computed serially by the engine — so the replay each bank sees is
-//! byte-for-byte the one the scoped-thread runner produced.
+//! byte-for-byte the one the scoped-thread runner produced. The pool knows
+//! nothing about channels: `cat_engine::MemorySystem` runs one pool whose
+//! shards span *all* channels' banks, so independent channels overlap on
+//! the same workers.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -88,6 +99,12 @@ struct Worker {
     banks: usize,
 }
 
+/// Accesses per cache-sized sub-batch: small enough that the partition
+/// buffers stay cache-resident between the scatter and the replay — for
+/// large batches this roughly halves the memory traffic of the sharded
+/// path. Epoch state composes across sub-batches by construction.
+const CHUNK_ACCESSES: usize = 1 << 20;
+
 /// Long-lived shard worker threads plus the scatter scratch shared by all
 /// sub-batches (see the module docs for the ownership protocol).
 pub(crate) struct ShardPool {
@@ -95,10 +112,10 @@ pub(crate) struct ShardPool {
     /// `bank → worker` lookup (avoids a division per scattered access).
     shard_of: Vec<u32>,
     /// Scatter scratch, all sized `nbanks`.
-    pub counts: Vec<usize>,
-    pub cursor: Vec<usize>,
-    pub starts: Vec<usize>,
-    pub epoch_cuts: Vec<Vec<usize>>,
+    counts: Vec<usize>,
+    cursor: Vec<usize>,
+    starts: Vec<usize>,
+    epoch_cuts: Vec<Vec<usize>>,
 }
 
 impl ShardPool {
@@ -145,14 +162,8 @@ impl ShardPool {
         self.workers.len()
     }
 
-    /// Worker index owning `bank`.
-    #[inline]
-    pub fn shard_of(&self, bank: usize) -> usize {
-        self.shard_of[bank] as usize
-    }
-
     /// Banks owned by worker `w`.
-    pub fn worker_banks(&self, w: usize) -> usize {
+    fn worker_banks(&self, w: usize) -> usize {
         self.workers[w].banks
     }
 
@@ -193,7 +204,7 @@ impl ShardPool {
     /// A job buffer for worker `w`: recycled if one is free, otherwise
     /// blocks until the worker returns one (this is the pipeline's
     /// backpressure).
-    pub fn acquire(&mut self, w: usize) -> RunJob {
+    fn acquire(&mut self, w: usize) -> RunJob {
         let worker = &mut self.workers[w];
         if let Some(job) = worker.free.pop() {
             return job;
@@ -208,10 +219,137 @@ impl ShardPool {
     }
 
     /// Queues one sub-batch on worker `w`.
-    pub fn submit(&mut self, w: usize, job: RunJob) {
+    fn submit(&mut self, w: usize, job: RunJob) {
         let worker = &mut self.workers[w];
         worker.inflight += 1;
         worker.send(ToWorker::Run(job));
+    }
+
+    /// Replays a whole batch through the loaned banks: chunks it into
+    /// cache-sized sub-batches, scatters each per bank, and pipelines the
+    /// jobs to the workers. `cuts` are the epoch boundary positions inside
+    /// `batch` (see `crate::epoch_cuts`; `0`, duplicates, and
+    /// `batch.len()` are all legal). Per-chunk activation counts are folded
+    /// into `activations` (one slot per bank).
+    ///
+    /// The banks must already be loaned ([`loan`](Self::loan)); they stay
+    /// with the workers afterwards — the enclosing batch call reclaims.
+    pub fn run_batch(&mut self, batch: &[(u32, u32)], cuts: &[usize], activations: &mut [u64]) {
+        if batch.is_empty() {
+            // No rows to scatter, but boundary-only cut lists must still
+            // fire every bank's on_epoch_end through the workers.
+            if !cuts.is_empty() {
+                self.run_chunk(&[], cuts, 0, activations);
+            }
+            return;
+        }
+        let mut cut_from = 0usize;
+        let mut done = 0usize;
+        for chunk in batch.chunks(CHUNK_ACCESSES) {
+            let end = done + chunk.len();
+            // Cuts on this chunk's (done, end] — a cut exactly at `done`
+            // belongs to the previous chunk (it already fired there).
+            let mut cut_to = cut_from;
+            while cut_to < cuts.len() && cuts[cut_to] <= end {
+                cut_to += 1;
+            }
+            self.run_chunk(chunk, &cuts[cut_from..cut_to], done, activations);
+            cut_from = cut_to;
+            done = end;
+        }
+    }
+
+    /// One cache-sized sub-batch of [`run_batch`](Self::run_batch):
+    /// per-bank counting-sort scatter with the chunk's cut positions
+    /// (absolute in the enclosing batch, `base` = the chunk's offset)
+    /// recorded per bank, then one [`RunJob`] submitted per worker.
+    fn run_chunk(
+        &mut self,
+        chunk: &[(u32, u32)],
+        cuts: &[usize],
+        base: usize,
+        activations: &mut [u64],
+    ) {
+        let nbanks = self.counts.len();
+        let shards = self.shards();
+
+        // Per-bank counts for this chunk, then per-worker job buffers with
+        // exact segment sizes (acquiring a buffer blocks once the worker is
+        // more than one job behind — that backpressure is the pipeline).
+        self.counts.fill(0);
+        for &(bank, _) in chunk {
+            self.counts[bank as usize] += 1;
+        }
+        let mut jobs: Vec<RunJob> = Vec::with_capacity(shards);
+        let mut bank0 = 0usize;
+        for w in 0..shards {
+            let mut job = self.acquire(w);
+            let nb = self.worker_banks(w);
+            job.lens.clear();
+            job.lens.extend_from_slice(&self.counts[bank0..bank0 + nb]);
+            let total: usize = job.lens.iter().sum();
+            // No clear() first: the scatter writes every slot in [0..total)
+            // exactly once (cursors cover sum(lens)), so stale contents of
+            // the recycled buffer are never read and resize only zero-fills
+            // genuine growth.
+            job.rows.resize(total, 0);
+            job.cuts.resize_with(nb, Vec::new);
+            let mut acc = 0usize;
+            for b in 0..nb {
+                self.cursor[bank0 + b] = acc;
+                self.starts[bank0 + b] = acc;
+                acc += self.counts[bank0 + b];
+            }
+            bank0 += nb;
+            jobs.push(job);
+        }
+        for bank_cuts in self.epoch_cuts.iter_mut() {
+            bank_cuts.clear();
+        }
+
+        // Scatter in cut-delimited segments (no per-access epoch check),
+        // recording for every bank at which local positions the global
+        // epoch boundaries fall, so each bank replays exactly the
+        // subsequence it saw — epochs included — in original order.
+        {
+            let shard_of = &self.shard_of;
+            let cursor = &mut self.cursor;
+            let starts = &self.starts;
+            let epoch_cuts = &mut self.epoch_cuts;
+            let mut slices: Vec<&mut [u32]> =
+                jobs.iter_mut().map(|j| j.rows.as_mut_slice()).collect();
+            let mut prev = 0usize;
+            for &cut in cuts {
+                for &(bank, row) in &chunk[prev..cut - base] {
+                    let b = bank as usize;
+                    slices[shard_of[b] as usize][cursor[b]] = row;
+                    cursor[b] += 1;
+                }
+                for b in 0..nbanks {
+                    epoch_cuts[b].push(cursor[b] - starts[b]);
+                }
+                prev = cut - base;
+            }
+            for &(bank, row) in &chunk[prev..] {
+                let b = bank as usize;
+                slices[shard_of[b] as usize][cursor[b]] = row;
+                cursor[b] += 1;
+            }
+        }
+        for (count, &c) in activations.iter_mut().zip(self.counts.iter()) {
+            *count += c as u64;
+        }
+
+        let mut bank0 = 0usize;
+        for (w, mut job) in jobs.into_iter().enumerate() {
+            let nb = self.worker_banks(w);
+            for (local, bank_cuts) in job.cuts.iter_mut().enumerate() {
+                bank_cuts.clear();
+                bank_cuts.extend_from_slice(&self.epoch_cuts[bank0 + local]);
+            }
+            bank0 += nb;
+            self.submit(w, job);
+        }
     }
 }
 

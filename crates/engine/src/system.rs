@@ -6,28 +6,52 @@
 //! in this repo used to hand-roll exactly that layer: decode an address,
 //! flatten it to a global bank id, feed an engine. `MemorySystem` owns that
 //! path — [`AddressMapping`] decode, per-channel routing, global epoch
-//! accounting — behind the same batched `process`/report API as
-//! [`BankEngine`], at whole-system scope.
+//! accounting, streaming ingestion — behind the same batched
+//! `process`/report API as [`BankEngine`], at whole-system scope.
+//!
+//! ## Batch datapath
+//!
+//! Every batch (explicit via [`MemorySystem::process`], or an internal
+//! flush of the staging buffer behind [`MemorySystem::push`]) takes the
+//! **cut-aware** path: the epoch boundary positions inside the batch are
+//! computed once up front (`crate::epoch_cuts`), and the whole batch is
+//! then handed over in one piece —
+//!
+//! * **routed** (`shards == 1`): one stable scatter into per-channel
+//!   sub-batches, each channel's cut positions recorded along the way, then
+//!   one [`BankEngine::process_with_cuts`] call per channel — each
+//!   channel's banks are visited once per batch, never once per epoch
+//!   segment;
+//! * **pooled** (`shards > 1`): every channel's banks are loaned to **one
+//!   shared worker pool** whose shards span all channels, the batch is
+//!   scattered by global bank, and the workers fire the epoch cuts
+//!   themselves — independent channels proceed concurrently on the same
+//!   `shards` threads.
 //!
 //! ## Equivalence
 //!
-//! Routing through per-channel engines is bit-identical to one system-wide
-//! engine (asserted by `tests/equivalence.rs`):
+//! Routing through per-channel engines — serial, pooled, or streaming — is
+//! bit-identical to one system-wide engine (asserted by
+//! `tests/equivalence.rs`; the invariants are spelled out in
+//! `DESIGN.md §7`):
 //!
 //! * the global bank order is channel-major, so per-channel engines with a
 //!   [bank base](BankEngine::with_bank_base) hold exactly the banks (and
 //!   PRA seeds) of the flat engine's contiguous ranges;
 //! * per-bank access order is preserved by the stable scatter;
 //! * epoch boundaries are positions in the *system-wide* access stream:
-//!   batches are segmented at global boundaries and every channel engine
-//!   receives `on_epoch_end` at the same point of its own subsequence.
+//!   the cut list is computed once per batch and every bank receives
+//!   `on_epoch_end` at the same point of its own subsequence, whichever
+//!   path replays it.
 
 use cat_core::{Refreshes, SchemeInstance, SchemeSpec, SchemeStats};
 
-use crate::{AddressMapping, BankEngine, BatchOutcome, EngineReport, MemGeometry};
+use crate::pool::ShardPool;
+use crate::{epoch_cuts, AddressMapping, BankEngine, BatchOutcome, EngineReport, MemGeometry};
 
 /// A whole memory system: address decode, per-channel [`BankEngine`]s,
-/// global epoch accounting, and optional pool-backed sharding.
+/// global epoch accounting, streaming ingestion, and an optional shared
+/// worker pool overlapping the channels.
 ///
 /// ```
 /// use cat_core::SchemeSpec;
@@ -58,11 +82,37 @@ pub struct MemorySystem {
     accesses: u64,
     epochs: u64,
     shards: usize,
-    /// Per-channel scatter buffers, reused across batches.
+    /// Shared worker pool for the pooled path (spawned lazily on the first
+    /// `shards > 1` batch; its shards span all channels' banks).
+    pool: Option<ShardPool>,
+    /// Per-channel scatter buffers, reused across batches (routed path).
     route: Vec<Vec<(u32, u32)>>,
+    /// Per-channel epoch cut positions, parallel to `route`.
+    route_cuts: Vec<Vec<usize>>,
+    /// Global cut-position scratch, reused across batches.
+    cut_scratch: Vec<usize>,
+    /// Per-batch activation counts for the pooled path (one slot per
+    /// global bank), folded back into the channel engines after each batch.
+    act_scratch: Vec<u64>,
+    /// Assembly buffer moving every channel's banks to/from the shared
+    /// pool (pooled path; empty between batches).
+    bank_scratch: Vec<Option<SchemeInstance>>,
+    /// Streaming staging buffer (decoded, not yet processed accesses).
+    staged: Vec<(u32, u32)>,
+    /// Staging capacity at which `push` flushes automatically.
+    stream_capacity: usize,
+    /// Outcomes of automatic flushes since the last explicit `flush()`.
+    staged_outcome: BatchOutcome,
 }
 
 impl MemorySystem {
+    /// Default [streaming](Self::push) staging capacity, in accesses
+    /// (overridable via
+    /// [`with_stream_capacity`](Self::with_stream_capacity)): large enough
+    /// to amortise the per-batch routing work, small enough to stay
+    /// cache-resident.
+    pub const DEFAULT_STREAM_CAPACITY: usize = 8192;
+
     /// Builds a system for `geometry`, instantiating `spec` on every bank
     /// (channel engines are seeded with their global bank base).
     ///
@@ -85,6 +135,7 @@ impl MemorySystem {
             })
             .collect();
         let route = (0..geometry.channels).map(|_| Vec::new()).collect();
+        let route_cuts = (0..geometry.channels).map(|_| Vec::new()).collect();
         MemorySystem {
             geometry,
             mapping,
@@ -94,7 +145,15 @@ impl MemorySystem {
             accesses: 0,
             epochs: 0,
             shards: 1,
+            pool: None,
             route,
+            route_cuts,
+            cut_scratch: Vec::new(),
+            act_scratch: vec![0; geometry.total_banks() as usize],
+            bank_scratch: Vec::new(),
+            staged: Vec::new(),
+            stream_capacity: Self::DEFAULT_STREAM_CAPACITY,
+            staged_outcome: BatchOutcome::default(),
         }
     }
 
@@ -110,20 +169,53 @@ impl MemorySystem {
         self
     }
 
-    /// Runs each channel's banks on `shards` persistent worker threads per
-    /// channel (1 = sequential in the calling thread, the default).
+    /// Runs batches on `shards` persistent worker threads **shared by all
+    /// channels** (1 = sequential in the calling thread, the default).
     /// Results are bit-identical for every shard count.
     ///
-    /// Channels are processed serially per epoch segment, each parallel
-    /// internally — so `shards` is also the effective system-wide
-    /// parallelism, but every channel engine keeps its *own* pool
-    /// (`channels × shards` threads total, all but one channel's parked on
-    /// an empty queue at any moment). A pool shared across channels — and
-    /// overlapping the channels themselves — is future work tracked in the
-    /// ROADMAP.
+    /// The pool's shards partition the *global* bank range, so independent
+    /// channels overlap on the same workers instead of running serially —
+    /// `shards` threads total serve the whole system, and a batch loans
+    /// every channel's banks to the pool exactly once however many epoch
+    /// segments it spans (`DESIGN.md §7`).
+    ///
+    /// ```
+    /// use cat_core::SchemeSpec;
+    /// use cat_engine::{MemGeometry, MemorySystem};
+    ///
+    /// let geometry = MemGeometry {
+    ///     channels: 2,
+    ///     ranks_per_channel: 1,
+    ///     banks_per_rank: 8,
+    ///     rows_per_bank: 4096,
+    ///     lines_per_row: 16,
+    ///     line_bytes: 64,
+    /// };
+    /// let spec = SchemeSpec::Sca { counters: 16, threshold: 64 };
+    /// let batch: Vec<(u32, u32)> = (0..40_000).map(|i| (i % 16, 9)).collect();
+    /// let mut serial = MemorySystem::new(&geometry, spec).with_epoch_length(700);
+    /// let mut pooled = MemorySystem::new(&geometry, spec)
+    ///     .with_epoch_length(700)
+    ///     .with_shards(4);
+    /// serial.process(&batch);
+    /// pooled.process(&batch);
+    /// assert_eq!(pooled.stats(), serial.stats()); // bit-identical
+    /// ```
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "at least one shard");
         self.shards = shards;
+        self
+    }
+
+    /// Sets the staging capacity of the [streaming](Self::push) front-end:
+    /// `push` flushes automatically once this many accesses are staged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_stream_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "staging buffer must hold accesses");
+        self.stream_capacity = capacity;
         self
     }
 
@@ -140,10 +232,11 @@ impl MemorySystem {
 
     /// Total banks across all channels.
     pub fn bank_count(&self) -> usize {
-        self.channels.iter().map(BankEngine::bank_count).sum()
+        self.geometry.total_banks() as usize
     }
 
-    /// System-wide accesses processed so far.
+    /// System-wide accesses processed so far (staged accesses count once
+    /// they flush).
     pub fn accesses(&self) -> u64 {
         self.accesses
     }
@@ -160,56 +253,109 @@ impl MemorySystem {
         self.mapping.decode_bank_row(addr)
     }
 
-    /// Processes a batch of `(global bank, row)` activations in order:
-    /// routes each to its channel engine and fires epoch boundaries (if
-    /// configured) at the right system-wide positions (the segmentation is
-    /// shared with the engine's sharded path — see
-    /// `for_each_epoch_segment`).
-    pub fn process(&mut self, batch: &[(u32, u32)]) -> BatchOutcome {
-        let mut out = BatchOutcome {
-            accesses: batch.len() as u64,
-            ..BatchOutcome::default()
-        };
-        let channels = &mut self.channels;
-        let route = &mut self.route;
-        let banks_per_channel = self.banks_per_channel;
-        let shards = self.shards;
-        let epochs = crate::for_each_epoch_segment(
-            batch.len(),
-            self.accesses,
-            self.epoch_len,
-            |range, on_boundary| {
-                for buf in route.iter_mut() {
-                    buf.clear();
-                }
-                for &(bank, row) in &batch[range] {
-                    let ch = (bank / banks_per_channel) as usize;
-                    route[ch].push((bank % banks_per_channel, row));
-                }
-                for (ch, engine) in channels.iter_mut().enumerate() {
-                    let sub = &route[ch];
-                    if sub.is_empty() {
-                        continue; // skip the per-batch pool/snapshot overhead
-                    }
-                    let o = if shards > 1 {
-                        engine.process_sharded(sub, shards)
-                    } else {
-                        engine.process(sub)
-                    };
-                    out.refresh_events += o.refresh_events;
-                    out.refreshed_rows += o.refreshed_rows;
-                }
-                if on_boundary {
-                    for engine in channels.iter_mut() {
-                        engine.end_epoch();
-                    }
-                }
-            },
+    /// Stages one physical-address activation on the streaming front-end;
+    /// the staging buffer flushes through the cut-aware batch path
+    /// whenever it reaches the [stream
+    /// capacity](Self::with_stream_capacity). Call
+    /// [`flush`](Self::flush) after the last push — staged accesses are
+    /// invisible to the stats accessors (and are discarded on drop) until
+    /// they flush.
+    ///
+    /// ```
+    /// use cat_core::SchemeSpec;
+    /// use cat_engine::{MemGeometry, MemorySystem};
+    ///
+    /// let geometry = MemGeometry {
+    ///     channels: 2,
+    ///     ranks_per_channel: 1,
+    ///     banks_per_rank: 8,
+    ///     rows_per_bank: 4096,
+    ///     lines_per_row: 16,
+    ///     line_bytes: 64,
+    /// };
+    /// let spec = SchemeSpec::Sca { counters: 16, threshold: 64 };
+    /// let mut system = MemorySystem::new(&geometry, spec).with_epoch_length(500);
+    /// for i in 0..2_000u64 {
+    ///     system.push((i % 1024) << 14);
+    /// }
+    /// let out = system.flush();
+    /// assert_eq!(out.accesses, 2_000);
+    /// assert_eq!(out.epochs, 4);
+    /// assert_eq!(system.accesses(), 2_000);
+    /// ```
+    #[inline]
+    pub fn push(&mut self, addr: u64) {
+        let (bank, row) = self.decode(addr);
+        self.push_decoded(bank, row);
+    }
+
+    /// [`push`](Self::push) for a pre-decoded `(global bank, row)`
+    /// activation (callers that decode once and replay many times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range — at the offending call, not at
+    /// the (arbitrarily later) flush that would otherwise trip over it
+    /// deep inside the scatter.
+    #[inline]
+    pub fn push_decoded(&mut self, bank: u32, row: u32) {
+        assert!(
+            bank < self.geometry.total_banks(),
+            "global bank {bank} out of range for a {}-bank system",
+            self.geometry.total_banks()
         );
-        self.accesses += batch.len() as u64;
-        self.epochs += epochs;
-        out.epochs = epochs;
-        out
+        self.staged.push((bank, row));
+        if self.staged.len() >= self.stream_capacity {
+            self.flush_staged();
+        }
+    }
+
+    /// Stages every address of `addrs` in order (see [`push`](Self::push)).
+    pub fn push_iter(&mut self, addrs: impl IntoIterator<Item = u64>) {
+        for addr in addrs {
+            self.push(addr);
+        }
+    }
+
+    /// Accesses currently staged and not yet processed.
+    pub fn pending(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Flushes the staging buffer and returns the aggregate
+    /// [`BatchOutcome`] of **everything pushed since the last `flush`**
+    /// (automatic capacity flushes included).
+    pub fn flush(&mut self) -> BatchOutcome {
+        self.flush_staged();
+        std::mem::take(&mut self.staged_outcome)
+    }
+
+    /// Runs the staged accesses through the batch path, accumulating the
+    /// outcome for the next explicit [`flush`](Self::flush).
+    fn flush_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.staged);
+        let out = self.process_batch(&staged);
+        self.staged = staged;
+        self.staged.clear();
+        self.staged_outcome.merge(&out);
+    }
+
+    /// Processes a batch of `(global bank, row)` activations in order
+    /// through the cut-aware batch path (see the module docs): epoch
+    /// boundaries (if configured) fire at the right system-wide positions,
+    /// each channel's banks are visited once per batch, and with
+    /// [`with_shards`](Self::with_shards) the channels overlap on the
+    /// shared pool.
+    ///
+    /// Any [staged](Self::push) accesses are flushed first so the stream
+    /// order is preserved (their outcome stays accumulated for the next
+    /// [`flush`](Self::flush); the returned outcome covers only `batch`).
+    pub fn process(&mut self, batch: &[(u32, u32)]) -> BatchOutcome {
+        self.flush_staged();
+        self.process_batch(batch)
     }
 
     /// Decodes and processes a batch of physical addresses (see
@@ -219,9 +365,124 @@ impl MemorySystem {
         self.process(&batch)
     }
 
+    /// The cut-aware batch core: computes the global cut list once, then
+    /// dispatches to the routed (serial) or pooled path.
+    fn process_batch(&mut self, batch: &[(u32, u32)]) -> BatchOutcome {
+        let mut cuts = std::mem::take(&mut self.cut_scratch);
+        epoch_cuts(batch.len(), self.accesses, self.epoch_len, &mut cuts);
+        let mut out = BatchOutcome {
+            accesses: batch.len() as u64,
+            epochs: cuts.len() as u64,
+            ..BatchOutcome::default()
+        };
+        if self.shards > 1 {
+            self.pooled_batch(batch, &cuts, &mut out);
+        } else {
+            self.routed_batch(batch, &cuts, &mut out);
+        }
+        self.accesses += batch.len() as u64;
+        self.epochs += cuts.len() as u64;
+        self.cut_scratch = cuts;
+        out
+    }
+
+    /// Serial path: one stable scatter of the whole batch into per-channel
+    /// sub-batches (recording each channel's cut positions), then one
+    /// cut-aware engine call per channel.
+    fn routed_batch(&mut self, batch: &[(u32, u32)], cuts: &[usize], out: &mut BatchOutcome) {
+        for buf in self.route.iter_mut() {
+            buf.clear();
+        }
+        for buf in self.route_cuts.iter_mut() {
+            buf.clear();
+        }
+        {
+            let route = &mut self.route;
+            let route_cuts = &mut self.route_cuts;
+            let banks_per_channel = self.banks_per_channel;
+            crate::for_each_segment(batch.len(), cuts, |range, on_boundary| {
+                for &(bank, row) in &batch[range] {
+                    let ch = (bank / banks_per_channel) as usize;
+                    route[ch].push((bank % banks_per_channel, row));
+                }
+                if on_boundary {
+                    for (ch, ch_cuts) in route_cuts.iter_mut().enumerate() {
+                        ch_cuts.push(route[ch].len());
+                    }
+                }
+            });
+        }
+        for (ch, engine) in self.channels.iter_mut().enumerate() {
+            if self.route[ch].is_empty() && cuts.is_empty() {
+                continue; // nothing to replay, no boundary to fire
+            }
+            let o = engine.process_with_cuts(&self.route[ch], &self.route_cuts[ch]);
+            out.refresh_events += o.refresh_events;
+            out.refreshed_rows += o.refreshed_rows;
+        }
+    }
+
+    /// Pooled path: every channel's banks are loaned to the shared pool
+    /// once, the whole batch is scattered by global bank, and the workers
+    /// replay it — epoch cuts included — with independent channels
+    /// overlapping on the same shard threads.
+    fn pooled_batch(&mut self, batch: &[(u32, u32)], cuts: &[usize], out: &mut BatchOutcome) {
+        let nbanks = self.bank_count().max(1);
+        let shards = self.shards.clamp(1, nbanks);
+        if self.pool.as_ref().map(ShardPool::shards) != Some(shards) {
+            self.pool = Some(ShardPool::new(shards, nbanks));
+        }
+        let mut pool = self.pool.take().expect("pool just ensured");
+        let (events_before, rows_before) = self.refresh_totals();
+
+        // Assemble every channel's banks in global bank order and loan them
+        // to the workers for the duration of the batch.
+        debug_assert!(self.bank_scratch.is_empty());
+        for engine in &mut self.channels {
+            self.bank_scratch.append(engine.banks_storage());
+        }
+        pool.loan(&mut self.bank_scratch);
+        self.act_scratch.fill(0);
+        pool.run_batch(batch, cuts, &mut self.act_scratch);
+        pool.reclaim(&mut self.bank_scratch);
+
+        // Hand the banks back and fold the batch into each engine's
+        // accounting.
+        let banks_per_channel = self.banks_per_channel as usize;
+        {
+            let mut returned = self.bank_scratch.drain(..);
+            for engine in &mut self.channels {
+                engine
+                    .banks_storage()
+                    .extend(returned.by_ref().take(banks_per_channel));
+            }
+        }
+        for (ch, engine) in self.channels.iter_mut().enumerate() {
+            let base = ch * banks_per_channel;
+            engine.absorb_pooled_batch(
+                &self.act_scratch[base..base + banks_per_channel],
+                cuts.len() as u64,
+            );
+        }
+        self.pool = Some(pool);
+
+        let (events, rows) = self.refresh_totals();
+        out.refresh_events += events - events_before;
+        out.refreshed_rows += rows - rows_before;
+    }
+
+    /// Running (refresh events, refreshed rows) totals across channels.
+    fn refresh_totals(&self) -> (u64, u64) {
+        self.channels
+            .iter()
+            .map(BankEngine::refresh_totals)
+            .fold((0, 0), |(e, r), (ce, cr)| (e + ce, r + cr))
+    }
+
     /// Drives one activation through global bank `bank` and returns the
     /// refreshes the scheme requests. Fires no epoch boundaries — see
-    /// [`BankEngine::activate`].
+    /// [`BankEngine::activate`]. Any [staged](Self::push) accesses are
+    /// flushed first so the stream order is preserved.
     ///
     /// # Panics
     ///
@@ -237,6 +498,9 @@ impl MemorySystem {
              the batched epoch phase. Drive epochs from your own clock via end_epoch() \
              instead."
         );
+        if !self.staged.is_empty() {
+            self.flush_staged();
+        }
         self.accesses += 1;
         let ch = (bank / self.banks_per_channel) as usize;
         self.channels[ch].activate((bank % self.banks_per_channel) as usize, row)
@@ -251,8 +515,25 @@ impl MemorySystem {
     }
 
     /// Signals an auto-refresh epoch boundary to every bank of every
-    /// channel.
+    /// channel. Any [staged](Self::push) accesses are flushed first so the
+    /// boundary lands after them in the stream, exactly where the caller
+    /// issued it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was configured with
+    /// [`with_epoch_length`](Self::with_epoch_length): the automatic clock
+    /// keeps firing at its own access-count positions regardless, so a
+    /// manual boundary would silently interleave two epoch clocks (the
+    /// same mixing every other entry point rejects).
     pub fn end_epoch(&mut self) {
+        assert!(
+            self.epoch_len.is_none(),
+            "MemorySystem::end_epoch cannot be mixed with access-count epoch accounting \
+             (with_epoch_length): the automatic boundaries would keep firing at their \
+             own positions alongside the manual one"
+        );
+        self.flush_staged();
         self.epochs += 1;
         for engine in &mut self.channels {
             engine.end_epoch();
@@ -362,6 +643,31 @@ mod tests {
     }
 
     #[test]
+    fn small_epochs_loan_once_and_stay_identical() {
+        // Epoch length far below the batch size: the cut-aware path must
+        // fire every boundary inside one loan and still match the flat
+        // engine bit for bit.
+        let spec = SchemeSpec::Drcat {
+            counters: 64,
+            levels: 11,
+            threshold: 128,
+        };
+        let trace = batch(30_000);
+        let mut flat = BankEngine::new(spec, 16, 4096).with_epoch_length(97);
+        flat.process(&trace);
+        for shards in [1usize, 3, 8] {
+            let mut system = MemorySystem::new(geometry(), spec)
+                .with_epoch_length(97)
+                .with_shards(shards);
+            system.process(&trace);
+            assert_eq!(system.stats(), flat.stats(), "{shards} shards");
+            assert_eq!(system.per_bank_stats(), flat.per_bank_stats());
+            assert_eq!(system.epochs(), flat.epochs());
+        }
+        assert_eq!(flat.epochs(), 30_000 / 97);
+    }
+
+    #[test]
     fn decode_and_addr_batches_route_by_address() {
         let mut system = MemorySystem::new(geometry(), SchemeSpec::None);
         let addr = system.mapping().encode_line(1, 0, 3, 42, 0);
@@ -369,6 +675,93 @@ mod tests {
         system.process_addrs(&[addr, addr, addr]);
         assert_eq!(system.activations_per_bank()[11], 3);
         assert_eq!(system.accesses(), 3);
+    }
+
+    #[test]
+    fn streaming_push_matches_batched_process() {
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 64,
+        };
+        let trace = batch(20_000);
+        let mut batched = MemorySystem::new(geometry(), spec).with_epoch_length(777);
+        batched.process(&trace);
+        for capacity in [64usize, 1_000, 50_000] {
+            let mut streamed = MemorySystem::new(geometry(), spec)
+                .with_epoch_length(777)
+                .with_stream_capacity(capacity);
+            for &(bank, row) in &trace {
+                streamed.push_decoded(bank, row);
+            }
+            let out = streamed.flush();
+            assert_eq!(out.accesses, 20_000, "capacity {capacity}");
+            assert_eq!(out.epochs, 20_000 / 777);
+            assert_eq!(streamed.stats(), batched.stats(), "capacity {capacity}");
+            assert_eq!(streamed.per_bank_stats(), batched.per_bank_stats());
+            assert_eq!(streamed.epochs(), batched.epochs());
+            assert_eq!(streamed.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn push_stages_until_capacity_then_flushes() {
+        let mut system = MemorySystem::new(geometry(), SchemeSpec::None).with_stream_capacity(100);
+        for (bank, row) in batch(99) {
+            system.push_decoded(bank, row);
+        }
+        assert_eq!(system.pending(), 99);
+        assert_eq!(system.accesses(), 0, "staged accesses are not processed");
+        system.push_decoded(0, 1);
+        assert_eq!(system.pending(), 0, "capacity flush");
+        assert_eq!(system.accesses(), 100);
+        let out = system.flush();
+        assert_eq!(out.accesses, 100, "flush reports the auto-flushed batch");
+        assert_eq!(system.flush().accesses, 0, "outcome is consumed");
+    }
+
+    #[test]
+    fn push_iter_decodes_like_process_addrs() {
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 16,
+        };
+        let mut a = MemorySystem::new(geometry(), spec);
+        let mut b = MemorySystem::new(geometry(), spec);
+        let addrs: Vec<u64> = (0..5_000u64)
+            .map(|i| {
+                a.mapping()
+                    .encode_line((i % 2) as u32, 0, (i % 8) as u32, 1234, 0)
+            })
+            .collect();
+        a.process_addrs(&addrs);
+        b.push_iter(addrs.iter().copied());
+        b.flush();
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.activations_per_bank(), b.activations_per_bank());
+    }
+
+    #[test]
+    fn process_flushes_staged_accesses_first() {
+        // Order: 100 pushed accesses must reach the banks before the
+        // processed batch, exactly as if both had gone through one stream.
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 64,
+        };
+        let trace = batch(10_000);
+        let mut reference = MemorySystem::new(geometry(), spec).with_epoch_length(333);
+        reference.process(&trace);
+        let mut mixed = MemorySystem::new(geometry(), spec)
+            .with_epoch_length(333)
+            .with_stream_capacity(1 << 20);
+        for &(bank, row) in &trace[..100] {
+            mixed.push_decoded(bank, row);
+        }
+        let out = mixed.process(&trace[100..]);
+        assert_eq!(out.accesses, 9_900);
+        assert_eq!(mixed.flush().accesses, 100);
+        assert_eq!(mixed.stats(), reference.stats());
+        assert_eq!(mixed.epochs(), reference.epochs());
     }
 
     #[test]
@@ -390,10 +783,72 @@ mod tests {
     }
 
     #[test]
+    fn end_epoch_flushes_staged_accesses_first() {
+        // A manually-clocked boundary must land after everything pushed
+        // before it: SCA counters reset on epoch end, so if the boundary
+        // fired first, the staged hammering would survive the reset and
+        // trigger a refresh the reference order does not produce.
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 64,
+        };
+        let mut reference = MemorySystem::new(geometry(), spec);
+        for _ in 0..60 {
+            let _ = reference.activate_global(3, 50);
+        }
+        reference.end_epoch();
+        for _ in 0..60 {
+            let _ = reference.activate_global(3, 50);
+        }
+        let mut streamed = MemorySystem::new(geometry(), spec).with_stream_capacity(1 << 20);
+        for _ in 0..60 {
+            streamed.push_decoded(3, 50);
+        }
+        streamed.end_epoch();
+        assert_eq!(streamed.pending(), 0, "end_epoch must flush the stage");
+        for _ in 0..60 {
+            streamed.push_decoded(3, 50);
+        }
+        streamed.flush();
+        assert_eq!(streamed.stats(), reference.stats());
+        assert_eq!(streamed.epochs(), 1);
+        assert_eq!(streamed.stats().refresh_events, 0, "reset must intervene");
+    }
+
+    #[test]
+    fn activate_flushes_staged_accesses_first() {
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 4,
+        };
+        let mut system = MemorySystem::new(geometry(), spec).with_stream_capacity(1 << 20);
+        system.push_decoded(3, 50);
+        system.push_decoded(3, 50);
+        let _ = system.activate_global(3, 50);
+        assert_eq!(system.pending(), 0);
+        assert_eq!(system.activations_per_bank()[3], 3);
+        assert_eq!(system.accesses(), 3);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot be mixed with access-count epoch accounting")]
     fn activate_on_epoch_configured_system_is_rejected() {
         let mut system = MemorySystem::new(geometry(), SchemeSpec::None).with_epoch_length(100);
         let _ = system.activate_global(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "global bank 16 out of range")]
+    fn push_of_out_of_range_bank_fails_at_the_push() {
+        let mut system = MemorySystem::new(geometry(), SchemeSpec::None);
+        system.push_decoded(16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end_epoch cannot be mixed")]
+    fn manual_epoch_on_epoch_configured_system_is_rejected() {
+        let mut system = MemorySystem::new(geometry(), SchemeSpec::None).with_epoch_length(100);
+        system.end_epoch();
     }
 
     #[test]

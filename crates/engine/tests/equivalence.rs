@@ -1,10 +1,13 @@
 //! Differential test: for every `SchemeSpec` variant the batched engine,
 //! the pool-backed bank-sharded engine, and the per-channel `MemorySystem`
-//! routing must all produce exactly the same `SchemeStats` as the old
-//! sequential boxed-dyn per-access loop, invariant under 1/2/4/8 shard
-//! threads and arbitrary batch boundaries. PRA is included — per-bank PRNG
-//! seeding (with the channel engines' bank bases) makes both bank-sharding
-//! and channel routing deterministic.
+//! routing — serial, pooled-overlapped, and streaming — must all produce
+//! exactly the same `SchemeStats` as the old sequential boxed-dyn
+//! per-access loop, invariant under 1/2/4/8 shard threads, arbitrary batch
+//! boundaries, streaming staging capacities, and epoch lengths smaller
+//! than the batch (the cut-aware path's hard case). PRA is included —
+//! per-bank PRNG seeding (with the channel engines' bank bases) makes both
+//! bank-sharding and channel routing deterministic. The invariants being
+//! exercised are spelled out in `DESIGN.md §7`.
 
 use cat_core::{MitigationScheme, RowId, SchemeSpec, SchemeStats};
 use cat_engine::{BankEngine, MemGeometry, MemorySystem};
@@ -51,7 +54,11 @@ fn trace(n: u64) -> Vec<(u32, u32)> {
 
 /// The loop every consumer used to hand-roll before `cat-engine` existed:
 /// boxed trait objects, per-access virtual dispatch, modulo epoch rollover.
-fn old_sequential_loop(spec: SchemeSpec, trace: &[(u32, u32)]) -> (SchemeStats, Vec<SchemeStats>) {
+fn old_loop_with_epoch(
+    spec: SchemeSpec,
+    trace: &[(u32, u32)],
+    epoch: u64,
+) -> (SchemeStats, Vec<SchemeStats>) {
     let mut schemes: Vec<Option<Box<dyn MitigationScheme + Send>>> =
         (0..BANKS).map(|b| spec.build(ROWS, b)).collect();
     let mut accesses = 0u64;
@@ -60,7 +67,7 @@ fn old_sequential_loop(spec: SchemeSpec, trace: &[(u32, u32)]) -> (SchemeStats, 
             s.on_activation(RowId(row));
         }
         accesses += 1;
-        if accesses.is_multiple_of(EPOCH) {
+        if accesses.is_multiple_of(epoch) {
             for s in schemes.iter_mut().flatten() {
                 s.on_epoch_end();
             }
@@ -73,6 +80,10 @@ fn old_sequential_loop(spec: SchemeSpec, trace: &[(u32, u32)]) -> (SchemeStats, 
         total.merge(s.stats());
     }
     (total, per_bank)
+}
+
+fn old_sequential_loop(spec: SchemeSpec, trace: &[(u32, u32)]) -> (SchemeStats, Vec<SchemeStats>) {
+    old_loop_with_epoch(spec, trace, EPOCH)
 }
 
 fn all_specs() -> Vec<SchemeSpec> {
@@ -190,6 +201,127 @@ fn memory_system_matches_old_loop_for_every_spec_and_shard_count() {
             assert_eq!(system.accesses(), 150_000);
         }
     }
+}
+
+#[test]
+fn streaming_push_matches_old_loop_for_every_spec() {
+    // The streaming front-end (push_decoded + automatic capacity flushes +
+    // one final flush) must be bit-identical to the flat path for every
+    // scheme, for staging capacities below, at, and above the epoch length
+    // — including capacities that leave epoch boundaries mid-buffer.
+    let trace = trace(120_000);
+    for spec in all_specs() {
+        let (old_total, old_per_bank) = old_loop_with_epoch(spec, &trace, EPOCH);
+        for (capacity, shards) in [(257usize, 1usize), (8_192, 1), (8_192, 4), (60_000, 2)] {
+            let mut system = MemorySystem::new(geometry(), spec)
+                .with_epoch_length(EPOCH)
+                .with_shards(shards)
+                .with_stream_capacity(capacity);
+            for &(bank, row) in &trace {
+                system.push_decoded(bank, row);
+            }
+            let out = system.flush();
+            assert_eq!(
+                out.accesses,
+                trace.len() as u64,
+                "{spec}: stream cap {capacity} lost accesses"
+            );
+            assert_eq!(
+                system.stats(),
+                old_total,
+                "{spec}: cap {capacity} × {shards} shards streamed stats != old loop"
+            );
+            assert_eq!(
+                system.per_bank_stats(),
+                old_per_bank,
+                "{spec}: cap {capacity} × {shards} shards streamed per-bank mismatch"
+            );
+            assert_eq!(system.epochs(), trace.len() as u64 / EPOCH);
+            assert_eq!(out.epochs, system.epochs());
+        }
+    }
+}
+
+#[test]
+fn small_epochs_match_old_loop_for_every_spec_and_path() {
+    // Epoch lengths far below the batch (and chunk) size: the cut-aware
+    // batch path must fire hundreds of boundaries inside a single bank
+    // loan — including segments in which a whole channel sees no access —
+    // and stay bit-identical on the flat, sharded, routed and pooled
+    // paths.
+    let trace = trace(60_000);
+    for epoch in [61u64, 997] {
+        for spec in all_specs() {
+            let (old_total, old_per_bank) = old_loop_with_epoch(spec, &trace, epoch);
+
+            let mut flat = BankEngine::new(spec, BANKS, ROWS).with_epoch_length(epoch);
+            flat.process(&trace);
+            assert_eq!(flat.stats(), old_total, "{spec}: flat != old loop @{epoch}");
+
+            let mut sharded = BankEngine::new(spec, BANKS, ROWS).with_epoch_length(epoch);
+            for chunk in trace.chunks(13_337) {
+                sharded.process_sharded(chunk, 4);
+            }
+            assert_eq!(
+                sharded.stats(),
+                old_total,
+                "{spec}: sharded != old loop @{epoch}"
+            );
+            assert_eq!(sharded.per_bank_stats(), old_per_bank);
+
+            for shards in [1usize, 2, 8] {
+                let mut system = MemorySystem::new(geometry(), spec)
+                    .with_epoch_length(epoch)
+                    .with_shards(shards);
+                for chunk in trace.chunks(13_337) {
+                    system.process(chunk);
+                }
+                assert_eq!(
+                    system.stats(),
+                    old_total,
+                    "{spec}: {shards}-shard system != old loop @{epoch}"
+                );
+                assert_eq!(
+                    system.per_bank_stats(),
+                    old_per_bank,
+                    "{spec}: {shards}-shard system per-bank mismatch @{epoch}"
+                );
+                assert_eq!(system.epochs(), 60_000 / epoch);
+            }
+        }
+    }
+}
+
+#[test]
+fn external_cuts_match_internal_epoch_accounting() {
+    // process_with_cuts / process_sharded_with_cuts with the cut positions
+    // with_epoch_length would have computed must land on identical stats —
+    // the cut-list form is the same epoch clock, just caller-owned.
+    let spec = SchemeSpec::Drcat {
+        counters: 64,
+        levels: 11,
+        threshold: 512,
+    };
+    let trace = trace(50_000);
+    let epoch = 7_000u64;
+    let mut internal = BankEngine::new(spec, BANKS, ROWS).with_epoch_length(epoch);
+    internal.process(&trace);
+
+    let cuts: Vec<usize> = (1..)
+        .map(|k| (k * epoch) as usize)
+        .take_while(|&c| c <= trace.len())
+        .collect();
+    let mut external = BankEngine::new(spec, BANKS, ROWS);
+    let out = external.process_with_cuts(&trace, &cuts);
+    assert_eq!(external.stats(), internal.stats());
+    assert_eq!(external.per_bank_stats(), internal.per_bank_stats());
+    assert_eq!(external.epochs(), internal.epochs());
+    assert_eq!(out.epochs, cuts.len() as u64);
+
+    let mut external_sharded = BankEngine::new(spec, BANKS, ROWS);
+    external_sharded.process_sharded_with_cuts(&trace, &cuts, 4);
+    assert_eq!(external_sharded.stats(), internal.stats());
+    assert_eq!(external_sharded.per_bank_stats(), internal.per_bank_stats());
 }
 
 #[test]

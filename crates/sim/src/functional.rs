@@ -4,8 +4,9 @@
 //! needed, at two orders of magnitude more speed than the timed model.
 //!
 //! The decode-and-drive loop itself lives in [`cat_engine::MemorySystem`]
-//! (address decode, per-channel engines, global epoch accounting); this
-//! module only buffers the access stream into batches.
+//! (address decode, per-channel engines, global epoch accounting, and the
+//! streaming `push` front-end whose staging buffer batches the stream —
+//! this module is now a thin adapter from [`MemAccess`] iterators).
 
 use cat_core::SchemeStats;
 use cat_engine::MemorySystem;
@@ -13,10 +14,6 @@ use cat_engine::MemorySystem;
 use crate::config::SystemConfig;
 use crate::scheme_spec::SchemeSpec;
 use crate::trace::MemAccess;
-
-/// Decoded accesses buffered per engine batch (amortises the batch-call
-/// overhead without holding a whole trace in memory).
-const BATCH: usize = 8192;
 
 /// Result of a functional run.
 #[derive(Clone, Debug, Default)]
@@ -60,16 +57,8 @@ pub fn run_functional(
 ) -> FunctionalReport {
     assert!(accesses_per_epoch > 0, "epoch must contain accesses");
     let mut system = MemorySystem::new(config, spec).with_epoch_length(accesses_per_epoch);
-
-    let mut batch: Vec<(u32, u32)> = Vec::with_capacity(BATCH);
-    for access in stream {
-        batch.push(system.decode(access.addr));
-        if batch.len() == BATCH {
-            system.process(&batch);
-            batch.clear();
-        }
-    }
-    system.process(&batch);
+    system.push_iter(stream.map(|access| access.addr));
+    system.flush();
 
     let report = system.report();
     FunctionalReport {
@@ -137,10 +126,10 @@ mod tests {
 
     #[test]
     fn epochs_fire_inside_and_across_batches() {
-        // Epoch length smaller than one engine batch and not a divisor of
-        // it: boundaries must land mid-batch and carry across batches.
+        // Epoch length smaller than one staged flush and not a divisor of
+        // it: boundaries must land mid-batch and carry across flushes.
         let cfg = SystemConfig::dual_core_two_channel();
-        let n = super::BATCH as u64 * 3 + 500;
+        let n = MemorySystem::DEFAULT_STREAM_CAPACITY as u64 * 3 + 500;
         let r = run_functional(&cfg, SchemeSpec::None, hot_stream(&cfg, n), 3_000);
         assert_eq!(r.epochs, n / 3_000);
         assert_eq!(r.accesses, n);

@@ -13,7 +13,10 @@ use crate::trace::MemAccess;
 
 /// A multi-core, multi-channel DRAM system with one mitigation-scheme
 /// instance per bank, driven through [`cat_engine::MemorySystem`] (decode
-/// front-end + per-channel engines).
+/// front-end + per-channel engines). The timed model is inherently
+/// single-access — each `ACT` is issued at its cycle via
+/// `activate_in_channel`, and epoch boundaries come from the cycle clock —
+/// so it deliberately bypasses the engine's batched/streaming paths.
 ///
 /// See the crate-level example for usage; [`Simulator::run`] consumes one
 /// trace per core and returns a [`SimReport`].

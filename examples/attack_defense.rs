@@ -8,16 +8,31 @@
 //!    (§III-A's Monte-Carlo observation) learns the PRNG state from the
 //!    refresh timing side channel and then evades every refresh.
 //!
-//! Run with: `cargo run --release --example attack_defense`
+//! Run with: `cargo run --release --example attack_defense [attack-accesses] [lfsr-accesses-per-interval]`
+//!
+//! Both arguments shrink the default run (3 M hammering accesses, 1 M
+//! accesses per observed refresh interval) — `tests/examples_smoke.rs`
+//! passes small values so the walkthrough runs in a debug build.
 
 use catree::engine::MemorySystem;
 use catree::oracle::SafetyOracle;
 use catree::reliability::lfsr_attack;
 use catree::{AttackMode, KernelAttack, RowId, SchemeSpec, SystemConfig};
 
+fn arg_or(n: usize, default: u64) -> u64 {
+    match std::env::args().nth(n) {
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("argument {n} must be a number, got {raw:?}")),
+        None => default,
+    }
+}
+
 fn main() {
     let cfg = SystemConfig::dual_core_two_channel();
     let threshold = 16_384;
+    let attack_accesses = arg_or(1, 3_000_000) as usize;
+    let lfsr_budget = arg_or(2, 1_000_000);
 
     // --- Part 1: deterministic defence under a heavy kernel attack. ---
     println!("== kernel attack vs DRCAT_64 (T = 16K) ==");
@@ -34,7 +49,7 @@ fn main() {
     let mut oracle = SafetyOracle::new(cfg.rows_per_bank, threshold);
     for access in attack
         .stream(&benign, &cfg, AttackMode::Heavy, 0, 1, 99)
-        .take(3_000_000)
+        .take(attack_accesses)
     {
         let (bank, row) = system.decode(access.addr);
         let refreshes = system.activate_global(bank, row);
@@ -64,7 +79,7 @@ fn main() {
     // --- Part 2: LFSR-based PRA falls to state recovery. ---
     println!("\n== state-recovery attack vs LFSR-based PRA (T = 16K, p = 0.005) ==");
     for observe in [1.0, 0.01, 0.0001] {
-        let out = lfsr_attack(0.005, 9, threshold, observe, 1_000_000, 400, 2024);
+        let out = lfsr_attack(0.005, 9, threshold, observe, lfsr_budget, 400, 2024);
         match (out.recovery_accesses, out.failure_interval) {
             (Some(rec), Some(interval)) => println!(
                 "observe {observe:>7}: state recovered after {rec} accesses → victim lost in interval {interval} (evasion clean: {})",

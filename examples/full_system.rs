@@ -3,7 +3,11 @@
 //! CMRPO (crosstalk-mitigation refresh power overhead) and ETO (execution
 //! time overhead).
 //!
-//! Run with: `cargo run --release --example full_system [workload]`
+//! Run with: `cargo run --release --example full_system [workload] [accesses-per-core]`
+//!
+//! The optional second argument caps the trace slice per core (default: a
+//! quarter epoch) — `tests/examples_smoke.rs` passes a small cap so the
+//! whole walkthrough runs in a debug build.
 
 use catree::{cmrpo_from_stats, AccessStream, SchemeSpec, Simulator, SystemConfig};
 
@@ -33,8 +37,14 @@ fn main() {
     });
     let cfg = SystemConfig::dual_core_two_channel();
     let t = 32_768;
-    // Keep the example snappy: a quarter-epoch slice per core.
-    let budget = spec.accesses_per_epoch / cfg.cores as u64 / 4;
+    // Keep the example snappy: a quarter-epoch slice per core unless the
+    // caller asks for a specific cap.
+    let budget = match std::env::args().nth(2) {
+        Some(cap) => cap
+            .parse()
+            .unwrap_or_else(|_| panic!("accesses-per-core must be a number, got {cap:?}")),
+        None => spec.accesses_per_epoch / cfg.cores as u64 / 4,
+    };
 
     println!(
         "workload {} ({}), {} accesses/core",

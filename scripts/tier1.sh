@@ -15,6 +15,10 @@ cargo build --release --workspace --all-targets
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Docs are part of the gate: broken intra-doc links and undocumented public
+# items (the engine crates set `warn(missing_docs)`) fail the build.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 # The examples are part of the public API surface: build them all and run
 # the quickstart end to end (also exercised by tests/examples_smoke.rs).
 cargo build --release --examples

@@ -1,7 +1,10 @@
 //! Workspace smoke test: every `examples/` target must keep compiling, and
-//! `quickstart` must run to completion — this pins the facade's public API
-//! surface (a rename or re-export removal that breaks the examples fails
-//! here, not in a user's checkout).
+//! the examples that exercise the `MemorySystem` datapath (`quickstart`,
+//! `full_system`, `attack_defense`) must run to completion with small
+//! arguments — this pins the facade's public API surface *and* the example
+//! walkthroughs' runtime behaviour (a rename, re-export removal, or
+//! datapath panic that breaks the examples fails here, not in a user's
+//! checkout).
 //!
 //! The nested cargo invocation uses its own target directory so it can
 //! never contend for the build lock of the outer `cargo test`. It builds
@@ -54,17 +57,29 @@ fn examples_build_and_quickstart_runs() {
         .expect("cargo must spawn");
     assert!(status.success(), "`cargo build --examples` failed");
 
-    let output = cargo_in_workspace()
-        .args(["run", "--example", "quickstart"])
-        .output()
-        .expect("cargo must spawn");
-    assert!(
-        output.status.success(),
-        "quickstart failed:\n{}",
-        String::from_utf8_lossy(&output.stderr)
-    );
-    assert!(
-        !output.stdout.is_empty(),
-        "quickstart must print its walkthrough"
-    );
+    // Run every example that drives the MemorySystem datapath, each with
+    // arguments small enough for a debug build (the examples' internal
+    // asserts — safety-oracle confinement, hammered-row detection — still
+    // hold at these sizes).
+    let runs: [(&str, &[&str]); 3] = [
+        ("quickstart", &[]),
+        ("full_system", &["face", "4000"]),
+        ("attack_defense", &["120000", "40000"]),
+    ];
+    for (example, args) in runs {
+        let output = cargo_in_workspace()
+            .args(["run", "--example", example, "--"])
+            .args(args)
+            .output()
+            .expect("cargo must spawn");
+        assert!(
+            output.status.success(),
+            "{example} {args:?} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "{example} must print its walkthrough"
+        );
+    }
 }
