@@ -18,6 +18,12 @@
 //! * `overlap-N`    — `MemorySystem::with_shards(N)`: the whole system's
 //!   banks on **one shared pool** whose shards span all channels, so
 //!   independent channels overlap on the same workers;
+//! * `queue-N`      — the socket/queue ingestion front-end minus the
+//!   socket: N producer threads deal the trace round-robin into the
+//!   bounded `IngestQueue`, and `MemorySystem::ingest` drains the
+//!   deterministic `(seq, producer)` merge through the streaming path.
+//!   Measures the merge + handoff overhead on top of `stream` (the
+//!   `catd` TCP server adds only wire framing on top of this);
 //! * `*-small`      — the same paths at an epoch length of 65 536 accesses
 //!   (hundreds of boundaries per replay): the cut-aware regression guard.
 //!   Before cuts travelled inside the batch, small epochs drained the
@@ -43,6 +49,7 @@ use std::time::Instant;
 
 use cat_bench::{banner, decode_trace, quick_factor};
 use cat_core::{MitigationScheme, RowId, SchemeSpec, SchemeStats};
+use cat_engine::ingest::{self, IngestQueue};
 use cat_engine::{BankEngine, MemorySystem};
 use cat_sim::SystemConfig;
 use cat_workloads::catalog;
@@ -203,6 +210,32 @@ fn main() {
             system.stats()
         });
         row("stream", rate, &stats, &base_stats, base_rate);
+
+        // Queue ingestion: producer threads feed the bounded deterministic
+        // merge, the consumer drains it into the streaming path (the catd
+        // datapath minus the socket).
+        for (path, producers) in [("queue-1", 1usize), ("queue-4", 4)] {
+            let (rate, stats) = measure(accesses, || {
+                let mut system = MemorySystem::new(&cfg, spec).with_epoch_length(trace.per_epoch);
+                let (handles, mut consumer) = IngestQueue::bounded(producers, 1 << 16);
+                std::thread::scope(|scope| {
+                    for (handle, lane) in
+                        handles
+                            .into_iter()
+                            .zip(ingest::deal(&trace.entries, producers, 8_192))
+                    {
+                        scope.spawn(move || {
+                            for batch in lane {
+                                handle.send(batch.to_vec());
+                            }
+                        });
+                    }
+                    system.ingest(&mut consumer);
+                });
+                system.stats()
+            });
+            row(path, rate, &stats, &base_stats, base_rate);
+        }
 
         // Overlapped channels: one shared pool spanning all channels.
         for (path, shards) in [("overlap-2", 2usize), ("overlap-4", 4)] {

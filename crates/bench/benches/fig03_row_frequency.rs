@@ -42,7 +42,7 @@ fn main() {
             println!("  row {row:>6}: {count:>8} accesses");
         }
         println!(
-            "top-2 share {:.1}%   top-64 share {:.1}%   mean nonzero count {}",
+            "top-2 share {:.1}%   top-64 share {:.1}%   mean nonzero count {:.1}",
             hist.top_k_share(2) * 100.0,
             hist.top_k_share(64) * 100.0,
             hist.mean_nonzero()

@@ -1,0 +1,717 @@
+//! The multi-producer ingestion front-end: a bounded queue with a
+//! deterministic merge, and the TCP server loop (`catd`) that feeds it
+//! from [`wire`]-framed socket connections.
+//!
+//! This is the layer that turns `cat-engine` from a library you call into
+//! a service you stream at — the memory-controller deployment model the
+//! paper (and ABACuS/CoMeT) evaluate trackers under — without giving up
+//! the determinism contract of `DESIGN.md §7`: stats stay bit-identical
+//! for any producer count, arrival interleaving, shard count, or
+//! staging-flush boundary. How the merge guarantees that is `DESIGN.md
+//! §8`.
+//!
+//! ## The deterministic merge
+//!
+//! Each producer tags its record batches with a consecutive **sequence
+//! number** (0, 1, 2, … per producer). The consumer emits batches in
+//! ascending `(seq, producer)` order: sequence 0 of producer 0, sequence 0
+//! of producer 1, …, sequence 1 of producer 0, and so on, waiting for a
+//! lagging producer rather than reordering around it, and permanently
+//! skipping producers that have finished. The merged stream is therefore a
+//! pure function of *what each producer sent* — thread scheduling, arrival
+//! interleaving, and queue capacity are all unobservable.
+//!
+//! A client that wants the merged stream to equal an original trace deals
+//! it round-robin by contiguous chunk ([`deal`]): chunk `k` goes to
+//! producer `k % P` as that producer's next batch. The `(seq, producer)`
+//! merge inverts that deal for **every** producer count `P`, which is what
+//! makes the producer count itself unobservable end to end.
+//!
+//! ## Backpressure
+//!
+//! The queue bounds the records buffered **per producer lane**; a producer
+//! whose lane is full blocks in [`IngestProducer::send`] until the
+//! consumer drains it. In [`serve`] the blocked sender is that
+//! connection's reader thread, so the kernel's TCP flow control pushes the
+//! stall back to the remote client — a fast producer cannot balloon the
+//! server's memory, and a slow consumer throttles every connection. The
+//! bound is per lane (not global) because the merge may *need* the lagging
+//! producer's next batch while every other lane is full: a global bound
+//! would deadlock exactly there.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::wire::{self, Frame, ServerHello, StatsSnapshot};
+use crate::{BatchOutcome, MemGeometry, MemorySystem};
+
+/// One producer's lane in the queue.
+struct Lane {
+    /// Batches sent but not yet merged, in sequence order.
+    batches: VecDeque<Vec<(u32, u32)>>,
+    /// Records currently buffered in this lane.
+    buffered: usize,
+    /// Batches sent so far (the next sequence number to assign).
+    sent: u64,
+    /// No further batches will arrive.
+    finished: bool,
+}
+
+struct State {
+    lanes: Vec<Lane>,
+    /// Per-lane record capacity ([`IngestQueue::bounded`]).
+    capacity: usize,
+    /// Producer whose next batch the merge emits ([`module docs`](self)).
+    turn: usize,
+    /// The consumer is gone; further sends would wait forever.
+    closed: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a batch arrives or a producer finishes.
+    ready: Condvar,
+    /// Signalled when the consumer drains a lane (or goes away).
+    space: Condvar,
+}
+
+impl Shared {
+    /// Locks the state, tolerating poison: the queue's invariants hold at
+    /// every await point, and the `Drop` impls must be able to finish
+    /// their lane / close the queue even while another thread unwinds.
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A bounded multi-producer ingestion queue with the deterministic
+/// `(sequence, producer)` merge described in the [module docs](self).
+///
+/// ```
+/// use cat_engine::ingest::IngestQueue;
+///
+/// let (mut producers, mut consumer) = IngestQueue::bounded(2, 1024);
+/// let p1 = producers.pop().unwrap(); // producer 1
+/// let p0 = producers.pop().unwrap(); // producer 0
+/// // Arrival order is 1-before-0, but the merge is by (seq, producer):
+/// p1.send(vec![(1, 10)]);
+/// p1.send(vec![(1, 11)]);
+/// p0.send(vec![(0, 20)]);
+/// drop(p0); // finish
+/// drop(p1);
+/// assert_eq!(consumer.next_batch(), Some(vec![(0, 20)])); // seq 0, producer 0
+/// assert_eq!(consumer.next_batch(), Some(vec![(1, 10)])); // seq 0, producer 1
+/// assert_eq!(consumer.next_batch(), Some(vec![(1, 11)])); // seq 1, producer 1
+/// assert_eq!(consumer.next_batch(), None);
+/// ```
+pub struct IngestQueue;
+
+impl IngestQueue {
+    /// Builds a queue for `producers` producer lanes, each bounded at
+    /// `capacity` buffered records, returning the producer handles (index
+    /// = producer id = merge tie-break order) and the single consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producers` or `capacity` is zero.
+    pub fn bounded(producers: usize, capacity: usize) -> (Vec<IngestProducer>, IngestConsumer) {
+        assert!(producers >= 1, "at least one producer lane");
+        assert!(capacity >= 1, "lanes must buffer records");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                lanes: (0..producers)
+                    .map(|_| Lane {
+                        batches: VecDeque::new(),
+                        buffered: 0,
+                        sent: 0,
+                        finished: false,
+                    })
+                    .collect(),
+                capacity,
+                turn: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let handles = (0..producers)
+            .map(|id| IngestProducer {
+                shared: Arc::clone(&shared),
+                id,
+            })
+            .collect();
+        (handles, IngestConsumer { shared })
+    }
+}
+
+/// One producer's handle: tags batches with consecutive sequence numbers
+/// and blocks when its lane is full. Dropping the handle finishes the
+/// lane.
+pub struct IngestProducer {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+impl IngestProducer {
+    /// This producer's id — its tie-break rank in the merge.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Enqueues `records` as this producer's next batch and returns the
+    /// sequence number it was tagged with (0, 1, 2, …). Blocks while the
+    /// lane holds `capacity` or more records (a batch larger than the
+    /// whole capacity is admitted alone into an empty lane rather than
+    /// deadlocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the consumer has been dropped — with no merge left to
+    /// drain the lane, the send would otherwise block forever.
+    pub fn send(&self, records: Vec<(u32, u32)>) -> u64 {
+        let mut state = self.shared.lock();
+        while !state.closed
+            && state.lanes[self.id].buffered > 0
+            && state.lanes[self.id].buffered + records.len() > state.capacity
+        {
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        assert!(!state.closed, "ingest consumer dropped mid-stream");
+        let lane = &mut state.lanes[self.id];
+        let seq = lane.sent;
+        lane.sent += 1;
+        lane.buffered += records.len();
+        lane.batches.push_back(records);
+        self.shared.ready.notify_one();
+        seq
+    }
+
+    /// Marks the lane finished (equivalent to dropping the handle): the
+    /// merge skips this producer once its buffered batches drain.
+    pub fn finish(self) {}
+}
+
+impl Drop for IngestProducer {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.lanes[self.id].finished = true;
+        self.shared.ready.notify_one();
+    }
+}
+
+/// The consuming end: emits batches in the deterministic merge order.
+pub struct IngestConsumer {
+    shared: Arc<Shared>,
+}
+
+impl IngestConsumer {
+    /// Blocks until the next batch in `(sequence, producer)` order is
+    /// available and returns it; `None` once every producer has finished
+    /// and drained. Waits for a lagging producer rather than reordering
+    /// around it — that wait *is* the determinism.
+    pub fn next_batch(&mut self) -> Option<Vec<(u32, u32)>> {
+        let mut state = self.shared.lock();
+        loop {
+            let lanes = state.lanes.len();
+            let mut skipped = 0;
+            while skipped < lanes {
+                let turn = state.turn;
+                let lane = &mut state.lanes[turn];
+                if let Some(batch) = lane.batches.pop_front() {
+                    lane.buffered -= batch.len();
+                    state.turn = (turn + 1) % lanes;
+                    self.shared.space.notify_all();
+                    return Some(batch);
+                }
+                if !lane.finished {
+                    break; // must wait for this lane — no reordering
+                }
+                state.turn = (turn + 1) % lanes;
+                skipped += 1;
+            }
+            if skipped == lanes {
+                return None; // every lane finished and empty
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for IngestConsumer {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.closed = true;
+        self.shared.space.notify_all();
+    }
+}
+
+/// Deals a trace into per-producer batch lists whose `(seq, producer)`
+/// merge reconstructs `trace` exactly, for **any** producer count:
+/// contiguous chunk `k` of `chunk` records becomes producer `k % producers`'s
+/// next batch.
+///
+/// ```
+/// let trace: Vec<(u32, u32)> = (0..10).map(|i| (i, i)).collect();
+/// for producers in 1..=4 {
+///     let per_producer = cat_engine::ingest::deal(&trace, producers, 3);
+///     let mut merged = Vec::new();
+///     let rounds = per_producer.iter().map(Vec::len).max().unwrap();
+///     for seq in 0..rounds {
+///         for lane in &per_producer {
+///             if let Some(batch) = lane.get(seq) {
+///                 merged.extend_from_slice(batch);
+///             }
+///         }
+///     }
+///     assert_eq!(merged, trace); // the merge inverts the deal
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `producers` or `chunk` is zero.
+pub fn deal(trace: &[(u32, u32)], producers: usize, chunk: usize) -> Vec<Vec<&[(u32, u32)]>> {
+    assert!(producers >= 1, "at least one producer");
+    assert!(chunk >= 1, "chunks must contain records");
+    let mut out: Vec<Vec<&[(u32, u32)]>> = (0..producers).map(|_| Vec::new()).collect();
+    for (k, part) in trace.chunks(chunk).enumerate() {
+        out[k % producers].push(part);
+    }
+    out
+}
+
+/// Options for [`serve`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Connections to accept; ingestion ends when all of them finish.
+    pub producers: usize,
+    /// Per-connection ingestion-queue bound, in records (the backpressure
+    /// threshold — see the [module docs](self)).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            producers: 1,
+            queue_capacity: 1 << 16,
+        }
+    }
+}
+
+/// What one [`serve`] call did.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeReport {
+    /// Aggregate outcome of everything ingested this call.
+    pub outcome: BatchOutcome,
+    /// The post-ingestion snapshot (also what stats requesters were sent).
+    pub snapshot: StatsSnapshot,
+    /// Connections that requested (and were sent) the snapshot.
+    pub stats_served: usize,
+}
+
+/// Serves one ingestion session over TCP: accepts
+/// [`producers`](ServeOptions::producers) connections, handshakes each
+/// ([`wire`] hello exchange), then streams their record frames through the
+/// deterministic [`IngestQueue`] merge into `system` until every
+/// connection sends [`Frame::Finish`]. Connections that sent
+/// [`Frame::StatsRequest`] receive a [`StatsSnapshot`] once ingestion
+/// completes. This is the loop behind the `catd` example, reused verbatim
+/// by the loopback differential tests.
+///
+/// Record banks *and rows* are validated against the system geometry
+/// **at the connection** — a malformed client gets its connection errored
+/// instead of panicking the drain thread.
+///
+/// Backpressure: each connection's reader thread blocks once its queue
+/// lane is full, which stalls the socket via TCP flow control.
+///
+/// ```no_run
+/// use std::net::TcpListener;
+/// use cat_core::SchemeSpec;
+/// use cat_engine::ingest::{serve, ServeOptions};
+/// use cat_engine::{MemGeometry, MemorySystem};
+///
+/// let geometry = MemGeometry {
+///     channels: 2,
+///     ranks_per_channel: 1,
+///     banks_per_rank: 8,
+///     rows_per_bank: 4096,
+///     lines_per_row: 16,
+///     line_bytes: 64,
+/// };
+/// let spec: SchemeSpec = "sca:64:4096".parse().unwrap();
+/// let mut system = MemorySystem::new(&geometry, spec).with_epoch_length(50_000);
+/// let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+/// let report = serve(&listener, &mut system, &ServeOptions { producers: 2, ..Default::default() }).unwrap();
+/// println!("ingested {} accesses", report.outcome.accesses);
+/// ```
+///
+/// # Errors
+///
+/// Returns the first accept/handshake error, or the first connection's
+/// protocol error (out-of-order sequence number, out-of-range bank or
+/// row, malformed frame) after the drain completes. Ingested records are
+/// already reflected in `system` either way.
+pub fn serve(
+    listener: &TcpListener,
+    system: &mut MemorySystem,
+    options: &ServeOptions,
+) -> io::Result<ServeReport> {
+    assert!(options.producers >= 1, "serve needs at least one producer");
+    let hello = ServerHello {
+        geometry: *system.geometry(),
+        spec: system.spec().to_string(),
+        epoch_len: system.epoch_length(),
+    };
+    // Phase 1: accept and handshake every connection before spawning any
+    // reader, so a failed handshake aborts cleanly with no thread blocked
+    // on a queue nobody will drain. Each client *claims* its producer id
+    // (merge tie-break rank) in its hello — lane assignment must follow
+    // the client-side deal, not the racy TCP accept order — and a
+    // session's ids must form a permutation of `0..producers`.
+    let mut connections: Vec<Option<TcpStream>> = (0..options.producers).map(|_| None).collect();
+    for _ in 0..options.producers {
+        let (mut stream, peer) = listener.accept()?;
+        let id = wire::read_client_hello(&mut stream)? as usize;
+        let slot = connections.get_mut(id).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{peer} claimed producer id {id}, session has {} producers",
+                    options.producers
+                ),
+            )
+        })?;
+        if slot.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{peer} claimed producer id {id} twice"),
+            ));
+        }
+        wire::write_server_hello(&mut stream, &hello)?;
+        *slot = Some(stream);
+    }
+
+    // Phase 2: one reader thread per connection, feeding its queue lane.
+    let (producers, mut consumer) = IngestQueue::bounded(options.producers, options.queue_capacity);
+    let geometry = *system.geometry();
+    let readers: Vec<JoinHandle<io::Result<(TcpStream, bool)>>> = connections
+        .into_iter()
+        .zip(producers)
+        .map(|(stream, producer)| {
+            let stream = stream.expect("every slot filled by the permutation check");
+            std::thread::Builder::new()
+                .name(format!("catd-reader-{}", producer.id()))
+                .spawn(move || read_connection(stream, producer, geometry))
+                .expect("spawn ingest reader")
+        })
+        .collect();
+
+    // Phase 3: drain the deterministic merge into the system.
+    let outcome = system.ingest(&mut consumer);
+
+    // Phase 4: join the readers and answer the stats requesters.
+    let snapshot = StatsSnapshot {
+        accesses: system.accesses(),
+        epochs: system.epochs(),
+        stats: system.stats(),
+    };
+    let mut stats_served = 0;
+    let mut first_error = None;
+    for reader in readers {
+        match reader.join().expect("ingest reader panicked") {
+            Ok((mut stream, wants_stats)) => {
+                if wants_stats {
+                    let sent =
+                        wire::write_stats(&mut stream, &snapshot).and_then(|()| stream.flush());
+                    match sent {
+                        Ok(()) => stats_served += 1,
+                        Err(e) => first_error = first_error.or(Some(e)),
+                    }
+                }
+            }
+            Err(e) => first_error = first_error.or(Some(e)),
+        }
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(ServeReport {
+            outcome,
+            snapshot,
+            stats_served,
+        }),
+    }
+}
+
+/// One connection's reader loop: frames → sequence check → bank/row
+/// validation → queue lane. Returns the stream (for the stats reply) and
+/// whether the client requested stats. Dropping `producer` on any exit
+/// finishes the lane, so the merge never waits on a dead connection.
+fn read_connection(
+    stream: TcpStream,
+    producer: IngestProducer,
+    geometry: MemGeometry,
+) -> io::Result<(TcpStream, bool)> {
+    let peer = producer.id();
+    let total_banks = geometry.total_banks();
+    let rows = geometry.rows_per_bank;
+    let mut reader = BufReader::new(stream);
+    let mut expected_seq = 0u64;
+    let mut wants_stats = false;
+    loop {
+        match wire::read_frame(&mut reader)? {
+            Frame::Records { seq, records } => {
+                if seq != expected_seq {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("producer {peer}: sequence {seq}, expected {expected_seq}"),
+                    ));
+                }
+                expected_seq += 1;
+                // Both coordinates are checked here, at the connection:
+                // the schemes downstream assert on out-of-range rows
+                // (e.g. the counter-cache bounds check), and a panic on
+                // the shared drain thread would take the whole session
+                // down instead of just this socket.
+                if let Some(&(bank, row)) = records
+                    .iter()
+                    .find(|&&(bank, row)| bank >= total_banks || row >= rows)
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "producer {peer}: record (bank {bank}, row {row}) out of range \
+                             for a {total_banks}-bank × {rows}-row system"
+                        ),
+                    ));
+                }
+                producer.send(records);
+            }
+            Frame::StatsRequest => wants_stats = true,
+            Frame::Finish => return Ok((reader.into_inner(), wants_stats)),
+        }
+    }
+}
+
+/// A client-side ingestion connection: handshakes on
+/// [`connect`](Self::connect), streams record batches with automatic
+/// sequence numbering and frame chunking, and can collect the server's
+/// final [`StatsSnapshot`]. The `catd_loadgen` example and the loopback
+/// differential tests drive [`serve`] through this.
+pub struct IngestClient {
+    writer: BufWriter<TcpStream>,
+    hello: ServerHello,
+    next_seq: u64,
+}
+
+impl IngestClient {
+    /// Connects as producer `producer_id` (the connection's merge
+    /// tie-break rank — the index of the [`deal`] lane it will stream)
+    /// and performs the hello exchange.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors, plus [`io::ErrorKind::InvalidData`] if the
+    /// server speaks a different wire version.
+    pub fn connect(addr: impl ToSocketAddrs, producer_id: u32) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        wire::write_client_hello(&mut stream, producer_id)?;
+        let hello = wire::read_server_hello(&mut stream)?;
+        Ok(IngestClient {
+            writer: BufWriter::new(stream),
+            hello,
+            next_seq: 0,
+        })
+    }
+
+    /// What the server announced in its handshake (geometry, scheme spec,
+    /// epoch length) — generate traffic for *this*, not for an assumed
+    /// configuration.
+    pub fn server_hello(&self) -> &ServerHello {
+        &self.hello
+    }
+
+    /// Streams `records` as this connection's next batch(es), splitting
+    /// slices above [`wire::MAX_RECORDS_PER_FRAME`] into consecutive
+    /// frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (including a server-side protocol
+    /// rejection surfacing as a broken pipe).
+    pub fn send(&mut self, records: &[(u32, u32)]) -> io::Result<()> {
+        let mut rest = records;
+        loop {
+            let take = rest.len().min(wire::MAX_RECORDS_PER_FRAME as usize);
+            let (part, tail) = rest.split_at(take);
+            wire::write_records(&mut self.writer, self.next_seq, part)?;
+            self.next_seq += 1;
+            if tail.is_empty() {
+                return Ok(());
+            }
+            rest = tail;
+        }
+    }
+
+    /// Sends [`Frame::Finish`] and closes the connection without asking
+    /// for stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn finish(mut self) -> io::Result<()> {
+        wire::write_frame(&mut self.writer, &Frame::Finish)?;
+        self.writer.flush()
+    }
+
+    /// Sends [`Frame::StatsRequest`] + [`Frame::Finish`], then blocks for
+    /// the server's post-ingestion [`StatsSnapshot`] (which arrives only
+    /// after **all** producers of the session finish).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn finish_with_stats(mut self) -> io::Result<StatsSnapshot> {
+        wire::write_frame(&mut self.writer, &Frame::StatsRequest)?;
+        wire::write_frame(&mut self.writer, &Frame::Finish)?;
+        self.writer.flush()?;
+        wire::read_stats(self.writer.get_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(tag: u32, len: usize) -> Vec<(u32, u32)> {
+        (0..len as u32).map(|i| (tag, i)).collect()
+    }
+
+    #[test]
+    fn merge_is_by_seq_then_producer_regardless_of_arrival() {
+        let (mut handles, mut consumer) = IngestQueue::bounded(3, 1 << 20);
+        let p2 = handles.pop().unwrap();
+        let p1 = handles.pop().unwrap();
+        let p0 = handles.pop().unwrap();
+        // Adversarial arrival order: late producers first, interleaved.
+        p2.send(batch(20, 2));
+        p1.send(batch(10, 1));
+        p1.send(batch(11, 1));
+        p0.send(batch(0, 3));
+        p2.send(batch(21, 2));
+        p0.send(batch(1, 1));
+        drop((p0, p1, p2));
+        let tags: Vec<u32> = std::iter::from_fn(|| consumer.next_batch())
+            .map(|b| b[0].0)
+            .collect();
+        assert_eq!(tags, [0, 10, 20, 1, 11, 21]);
+    }
+
+    #[test]
+    fn merge_waits_for_the_lagging_producer() {
+        let (mut handles, mut consumer) = IngestQueue::bounded(2, 1 << 20);
+        let p1 = handles.pop().unwrap();
+        let p0 = handles.pop().unwrap();
+        p1.send(batch(100, 1));
+        // Producer 0 is slow: deliver its batch from another thread after
+        // the consumer is already blocked waiting for it.
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            p0.send(batch(50, 1));
+            drop(p0);
+        });
+        drop(p1);
+        assert_eq!(consumer.next_batch().unwrap()[0].0, 50, "p0 first");
+        assert_eq!(consumer.next_batch().unwrap()[0].0, 100);
+        assert_eq!(consumer.next_batch(), None);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn finished_producers_are_skipped_permanently() {
+        let (mut handles, mut consumer) = IngestQueue::bounded(3, 1 << 20);
+        let p2 = handles.pop().unwrap();
+        let p1 = handles.pop().unwrap();
+        let p0 = handles.pop().unwrap();
+        drop(p1); // producer 1 sends nothing at all
+        p0.send(batch(0, 1));
+        p0.send(batch(1, 1));
+        p2.send(batch(2, 1));
+        drop((p0, p2));
+        let tags: Vec<u32> = std::iter::from_fn(|| consumer.next_batch())
+            .map(|b| b[0].0)
+            .collect();
+        assert_eq!(tags, [0, 2, 1]);
+    }
+
+    #[test]
+    fn send_applies_per_lane_backpressure() {
+        let (mut handles, mut consumer) = IngestQueue::bounded(1, 10);
+        let p = handles.pop().unwrap();
+        p.send(batch(0, 10)); // lane now at capacity
+        let blocked = std::thread::spawn(move || {
+            p.send(batch(1, 5)); // must block until the consumer drains
+            drop(p);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!blocked.is_finished(), "send must block on a full lane");
+        assert_eq!(consumer.next_batch().unwrap().len(), 10);
+        blocked.join().unwrap();
+        assert_eq!(consumer.next_batch().unwrap().len(), 5);
+        assert_eq!(consumer.next_batch(), None);
+    }
+
+    #[test]
+    fn oversized_batch_is_admitted_into_an_empty_lane() {
+        let (mut handles, mut consumer) = IngestQueue::bounded(1, 4);
+        let p = handles.pop().unwrap();
+        p.send(batch(0, 100)); // larger than the whole capacity: no deadlock
+        drop(p);
+        assert_eq!(consumer.next_batch().unwrap().len(), 100);
+        assert_eq!(consumer.next_batch(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ingest consumer dropped")]
+    fn send_after_consumer_drop_panics() {
+        let (mut handles, consumer) = IngestQueue::bounded(1, 4);
+        let p = handles.pop().unwrap();
+        drop(consumer);
+        p.send(batch(0, 1));
+    }
+
+    #[test]
+    fn deal_round_robin_covers_the_trace_for_any_producer_count() {
+        let trace: Vec<(u32, u32)> = (0..1000u32).map(|i| (i % 16, i)).collect();
+        for producers in [1usize, 2, 3, 4, 7] {
+            for chunk in [1usize, 3, 333, 2000] {
+                let dealt = deal(&trace, producers, chunk);
+                assert_eq!(dealt.len(), producers);
+                let rounds = dealt.iter().map(Vec::len).max().unwrap();
+                let mut merged: Vec<(u32, u32)> = Vec::new();
+                for seq in 0..rounds {
+                    for lane in &dealt {
+                        if let Some(part) = lane.get(seq) {
+                            merged.extend_from_slice(part);
+                        }
+                    }
+                }
+                assert_eq!(merged, trace, "{producers} producers, chunk {chunk}");
+            }
+        }
+    }
+}

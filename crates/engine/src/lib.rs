@@ -38,7 +38,11 @@
 //! timing simulator) use [`BankEngine::activate`] /
 //! [`MemorySystem::activate_global`] plus `end_epoch` instead; streaming
 //! callers stage accesses through [`MemorySystem::push`] and get the
-//! routed/pooled path on every flush.
+//! routed/pooled path on every flush. Remote producers stream
+//! [`wire`]-framed record batches over a socket into the [`ingest`]
+//! layer's deterministic multi-producer merge (the `catd` server), which
+//! feeds the same staging buffer — producer count and arrival
+//! interleaving are as unobservable as the shard count (`DESIGN.md §8`).
 //!
 //! ## Determinism contract
 //!
@@ -103,8 +107,10 @@
 #![warn(missing_docs)]
 
 mod address;
+pub mod ingest;
 mod pool;
 mod system;
+pub mod wire;
 
 pub use address::{AddressMapping, GeometryError, Location, MemGeometry};
 pub use system::MemorySystem;

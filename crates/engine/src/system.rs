@@ -46,6 +46,7 @@
 
 use cat_core::{Refreshes, SchemeInstance, SchemeSpec, SchemeStats};
 
+use crate::ingest::IngestConsumer;
 use crate::pool::ShardPool;
 use crate::{epoch_cuts, AddressMapping, BankEngine, BatchOutcome, EngineReport, MemGeometry};
 
@@ -75,6 +76,9 @@ use crate::{epoch_cuts, AddressMapping, BankEngine, BatchOutcome, EngineReport, 
 /// ```
 pub struct MemorySystem {
     geometry: MemGeometry,
+    /// The spec every bank was instantiated from (announced to ingestion
+    /// clients in the wire handshake).
+    spec: SchemeSpec,
     mapping: AddressMapping,
     channels: Vec<BankEngine>,
     banks_per_channel: u32,
@@ -138,6 +142,7 @@ impl MemorySystem {
         let route_cuts = (0..geometry.channels).map(|_| Vec::new()).collect();
         MemorySystem {
             geometry,
+            spec,
             mapping,
             channels,
             banks_per_channel,
@@ -222,6 +227,17 @@ impl MemorySystem {
     /// The system geometry.
     pub fn geometry(&self) -> &MemGeometry {
         &self.geometry
+    }
+
+    /// The scheme spec every bank was instantiated from.
+    pub fn spec(&self) -> SchemeSpec {
+        self.spec
+    }
+
+    /// Accesses per automatic epoch, if
+    /// [`with_epoch_length`](Self::with_epoch_length) was configured.
+    pub fn epoch_length(&self) -> Option<u64> {
+        self.epoch_len
     }
 
     /// The address mapping (for callers that need full [`crate::Location`]
@@ -320,6 +336,32 @@ impl MemorySystem {
     /// Accesses currently staged and not yet processed.
     pub fn pending(&self) -> usize {
         self.staged.len()
+    }
+
+    /// Drains a multi-producer ingestion merge to completion: every batch
+    /// the consumer emits is staged in merge order (flushing through the
+    /// cut-aware batch path at the [stream
+    /// capacity](Self::with_stream_capacity)), then the stage is flushed.
+    /// Returns the aggregate outcome of everything pushed since the last
+    /// explicit [`flush`](Self::flush), exactly like `flush` itself.
+    ///
+    /// Blocks until every producer has finished — the deterministic merge
+    /// waits for lagging producers rather than reordering around them
+    /// (`DESIGN.md §8`). The TCP front-end ([`crate::ingest::serve`])
+    /// drives this from its accept loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch contains an out-of-range bank, like
+    /// [`push_decoded`](Self::push_decoded) (the TCP server validates
+    /// records at the connection, before they reach the queue).
+    pub fn ingest(&mut self, consumer: &mut IngestConsumer) -> BatchOutcome {
+        while let Some(batch) = consumer.next_batch() {
+            for &(bank, row) in &batch {
+                self.push_decoded(bank, row);
+            }
+        }
+        self.flush()
     }
 
     /// Flushes the staging buffer and returns the aggregate
@@ -849,6 +891,62 @@ mod tests {
     fn manual_epoch_on_epoch_configured_system_is_rejected() {
         let mut system = MemorySystem::new(geometry(), SchemeSpec::None).with_epoch_length(100);
         system.end_epoch();
+    }
+
+    #[test]
+    fn flush_of_an_empty_stage_is_a_no_op() {
+        // flush() with nothing staged: default outcome, no accesses
+        // counted, no epoch fired, and the scheme state untouched — also
+        // repeatedly, and interleaved with real flushes.
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 64,
+        };
+        let mut system = MemorySystem::new(geometry(), spec).with_epoch_length(100);
+        assert_eq!(system.flush(), BatchOutcome::default());
+        assert_eq!(system.flush(), BatchOutcome::default());
+        assert_eq!(system.accesses(), 0);
+        assert_eq!(system.epochs(), 0);
+        assert_eq!(system.stats(), MemorySystem::new(geometry(), spec).stats());
+
+        system.push_decoded(3, 50);
+        let out = system.flush();
+        assert_eq!(out.accesses, 1);
+        assert_eq!(
+            system.flush(),
+            BatchOutcome::default(),
+            "stage is empty again"
+        );
+        assert_eq!(system.accesses(), 1);
+    }
+
+    #[test]
+    fn stream_capacity_one_matches_one_big_batch() {
+        // The degenerate staging capacity — every push is its own flush —
+        // must still be bit-identical to processing the whole trace in one
+        // batch (the determinism contract's flush-boundary invariant at
+        // its extreme).
+        let spec = SchemeSpec::Sca {
+            counters: 16,
+            threshold: 64,
+        };
+        let trace = batch(5_000);
+        let mut batched = MemorySystem::new(geometry(), spec).with_epoch_length(777);
+        batched.process(&trace);
+        let mut streamed = MemorySystem::new(geometry(), spec)
+            .with_epoch_length(777)
+            .with_stream_capacity(1);
+        for &(bank, row) in &trace {
+            streamed.push_decoded(bank, row);
+            assert_eq!(streamed.pending(), 0, "capacity 1 flushes every push");
+        }
+        let out = streamed.flush();
+        assert_eq!(out.accesses, 5_000, "auto-flushes accumulate the outcome");
+        assert_eq!(out.epochs, 5_000 / 777);
+        assert_eq!(streamed.stats(), batched.stats());
+        assert_eq!(streamed.per_bank_stats(), batched.per_bank_stats());
+        assert_eq!(streamed.epochs(), batched.epochs());
+        assert_eq!(streamed.accesses(), batched.accesses());
     }
 
     #[test]

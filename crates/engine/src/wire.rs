@@ -1,0 +1,516 @@
+//! The versioned binary wire format of the socket/queue ingestion
+//! front-end (`DESIGN.md §8`).
+//!
+//! Everything here is hand-rolled little-endian framing over
+//! `std::io::{Read, Write}` — the workspace builds offline, so there is no
+//! serde, no protobuf, no async runtime. The format is deliberately dumb:
+//! fixed-width integers, one-byte frame tags, length-prefixed payloads with
+//! hard caps, and an explicit version number in the handshake so the format
+//! can evolve without silently misparsing old peers.
+//!
+//! ## Session layout
+//!
+//! ```text
+//! client                                server (catd)
+//!   │  ClientHello {magic, version,        │
+//!   │    producer id}                      │
+//!   ├──────────────────────────────────────►
+//!   │  ServerHello {magic, version,        │
+//!   │    geometry, spec, epoch_len}        │
+//!   ◄──────────────────────────────────────┤
+//!   │  Frame::Records {seq, (bank,row)*}   │  any number, seq = 0,1,2,…
+//!   ├──────────────────────────────────────►
+//!   │  Frame::StatsRequest  (optional)     │
+//!   ├──────────────────────────────────────►
+//!   │  Frame::Finish                       │
+//!   ├──────────────────────────────────────►
+//!   │  StatsSnapshot (iff requested;       │
+//!   │    sent after ALL producers finish)  │
+//!   ◄──────────────────────────────────────┤
+//! ```
+//!
+//! Each producer numbers its `Records` frames consecutively from zero; the
+//! server verifies the sequence and feeds the frames to the deterministic
+//! merge in [`crate::ingest`]. Malformed input is reported as
+//! [`std::io::Error`] with [`std::io::ErrorKind::InvalidData`] — a protocol
+//! violation and a truncated stream are both connection-fatal.
+
+use std::io::{self, Read, Write};
+
+use cat_core::SchemeStats;
+
+use crate::MemGeometry;
+
+/// Protocol magic, first bytes of both hello messages ("CAT wire").
+pub const MAGIC: [u8; 4] = *b"CATW";
+
+/// Wire format version. Bump on any incompatible change; peers with a
+/// different version refuse the handshake instead of misparsing frames.
+pub const VERSION: u16 = 1;
+
+/// Hard cap on records per [`Frame::Records`] — bounds the allocation a
+/// malformed (or malicious) length prefix can force on the receiver.
+pub const MAX_RECORDS_PER_FRAME: u32 = 1 << 20;
+
+/// Hard cap on the spec string length in a [`ServerHello`].
+pub const MAX_SPEC_LEN: u16 = 1024;
+
+fn bad(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn write_u16<W: Write>(w: &mut W, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_magic_version<R: Read>(r: &mut R, who: &str) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad(format!("{who}: bad magic {magic:02x?}")));
+    }
+    let version = read_u16(r)?;
+    if version != VERSION {
+        return Err(bad(format!(
+            "{who}: wire version {version}, this peer speaks {VERSION}"
+        )));
+    }
+    Ok(())
+}
+
+/// Writes the client's opening handshake: magic + version + the
+/// **producer id** this connection claims (its tie-break rank in the
+/// deterministic merge, `DESIGN.md §8`). The id is chosen by the client —
+/// the side that dealt the trace — because TCP accept order is racy: lane
+/// assignment must follow the deal, not connection timing. A session's
+/// ids must form a permutation of `0..producers`; the server rejects
+/// duplicates and out-of-range claims.
+pub fn write_client_hello<W: Write>(w: &mut W, producer_id: u32) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    write_u16(w, VERSION)?;
+    write_u32(w, producer_id)
+}
+
+/// Reads and validates a client hello, returning the claimed producer id.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on a magic or version mismatch; I/O
+/// errors pass through.
+pub fn read_client_hello<R: Read>(r: &mut R) -> io::Result<u32> {
+    read_magic_version(r, "client hello")?;
+    read_u32(r)
+}
+
+/// The server's half of the handshake: what the [`crate::MemorySystem`]
+/// behind the socket is configured as, so clients can verify they generate
+/// traffic for the right machine (and reconstruct a local reference run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerHello {
+    /// The served system's DRAM geometry.
+    pub geometry: MemGeometry,
+    /// The scheme spec in its canonical string form (`sca:64:32768`, …).
+    pub spec: String,
+    /// Accesses per epoch; `None` when the server fires no automatic
+    /// epoch boundaries.
+    pub epoch_len: Option<u64>,
+}
+
+/// Writes the server's handshake reply.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] if the spec string exceeds
+/// [`MAX_SPEC_LEN`]; I/O errors pass through.
+pub fn write_server_hello<W: Write>(w: &mut W, hello: &ServerHello) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    write_u16(w, VERSION)?;
+    let g = &hello.geometry;
+    for field in [
+        g.channels,
+        g.ranks_per_channel,
+        g.banks_per_rank,
+        g.rows_per_bank,
+        g.lines_per_row,
+        g.line_bytes,
+    ] {
+        write_u32(w, field)?;
+    }
+    let spec = hello.spec.as_bytes();
+    if spec.len() > usize::from(MAX_SPEC_LEN) {
+        return Err(bad(format!("spec string of {} bytes", spec.len())));
+    }
+    write_u16(w, spec.len() as u16)?;
+    w.write_all(spec)?;
+    write_u64(w, hello.epoch_len.unwrap_or(0))
+}
+
+/// Reads and validates a server hello (an epoch length of `0` decodes as
+/// `None` — no automatic epoch accounting).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on magic/version mismatch or an
+/// oversized or non-UTF-8 spec string; I/O errors pass through.
+pub fn read_server_hello<R: Read>(r: &mut R) -> io::Result<ServerHello> {
+    read_magic_version(r, "server hello")?;
+    let mut fields = [0u32; 6];
+    for f in &mut fields {
+        *f = read_u32(r)?;
+    }
+    let geometry = MemGeometry {
+        channels: fields[0],
+        ranks_per_channel: fields[1],
+        banks_per_rank: fields[2],
+        rows_per_bank: fields[3],
+        lines_per_row: fields[4],
+        line_bytes: fields[5],
+    };
+    let len = read_u16(r)?;
+    if len > MAX_SPEC_LEN {
+        return Err(bad(format!("spec string of {len} bytes")));
+    }
+    let mut spec = vec![0u8; usize::from(len)];
+    r.read_exact(&mut spec)?;
+    let spec = String::from_utf8(spec).map_err(|e| bad(format!("spec not UTF-8: {e}")))?;
+    let epoch_len = match read_u64(r)? {
+        0 => None,
+        n => Some(n),
+    };
+    Ok(ServerHello {
+        geometry,
+        spec,
+        epoch_len,
+    })
+}
+
+/// One client → server frame after the handshake.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A batch of `(global bank, row)` activations in stream order, tagged
+    /// with this producer's consecutive sequence number (the key of the
+    /// deterministic merge — `DESIGN.md §8`).
+    Records {
+        /// Producer-local sequence number: 0 for the first frame, then +1.
+        seq: u64,
+        /// The activations, in the order the producer observed them.
+        records: Vec<(u32, u32)>,
+    },
+    /// Ask the server to send a [`StatsSnapshot`] once ingestion completes
+    /// (i.e. after *every* producer has finished).
+    StatsRequest,
+    /// This producer is done; no further frames follow on this connection.
+    Finish,
+}
+
+const TAG_RECORDS: u8 = 0x01;
+const TAG_STATS_REQUEST: u8 = 0x02;
+const TAG_FINISH: u8 = 0x03;
+
+/// Writes a [`Frame::Records`] directly from a slice (no intermediate
+/// `Vec`) — the form the streaming clients use.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] if `records` exceeds
+/// [`MAX_RECORDS_PER_FRAME`]; I/O errors pass through.
+pub fn write_records<W: Write>(w: &mut W, seq: u64, records: &[(u32, u32)]) -> io::Result<()> {
+    if records.len() > MAX_RECORDS_PER_FRAME as usize {
+        return Err(bad(format!("{}-record frame", records.len())));
+    }
+    w.write_all(&[TAG_RECORDS])?;
+    write_u64(w, seq)?;
+    write_u32(w, records.len() as u32)?;
+    for &(bank, row) in records {
+        write_u32(w, bank)?;
+        write_u32(w, row)?;
+    }
+    Ok(())
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] if a `Records` frame exceeds
+/// [`MAX_RECORDS_PER_FRAME`]; I/O errors pass through.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    match frame {
+        Frame::Records { seq, records } => write_records(w, *seq, records),
+        Frame::StatsRequest => w.write_all(&[TAG_STATS_REQUEST]),
+        Frame::Finish => w.write_all(&[TAG_FINISH]),
+    }
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on an unknown tag or an oversized record
+/// count; I/O errors (including `UnexpectedEof` on a truncated frame) pass
+/// through.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        TAG_RECORDS => {
+            let seq = read_u64(r)?;
+            let count = read_u32(r)?;
+            if count > MAX_RECORDS_PER_FRAME {
+                return Err(bad(format!("{count}-record frame")));
+            }
+            let mut records = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let bank = read_u32(r)?;
+                let row = read_u32(r)?;
+                records.push((bank, row));
+            }
+            Ok(Frame::Records { seq, records })
+        }
+        TAG_STATS_REQUEST => Ok(Frame::StatsRequest),
+        TAG_FINISH => Ok(Frame::Finish),
+        other => Err(bad(format!("unknown frame tag {other:#04x}"))),
+    }
+}
+
+/// The server's reply to a [`Frame::StatsRequest`]: the system-wide state
+/// after every producer finished and the staging buffer flushed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Accesses processed, system-wide.
+    pub accesses: u64,
+    /// Epoch boundaries fired, system-wide.
+    pub epochs: u64,
+    /// Scheme statistics aggregated across all banks.
+    pub stats: SchemeStats,
+}
+
+/// The 12 [`SchemeStats`] counters in wire order. A fixed list — adding a
+/// field to `SchemeStats` without updating this (and bumping [`VERSION`])
+/// fails the `snapshot_round_trip` test, not a peer at runtime.
+fn stats_fields(s: &SchemeStats) -> [u64; 12] {
+    [
+        s.activations,
+        s.refresh_events,
+        s.refreshed_rows,
+        s.sram_reads,
+        s.sram_writes,
+        s.prng_bits,
+        s.splits,
+        s.merges,
+        s.reconfigurations,
+        s.cache_misses,
+        s.dram_counter_transfers,
+        s.max_depth_touched,
+    ]
+}
+
+/// Writes a stats snapshot.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_stats<W: Write>(w: &mut W, snap: &StatsSnapshot) -> io::Result<()> {
+    write_u64(w, snap.accesses)?;
+    write_u64(w, snap.epochs)?;
+    for field in stats_fields(&snap.stats) {
+        write_u64(w, field)?;
+    }
+    Ok(())
+}
+
+/// Reads a stats snapshot.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader.
+pub fn read_stats<R: Read>(r: &mut R) -> io::Result<StatsSnapshot> {
+    let accesses = read_u64(r)?;
+    let epochs = read_u64(r)?;
+    let mut fields = [0u64; 12];
+    for f in &mut fields {
+        *f = read_u64(r)?;
+    }
+    let stats = SchemeStats {
+        activations: fields[0],
+        refresh_events: fields[1],
+        refreshed_rows: fields[2],
+        sram_reads: fields[3],
+        sram_writes: fields[4],
+        prng_bits: fields[5],
+        splits: fields[6],
+        merges: fields[7],
+        reconfigurations: fields[8],
+        cache_misses: fields[9],
+        dram_counter_transfers: fields[10],
+        max_depth_touched: fields[11],
+    };
+    Ok(StatsSnapshot {
+        accesses,
+        epochs,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> MemGeometry {
+        MemGeometry {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            rows_per_bank: 4096,
+            lines_per_row: 16,
+            line_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn hellos_round_trip() {
+        let mut buf = Vec::new();
+        write_client_hello(&mut buf, 7).unwrap();
+        assert_eq!(read_client_hello(&mut buf.as_slice()).unwrap(), 7);
+
+        for epoch_len in [None, Some(50_000)] {
+            let hello = ServerHello {
+                geometry: geometry(),
+                spec: "drcat:64:11:32768".into(),
+                epoch_len,
+            };
+            let mut buf = Vec::new();
+            write_server_hello(&mut buf, &hello).unwrap();
+            assert_eq!(read_server_hello(&mut buf.as_slice()).unwrap(), hello);
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_refused() {
+        let err = read_client_hello(&mut b"NOPE\x01\x00".as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad magic"));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        let err = read_client_hello(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            Frame::Records {
+                seq: 0,
+                records: vec![(0, 1), (15, 4095), (u32::MAX, u32::MAX)],
+            },
+            Frame::Records {
+                seq: u64::MAX,
+                records: Vec::new(),
+            },
+            Frame::StatsRequest,
+            Frame::Finish,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversized_and_unknown_frames_are_refused() {
+        // A forged length prefix must not force a giant allocation.
+        let mut buf = Vec::new();
+        buf.push(0x01);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let err = read_frame(&mut [0x7f_u8].as_slice()).unwrap_err();
+        assert!(err.to_string().contains("unknown frame tag"));
+
+        let oversized = Frame::Records {
+            seq: 0,
+            records: vec![(0, 0); MAX_RECORDS_PER_FRAME as usize + 1],
+        };
+        assert!(write_frame(&mut Vec::new(), &oversized).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_report_eof() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Records {
+                seq: 3,
+                records: vec![(1, 2), (3, 4)],
+            },
+        )
+        .unwrap();
+        let err = read_frame(&mut buf[..buf.len() - 1].as_ref()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        // Every SchemeStats field must survive the wire — a new field that
+        // is not added to `stats_fields` breaks this equality.
+        let stats = SchemeStats {
+            activations: 1,
+            refresh_events: 2,
+            refreshed_rows: 3,
+            sram_reads: 4,
+            sram_writes: 5,
+            prng_bits: 6,
+            splits: 7,
+            merges: 8,
+            reconfigurations: 9,
+            cache_misses: 10,
+            dram_counter_transfers: 11,
+            max_depth_touched: 12,
+        };
+        let snap = StatsSnapshot {
+            accesses: 1 << 40,
+            epochs: 77,
+            stats,
+        };
+        let mut buf = Vec::new();
+        write_stats(&mut buf, &snap).unwrap();
+        assert_eq!(read_stats(&mut buf.as_slice()).unwrap(), snap);
+        assert_eq!(buf.len(), 14 * 8);
+    }
+}

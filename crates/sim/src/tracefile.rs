@@ -194,4 +194,63 @@ mod tests {
         let got = read_trace("9 W 4096\n".as_bytes()).unwrap();
         assert_eq!(got[0].addr, 4096);
     }
+
+    #[test]
+    fn trailing_junk_on_a_record_line_is_rejected() {
+        // Anything after the address is an error — including something
+        // that looks like a comment: `#` only starts a comment at the
+        // beginning of a line, and silently dropping trailing tokens
+        // would mask a column-swapped or concatenated trace.
+        for text in [
+            "1 R 0x10 extra\n",
+            "1 R 0x10 # inline comment\n",
+            "1 R 0x10 0x20\n",
+            "1 W 64 W 64\n",
+        ] {
+            let err = read_trace(text.as_bytes()).unwrap_err();
+            assert!(err.message.contains("trailing"), "{text:?}: {err}");
+            assert_eq!(err.line, 1, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn overlong_gap_is_rejected_with_its_line_number() {
+        // Gaps are u32; a 2^32-and-up gap (or a negative one) must fail
+        // the parse, not wrap around into a tiny gap.
+        let over = u64::from(u32::MAX) + 1;
+        let text = format!("1 R 0x10\n{over} R 0x20\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad gap"), "{err}");
+
+        let err = read_trace("-3 W 0x40\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("bad gap"), "{err}");
+
+        // The largest representable gap still parses.
+        let max = u32::MAX;
+        let got = read_trace(format!("{max} R 0x10\n").as_bytes()).unwrap();
+        assert_eq!(got[0].gap, u32::MAX);
+    }
+
+    #[test]
+    fn missing_final_newline_and_trailing_blank_lines_are_fine() {
+        // A trace truncated after its last record (no final newline) and a
+        // trace padded with blank lines must both parse to the same
+        // records.
+        let complete = read_trace("5 R 0x40\n3 W 64\n".as_bytes()).unwrap();
+        let unterminated = read_trace("5 R 0x40\n3 W 64".as_bytes()).unwrap();
+        let padded = read_trace("5 R 0x40\n3 W 64\n\n\n  \n".as_bytes()).unwrap();
+        assert_eq!(unterminated, complete);
+        assert_eq!(padded, complete);
+        assert_eq!(complete.len(), 2);
+
+        // A record cut off mid-line is still an error, with the right line.
+        let err = read_trace("5 R 0x40\n3 W".as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("missing address"));
+
+        // An empty (or all-blank) trace is a valid empty record set.
+        assert!(read_trace("".as_bytes()).unwrap().is_empty());
+        assert!(read_trace("\n\n".as_bytes()).unwrap().is_empty());
+    }
 }

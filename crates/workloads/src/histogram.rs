@@ -14,7 +14,7 @@ use cat_sim::{AddressMapping, MemAccess, SystemConfig};
 /// let hist = RowHistogram::collect(&cfg, 6, stream);
 /// // blackscholes concentrates on a couple of very hot rows (Fig. 3 left).
 /// let top = hist.top_rows(2);
-/// assert!(top[0].1 > 100 * hist.mean_nonzero());
+/// assert!(top[0].1 as f64 > 100.0 * hist.mean_nonzero());
 /// ```
 #[derive(Clone, Debug)]
 pub struct RowHistogram {
@@ -77,10 +77,19 @@ impl RowHistogram {
         rows
     }
 
-    /// Mean count over rows that were accessed at least once.
-    pub fn mean_nonzero(&self) -> u64 {
-        let nz = self.counts.iter().filter(|&&c| c > 0).count() as u64;
-        self.total.checked_div(nz).unwrap_or(0)
+    /// Mean count over rows that were accessed at least once (`0.0` for an
+    /// empty histogram).
+    ///
+    /// Returns `f64`: integer division used to floor this to `total / nz`,
+    /// which for sparse banks (mean barely above 1) erased up to half the
+    /// mass and skewed the Fig. 3 spike-vs-band comparison.
+    pub fn mean_nonzero(&self) -> f64 {
+        let nz = self.counts.iter().filter(|&&c| c > 0).count();
+        if nz == 0 {
+            0.0
+        } else {
+            self.total as f64 / nz as f64
+        }
     }
 
     /// Fraction of all accesses captured by the `k` hottest rows — the
@@ -93,12 +102,29 @@ impl RowHistogram {
         top as f64 / self.total as f64
     }
 
-    /// Down-samples the histogram into `buckets` equal row ranges (for
-    /// terminal plotting of Fig. 3).
+    /// Down-samples the histogram into exactly `buckets` near-equal row
+    /// ranges (for terminal plotting of Fig. 3). Bucket `b` covers rows
+    /// `[b·rows/buckets, (b+1)·rows/buckets)`, so range sizes differ by at
+    /// most one row and every count lands in exactly one bucket.
+    ///
+    /// The previous implementation chunked by `ceil(rows / buckets)` rows
+    /// and returned `ceil(rows / per)` buckets — fewer than requested
+    /// whenever `rows % buckets != 0` (100 rows into 64 buckets came back
+    /// as 50), which silently rescaled the Fig. 3 x-axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
     pub fn bucketize(&self, buckets: usize) -> Vec<u64> {
         assert!(buckets > 0);
-        let per = self.counts.len().div_ceil(buckets);
-        self.counts.chunks(per).map(|c| c.iter().sum()).collect()
+        let rows = self.counts.len();
+        (0..buckets)
+            .map(|b| {
+                let start = b * rows / buckets;
+                let end = (b + 1) * rows / buckets;
+                self.counts[start..end].iter().sum()
+            })
+            .collect()
     }
 }
 
@@ -144,8 +170,57 @@ mod tests {
         );
         assert_eq!(h.counts().iter().sum::<u64>(), h.total());
         let buckets = h.bucketize(64);
+        assert_eq!(buckets.len(), 64);
         assert_eq!(buckets.iter().sum::<u64>(), h.total());
         assert_eq!(h.bank(), 0);
+    }
+
+    #[test]
+    fn bucketize_returns_exactly_the_requested_buckets() {
+        // Regression: with 128 rows per bank, `bucketize(96)` used to chunk
+        // by ceil(128/96) = 2 rows and come back with 64 buckets. Every
+        // non-divisor bucket count must return exactly `buckets` ranges
+        // that together still cover every count once.
+        let cfg = SystemConfig {
+            rows_per_bank: 128,
+            ..SystemConfig::dual_core_two_channel()
+        };
+        let spec = catalog::by_name("com1").unwrap();
+        let h = RowHistogram::collect(
+            &cfg,
+            0,
+            AccessStream::new(&spec, &cfg, 0, 1, 3).take(50_000),
+        );
+        assert!(h.total() > 0, "trace must hit bank 0");
+        for buckets in [1usize, 3, 7, 64, 96, 100, 127, 128, 200] {
+            let b = h.bucketize(buckets);
+            assert_eq!(b.len(), buckets, "{buckets} buckets requested");
+            assert_eq!(b.iter().sum::<u64>(), h.total(), "{buckets} buckets");
+        }
+        // More buckets than rows: the extra ranges are empty, never panic.
+        assert_eq!(h.bucketize(200).len(), 200);
+    }
+
+    #[test]
+    fn mean_nonzero_keeps_fractional_mass() {
+        // A sparse bank: 3 accesses over 2 rows. The old integer division
+        // floored 1.5 to 1 — the exact skew that misordered sparse banks in
+        // the Fig. 3 spike-vs-band comparison.
+        let cfg = SystemConfig::dual_core_two_channel();
+        let map = AddressMapping::new(&cfg);
+        let accesses = [(7u32, 2u64), (9, 1)].into_iter().flat_map(|(row, n)| {
+            std::iter::repeat_n(
+                MemAccess {
+                    gap: 0,
+                    write: false,
+                    addr: map.encode_line(0, 0, 0, row, 0),
+                },
+                n as usize,
+            )
+        });
+        let h = RowHistogram::collect(&cfg, 0, accesses);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.mean_nonzero(), 1.5);
     }
 
     #[test]
@@ -153,7 +228,7 @@ mod tests {
         let cfg = SystemConfig::dual_core_two_channel();
         let h = RowHistogram::collect(&cfg, 0, std::iter::empty());
         assert_eq!(h.total(), 0);
-        assert_eq!(h.mean_nonzero(), 0);
+        assert_eq!(h.mean_nonzero(), 0.0);
         assert_eq!(h.top_k_share(5), 0.0);
         assert!(h.top_rows(3).is_empty());
     }

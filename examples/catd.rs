@@ -1,0 +1,94 @@
+//! `catd` — the CAT mitigation engine as a network service: a TCP server
+//! that accepts N producer connections speaking the `cat-engine` wire
+//! format, streams their activation records through the deterministic
+//! multi-producer merge into one `MemorySystem`, applies backpressure when
+//! a connection's queue lane fills, and answers stats-snapshot requests
+//! once ingestion completes (`DESIGN.md §8`).
+//!
+//! Run with:
+//! `cargo run --release --example catd -- [listen-addr] [spec] [producers] [epoch] [shards]`
+//!
+//! Defaults: `127.0.0.1:0` (ephemeral port — the bound address is printed,
+//! so scripts can scrape it), `drcat:64:11:32768`, 1 producer, 50 000
+//! accesses per epoch (`0` disables epoch accounting), 1 shard. The
+//! geometry is the paper's dual-core two-channel system. One session is
+//! served, the report is printed, and the process exits — `scripts/
+//! tier1.sh` runs exactly this against the `catd_loadgen` example over
+//! loopback.
+
+use std::net::TcpListener;
+
+use catree::engine::ingest::{serve, ServeOptions};
+use catree::{MemorySystem, SchemeSpec, SystemConfig};
+
+fn arg_or<T: std::str::FromStr>(n: usize, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    match std::env::args().nth(n) {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|e| panic!("argument {n} ({s:?}): {e:?}")),
+        None => default,
+    }
+}
+
+fn main() {
+    let listen: String = arg_or(1, "127.0.0.1:0".to_string());
+    let spec: SchemeSpec = arg_or(2, "drcat:64:11:32768".parse().unwrap());
+    let producers: usize = arg_or(3, 1);
+    let epoch: u64 = arg_or(4, 50_000);
+    let shards: usize = arg_or(5, 1);
+
+    let cfg = SystemConfig::dual_core_two_channel();
+    let mut system = MemorySystem::new(&cfg, spec).with_shards(shards);
+    if epoch > 0 {
+        system = system.with_epoch_length(epoch);
+    }
+
+    let listener = TcpListener::bind(&listen).expect("bind listen address");
+    // The scrape line for scripts: always the *actual* address (for
+    // `…:0`, the kernel-assigned ephemeral port).
+    println!(
+        "catd: listening on {}",
+        listener.local_addr().expect("bound address")
+    );
+    println!(
+        "catd: serving {spec} over {} banks, {} producer(s), {} shard(s), epoch {}",
+        cfg.total_banks(),
+        producers,
+        shards,
+        if epoch > 0 {
+            epoch.to_string()
+        } else {
+            "off".into()
+        }
+    );
+
+    let report = serve(
+        &listener,
+        &mut system,
+        &ServeOptions {
+            producers,
+            ..Default::default()
+        },
+    )
+    .expect("ingestion session failed");
+
+    println!(
+        "catd: session done — {} accesses, {} epochs, {} refreshes over {} rows, \
+         {} stats snapshot(s) served",
+        report.outcome.accesses,
+        report.outcome.epochs,
+        report.snapshot.stats.refresh_events,
+        report.snapshot.stats.refreshed_rows,
+        report.stats_served
+    );
+    for (ch, engine) in system.channel_engines().iter().enumerate() {
+        println!(
+            "catd:   channel {ch}: {} activations over {} banks",
+            engine.activations_per_bank().iter().sum::<u64>(),
+            engine.bank_count()
+        );
+    }
+}

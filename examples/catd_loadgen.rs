@@ -1,0 +1,135 @@
+//! Load generator for the `catd` example: streams a synthetic workload's
+//! activation records to a running `catd` server over N producer
+//! connections, then verifies the server's final stats snapshot
+//! **bit-identically** against a local replay of the same trace — the
+//! determinism contract of `DESIGN.md §7`/`§8`, checked end to end over a
+//! real socket.
+//!
+//! Run with:
+//! `cargo run --release --example catd_loadgen -- <addr> [workload] [accesses] [producers] [chunk]`
+//!
+//! Defaults: workload `swapt`, 200 000 accesses, 2 producer connections,
+//! 8 192 records per chunk. The trace is dealt round-robin by contiguous
+//! chunk across the connections (chunk `k` → producer `k % P`), which the
+//! server's `(seq, producer)` merge inverts — any producer count yields
+//! the same merged stream, so the verification passes for every `P`.
+//! Exits nonzero on any mismatch, making this the client half of the
+//! loopback smoke in `scripts/tier1.sh`.
+
+use catree::engine::ingest::{deal, IngestClient};
+use catree::{AccessStream, AddressMapping, MemorySystem, SchemeSpec, SystemConfig};
+
+fn arg_or<T: std::str::FromStr>(n: usize, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    match std::env::args().nth(n) {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|e| panic!("argument {n} ({s:?}): {e:?}")),
+        None => default,
+    }
+}
+
+fn main() {
+    let addr: String = std::env::args()
+        .nth(1)
+        .expect("usage: catd_loadgen <addr> [workload] [accesses] [producers] [chunk]");
+    let workload: String = arg_or(2, "swapt".to_string());
+    let accesses: usize = arg_or(3, 200_000);
+    let producers: usize = arg_or(4, 2);
+    let chunk: usize = arg_or(5, 8_192);
+
+    // Producer 0 connects first and learns the served configuration from
+    // the handshake; everything — trace geometry, the local reference run
+    // — follows what the *server* announced, not local assumptions.
+    let mut first =
+        IngestClient::connect(addr.as_str(), 0).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+    let hello = first.server_hello().clone();
+    let cfg = SystemConfig::dual_core_two_channel();
+    assert_eq!(
+        hello.geometry,
+        cfg.geometry(),
+        "catd serves a different geometry than this generator produces"
+    );
+    let spec: SchemeSpec = hello
+        .spec
+        .parse()
+        .unwrap_or_else(|e| panic!("server spec {:?}: {e}", hello.spec));
+    println!(
+        "loadgen: {addr} serves {spec} (epoch {:?}); streaming {accesses} accesses of \
+         {workload} over {producers} connection(s), {chunk}-record chunks",
+        hello.epoch_len
+    );
+
+    // Generate and decode the trace once (single-core-equivalent stream,
+    // same shape the CMRPO benches replay).
+    let wspec = catree::workloads::by_name(&workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let mut one = cfg.clone();
+    one.cores = 1;
+    let mapping = AddressMapping::new(&cfg);
+    let trace: Vec<(u32, u32)> = AccessStream::new(&wspec, &one, 0, 64, 0xCA7D)
+        .take(accesses)
+        .map(|a| mapping.decode_bank_row(a.addr))
+        .collect();
+    assert_eq!(trace.len(), accesses, "workload stream exhausted early");
+
+    // Local reference replay: what the server must report, bit for bit.
+    let mut reference = MemorySystem::new(&cfg, spec);
+    if let Some(epoch) = hello.epoch_len {
+        reference = reference.with_epoch_length(epoch);
+    }
+    for &(bank, row) in &trace {
+        reference.push_decoded(bank, row);
+    }
+    reference.flush();
+
+    // Deal the trace and stream it: producer 0 on this thread (its
+    // connection already exists), the rest on their own threads.
+    let lanes = deal(&trace, producers, chunk);
+    let snapshots = std::thread::scope(|scope| {
+        let mut lanes = lanes.into_iter().enumerate();
+        let (_, first_lane) = lanes.next().expect("at least one producer");
+        let rest: Vec<_> = lanes
+            .map(|(id, lane)| {
+                let addr = addr.as_str();
+                scope.spawn(move || {
+                    let mut client = IngestClient::connect(addr, id as u32)
+                        .unwrap_or_else(|e| panic!("connect producer {id}: {e}"));
+                    for batch in lane {
+                        client.send(batch).expect("send records");
+                    }
+                    client.finish_with_stats().expect("stats snapshot")
+                })
+            })
+            .collect();
+        for batch in first_lane {
+            first.send(batch).expect("send records");
+        }
+        let mut snapshots = vec![first.finish_with_stats().expect("stats snapshot")];
+        snapshots.extend(rest.into_iter().map(|h| h.join().expect("producer thread")));
+        snapshots
+    });
+
+    // Every connection saw the same snapshot, and it matches the local
+    // replay exactly.
+    let server = snapshots[0];
+    for (id, snap) in snapshots.iter().enumerate() {
+        assert_eq!(*snap, server, "producer {id} saw a different snapshot");
+    }
+    assert_eq!(server.accesses, accesses as u64, "server lost accesses");
+    assert_eq!(server.epochs, reference.epochs(), "epoch count differs");
+    if server.stats != reference.stats() {
+        eprintln!(
+            "loadgen: MISMATCH\n  server:    {:?}\n  reference: {:?}",
+            server.stats,
+            reference.stats()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "loadgen: verified bit-identical — {} accesses, {} epochs, {} refreshes over {} rows",
+        server.accesses, server.epochs, server.stats.refresh_events, server.stats.refreshed_rows
+    );
+}

@@ -62,8 +62,10 @@ pub use cat_workloads::{
 };
 
 /// Sharded, statically-dispatched multi-bank engine driving the mitigation
-/// schemes, plus the `MemorySystem` decode front-end (see `cat-engine` for
-/// the determinism contract).
+/// schemes, plus the `MemorySystem` decode front-end and the socket/queue
+/// ingestion layer (`engine::ingest` — the deterministic multi-producer
+/// merge behind the `catd` server — and `engine::wire`, its binary wire
+/// format; see `cat-engine` for the determinism contract).
 pub use cat_engine as engine;
 
 /// Hardware energy/area model (paper Table II) and CMRPO accounting.

@@ -14,10 +14,14 @@ use std::path::Path;
 use std::process::Command;
 
 /// Every example target in `examples/` (kept in sync by the assertion in
-/// [`examples_build_and_quickstart_runs`]).
-const EXAMPLES: [&str; 5] = [
+/// [`examples_build_and_quickstart_runs`]). The `catd`/`catd_loadgen`
+/// pair additionally gets a loopback run (server + client over
+/// 127.0.0.1) in `scripts/tier1.sh` and CI.
+const EXAMPLES: [&str; 7] = [
     "adaptive_tree",
     "attack_defense",
+    "catd",
+    "catd_loadgen",
     "full_system",
     "quickstart",
     "threshold_design",

@@ -1,0 +1,98 @@
+//! End-to-end socket-ingestion differential at facade scope: a loopback
+//! `catd` session (the `cat_engine::ingest::serve` loop behind the `catd`
+//! example) fed a real workload trace must report **bit-identical**
+//! `SchemeStats` to `cat_sim::functional::run_functional` on the same
+//! trace — the functional simulator and the network service are the same
+//! computation behind different front-ends (`DESIGN.md §7`/`§8`).
+//!
+//! The engine-level matrix (1/2/4 producers × 1/2/4 shards × flush
+//! boundaries, ≥ 1M accesses) lives in `crates/engine/tests/ingest.rs`;
+//! this test pins the remaining gap: real addresses through the real
+//! address decode and the published `run_functional` entry point.
+
+use catree::engine::ingest::{deal, serve, IngestClient, ServeOptions};
+use catree::functional::run_functional;
+use catree::{AccessStream, AddressMapping, MemAccess, MemorySystem, SchemeSpec, SystemConfig};
+
+#[test]
+fn loopback_catd_matches_run_functional_on_a_workload_trace() {
+    let cfg = SystemConfig::dual_core_two_channel();
+    let spec = SchemeSpec::Drcat {
+        counters: 64,
+        levels: 11,
+        threshold: 2_048,
+    };
+    let epoch = 60_000u64;
+    let accesses = 250_000usize;
+
+    // One workload trace, materialized once and replayed through both
+    // front-ends.
+    let mut one = cfg.clone();
+    one.cores = 1;
+    let trace: Vec<MemAccess> = AccessStream::new(
+        &catree::workloads::by_name("swapt").unwrap(),
+        &one,
+        0,
+        64,
+        7,
+    )
+    .take(accesses)
+    .collect();
+    assert_eq!(trace.len(), accesses);
+
+    let reference = run_functional(&cfg, spec, trace.iter().copied(), epoch);
+    assert!(
+        reference.scheme_stats.refresh_events > 0,
+        "trace too tame, nothing to compare"
+    );
+
+    // The same trace through a loopback catd session: 3 producers so the
+    // round-robin deal and the (seq, producer) merge are both exercised.
+    let mapping = AddressMapping::new(&cfg);
+    let decoded: Vec<(u32, u32)> = trace
+        .iter()
+        .map(|a| mapping.decode_bank_row(a.addr))
+        .collect();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let producers = 3usize;
+    let server = std::thread::spawn({
+        let cfg = cfg.clone();
+        move || {
+            let mut system = MemorySystem::new(&cfg, spec)
+                .with_epoch_length(epoch)
+                .with_shards(2);
+            let report = serve(
+                &listener,
+                &mut system,
+                &ServeOptions {
+                    producers,
+                    ..Default::default()
+                },
+            )
+            .expect("serve");
+            (report, system.report())
+        }
+    });
+    std::thread::scope(|scope| {
+        for (id, lane) in deal(&decoded, producers, 9_999).into_iter().enumerate() {
+            scope.spawn(move || {
+                let mut client = IngestClient::connect(addr, id as u32).expect("connect");
+                for batch in lane {
+                    client.send(batch).expect("send");
+                }
+                client.finish().expect("finish");
+            });
+        }
+    });
+    let (report, system_report) = server.join().unwrap();
+
+    assert_eq!(report.snapshot.stats, reference.scheme_stats);
+    assert_eq!(report.snapshot.accesses, reference.accesses);
+    assert_eq!(report.snapshot.epochs, reference.epochs);
+    assert_eq!(system_report.per_bank_stats, reference.per_bank_stats);
+    assert_eq!(
+        system_report.activations_per_bank,
+        reference.activations_per_bank
+    );
+}
