@@ -45,6 +45,12 @@
 //! Set `BENCH_ENGINE_JSON=/path/to/BENCH_engine.json` to also write the
 //! numbers as JSON (`scripts/bench.sh` does).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The whole point of a bench harness is to read the wall clock; the
+// workspace-wide clippy.toml ban (DESIGN.md §9) is lifted here only.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use cat_bench::{banner, decode_trace, quick_factor};
@@ -226,7 +232,9 @@ fn main() {
                     {
                         scope.spawn(move || {
                             for batch in lane {
-                                handle.send(batch.to_vec());
+                                handle
+                                    .send(batch.to_vec())
+                                    .expect("consumer outlives scope");
                             }
                         });
                     }

@@ -7,6 +7,9 @@
 //! `k · T`. CAT instead coarsens gracefully: groups get bigger, refreshes
 //! get wider, but never per-access. This bench locates the crossover.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, decode_trace, replay_cmrpo};
 use cat_sim::{SchemeSpec, SystemConfig};
 use cat_workloads::catalog;

@@ -9,6 +9,9 @@
 //! observation rates — the mechanism behind the paper's "1e-4 after only
 //! 25 refresh intervals" claim for LFSR-based PRA.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::banner;
 use cat_reliability::{chipkill_log10, ideal_window_failures, lfsr_attack, log10_unsurvivability};
 

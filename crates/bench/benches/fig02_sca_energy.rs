@@ -6,6 +6,9 @@
 //! extended by log-log interpolation; victim-refresh energy is measured by
 //! the functional simulator averaged over the workload subset.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, mean, quick_factor, system_stream};
 use cat_energy::sram::{counter_cache_energy_nj, fig2_sweep};
 use cat_sim::functional::run_functional;

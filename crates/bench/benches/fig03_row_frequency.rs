@@ -2,6 +2,9 @@
 //! for blackscholes and facesim — the skew that motivates dynamic counter
 //! assignment. Rendered as a 64-bucket ASCII profile plus hot-row stats.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, quick_factor, system_stream};
 use cat_sim::SystemConfig;
 use cat_workloads::{catalog, RowHistogram};

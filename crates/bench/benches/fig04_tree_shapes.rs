@@ -3,6 +3,9 @@
 //! pointer-layout shape via the same access choreography used in the unit
 //! tests.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::banner;
 use cat_core::{CatConfig, CatTree, MitigationScheme, RowId, ThresholdPolicy};
 

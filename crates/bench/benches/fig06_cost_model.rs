@@ -3,6 +3,9 @@
 //! 4-counter thresholds (T/4, T/2), and an *empirical* validation: a real
 //! 4-counter CAT vs a 4-counter SCA on a parameterised-bias workload.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::banner;
 use cat_core::thresholds::cost;
 use cat_core::{CatConfig, CatTree, MitigationScheme, RowId, Sca};

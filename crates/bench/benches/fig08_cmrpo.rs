@@ -7,6 +7,9 @@
 //! workload's trace is decoded once and replayed across all ten scheme
 //! configurations.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, decode_trace, mean, replay_cmrpo};
 use cat_sim::{SchemeSpec, SystemConfig};
 use cat_workloads::catalog;

@@ -3,6 +3,9 @@
 //! run (half-epoch trace slice) against a no-mitigation baseline of the
 //! same trace.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, mean, timed_run};
 use cat_sim::{SchemeSpec, SystemConfig};
 use cat_workloads::catalog;

@@ -7,6 +7,9 @@
 //! see EXPERIMENTS.md) over 2 epochs in functional mode, with each
 //! workload's trace decoded once and replayed across all configurations.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, decode_trace, mean, replay_cmrpo, DecodedTrace};
 use cat_core::ThresholdPolicy;
 use cat_sim::{SchemeSpec, SystemConfig};

@@ -7,6 +7,9 @@
 //! (the paper attributes the quad-core increase to reduced cache locality);
 //! banks have 128K rows per Table I's quad variant.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, decode_trace, mean, replay_cmrpo, DecodedTrace};
 use cat_sim::{SchemeSpec, SystemConfig};
 use cat_workloads::catalog;

@@ -3,6 +3,9 @@
 //! sizes (PRA p per Fig. 1's survivability requirement; CAT counters
 //! double at T = 8K), plus the §VIII-C ETO spot-check at T = 8K.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, decode_trace, mean, replay_cmrpo, timed_run, DecodedTrace};
 use cat_sim::{SchemeSpec, SystemConfig};
 use cat_workloads::catalog;

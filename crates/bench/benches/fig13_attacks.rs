@@ -6,6 +6,9 @@
 //! single-core host; EXPERIMENTS.md documents the substitution). The
 //! benign carrier is the memory-intensive `com1`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::{banner, mean, quick_factor};
 use cat_sim::{MemAccess, SchemeSpec, Simulator, SystemConfig};
 use cat_workloads::{catalog, AttackMode, KernelAttack};

@@ -8,6 +8,12 @@
 //! ns/iteration over the best of several timed batches. Set `REPRO_QUICK=1`
 //! to shrink batch sizes for fast iteration.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The whole point of a bench harness is to read the wall clock; the
+// workspace-wide clippy.toml ban (DESIGN.md §9) is lifted here only.
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box;
 use std::time::Instant;
 

@@ -3,6 +3,9 @@
 //! the energy model (the published points are reproduced exactly; the
 //! interpolation serves the other figures).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_bench::banner;
 use cat_core::SchemeKind;
 use cat_energy::{area_mm2, dynamic_nj_per_access, prng, static_nj_per_interval};

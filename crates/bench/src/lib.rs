@@ -13,6 +13,9 @@
 //!
 //! Set `REPRO_QUICK=1` to divide trace lengths by 4 for fast iteration.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use cat_core::HardwareProfile;
 use cat_energy::{cmrpo_from_stats, CmrpoBreakdown};
 use cat_engine::MemorySystem;

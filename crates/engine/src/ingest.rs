@@ -71,23 +71,39 @@ struct State {
 }
 
 struct Shared {
-    state: Mutex<State>,
+    /// The queue's only mutex; both condvars reacquire it on wake, so no
+    /// nested acquisition is possible (`DESIGN.md §9`, rule `lock-order`).
+    state: Mutex<State>, // lock-order: state
     /// Signalled when a batch arrives or a producer finishes.
-    ready: Condvar,
+    ready: Condvar, // lock-order: ready
     /// Signalled when the consumer drains a lane (or goes away).
-    space: Condvar,
+    space: Condvar, // lock-order: space
 }
 
 impl Shared {
     /// Locks the state, tolerating poison: the queue's invariants hold at
     /// every await point, and the `Drop` impls must be able to finish
     /// their lane / close the queue even while another thread unwinds.
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
         self.state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
+
+/// Error returned by [`IngestProducer::send`] once the consumer is gone:
+/// with no merge left to drain the lane, the send would otherwise block
+/// forever. In [`serve`] this surfaces as the connection's wire error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueClosed;
+
+impl std::fmt::Display for QueueClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ingest consumer dropped mid-stream")
+    }
+}
+
+impl std::error::Error for QueueClosed {}
 
 /// A bounded multi-producer ingestion queue with the deterministic
 /// `(sequence, producer)` merge described in the [module docs](self).
@@ -99,9 +115,9 @@ impl Shared {
 /// let p1 = producers.pop().unwrap(); // producer 1
 /// let p0 = producers.pop().unwrap(); // producer 0
 /// // Arrival order is 1-before-0, but the merge is by (seq, producer):
-/// p1.send(vec![(1, 10)]);
-/// p1.send(vec![(1, 11)]);
-/// p0.send(vec![(0, 20)]);
+/// p1.send(vec![(1, 10)]).unwrap();
+/// p1.send(vec![(1, 11)]).unwrap();
+/// p0.send(vec![(0, 20)]).unwrap();
 /// drop(p0); // finish
 /// drop(p1);
 /// assert_eq!(consumer.next_batch(), Some(vec![(0, 20)])); // seq 0, producer 0
@@ -169,12 +185,12 @@ impl IngestProducer {
     /// whole capacity is admitted alone into an empty lane rather than
     /// deadlocking).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the consumer has been dropped — with no merge left to
-    /// drain the lane, the send would otherwise block forever.
-    pub fn send(&self, records: Vec<(u32, u32)>) -> u64 {
-        let mut state = self.shared.lock();
+    /// [`QueueClosed`] if the consumer has been dropped — with no merge
+    /// left to drain the lane, the send would otherwise block forever.
+    pub fn send(&self, records: Vec<(u32, u32)>) -> Result<u64, QueueClosed> {
+        let mut state = self.shared.lock_state();
         while !state.closed
             && state.lanes[self.id].buffered > 0
             && state.lanes[self.id].buffered + records.len() > state.capacity
@@ -185,14 +201,16 @@ impl IngestProducer {
                 .wait(state)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        assert!(!state.closed, "ingest consumer dropped mid-stream");
+        if state.closed {
+            return Err(QueueClosed);
+        }
         let lane = &mut state.lanes[self.id];
         let seq = lane.sent;
         lane.sent += 1;
         lane.buffered += records.len();
         lane.batches.push_back(records);
         self.shared.ready.notify_one();
-        seq
+        Ok(seq)
     }
 
     /// Marks the lane finished (equivalent to dropping the handle): the
@@ -202,7 +220,7 @@ impl IngestProducer {
 
 impl Drop for IngestProducer {
     fn drop(&mut self) {
-        let mut state = self.shared.lock();
+        let mut state = self.shared.lock_state();
         state.lanes[self.id].finished = true;
         self.shared.ready.notify_one();
     }
@@ -219,7 +237,7 @@ impl IngestConsumer {
     /// and drained. Waits for a lagging producer rather than reordering
     /// around it — that wait *is* the determinism.
     pub fn next_batch(&mut self) -> Option<Vec<(u32, u32)>> {
-        let mut state = self.shared.lock();
+        let mut state = self.shared.lock_state();
         loop {
             let lanes = state.lanes.len();
             let mut skipped = 0;
@@ -252,7 +270,7 @@ impl IngestConsumer {
 
 impl Drop for IngestConsumer {
     fn drop(&mut self) {
-        let mut state = self.shared.lock();
+        let mut state = self.shared.lock_state();
         state.closed = true;
         self.shared.space.notify_all();
     }
@@ -409,17 +427,22 @@ pub fn serve(
     // Phase 2: one reader thread per connection, feeding its queue lane.
     let (producers, mut consumer) = IngestQueue::bounded(options.producers, options.queue_capacity);
     let geometry = *system.geometry();
-    let readers: Vec<JoinHandle<io::Result<(TcpStream, bool)>>> = connections
-        .into_iter()
-        .zip(producers)
-        .map(|(stream, producer)| {
-            let stream = stream.expect("every slot filled by the permutation check");
+    let mut readers: Vec<JoinHandle<io::Result<(TcpStream, bool)>>> =
+        Vec::with_capacity(options.producers);
+    for (stream, producer) in connections.into_iter().zip(producers) {
+        // Infallible: phase 1 accepted exactly `producers` connections whose
+        // ids form a permutation of `0..producers`, so every slot is filled.
+        // cat-lint: allow(panic-path) -- unreachable by the permutation check above, not peer-reachable
+        let stream = stream.expect("every slot filled by the permutation check");
+        // A failed spawn (resource exhaustion) aborts the session as an
+        // error; already-spawned readers see the queue close when `consumer`
+        // drops below and error out of their sockets.
+        readers.push(
             std::thread::Builder::new()
                 .name(format!("catd-reader-{}", producer.id()))
-                .spawn(move || read_connection(stream, producer, geometry))
-                .expect("spawn ingest reader")
-        })
-        .collect();
+                .spawn(move || read_connection(stream, producer, geometry))?,
+        );
+    }
 
     // Phase 3: drain the deterministic merge into the system.
     let outcome = system.ingest(&mut consumer);
@@ -433,8 +456,8 @@ pub fn serve(
     let mut stats_served = 0;
     let mut first_error = None;
     for reader in readers {
-        match reader.join().expect("ingest reader panicked") {
-            Ok((mut stream, wants_stats)) => {
+        match reader.join() {
+            Ok(Ok((mut stream, wants_stats))) => {
                 if wants_stats {
                     let sent =
                         wire::write_stats(&mut stream, &snapshot).and_then(|()| stream.flush());
@@ -444,7 +467,12 @@ pub fn serve(
                     }
                 }
             }
-            Err(e) => first_error = first_error.or(Some(e)),
+            Ok(Err(e)) => first_error = first_error.or(Some(e)),
+            // A panicking reader is a bug, but it must not take the serve
+            // loop (and every other connection's stats reply) down with it.
+            Err(_panic) => {
+                first_error = first_error.or(Some(io::Error::other("ingest reader panicked")));
+            }
         }
     }
     match first_error {
@@ -499,7 +527,9 @@ fn read_connection(
                         ),
                     ));
                 }
-                producer.send(records);
+                producer
+                    .send(records)
+                    .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e))?;
             }
             Frame::StatsRequest => wants_stats = true,
             Frame::Finish => return Ok((reader.into_inner(), wants_stats)),
@@ -608,12 +638,12 @@ mod tests {
         let p1 = handles.pop().unwrap();
         let p0 = handles.pop().unwrap();
         // Adversarial arrival order: late producers first, interleaved.
-        p2.send(batch(20, 2));
-        p1.send(batch(10, 1));
-        p1.send(batch(11, 1));
-        p0.send(batch(0, 3));
-        p2.send(batch(21, 2));
-        p0.send(batch(1, 1));
+        p2.send(batch(20, 2)).unwrap();
+        p1.send(batch(10, 1)).unwrap();
+        p1.send(batch(11, 1)).unwrap();
+        p0.send(batch(0, 3)).unwrap();
+        p2.send(batch(21, 2)).unwrap();
+        p0.send(batch(1, 1)).unwrap();
         drop((p0, p1, p2));
         let tags: Vec<u32> = std::iter::from_fn(|| consumer.next_batch())
             .map(|b| b[0].0)
@@ -626,12 +656,12 @@ mod tests {
         let (mut handles, mut consumer) = IngestQueue::bounded(2, 1 << 20);
         let p1 = handles.pop().unwrap();
         let p0 = handles.pop().unwrap();
-        p1.send(batch(100, 1));
+        p1.send(batch(100, 1)).unwrap();
         // Producer 0 is slow: deliver its batch from another thread after
         // the consumer is already blocked waiting for it.
         let sender = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(50));
-            p0.send(batch(50, 1));
+            p0.send(batch(50, 1)).unwrap();
             drop(p0);
         });
         drop(p1);
@@ -648,9 +678,9 @@ mod tests {
         let p1 = handles.pop().unwrap();
         let p0 = handles.pop().unwrap();
         drop(p1); // producer 1 sends nothing at all
-        p0.send(batch(0, 1));
-        p0.send(batch(1, 1));
-        p2.send(batch(2, 1));
+        p0.send(batch(0, 1)).unwrap();
+        p0.send(batch(1, 1)).unwrap();
+        p2.send(batch(2, 1)).unwrap();
         drop((p0, p2));
         let tags: Vec<u32> = std::iter::from_fn(|| consumer.next_batch())
             .map(|b| b[0].0)
@@ -662,9 +692,9 @@ mod tests {
     fn send_applies_per_lane_backpressure() {
         let (mut handles, mut consumer) = IngestQueue::bounded(1, 10);
         let p = handles.pop().unwrap();
-        p.send(batch(0, 10)); // lane now at capacity
+        p.send(batch(0, 10)).unwrap(); // lane now at capacity
         let blocked = std::thread::spawn(move || {
-            p.send(batch(1, 5)); // must block until the consumer drains
+            p.send(batch(1, 5)).unwrap(); // must block until the consumer drains
             drop(p);
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -679,19 +709,18 @@ mod tests {
     fn oversized_batch_is_admitted_into_an_empty_lane() {
         let (mut handles, mut consumer) = IngestQueue::bounded(1, 4);
         let p = handles.pop().unwrap();
-        p.send(batch(0, 100)); // larger than the whole capacity: no deadlock
+        p.send(batch(0, 100)).unwrap(); // larger than the whole capacity: no deadlock
         drop(p);
         assert_eq!(consumer.next_batch().unwrap().len(), 100);
         assert_eq!(consumer.next_batch(), None);
     }
 
     #[test]
-    #[should_panic(expected = "ingest consumer dropped")]
-    fn send_after_consumer_drop_panics() {
+    fn send_after_consumer_drop_errors() {
         let (mut handles, consumer) = IngestQueue::bounded(1, 4);
         let p = handles.pop().unwrap();
         drop(consumer);
-        p.send(batch(0, 1));
+        assert_eq!(p.send(batch(0, 1)), Err(QueueClosed));
     }
 
     #[test]

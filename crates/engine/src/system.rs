@@ -474,6 +474,7 @@ impl MemorySystem {
         if self.pool.as_ref().map(ShardPool::shards) != Some(shards) {
             self.pool = Some(ShardPool::new(shards, nbanks));
         }
+        // cat-lint: allow(panic-path) -- infallible: the pool is (re)built two lines above, not peer-reachable
         let mut pool = self.pool.take().expect("pool just ensured");
         let (events_before, rows_before) = self.refresh_totals();
 

@@ -1,0 +1,85 @@
+//! `cat-lint` CLI: walk the workspace and enforce the determinism &
+//! concurrency contract (`DESIGN.md §9`).
+//!
+//! ```text
+//! cargo run --release -p cat-lint -- --workspace [--root <path>]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 with `file:line: [rule] message`
+//! diagnostics otherwise, and 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cat-lint --workspace [--root <path>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if !workspace {
+        return usage();
+    }
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(find_workspace_root)) {
+        Some(r) => r,
+        None => {
+            eprintln!("cat-lint: no workspace Cargo.toml found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+    match cat_lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("cat-lint: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!(
+                "cat-lint: {} violation{} — fix, or annotate with \
+                 `// cat-lint: allow(<rule>) -- <reason>` (DESIGN.md §9)",
+                violations.len(),
+                if violations.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cat-lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root missing both required attributes.
+
+/// Does nothing.
+pub fn noop() {}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying both required attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Does nothing, with documentation.
+pub fn noop() {}

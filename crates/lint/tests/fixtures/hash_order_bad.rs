@@ -1,0 +1,13 @@
+//! Fixture: hash-ordered collections in a determinism-critical crate.
+
+use std::collections::HashMap;
+
+/// Iteration order of the returned map depends on the per-process hasher.
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+/// Seeding the hasher explicitly is just as nondeterministic.
+pub fn seeded() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}

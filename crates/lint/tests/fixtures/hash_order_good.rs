@@ -1,0 +1,30 @@
+//! Fixture: the sanctioned replacements, test-only hash use, and a
+//! justified exception.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ordered iteration: deterministic for any hasher seed.
+pub fn build() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+/// Ordered set.
+pub fn set() -> BTreeSet<u32> {
+    BTreeSet::new()
+}
+
+// cat-lint: allow(hash-order) -- fixture: membership-only use, never iterated
+pub fn allowed() -> std::collections::HashSet<u32> {
+    std::collections::HashSet::new() // cat-lint: allow(hash-order) -- fixture: membership-only use
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may hash freely: it never feeds the stats pipeline.
+    #[test]
+    fn hashing_in_tests_is_fine() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

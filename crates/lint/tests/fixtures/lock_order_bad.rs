@@ -1,0 +1,32 @@
+//! Fixture: lock-order violations — an unannotated field, an inverted
+//! acquisition pair, and an unresolvable `.lock()` receiver.
+
+use std::sync::Mutex;
+
+/// A lock that belongs to some other module, not declared in this file.
+pub struct OtherPart {
+    /// Opaque to this file's lock table.
+    pub inner: Vec<u32>,
+}
+
+/// Shared state with one unannotated lock and an inverted pair.
+pub struct Shared {
+    queue: Mutex<Vec<u32>>,
+    stats: Mutex<u64>, // lock-order: stats
+    flags: Mutex<u8>, // lock-order: flags
+}
+
+impl Shared {
+    fn forward(&self) {
+        let _s = self.stats.lock();
+        let _f = self.flags.lock();
+        let _ = &self.queue;
+    }
+    fn backward(&self) {
+        let _f = self.flags.lock();
+        let _s = self.stats.lock();
+    }
+    fn stray(&self, other: &OtherPart) {
+        let _ = other.inner.lock();
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: every lock named, every nesting in one global order.
+
+use std::sync::{Condvar, Mutex};
+
+/// Shared state whose locks are all annotated and consistently nested.
+pub struct Shared {
+    state: Mutex<Vec<u32>>, // lock-order: state
+    stats: Mutex<u64>, // lock-order: stats
+    // lock-order: ready -- waits reacquire `state`, never `stats`
+    ready: Condvar,
+}
+
+impl Shared {
+    fn drain(&self) {
+        let _s = self.state.lock();
+        let _t = self.stats.lock();
+        let _ = &self.ready;
+    }
+    fn publish(&self) {
+        let _s = self.state.lock();
+        let _t = self.stats.lock();
+    }
+    fn peek(&self) {
+        let _t = self.stats.lock();
+    }
+}

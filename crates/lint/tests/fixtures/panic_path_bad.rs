@@ -1,0 +1,16 @@
+//! Fixture: panics reachable from a malformed peer frame.
+
+/// Parses a length header from an untrusted peer frame.
+pub fn parse_len(buf: &[u8]) -> u32 {
+    let head: [u8; 4] = buf[..4].try_into().unwrap();
+    if head[0] == 0xFF {
+        panic!("bad frame");
+    }
+    u32::from_le_bytes(head)
+}
+
+/// Looks up a record — `.expect()` aborts the reader thread instead of
+/// surfacing a wire error.
+pub fn first(records: &[(u32, u32)]) -> (u32, u32) {
+    *records.first().expect("peer sent an empty batch")
+}

@@ -1,0 +1,32 @@
+//! Fixture: the same datapath logic with errors surfaced, one justified
+//! infallible `.expect()`, and test-only unwraps.
+
+use std::io;
+
+/// Parses a length header; a short or poisoned frame is a wire error.
+pub fn parse_len(buf: &[u8]) -> io::Result<u32> {
+    let head: [u8; 4] = buf
+        .get(..4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "short frame"))?;
+    if head[0] == 0xFF {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame"));
+    }
+    Ok(u32::from_le_bytes(head))
+}
+
+/// A genuinely infallible unwrap takes a justified allow directive.
+pub fn halves(x: u64) -> u32 {
+    // cat-lint: allow(panic-path) -- infallible: masked to 32 bits on the line above
+    (x & 0xFFFF_FFFF).try_into().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(parse_len(&[4, 0, 0, 0]).unwrap(), 4);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: wall-clock reads outside `crates/bench`.
+
+use std::time::Instant;
+
+/// Times a closure — wall time is nondeterministic input.
+pub fn time_it<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}
+
+/// Epoch seconds — same problem, different clock.
+pub fn stamp() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

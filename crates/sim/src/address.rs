@@ -77,7 +77,7 @@ mod tests {
     fn global_bank_is_dense_and_unique() {
         let cfg = SystemConfig::quad_core_four_channel();
         let map = AddressMapping::new(&cfg);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for ch in 0..4 {
             for rk in 0..2 {
                 for bk in 0..8 {
@@ -114,11 +114,11 @@ mod tests {
                 )
             })
             .collect();
-        let banks2: std::collections::HashSet<u32> = addrs
+        let banks2: std::collections::BTreeSet<u32> = addrs
             .iter()
             .map(|&a| m2.decode(a).global_bank(&cfg2))
             .collect();
-        let banks4: std::collections::HashSet<u32> = addrs
+        let banks4: std::collections::BTreeSet<u32> = addrs
             .iter()
             .map(|&a| m4.decode(a).global_bank(&cfg4))
             .collect();

@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn twelve_distinct_kernels_with_four_targets_per_bank() {
         let cfg = SystemConfig::dual_core_two_channel();
-        let mut all_targets = std::collections::HashSet::new();
+        let mut all_targets = std::collections::BTreeSet::new();
         for id in 0..KERNEL_COUNT {
             let k = KernelAttack::new(id, &cfg);
             assert_eq!(k.targets().len(), 64, "4 rows × 16 banks");
@@ -170,7 +170,7 @@ mod tests {
         let cfg = SystemConfig::dual_core_two_channel();
         let map = AddressMapping::new(&cfg);
         let k = KernelAttack::new(3, &cfg);
-        let banks: std::collections::HashSet<u32> = k
+        let banks: std::collections::BTreeSet<u32> = k
             .targets()
             .iter()
             .map(|&a| map.decode(a).global_bank(&cfg))
@@ -183,7 +183,7 @@ mod tests {
         let cfg = SystemConfig::dual_core_two_channel();
         let benign = catalog::by_name("swapt").unwrap();
         let k = KernelAttack::new(0, &cfg);
-        let targets: std::collections::HashSet<u64> = k.targets().iter().copied().collect();
+        let targets: std::collections::BTreeSet<u64> = k.targets().iter().copied().collect();
         let hits = k
             .stream(&benign, &cfg, AttackMode::Heavy, 0, 1, 7)
             .take(20_000)

@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_match_paper_figures() {
         let names: Vec<&str> = all().iter().map(|w| w.name).collect();
-        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        let unique: std::collections::BTreeSet<&&str> = names.iter().collect();
         assert_eq!(unique.len(), 18);
         for expected in [
             "com1", "com2", "com3", "com4", "com5", "swapt", "fluid", "str", "black", "ferret",
@@ -278,7 +278,7 @@ mod tests {
     fn sweep_subset_covers_all_suites() {
         let sub = sweep_subset();
         assert_eq!(sub.len(), 6);
-        let suites: std::collections::HashSet<_> = sub.iter().map(|w| w.suite).collect();
+        let suites: std::collections::BTreeSet<_> = sub.iter().map(|w| w.suite).collect();
         assert_eq!(suites.len(), 4);
     }
 

@@ -1,7 +1,9 @@
 //! Workload models: row-popularity mixtures with phase behaviour.
 
 /// Benchmark suite grouping (the paper's COMM / PARSEC / SPEC / BIO).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+/// `Ord` so suites can live in deterministic ordered collections
+/// (`BTreeSet` — the workspace bans hash-ordered iteration, DESIGN.md §9).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Suite {
     /// Commercial server traces (`com1`–`com5`).
     Comm,

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example adaptive_tree`
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use catree::{CatConfig, CatTree, MitigationScheme, RowId};
 
 fn show(title: &str, tree: &CatTree) {

@@ -14,6 +14,9 @@
 //! accesses per observed refresh interval) — `tests/examples_smoke.rs`
 //! passes small values so the walkthrough runs in a debug build.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use catree::engine::MemorySystem;
 use catree::oracle::SafetyOracle;
 use catree::reliability::lfsr_attack;

@@ -16,6 +16,9 @@
 //! tier1.sh` runs exactly this against the `catd_loadgen` example over
 //! loopback.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::net::TcpListener;
 
 use catree::engine::ingest::{serve, ServeOptions};

@@ -16,6 +16,9 @@
 //! Exits nonzero on any mismatch, making this the client half of the
 //! loopback smoke in `scripts/tier1.sh`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use catree::engine::ingest::{deal, IngestClient};
 use catree::{AccessStream, AddressMapping, MemorySystem, SchemeSpec, SystemConfig};
 

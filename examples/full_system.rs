@@ -9,6 +9,9 @@
 //! quarter epoch) — `tests/examples_smoke.rs` passes a small cap so the
 //! whole walkthrough runs in a debug build.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use catree::{cmrpo_from_stats, AccessStream, SchemeSpec, Simulator, SystemConfig};
 
 fn traces(

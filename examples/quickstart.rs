@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use catree::{CatConfig, Drcat, MitigationScheme, RowId};
 
 fn main() -> Result<(), catree::ConfigError> {

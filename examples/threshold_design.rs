@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example threshold_design`
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use catree::thresholds::{cost, SplitThresholds, ThresholdPolicy};
 
 fn main() {

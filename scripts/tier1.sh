@@ -12,6 +12,13 @@ export CARGO_NET_OFFLINE=true
 
 cargo fmt --all --check
 cargo build --release --workspace --all-targets
+
+# Determinism & concurrency contract lint (DESIGN.md §9): hash-ordered
+# iteration, wall-clock reads, peer-reachable panics and unannotated lock
+# nesting fail here, before the test suite, so contract violations fail fast
+# with a file:line diagnostic instead of a flaky test three minutes later.
+cargo run --release -p cat-lint -- --workspace
+
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
