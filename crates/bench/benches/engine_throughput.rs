@@ -20,10 +20,11 @@
 //!   independent channels overlap on the same workers;
 //! * `queue-N`      — the socket/queue ingestion front-end minus the
 //!   socket: N producer threads deal the trace round-robin into the
-//!   bounded `IngestQueue`, and `MemorySystem::ingest` drains the
-//!   deterministic `(seq, producer)` merge through the streaming path.
-//!   Measures the merge + handoff overhead on top of `stream` (the
-//!   `catd` TCP server adds only wire framing on top of this);
+//!   lock-free per-producer SPSC rings of `IngestQueue`, and
+//!   `MemorySystem::ingest` drains the deterministic `(seq, producer)`
+//!   merge chunk-at-a-time through the streaming path. Measures the
+//!   merge + handoff overhead on top of `stream` (the `catd` TCP server
+//!   adds only wire framing on top of this);
 //! * `*-small`      — the same paths at an epoch length of 65 536 accesses
 //!   (hundreds of boundaries per replay): the cut-aware regression guard.
 //!   Before cuts travelled inside the batch, small epochs drained the
@@ -41,9 +42,12 @@
 //! sharded, so they only profit from sharding on multi-core hosts.
 //!
 //! Hand-rolled `std::time::Instant` harness (no criterion — the workspace
-//! builds offline); each measurement reports the best of several repeats.
-//! Set `BENCH_ENGINE_JSON=/path/to/BENCH_engine.json` to also write the
-//! numbers as JSON (`scripts/bench.sh` does).
+//! builds offline); each row is the **median of [`DEFAULT_RUNS`]
+//! independent runs**, each run the best of [`REPS`] back-to-back
+//! replays — single-run numbers are noisy enough to mask a 5%
+//! regression. Override the run count with `BENCH_RUNS`; `REPRO_QUICK`
+//! drops it to 1. Set `BENCH_ENGINE_JSON=/path/to/BENCH_engine.json` to
+//! also write the numbers as JSON (`scripts/bench.sh` does).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,10 +65,30 @@ use cat_sim::SystemConfig;
 use cat_workloads::catalog;
 
 const EPOCHS: u64 = 4;
-const REPS: u32 = 5;
+/// Back-to-back replays per run; the best one is the run's rate.
+const REPS: u32 = 3;
+/// Independent runs per row; the reported rate is their **median**.
+const DEFAULT_RUNS: usize = 3;
 /// Epoch length of the `*-small` rows, in accesses: far below the pool's
 /// 1M-access sub-batch, so every chunk carries many epoch cuts.
 const SMALL_EPOCH: u64 = 65_536;
+
+/// Runs per row: `BENCH_RUNS` if set, 1 under `REPRO_QUICK`, else
+/// [`DEFAULT_RUNS`].
+fn runs_per_row() -> usize {
+    if let Ok(v) = std::env::var("BENCH_RUNS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    if quick_factor() > 1 {
+        1
+    } else {
+        DEFAULT_RUNS
+    }
+}
 
 struct Measurement {
     scheme: String,
@@ -73,21 +97,32 @@ struct Measurement {
     refresh_events: u64,
 }
 
-/// Best-of-`REPS` activations/sec for `f`, which replays the whole trace
-/// once per call and returns the aggregate stats (used as a checksum so the
-/// compared paths provably did the same work).
+/// Median-of-runs activations/sec for `f` (each run the best of [`REPS`]
+/// back-to-back replays). `f` replays the whole trace once per call and
+/// returns the aggregate stats, asserted identical across every replay
+/// (used as a checksum so the compared paths provably did the same work).
 fn measure<F: FnMut() -> SchemeStats>(accesses: u64, mut f: F) -> (f64, SchemeStats) {
-    let mut best = 0.0f64;
-    let mut stats = SchemeStats::default();
-    for _ in 0..REPS {
-        let start = Instant::now();
-        stats = f();
-        let rate = accesses as f64 / start.elapsed().as_secs_f64();
-        if rate > best {
-            best = rate;
+    let runs = runs_per_row();
+    let mut rates = Vec::with_capacity(runs);
+    let mut stats: Option<SchemeStats> = None;
+    for _ in 0..runs {
+        let mut best = 0.0f64;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let s = f();
+            let rate = accesses as f64 / start.elapsed().as_secs_f64();
+            if rate > best {
+                best = rate;
+            }
+            match &stats {
+                Some(prev) => assert_eq!(*prev, s, "replays must do identical work"),
+                None => stats = Some(s),
+            }
         }
+        rates.push(best);
     }
-    (best, stats)
+    rates.sort_by(f64::total_cmp);
+    (rates[rates.len() / 2], stats.expect("at least one replay"))
 }
 
 /// The pre-engine loop, reproduced verbatim as the baseline.
@@ -223,7 +258,11 @@ fn main() {
         for (path, producers) in [("queue-1", 1usize), ("queue-4", 4)] {
             let (rate, stats) = measure(accesses, || {
                 let mut system = MemorySystem::new(&cfg, spec).with_epoch_length(trace.per_epoch);
-                let (handles, mut consumer) = IngestQueue::bounded(producers, 1 << 16);
+                // Ring sized to the deal chunk: each lane is one 64 KiB
+                // slab the producer and consumer alternate over, so the
+                // handoff stays cache-resident instead of rotating
+                // through a cold ring.
+                let (handles, mut consumer) = IngestQueue::bounded(producers, 1 << 13);
                 std::thread::scope(|scope| {
                     for (handle, lane) in
                         handles
@@ -231,10 +270,9 @@ fn main() {
                             .zip(ingest::deal(&trace.entries, producers, 8_192))
                     {
                         scope.spawn(move || {
+                            let mut handle = handle;
                             for batch in lane {
-                                handle
-                                    .send(batch.to_vec())
-                                    .expect("consumer outlives scope");
+                                handle.send(batch).expect("consumer outlives scope");
                             }
                         });
                     }

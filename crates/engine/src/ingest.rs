@@ -1,6 +1,6 @@
-//! The multi-producer ingestion front-end: a bounded queue with a
-//! deterministic merge, and the TCP server loop (`catd`) that feeds it
-//! from [`wire`]-framed socket connections.
+//! The multi-producer ingestion front-end: per-producer lock-free SPSC
+//! lanes with a deterministic merge, and the TCP server loop (`catd`)
+//! that feeds them from [`wire`]-framed socket connections.
 //!
 //! This is the layer that turns `cat-engine` from a library you call into
 //! a service you stream at — the memory-controller deployment model the
@@ -9,6 +9,24 @@
 //! for any producer count, arrival interleaving, shard count, or
 //! staging-flush boundary. How the merge guarantees that is `DESIGN.md
 //! §8`.
+//!
+//! ## The SPSC lanes
+//!
+//! Each producer owns a **single-producer/single-consumer ring**: a
+//! fixed-capacity slot array of packed records ([`wire::pack_record`] —
+//! the same 8-byte layout the wire carries, so the server's decode is a
+//! store, not a re-encode) plus a small ring of **batch descriptors**
+//! (record counts). Producer and consumer each advance a monotonic
+//! cursor with `SeqCst` atomics; no lock is ever taken on the record
+//! path. The only mutexes in the module guard parked `Thread` handles,
+//! and they are touched exclusively around an actual park/unpark on an
+//! empty-to-nonempty or full-to-nonfull transition.
+//!
+//! A batch's descriptor is published **before** its records, and the
+//! records then stream through the ring in free-space-sized chunks — so
+//! a batch larger than the whole ring flows through it instead of
+//! deadlocking, and the consumer can start merging a batch while its
+//! producer is still writing it.
 //!
 //! ## The deterministic merge
 //!
@@ -19,7 +37,7 @@
 //! lagging producer rather than reordering around it, and permanently
 //! skipping producers that have finished. The merged stream is therefore a
 //! pure function of *what each producer sent* — thread scheduling, arrival
-//! interleaving, and queue capacity are all unobservable.
+//! interleaving, and ring capacity are all unobservable.
 //!
 //! A client that wants the merged stream to equal an original trace deals
 //! it round-robin by contiguous chunk ([`deal`]): chunk `k` goes to
@@ -29,65 +47,182 @@
 //!
 //! ## Backpressure
 //!
-//! The queue bounds the records buffered **per producer lane**; a producer
-//! whose lane is full blocks in [`IngestProducer::send`] until the
-//! consumer drains it. In [`serve`] the blocked sender is that
-//! connection's reader thread, so the kernel's TCP flow control pushes the
-//! stall back to the remote client — a fast producer cannot balloon the
-//! server's memory, and a slow consumer throttles every connection. The
-//! bound is per lane (not global) because the merge may *need* the lagging
-//! producer's next batch while every other lane is full: a global bound
-//! would deadlock exactly there.
+//! **Ring-full blocks the producer, never the merge.** A producer whose
+//! ring has no free slot parks in [`IngestProducer::send`] until the
+//! consumer frees space; the consumer never skips or reorders to make
+//! room. In [`serve`] the parked sender is that connection's reader
+//! thread, so the kernel's TCP flow control pushes the stall back to the
+//! remote client — a fast producer cannot balloon the server's memory,
+//! and a slow consumer throttles every connection. The bound is per lane
+//! (not global) because the merge may *need* the lagging producer's next
+//! batch while every other lane is full: a global bound would deadlock
+//! exactly there.
 
-use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{JoinHandle, Thread};
 
-use crate::wire::{self, Frame, ServerHello, StatsSnapshot};
+use crate::wire::{self, Frame, FrameHeader, ServerHello, StatsSnapshot};
 use crate::{BatchOutcome, MemGeometry, MemorySystem};
 
-/// One producer's lane in the queue.
-struct Lane {
-    /// Batches sent but not yet merged, in sequence order.
-    batches: VecDeque<Vec<(u32, u32)>>,
-    /// Records currently buffered in this lane.
-    buffered: usize,
-    /// Batches sent so far (the next sequence number to assign).
-    sent: u64,
-    /// No further batches will arrive.
-    finished: bool,
+/// Stores a packed record into the pow2-masked ring slot at monotonic
+/// position `pos`.
+#[inline]
+fn ring_store(ring: &[AtomicU64], mask: u64, pos: u64, value: u64) {
+    // cat-lint: allow(atomic-order) -- payload slots are ordered by the SeqCst cursor publication around them (DESIGN.md §8)
+    ring[(pos & mask) as usize].store(value, Ordering::Relaxed);
 }
 
-struct State {
-    lanes: Vec<Lane>,
-    /// Per-lane record capacity ([`IngestQueue::bounded`]).
-    capacity: usize,
-    /// Producer whose next batch the merge emits ([`module docs`](self)).
-    turn: usize,
-    /// The consumer is gone; further sends would wait forever.
-    closed: bool,
+/// Loads the packed record at monotonic position `pos`.
+#[inline]
+fn ring_load(ring: &[AtomicU64], mask: u64, pos: u64) -> u64 {
+    // cat-lint: allow(atomic-order) -- payload slots are ordered by the SeqCst cursor publication around them (DESIGN.md §8)
+    ring[(pos & mask) as usize].load(Ordering::Relaxed)
+}
+
+/// Stores packed records into a *contiguous* run of ring slots — the
+/// bulk counterpart of [`ring_store`], with no per-record masking or
+/// bounds check (callers split their span at the ring's wrap point).
+#[inline]
+fn span_store(span: &[AtomicU64], values: impl Iterator<Item = u64>) {
+    for (slot, value) in span.iter().zip(values) {
+        // cat-lint: allow(atomic-order) -- payload slots are ordered by the SeqCst cursor publication around them (DESIGN.md §8)
+        slot.store(value, Ordering::Relaxed);
+    }
+}
+
+/// Unpacks a contiguous run of ring slots onto the end of `out` — a
+/// slice-iterator extend, so the `Vec` reserves once and writes straight
+/// through with no per-record masking or bounds check.
+#[inline]
+fn span_extend(span: &[AtomicU64], out: &mut Vec<(u32, u32)>) {
+    out.extend(span.iter().map(|slot| {
+        // cat-lint: allow(atomic-order) -- payload slots are ordered by the SeqCst cursor publication around them (DESIGN.md §8)
+        wire::unpack_record(slot.load(Ordering::Relaxed))
+    }));
+}
+
+/// One producer's SPSC lane. The producer thread owns `tail`/`batch_tail`
+/// (it is the only writer), the consumer owns `head`/`batch_head`; every
+/// cursor is a monotonic count, masked into its ring on access, so
+/// full/empty tests are plain subtractions with no wraparound ambiguity.
+struct Lane {
+    /// Packed record slots ([`wire::pack_record`] layout); pow2 length.
+    slots: Box<[AtomicU64]>,
+    /// Index mask for `slots` (`slots.len() - 1`).
+    slot_mask: u64,
+    /// Logical record bound — exactly the capacity the queue was built
+    /// with, which may be less than `slots.len()` (the pow2 rounding).
+    capacity: u64,
+    /// Records written (producer cursor).
+    tail: AtomicU64,
+    /// Records consumed (consumer cursor).
+    head: AtomicU64,
+    /// Record counts of begun batches, in sequence order; pow2 length.
+    batches: Box<[AtomicU64]>,
+    /// Index mask for `batches`.
+    batch_mask: u64,
+    /// Batches begun (producer cursor).
+    batch_tail: AtomicU64,
+    /// Batches fully merged (consumer cursor).
+    batch_head: AtomicU64,
+    /// The producer handle is gone; no further descriptors or records.
+    finished: AtomicBool,
+    /// The producer is parked (or committed to parking) on a full ring.
+    producer_parked: AtomicBool,
+    /// The parked producer's thread handle. Off the fast path: touched
+    /// only around an actual park/unpark, never per record.
+    parked_producer: Mutex<Option<Thread>>, // lock-order: parked_producer
+}
+
+impl Lane {
+    /// Parks the producer until woken, with the lost-wakeup guard: the
+    /// parked flag is raised first, `ready` is re-checked after, and only
+    /// then does the thread park. `SeqCst` totally orders the flag raise
+    /// against the waker's publication, so either the re-check sees the
+    /// publication or the waker sees the flag (and the unpark permit
+    /// covers the remaining park-vs-unpark race). Spurious returns are
+    /// fine — every caller re-checks in a loop.
+    fn park_producer(&self, ready: impl Fn() -> bool) {
+        // Registry locks tolerate poison throughout: they hold no invariant
+        // beyond their `Option`, and the `Drop` impls must be able to wake
+        // waiters even while another thread unwinds.
+        *self
+            .parked_producer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(std::thread::current());
+        self.producer_parked.store(true, Ordering::SeqCst);
+        if ready() {
+            self.producer_parked.store(false, Ordering::SeqCst);
+            return;
+        }
+        std::thread::park();
+        self.producer_parked.store(false, Ordering::SeqCst);
+    }
+
+    /// Unparks the lane's producer if it is parked (or committing to
+    /// park). Callers publish with a `SeqCst` store first; the cheap
+    /// flag load keeps the un-contended fast path mutex-free.
+    fn wake_producer(&self) {
+        if self.producer_parked.load(Ordering::SeqCst)
+            && self.producer_parked.swap(false, Ordering::SeqCst)
+        {
+            let waiter = self
+                .parked_producer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(thread) = waiter {
+                thread.unpark();
+            }
+        }
+    }
 }
 
 struct Shared {
-    /// The queue's only mutex; both condvars reacquire it on wake, so no
-    /// nested acquisition is possible (`DESIGN.md §9`, rule `lock-order`).
-    state: Mutex<State>, // lock-order: state
-    /// Signalled when a batch arrives or a producer finishes.
-    ready: Condvar, // lock-order: ready
-    /// Signalled when the consumer drains a lane (or goes away).
-    space: Condvar, // lock-order: space
+    lanes: Box<[Lane]>,
+    /// The consumer is gone; further sends would wait forever.
+    closed: AtomicBool,
+    /// The consumer is parked (or committed to parking) on empty lanes.
+    consumer_parked: AtomicBool,
+    /// The parked consumer's thread handle (see `Lane::parked_producer`).
+    parked_consumer: Mutex<Option<Thread>>, // lock-order: parked_consumer
 }
 
 impl Shared {
-    /// Locks the state, tolerating poison: the queue's invariants hold at
-    /// every await point, and the `Drop` impls must be able to finish
-    /// their lane / close the queue even while another thread unwinds.
-    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
-        self.state
+    /// Parks the consumer until a producer publishes; the mirror image of
+    /// [`Lane::park_producer`], with the same lost-wakeup guard.
+    fn park_consumer(&self, ready: impl Fn() -> bool) {
+        *self
+            .parked_consumer
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(PoisonError::into_inner) = Some(std::thread::current());
+        self.consumer_parked.store(true, Ordering::SeqCst);
+        if ready() {
+            self.consumer_parked.store(false, Ordering::SeqCst);
+            return;
+        }
+        std::thread::park();
+        self.consumer_parked.store(false, Ordering::SeqCst);
+    }
+
+    /// Unparks the consumer if it is parked (or committing to park); the
+    /// mirror image of [`Lane::wake_producer`].
+    fn wake_consumer(&self) {
+        if self.consumer_parked.load(Ordering::SeqCst)
+            && self.consumer_parked.swap(false, Ordering::SeqCst)
+        {
+            let waiter = self
+                .parked_consumer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(thread) = waiter {
+                thread.unpark();
+            }
+        }
     }
 }
 
@@ -105,19 +240,20 @@ impl std::fmt::Display for QueueClosed {
 
 impl std::error::Error for QueueClosed {}
 
-/// A bounded multi-producer ingestion queue with the deterministic
-/// `(sequence, producer)` merge described in the [module docs](self).
+/// A bounded multi-producer ingestion queue — per-producer SPSC rings
+/// with the deterministic `(sequence, producer)` merge described in the
+/// [module docs](self).
 ///
 /// ```
 /// use cat_engine::ingest::IngestQueue;
 ///
 /// let (mut producers, mut consumer) = IngestQueue::bounded(2, 1024);
-/// let p1 = producers.pop().unwrap(); // producer 1
-/// let p0 = producers.pop().unwrap(); // producer 0
+/// let mut p1 = producers.pop().unwrap(); // producer 1
+/// let mut p0 = producers.pop().unwrap(); // producer 0
 /// // Arrival order is 1-before-0, but the merge is by (seq, producer):
-/// p1.send(vec![(1, 10)]).unwrap();
-/// p1.send(vec![(1, 11)]).unwrap();
-/// p0.send(vec![(0, 20)]).unwrap();
+/// p1.send(&[(1, 10)]).unwrap();
+/// p1.send(&[(1, 11)]).unwrap();
+/// p0.send(&[(0, 20)]).unwrap();
 /// drop(p0); // finish
 /// drop(p1);
 /// assert_eq!(consumer.next_batch(), Some(vec![(0, 20)])); // seq 0, producer 0
@@ -128,9 +264,13 @@ impl std::error::Error for QueueClosed {}
 pub struct IngestQueue;
 
 impl IngestQueue {
-    /// Builds a queue for `producers` producer lanes, each bounded at
+    /// Builds a queue of `producers` SPSC lanes, each bounded at
     /// `capacity` buffered records, returning the producer handles (index
     /// = producer id = merge tie-break order) and the single consumer.
+    ///
+    /// The slot ring is sized to the next power of two for mask indexing,
+    /// but the *logical* bound stays exactly `capacity`. Batches larger
+    /// than the capacity stream through the ring chunk by chunk.
     ///
     /// # Panics
     ///
@@ -138,39 +278,53 @@ impl IngestQueue {
     pub fn bounded(producers: usize, capacity: usize) -> (Vec<IngestProducer>, IngestConsumer) {
         assert!(producers >= 1, "at least one producer lane");
         assert!(capacity >= 1, "lanes must buffer records");
+        let slots_len = capacity.next_power_of_two();
+        // Descriptors gate batches, slots gate records: a handful of
+        // in-flight batches per ring-full of records is plenty, and tiny
+        // test queues still get enough to not serialise on descriptors.
+        let batch_len = (slots_len / 8).clamp(8, 1024).next_power_of_two();
+        let lanes: Box<[Lane]> = (0..producers)
+            .map(|_| Lane {
+                slots: (0..slots_len).map(|_| AtomicU64::new(0)).collect(),
+                slot_mask: slots_len as u64 - 1,
+                capacity: capacity as u64,
+                tail: AtomicU64::new(0),
+                head: AtomicU64::new(0),
+                batches: (0..batch_len).map(|_| AtomicU64::new(0)).collect(),
+                batch_mask: batch_len as u64 - 1,
+                batch_tail: AtomicU64::new(0),
+                batch_head: AtomicU64::new(0),
+                finished: AtomicBool::new(false),
+                producer_parked: AtomicBool::new(false),
+                parked_producer: Mutex::new(None),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                lanes: (0..producers)
-                    .map(|_| Lane {
-                        batches: VecDeque::new(),
-                        buffered: 0,
-                        sent: 0,
-                        finished: false,
-                    })
-                    .collect(),
-                capacity,
-                turn: 0,
-                closed: false,
-            }),
-            ready: Condvar::new(),
-            space: Condvar::new(),
+            lanes,
+            closed: AtomicBool::new(false),
+            consumer_parked: AtomicBool::new(false),
+            parked_consumer: Mutex::new(None),
         });
         let handles = (0..producers)
             .map(|id| IngestProducer {
                 shared: Arc::clone(&shared),
                 id,
+                sent: 0,
             })
             .collect();
-        (handles, IngestConsumer { shared })
+        (handles, IngestConsumer { shared, turn: 0 })
     }
 }
 
 /// One producer's handle: tags batches with consecutive sequence numbers
-/// and blocks when its lane is full. Dropping the handle finishes the
-/// lane.
+/// and parks when its ring is full. Dropping the handle finishes the
+/// lane. Methods take `&mut self` to enforce the single-producer half of
+/// the SPSC contract in the type system.
 pub struct IngestProducer {
     shared: Arc<Shared>,
     id: usize,
+    /// Batches begun so far — the next sequence number to assign.
+    sent: u64,
 }
 
 impl IngestProducer {
@@ -180,37 +334,120 @@ impl IngestProducer {
     }
 
     /// Enqueues `records` as this producer's next batch and returns the
-    /// sequence number it was tagged with (0, 1, 2, …). Blocks while the
-    /// lane holds `capacity` or more records (a batch larger than the
-    /// whole capacity is admitted alone into an empty lane rather than
-    /// deadlocking).
+    /// sequence number it was tagged with (0, 1, 2, …). Parks while the
+    /// ring is full; a batch larger than the whole capacity streams
+    /// through the ring chunk by chunk rather than deadlocking.
     ///
     /// # Errors
     ///
     /// [`QueueClosed`] if the consumer has been dropped — with no merge
     /// left to drain the lane, the send would otherwise block forever.
-    pub fn send(&self, records: Vec<(u32, u32)>) -> Result<u64, QueueClosed> {
-        let mut state = self.shared.lock_state();
-        while !state.closed
-            && state.lanes[self.id].buffered > 0
-            && state.lanes[self.id].buffered + records.len() > state.capacity
-        {
-            state = self
-                .shared
-                .space
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-        if state.closed {
-            return Err(QueueClosed);
-        }
-        let lane = &mut state.lanes[self.id];
-        let seq = lane.sent;
-        lane.sent += 1;
-        lane.buffered += records.len();
-        lane.batches.push_back(records);
-        self.shared.ready.notify_one();
+    pub fn send(&mut self, records: &[(u32, u32)]) -> Result<u64, QueueClosed> {
+        let seq = self.begin_batch(records.len())?;
+        self.write_records(records)?;
         Ok(seq)
+    }
+
+    /// Publishes the descriptor of this producer's next batch — `len`
+    /// records which MUST then be delivered via
+    /// [`write_records`](Self::write_records) /
+    /// [`write_packed`](Self::write_packed) — and returns its sequence
+    /// number. Descriptor-first publication is what lets a batch larger
+    /// than the ring stream through it, and lets the consumer start
+    /// merging a batch while it is still being written.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueClosed`] if the consumer has been dropped.
+    pub fn begin_batch(&mut self, len: usize) -> Result<u64, QueueClosed> {
+        let lane = &self.shared.lanes[self.id];
+        loop {
+            if self.shared.closed.load(Ordering::SeqCst) {
+                return Err(QueueClosed);
+            }
+            let tail = lane.batch_tail.load(Ordering::SeqCst);
+            let head = lane.batch_head.load(Ordering::SeqCst);
+            if tail - head < lane.batches.len() as u64 {
+                ring_store(&lane.batches, lane.batch_mask, tail, len as u64);
+                lane.batch_tail.store(tail + 1, Ordering::SeqCst);
+                self.shared.wake_consumer();
+                let seq = self.sent;
+                self.sent += 1;
+                return Ok(seq);
+            }
+            lane.park_producer(|| {
+                self.shared.closed.load(Ordering::SeqCst)
+                    || lane.batch_head.load(Ordering::SeqCst) != head
+            });
+        }
+    }
+
+    /// Streams `records` into the ring as (part of) the batch begun by
+    /// the last [`begin_batch`](Self::begin_batch), packing them into the
+    /// slot layout on the way.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueClosed`] if the consumer has been dropped.
+    pub fn write_records(&mut self, records: &[(u32, u32)]) -> Result<(), QueueClosed> {
+        self.write_slots(records.len(), |span, off, take| {
+            span_store(
+                span,
+                records[off..off + take]
+                    .iter()
+                    .map(|&(bank, row)| wire::pack_record(bank, row)),
+            );
+        })
+    }
+
+    /// Streams already-packed records ([`wire::pack_record`] layout —
+    /// which is byte-identical to the wire payload, so the server's
+    /// reader threads call this without any re-encoding).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueClosed`] if the consumer has been dropped.
+    pub fn write_packed(&mut self, packed: &[u64]) -> Result<(), QueueClosed> {
+        self.write_slots(packed.len(), |span, off, take| {
+            span_store(span, packed[off..off + take].iter().copied());
+        })
+    }
+
+    /// The common ring-write loop: chunk `total` records by free space
+    /// *and* the ring's wrap point (so every chunk is one contiguous slot
+    /// span), parking on a full ring. `store(span, offset, take)` writes
+    /// source records `offset..offset + take` into the slot span.
+    fn write_slots(
+        &self,
+        total: usize,
+        mut store: impl FnMut(&[AtomicU64], usize, usize),
+    ) -> Result<(), QueueClosed> {
+        let lane = &self.shared.lanes[self.id];
+        let mut written = 0usize;
+        while written < total {
+            if self.shared.closed.load(Ordering::SeqCst) {
+                return Err(QueueClosed);
+            }
+            let tail = lane.tail.load(Ordering::SeqCst);
+            let head = lane.head.load(Ordering::SeqCst);
+            let free = lane.capacity - (tail - head);
+            if free == 0 {
+                lane.park_producer(|| {
+                    self.shared.closed.load(Ordering::SeqCst)
+                        || lane.head.load(Ordering::SeqCst) != head
+                });
+                continue;
+            }
+            let start = (tail & lane.slot_mask) as usize;
+            let take = (total - written)
+                .min(free as usize)
+                .min(lane.slots.len() - start);
+            store(&lane.slots[start..start + take], written, take);
+            lane.tail.store(tail + take as u64, Ordering::SeqCst);
+            self.shared.wake_consumer();
+            written += take;
+        }
+        Ok(())
     }
 
     /// Marks the lane finished (equivalent to dropping the handle): the
@@ -220,59 +457,116 @@ impl IngestProducer {
 
 impl Drop for IngestProducer {
     fn drop(&mut self) {
-        let mut state = self.shared.lock_state();
-        state.lanes[self.id].finished = true;
-        self.shared.ready.notify_one();
+        let lane = &self.shared.lanes[self.id];
+        lane.finished.store(true, Ordering::SeqCst);
+        self.shared.wake_consumer();
     }
 }
 
 /// The consuming end: emits batches in the deterministic merge order.
 pub struct IngestConsumer {
     shared: Arc<Shared>,
+    /// Producer whose next batch the merge emits ([module docs](self)).
+    turn: usize,
 }
 
 impl IngestConsumer {
+    /// Appends the next batch in `(sequence, producer)` order to `out`,
+    /// blocking until it is available; returns `false` once every
+    /// producer has finished and drained. Waits for a lagging producer
+    /// rather than reordering around it — that wait *is* the determinism.
+    ///
+    /// This is the chunk-amortized drain: [`MemorySystem::ingest`] hands
+    /// it the staging buffer and whole batches are copied out of the ring
+    /// with no intermediate `Vec` per batch.
+    pub fn next_batch_into(&mut self, out: &mut Vec<(u32, u32)>) -> bool {
+        let lanes = self.shared.lanes.len();
+        let mut skipped = 0;
+        while skipped < lanes {
+            let lane = &self.shared.lanes[self.turn];
+            let head = lane.batch_head.load(Ordering::SeqCst);
+            if lane.batch_tail.load(Ordering::SeqCst) != head {
+                let len = ring_load(&lane.batches, lane.batch_mask, head);
+                self.copy_batch(lane, len, out);
+                lane.batch_head.store(head + 1, Ordering::SeqCst);
+                lane.wake_producer();
+                self.turn = (self.turn + 1) % lanes;
+                return true;
+            }
+            if lane.finished.load(Ordering::SeqCst) {
+                // Re-check: a descriptor published just before the finish
+                // flag must not be skipped.
+                if lane.batch_tail.load(Ordering::SeqCst) != head {
+                    continue;
+                }
+                self.turn = (self.turn + 1) % lanes;
+                skipped += 1;
+                continue;
+            }
+            // The lane is empty but live: wait for it — no reordering
+            // around a lagging producer.
+            self.shared.park_consumer(|| {
+                lane.batch_tail.load(Ordering::SeqCst) != head
+                    || lane.finished.load(Ordering::SeqCst)
+            });
+            skipped = 0;
+        }
+        false
+    }
+
     /// Blocks until the next batch in `(sequence, producer)` order is
     /// available and returns it; `None` once every producer has finished
-    /// and drained. Waits for a lagging producer rather than reordering
-    /// around it — that wait *is* the determinism.
+    /// and drained. Allocation-free callers use
+    /// [`next_batch_into`](Self::next_batch_into) instead.
     pub fn next_batch(&mut self) -> Option<Vec<(u32, u32)>> {
-        let mut state = self.shared.lock_state();
-        loop {
-            let lanes = state.lanes.len();
-            let mut skipped = 0;
-            while skipped < lanes {
-                let turn = state.turn;
-                let lane = &mut state.lanes[turn];
-                if let Some(batch) = lane.batches.pop_front() {
-                    lane.buffered -= batch.len();
-                    state.turn = (turn + 1) % lanes;
-                    self.shared.space.notify_all();
-                    return Some(batch);
+        let mut out = Vec::new();
+        self.next_batch_into(&mut out).then_some(out)
+    }
+
+    /// Copies one `len`-record batch out of `lane`'s slot ring into
+    /// `out`, waiting for records the producer is still writing. If the
+    /// producer vanishes mid-batch (a reader thread erroring out of its
+    /// socket), the prefix that did arrive is delivered — the session is
+    /// failing anyway, and a partial batch must not hang the merge.
+    fn copy_batch(&self, lane: &Lane, len: u64, out: &mut Vec<(u32, u32)>) {
+        let mut head = lane.head.load(Ordering::SeqCst);
+        let mut remaining = len;
+        while remaining > 0 {
+            let tail = lane.tail.load(Ordering::SeqCst);
+            let avail = (tail - head).min(remaining);
+            if avail == 0 {
+                if lane.finished.load(Ordering::SeqCst) && lane.tail.load(Ordering::SeqCst) == head
+                {
+                    return; // truncated batch: deliver the prefix
                 }
-                if !lane.finished {
-                    break; // must wait for this lane — no reordering
-                }
-                state.turn = (turn + 1) % lanes;
-                skipped += 1;
+                self.shared.park_consumer(|| {
+                    lane.tail.load(Ordering::SeqCst) != head || lane.finished.load(Ordering::SeqCst)
+                });
+                continue;
             }
-            if skipped == lanes {
-                return None; // every lane finished and empty
+            // At most two contiguous spans (the ring's wrap point), each
+            // a bulk slice extend.
+            let start = (head & lane.slot_mask) as usize;
+            let first = (avail as usize).min(lane.slots.len() - start);
+            span_extend(&lane.slots[start..start + first], out);
+            let wrapped = avail as usize - first;
+            if wrapped > 0 {
+                span_extend(&lane.slots[..wrapped], out);
             }
-            state = self
-                .shared
-                .ready
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            head += avail;
+            lane.head.store(head, Ordering::SeqCst);
+            lane.wake_producer();
+            remaining -= avail;
         }
     }
 }
 
 impl Drop for IngestConsumer {
     fn drop(&mut self) {
-        let mut state = self.shared.lock_state();
-        state.closed = true;
-        self.shared.space.notify_all();
+        self.shared.closed.store(true, Ordering::SeqCst);
+        for lane in self.shared.lanes.iter() {
+            lane.wake_producer();
+        }
     }
 }
 
@@ -316,7 +610,7 @@ pub fn deal(trace: &[(u32, u32)], producers: usize, chunk: usize) -> Vec<Vec<&[(
 pub struct ServeOptions {
     /// Connections to accept; ingestion ends when all of them finish.
     pub producers: usize,
-    /// Per-connection ingestion-queue bound, in records (the backpressure
+    /// Per-connection ring bound, in records (the backpressure
     /// threshold — see the [module docs](self)).
     pub queue_capacity: usize,
 }
@@ -341,6 +635,12 @@ pub struct ServeReport {
     pub stats_served: usize,
 }
 
+/// Records decoded per chunk by a [`serve`] reader thread: bounds each
+/// connection's reusable frame buffers at 32 KiB and keeps a frame's
+/// payload streaming through the lane instead of being materialised
+/// whole.
+const READ_CHUNK_RECORDS: usize = 4096;
+
 /// Serves one ingestion session over TCP: accepts
 /// [`producers`](ServeOptions::producers) connections, handshakes each
 /// ([`wire`] hello exchange), then streams their record frames through the
@@ -350,11 +650,17 @@ pub struct ServeReport {
 /// completes. This is the loop behind the `catd` example, reused verbatim
 /// by the loopback differential tests.
 ///
+/// Each reader thread decodes frames **zero-copy**: payload bytes land in
+/// a per-connection reusable buffer, are reinterpreted as packed records
+/// (the wire layout *is* the ring-slot layout — [`wire::pack_record`]),
+/// validated, and stored straight into the lane. No `Vec<(u32, u32)>` is
+/// ever materialised on the server's ingest path.
+///
 /// Record banks *and rows* are validated against the system geometry
 /// **at the connection** — a malformed client gets its connection errored
 /// instead of panicking the drain thread.
 ///
-/// Backpressure: each connection's reader thread blocks once its queue
+/// Backpressure: each connection's reader thread parks once its ring
 /// lane is full, which stalls the socket via TCP flow control.
 ///
 /// ```no_run
@@ -424,7 +730,7 @@ pub fn serve(
         *slot = Some(stream);
     }
 
-    // Phase 2: one reader thread per connection, feeding its queue lane.
+    // Phase 2: one reader thread per connection, feeding its ring lane.
     let (producers, mut consumer) = IngestQueue::bounded(options.producers, options.queue_capacity);
     let geometry = *system.geometry();
     let mut readers: Vec<JoinHandle<io::Result<(TcpStream, bool)>>> =
@@ -485,13 +791,15 @@ pub fn serve(
     }
 }
 
-/// One connection's reader loop: frames → sequence check → bank/row
-/// validation → queue lane. Returns the stream (for the stats reply) and
-/// whether the client requested stats. Dropping `producer` on any exit
-/// finishes the lane, so the merge never waits on a dead connection.
+/// One connection's reader loop: frame headers → sequence check → chunked
+/// zero-copy payload decode → bank/row validation → ring lane. Returns
+/// the stream (for the stats reply) and whether the client requested
+/// stats. Dropping `producer` on any exit finishes the lane, so the merge
+/// never waits on a dead connection (a batch cut short by an error is
+/// delivered as its prefix — the session is already failing).
 fn read_connection(
     stream: TcpStream,
-    producer: IngestProducer,
+    mut producer: IngestProducer,
     geometry: MemGeometry,
 ) -> io::Result<(TcpStream, bool)> {
     let peer = producer.id();
@@ -500,9 +808,14 @@ fn read_connection(
     let mut reader = BufReader::new(stream);
     let mut expected_seq = 0u64;
     let mut wants_stats = false;
+    // Reused across every frame of the connection: the raw payload bytes
+    // and their packed-u64 view. The packed view IS the ring-slot layout,
+    // so decode is `read_exact` + `from_le_bytes` and nothing else.
+    let mut payload = Vec::new();
+    let mut packed = Vec::new();
     loop {
-        match wire::read_frame(&mut reader)? {
-            Frame::Records { seq, records } => {
+        match wire::read_frame_header(&mut reader)? {
+            FrameHeader::Records { seq, count } => {
                 if seq != expected_seq {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -510,29 +823,39 @@ fn read_connection(
                     ));
                 }
                 expected_seq += 1;
-                // Both coordinates are checked here, at the connection:
-                // the schemes downstream assert on out-of-range rows
-                // (e.g. the counter-cache bounds check), and a panic on
-                // the shared drain thread would take the whole session
-                // down instead of just this socket.
-                if let Some(&(bank, row)) = records
-                    .iter()
-                    .find(|&&(bank, row)| bank >= total_banks || row >= rows)
-                {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "producer {peer}: record (bank {bank}, row {row}) out of range \
-                             for a {total_banks}-bank × {rows}-row system"
-                        ),
-                    ));
-                }
                 producer
-                    .send(records)
+                    .begin_batch(count as usize)
                     .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e))?;
+                let mut remaining = count as usize;
+                while remaining > 0 {
+                    let take = remaining.min(READ_CHUNK_RECORDS);
+                    wire::read_packed_records(&mut reader, &mut payload, &mut packed, take)?;
+                    // Both coordinates are checked here, at the connection:
+                    // the schemes downstream assert on out-of-range rows
+                    // (e.g. the counter-cache bounds check), and a panic on
+                    // the shared drain thread would take the whole session
+                    // down instead of just this socket.
+                    if let Some(&offending) = packed.iter().find(|&&p| {
+                        let (bank, row) = wire::unpack_record(p);
+                        bank >= total_banks || row >= rows
+                    }) {
+                        let (bank, row) = wire::unpack_record(offending);
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "producer {peer}: record (bank {bank}, row {row}) out of range \
+                                 for a {total_banks}-bank × {rows}-row system"
+                            ),
+                        ));
+                    }
+                    producer
+                        .write_packed(&packed)
+                        .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e))?;
+                    remaining -= take;
+                }
             }
-            Frame::StatsRequest => wants_stats = true,
-            Frame::Finish => return Ok((reader.into_inner(), wants_stats)),
+            FrameHeader::StatsRequest => wants_stats = true,
+            FrameHeader::Finish => return Ok((reader.into_inner(), wants_stats)),
         }
     }
 }
@@ -546,6 +869,9 @@ pub struct IngestClient {
     writer: BufWriter<TcpStream>,
     hello: ServerHello,
     next_seq: u64,
+    /// Reusable frame-encode buffer: after the first send at a given
+    /// batch size, a send allocates nothing.
+    frame: Vec<u8>,
 }
 
 impl IngestClient {
@@ -565,6 +891,7 @@ impl IngestClient {
             writer: BufWriter::new(stream),
             hello,
             next_seq: 0,
+            frame: Vec::new(),
         })
     }
 
@@ -577,7 +904,7 @@ impl IngestClient {
 
     /// Streams `records` as this connection's next batch(es), splitting
     /// slices above [`wire::MAX_RECORDS_PER_FRAME`] into consecutive
-    /// frames.
+    /// frames. Frames are encoded into a buffer reused across sends.
     ///
     /// # Errors
     ///
@@ -588,7 +915,8 @@ impl IngestClient {
         loop {
             let take = rest.len().min(wire::MAX_RECORDS_PER_FRAME as usize);
             let (part, tail) = rest.split_at(take);
-            wire::write_records(&mut self.writer, self.next_seq, part)?;
+            wire::encode_records(&mut self.frame, self.next_seq, part)?;
+            self.writer.write_all(&self.frame)?;
             self.next_seq += 1;
             if tail.is_empty() {
                 return Ok(());
@@ -634,16 +962,16 @@ mod tests {
     #[test]
     fn merge_is_by_seq_then_producer_regardless_of_arrival() {
         let (mut handles, mut consumer) = IngestQueue::bounded(3, 1 << 20);
-        let p2 = handles.pop().unwrap();
-        let p1 = handles.pop().unwrap();
-        let p0 = handles.pop().unwrap();
+        let mut p2 = handles.pop().unwrap();
+        let mut p1 = handles.pop().unwrap();
+        let mut p0 = handles.pop().unwrap();
         // Adversarial arrival order: late producers first, interleaved.
-        p2.send(batch(20, 2)).unwrap();
-        p1.send(batch(10, 1)).unwrap();
-        p1.send(batch(11, 1)).unwrap();
-        p0.send(batch(0, 3)).unwrap();
-        p2.send(batch(21, 2)).unwrap();
-        p0.send(batch(1, 1)).unwrap();
+        p2.send(&batch(20, 2)).unwrap();
+        p1.send(&batch(10, 1)).unwrap();
+        p1.send(&batch(11, 1)).unwrap();
+        p0.send(&batch(0, 3)).unwrap();
+        p2.send(&batch(21, 2)).unwrap();
+        p0.send(&batch(1, 1)).unwrap();
         drop((p0, p1, p2));
         let tags: Vec<u32> = std::iter::from_fn(|| consumer.next_batch())
             .map(|b| b[0].0)
@@ -654,14 +982,14 @@ mod tests {
     #[test]
     fn merge_waits_for_the_lagging_producer() {
         let (mut handles, mut consumer) = IngestQueue::bounded(2, 1 << 20);
-        let p1 = handles.pop().unwrap();
-        let p0 = handles.pop().unwrap();
-        p1.send(batch(100, 1)).unwrap();
+        let mut p1 = handles.pop().unwrap();
+        let mut p0 = handles.pop().unwrap();
+        p1.send(&batch(100, 1)).unwrap();
         // Producer 0 is slow: deliver its batch from another thread after
         // the consumer is already blocked waiting for it.
         let sender = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(50));
-            p0.send(batch(50, 1)).unwrap();
+            p0.send(&batch(50, 1)).unwrap();
             drop(p0);
         });
         drop(p1);
@@ -674,13 +1002,13 @@ mod tests {
     #[test]
     fn finished_producers_are_skipped_permanently() {
         let (mut handles, mut consumer) = IngestQueue::bounded(3, 1 << 20);
-        let p2 = handles.pop().unwrap();
+        let mut p2 = handles.pop().unwrap();
         let p1 = handles.pop().unwrap();
-        let p0 = handles.pop().unwrap();
+        let mut p0 = handles.pop().unwrap();
         drop(p1); // producer 1 sends nothing at all
-        p0.send(batch(0, 1)).unwrap();
-        p0.send(batch(1, 1)).unwrap();
-        p2.send(batch(2, 1)).unwrap();
+        p0.send(&batch(0, 1)).unwrap();
+        p0.send(&batch(1, 1)).unwrap();
+        p2.send(&batch(2, 1)).unwrap();
         drop((p0, p2));
         let tags: Vec<u32> = std::iter::from_fn(|| consumer.next_batch())
             .map(|b| b[0].0)
@@ -691,14 +1019,14 @@ mod tests {
     #[test]
     fn send_applies_per_lane_backpressure() {
         let (mut handles, mut consumer) = IngestQueue::bounded(1, 10);
-        let p = handles.pop().unwrap();
-        p.send(batch(0, 10)).unwrap(); // lane now at capacity
+        let mut p = handles.pop().unwrap();
+        p.send(&batch(0, 10)).unwrap(); // ring now at capacity
         let blocked = std::thread::spawn(move || {
-            p.send(batch(1, 5)).unwrap(); // must block until the consumer drains
+            p.send(&batch(1, 5)).unwrap(); // must park until the consumer drains
             drop(p);
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
-        assert!(!blocked.is_finished(), "send must block on a full lane");
+        assert!(!blocked.is_finished(), "send must block on a full ring");
         assert_eq!(consumer.next_batch().unwrap().len(), 10);
         blocked.join().unwrap();
         assert_eq!(consumer.next_batch().unwrap().len(), 5);
@@ -706,21 +1034,104 @@ mod tests {
     }
 
     #[test]
-    fn oversized_batch_is_admitted_into_an_empty_lane() {
+    fn a_batch_larger_than_the_ring_streams_through_it() {
         let (mut handles, mut consumer) = IngestQueue::bounded(1, 4);
-        let p = handles.pop().unwrap();
-        p.send(batch(0, 100)).unwrap(); // larger than the whole capacity: no deadlock
+        let mut p = handles.pop().unwrap();
+        // 25× the ring capacity: the descriptor publishes first, then the
+        // records stream through as the consumer frees slots.
+        let sender = std::thread::spawn(move || {
+            p.send(&batch(0, 100)).unwrap();
+            drop(p);
+        });
+        assert_eq!(consumer.next_batch().unwrap(), batch(0, 100));
+        sender.join().unwrap();
+        assert_eq!(consumer.next_batch(), None);
+    }
+
+    #[test]
+    fn wraparound_at_capacity_boundaries_preserves_contents() {
+        // Pow2 and non-pow2 capacities: the slot ring is pow2-sized but
+        // the logical bound is exact, so cursors sweep the seam between
+        // mask wraparound and capacity-limited free space many times.
+        for capacity in [8usize, 10] {
+            let (mut handles, mut consumer) = IngestQueue::bounded(1, capacity);
+            let mut p = handles.pop().unwrap();
+            let expected: Vec<(u32, u32)> = (0..999u32).map(|i| (i % 16, i)).collect();
+            let sender = std::thread::spawn({
+                let expected = expected.clone();
+                move || {
+                    for chunk in expected.chunks(3) {
+                        p.send(chunk).unwrap();
+                    }
+                }
+            });
+            let mut got = Vec::new();
+            while consumer.next_batch_into(&mut got) {}
+            sender.join().unwrap();
+            assert_eq!(got, expected, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn the_streaming_writer_api_matches_send() {
+        let (mut handles, mut consumer) = IngestQueue::bounded(1, 16);
+        let mut p = handles.pop().unwrap();
+        let packed: Vec<u64> = (0..40u32).map(|i| wire::pack_record(i % 4, i)).collect();
+        let expected: Vec<(u32, u32)> = packed.iter().map(|&x| wire::unpack_record(x)).collect();
+        let sender = std::thread::spawn(move || {
+            assert_eq!(p.begin_batch(40).unwrap(), 0);
+            p.write_packed(&packed[..25]).unwrap();
+            p.write_packed(&packed[25..]).unwrap();
+            assert_eq!(p.begin_batch(1).unwrap(), 1);
+            p.write_records(&[(3, 9)]).unwrap();
+        });
+        assert_eq!(consumer.next_batch().unwrap(), expected);
+        assert_eq!(consumer.next_batch(), Some(vec![(3, 9)]));
+        sender.join().unwrap();
+        assert_eq!(consumer.next_batch(), None);
+    }
+
+    #[test]
+    fn a_producer_dying_mid_batch_delivers_the_prefix() {
+        let (mut handles, mut consumer) = IngestQueue::bounded(1, 16);
+        let mut p = handles.pop().unwrap();
+        p.begin_batch(10).unwrap();
+        p.write_records(&[(0, 1), (0, 2)]).unwrap();
+        drop(p); // the reader thread errored out of its socket mid-frame
+        assert_eq!(consumer.next_batch(), Some(vec![(0, 1), (0, 2)]));
+        assert_eq!(consumer.next_batch(), None);
+    }
+
+    #[test]
+    fn empty_batches_merge_as_empty() {
+        let (mut handles, mut consumer) = IngestQueue::bounded(1, 4);
+        let mut p = handles.pop().unwrap();
+        p.send(&[]).unwrap();
+        p.send(&[(1, 2)]).unwrap();
         drop(p);
-        assert_eq!(consumer.next_batch().unwrap().len(), 100);
+        assert_eq!(consumer.next_batch(), Some(vec![]));
+        assert_eq!(consumer.next_batch(), Some(vec![(1, 2)]));
         assert_eq!(consumer.next_batch(), None);
     }
 
     #[test]
     fn send_after_consumer_drop_errors() {
         let (mut handles, consumer) = IngestQueue::bounded(1, 4);
-        let p = handles.pop().unwrap();
+        let mut p = handles.pop().unwrap();
         drop(consumer);
-        assert_eq!(p.send(batch(0, 1)), Err(QueueClosed));
+        assert_eq!(p.send(&batch(0, 1)), Err(QueueClosed));
+    }
+
+    #[test]
+    fn consumer_drop_unblocks_a_parked_producer() {
+        let (mut handles, consumer) = IngestQueue::bounded(1, 4);
+        let mut p = handles.pop().unwrap();
+        p.send(&batch(0, 4)).unwrap(); // ring full
+        let blocked = std::thread::spawn(move || p.send(&batch(1, 4)));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!blocked.is_finished(), "send must park on a full ring");
+        drop(consumer);
+        assert_eq!(blocked.join().unwrap(), Err(QueueClosed));
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub struct MemorySystem {
     mapping: AddressMapping,
     channels: Vec<BankEngine>,
     banks_per_channel: u32,
+    /// `geometry.total_banks()`, cached: the streaming push validates
+    /// every record against it, so it must not cost two multiplies each.
+    total_banks: u32,
     epoch_len: Option<u64>,
     accesses: u64,
     epochs: u64,
@@ -146,6 +149,7 @@ impl MemorySystem {
             mapping,
             channels,
             banks_per_channel,
+            total_banks: geometry.total_banks(),
             epoch_len: None,
             accesses: 0,
             epochs: 0,
@@ -316,9 +320,9 @@ impl MemorySystem {
     #[inline]
     pub fn push_decoded(&mut self, bank: u32, row: u32) {
         assert!(
-            bank < self.geometry.total_banks(),
+            bank < self.total_banks,
             "global bank {bank} out of range for a {}-bank system",
-            self.geometry.total_banks()
+            self.total_banks
         );
         self.staged.push((bank, row));
         if self.staged.len() >= self.stream_capacity {
@@ -339,11 +343,14 @@ impl MemorySystem {
     }
 
     /// Drains a multi-producer ingestion merge to completion: every batch
-    /// the consumer emits is staged in merge order (flushing through the
-    /// cut-aware batch path at the [stream
-    /// capacity](Self::with_stream_capacity)), then the stage is flushed.
-    /// Returns the aggregate outcome of everything pushed since the last
-    /// explicit [`flush`](Self::flush), exactly like `flush` itself.
+    /// the consumer emits is appended straight to the staging buffer in
+    /// merge order ([`IngestConsumer::next_batch_into`] — no intermediate
+    /// `Vec` per batch), flushing through the cut-aware batch path once
+    /// the stage reaches the [stream
+    /// capacity](Self::with_stream_capacity). The flush boundary is
+    /// batch-granular, which the §7 contract makes unobservable. Returns
+    /// the aggregate outcome of everything pushed since the last explicit
+    /// [`flush`](Self::flush), exactly like `flush` itself.
     ///
     /// Blocks until every producer has finished — the deterministic merge
     /// waits for lagging producers rather than reordering around them
@@ -356,9 +363,28 @@ impl MemorySystem {
     /// [`push_decoded`](Self::push_decoded) (the TCP server validates
     /// records at the connection, before they reach the queue).
     pub fn ingest(&mut self, consumer: &mut IngestConsumer) -> BatchOutcome {
-        while let Some(batch) = consumer.next_batch() {
-            for &(bank, row) in &batch {
-                self.push_decoded(bank, row);
+        let total_banks = self.total_banks;
+        loop {
+            let before = self.staged.len();
+            if !consumer.next_batch_into(&mut self.staged) {
+                break;
+            }
+            // The push_decoded bank check, hoisted out of the hot loop
+            // (an `all` scan vectorizes; the offending bank is only
+            // located on the failure arm): fail at the ingest, not deep
+            // inside a later scatter.
+            let fresh = &self.staged[before..];
+            assert!(
+                fresh.iter().all(|&(bank, _)| bank < total_banks),
+                "global bank {} out of range for a {total_banks}-bank system",
+                fresh
+                    .iter()
+                    .map(|&(bank, _)| bank)
+                    .find(|&bank| bank >= total_banks)
+                    .unwrap_or(u32::MAX)
+            );
+            if self.staged.len() >= self.stream_capacity {
+                self.flush_staged();
             }
         }
         self.flush()
@@ -441,11 +467,14 @@ impl MemorySystem {
         {
             let route = &mut self.route;
             let route_cuts = &mut self.route_cuts;
-            let banks_per_channel = self.banks_per_channel;
+            // banks_per_channel is a product of pow2 geometry fields
+            // (MemGeometry::validate), so the per-record channel split is
+            // a shift/mask, not a div/mod.
+            let shift = self.banks_per_channel.trailing_zeros();
+            let mask = self.banks_per_channel - 1;
             crate::for_each_segment(batch.len(), cuts, |range, on_boundary| {
                 for &(bank, row) in &batch[range] {
-                    let ch = (bank / banks_per_channel) as usize;
-                    route[ch].push((bank % banks_per_channel, row));
+                    route[(bank >> shift) as usize].push((bank & mask, row));
                 }
                 if on_boundary {
                     for (ch, ch_cuts) in route_cuts.iter_mut().enumerate() {

@@ -55,6 +55,29 @@ pub const MAX_RECORDS_PER_FRAME: u32 = 1 << 20;
 /// Hard cap on the spec string length in a [`ServerHello`].
 pub const MAX_SPEC_LEN: u16 = 1024;
 
+/// Bytes of one `(bank, row)` record on the wire. A record's 8 wire bytes
+/// read as one little-endian `u64` **are** its [`pack_record`] value —
+/// the invariant behind the server's zero-copy decode path, which turns
+/// payload bytes into ring slots with a single `u64::from_le_bytes` each.
+pub const RECORD_BYTES: usize = 8;
+
+/// Packs a record into its 8-byte little-endian wire layout: `bank` in
+/// the low 32 bits, `row` in the high 32 (i.e. `bank` then `row`, each
+/// u32 LE, on the wire). This is also the slot format of the ingestion
+/// rings in [`crate::ingest`].
+#[inline]
+#[must_use]
+pub fn pack_record(bank: u32, row: u32) -> u64 {
+    u64::from(bank) | (u64::from(row) << 32)
+}
+
+/// Inverse of [`pack_record`].
+#[inline]
+#[must_use]
+pub fn unpack_record(packed: u64) -> (u32, u32) {
+    (packed as u32, (packed >> 32) as u32)
+}
+
 fn bad(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
@@ -248,8 +271,31 @@ pub fn write_records<W: Write>(w: &mut W, seq: u64, records: &[(u32, u32)]) -> i
     write_u64(w, seq)?;
     write_u32(w, records.len() as u32)?;
     for &(bank, row) in records {
-        write_u32(w, bank)?;
-        write_u32(w, row)?;
+        write_u64(w, pack_record(bank, row))?;
+    }
+    Ok(())
+}
+
+/// Encodes a [`Frame::Records`] into `buf` (cleared first) — the
+/// buffer-reusing counterpart of [`write_records`] for clients that stream
+/// many frames over one connection: after the first call at a given batch
+/// size, encoding allocates nothing.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] if `records` exceeds
+/// [`MAX_RECORDS_PER_FRAME`].
+pub fn encode_records(buf: &mut Vec<u8>, seq: u64, records: &[(u32, u32)]) -> io::Result<()> {
+    if records.len() > MAX_RECORDS_PER_FRAME as usize {
+        return Err(bad(format!("{}-record frame", records.len())));
+    }
+    buf.clear();
+    buf.reserve(1 + 8 + 4 + records.len() * RECORD_BYTES);
+    buf.push(TAG_RECORDS);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for &(bank, row) in records {
+        buf.extend_from_slice(&pack_record(bank, row).to_le_bytes());
     }
     Ok(())
 }
@@ -268,14 +314,35 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     }
 }
 
-/// Reads one frame.
+/// The header of one post-handshake frame, with a `Records` payload left
+/// **unread** on the stream. This is the zero-copy server's entry point:
+/// it reads the header, then pulls the payload in ring-sized chunks with
+/// [`read_packed_records`] instead of materialising a `Vec<(u32, u32)>`
+/// per frame like [`read_frame`] does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameHeader {
+    /// A [`Frame::Records`] header; `count` records follow on the stream.
+    Records {
+        /// Producer-local sequence number: 0 for the first frame, then +1.
+        seq: u64,
+        /// Records in the unread payload (≤ [`MAX_RECORDS_PER_FRAME`]).
+        count: u32,
+    },
+    /// A [`Frame::StatsRequest`] (no payload).
+    StatsRequest,
+    /// A [`Frame::Finish`] (no payload).
+    Finish,
+}
+
+/// Reads one frame header, validating the record count against
+/// [`MAX_RECORDS_PER_FRAME`] **before** anything is allocated.
 ///
 /// # Errors
 ///
 /// [`io::ErrorKind::InvalidData`] on an unknown tag or an oversized record
-/// count; I/O errors (including `UnexpectedEof` on a truncated frame) pass
+/// count; I/O errors (including `UnexpectedEof` on truncation) pass
 /// through.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+pub fn read_frame_header<R: Read>(r: &mut R) -> io::Result<FrameHeader> {
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     match tag[0] {
@@ -285,17 +352,61 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
             if count > MAX_RECORDS_PER_FRAME {
                 return Err(bad(format!("{count}-record frame")));
             }
-            let mut records = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                let bank = read_u32(r)?;
-                let row = read_u32(r)?;
-                records.push((bank, row));
-            }
-            Ok(Frame::Records { seq, records })
+            Ok(FrameHeader::Records { seq, count })
         }
-        TAG_STATS_REQUEST => Ok(Frame::StatsRequest),
-        TAG_FINISH => Ok(Frame::Finish),
+        TAG_STATS_REQUEST => Ok(FrameHeader::StatsRequest),
+        TAG_FINISH => Ok(FrameHeader::Finish),
         other => Err(bad(format!("unknown frame tag {other:#04x}"))),
+    }
+}
+
+/// Reads exactly `count` records of a `Records` payload into `packed`
+/// (cleared first), going through the reusable byte buffer `buf`: one
+/// `read_exact` into recycled storage, then one `u64::from_le_bytes` per
+/// record — no per-record parsing and, after the first call at a given
+/// chunk size, no allocation. Callers may split one frame's payload
+/// across several calls (the server reads ring-sized chunks).
+///
+/// # Errors
+///
+/// I/O errors pass through (`UnexpectedEof` on a truncated payload).
+pub fn read_packed_records<R: Read>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+    packed: &mut Vec<u64>,
+    count: usize,
+) -> io::Result<()> {
+    buf.resize(count * RECORD_BYTES, 0);
+    r.read_exact(buf)?;
+    packed.clear();
+    packed.extend(buf.chunks_exact(RECORD_BYTES).map(|chunk| {
+        let mut bytes = [0u8; RECORD_BYTES];
+        bytes.copy_from_slice(chunk);
+        u64::from_le_bytes(bytes)
+    }));
+    Ok(())
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on an unknown tag or an oversized record
+/// count; I/O errors (including `UnexpectedEof` on a truncated frame) pass
+/// through.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    match read_frame_header(r)? {
+        FrameHeader::Records { seq, count } => {
+            let mut buf = Vec::new();
+            let mut packed = Vec::new();
+            read_packed_records(r, &mut buf, &mut packed, count as usize)?;
+            Ok(Frame::Records {
+                seq,
+                records: packed.iter().map(|&p| unpack_record(p)).collect(),
+            })
+        }
+        FrameHeader::StatsRequest => Ok(Frame::StatsRequest),
+        FrameHeader::Finish => Ok(Frame::Finish),
     }
 }
 
@@ -468,6 +579,54 @@ mod tests {
             records: vec![(0, 0); MAX_RECORDS_PER_FRAME as usize + 1],
         };
         assert!(write_frame(&mut Vec::new(), &oversized).is_err());
+    }
+
+    #[test]
+    fn packed_records_match_the_wire_byte_layout() {
+        // pack_record IS the little-endian wire encoding of (bank, row) —
+        // the invariant behind the server's zero-copy decode.
+        let records = [(3u32, 0x1234_5678u32), (u32::MAX, 0)];
+        let mut buf = Vec::new();
+        write_records(&mut buf, 9, &records).unwrap();
+        let payload = &buf[1 + 8 + 4..];
+        assert_eq!(payload.len(), records.len() * RECORD_BYTES);
+        for (chunk, &(bank, row)) in payload.chunks(RECORD_BYTES).zip(&records) {
+            let mut bytes = [0u8; RECORD_BYTES];
+            bytes.copy_from_slice(chunk);
+            assert_eq!(u64::from_le_bytes(bytes), pack_record(bank, row));
+            assert_eq!(unpack_record(pack_record(bank, row)), (bank, row));
+        }
+    }
+
+    #[test]
+    fn header_then_chunked_payload_reads_equal_read_frame() {
+        let mut buf = Vec::new();
+        write_records(&mut buf, 5, &[(1, 2), (3, 4), (5, 6)]).unwrap();
+        write_frame(&mut buf, &Frame::Finish).unwrap();
+        let mut r = buf.as_slice();
+        let header = read_frame_header(&mut r).unwrap();
+        assert_eq!(header, FrameHeader::Records { seq: 5, count: 3 });
+        // Split the payload across two chunked reads, like the server does.
+        let (mut bytes, mut packed) = (Vec::new(), Vec::new());
+        read_packed_records(&mut r, &mut bytes, &mut packed, 2).unwrap();
+        assert_eq!(packed, [pack_record(1, 2), pack_record(3, 4)]);
+        read_packed_records(&mut r, &mut bytes, &mut packed, 1).unwrap();
+        assert_eq!(packed, [pack_record(5, 6)]);
+        assert_eq!(read_frame_header(&mut r).unwrap(), FrameHeader::Finish);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn encode_records_matches_write_records() {
+        let records: Vec<(u32, u32)> = (0..100u32).map(|i| (i, i * 31)).collect();
+        let mut streamed = Vec::new();
+        write_records(&mut streamed, 42, &records).unwrap();
+        let mut encoded = vec![0xFF; 3]; // stale content must be cleared
+        encode_records(&mut encoded, 42, &records).unwrap();
+        assert_eq!(encoded, streamed);
+
+        let oversized = vec![(0u32, 0u32); MAX_RECORDS_PER_FRAME as usize + 1];
+        assert!(encode_records(&mut encoded, 0, &oversized).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::net::TcpListener;
 
 use cat_core::{SchemeSpec, SchemeStats};
-use cat_engine::ingest::{deal, serve, IngestClient, ServeOptions};
+use cat_engine::ingest::{deal, serve, IngestClient, IngestQueue, ServeOptions};
 use cat_engine::wire::StatsSnapshot;
 use cat_engine::{MemGeometry, MemorySystem};
 
@@ -36,9 +36,15 @@ fn geometry() -> MemGeometry {
 /// Deterministic hammered-plus-background trace across all banks
 /// (splitmix-style mixing, same shape as `tests/equivalence.rs`).
 fn trace(n: u64) -> Vec<(u32, u32)> {
+    seeded_trace(n, 0)
+}
+
+/// [`trace`] with a seed folded into the mix, for the cross-thread sweep.
+fn seeded_trace(n: u64, seed: u64) -> Vec<(u32, u32)> {
     (0..n)
         .map(|i| {
             let mut z = i
+                .wrapping_add(seed.wrapping_mul(0x632b_e592_17f2_2b32))
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(0x6a09_e667);
             z ^= z >> 27;
@@ -148,6 +154,60 @@ fn loopback_catd_matches_flat_engine_for_every_producer_shard_and_flush_combo() 
                 assert_eq!(per_bank, ref_per_bank, "{label}: per-bank stats");
                 assert_eq!(snapshot.accesses, trace.len() as u64, "{label}");
                 assert_eq!(snapshot.epochs, trace.len() as u64 / EPOCH, "{label}");
+            }
+        }
+    }
+}
+
+/// In-process sweep of the SPSC lanes without the socket layer: for
+/// several trace seeds and every 1/2/4 producers × 1/2/4 shards combo,
+/// real OS threads stream `deal` lanes through a deliberately small ring
+/// (1 << 10 slots — smaller than the 7 777-record chunks, so every batch
+/// must stream through the ring under producer/consumer backpressure)
+/// while the consumer merges into a sharded [`MemorySystem`]. The result
+/// must match the flat single-thread reference bit for bit.
+#[test]
+fn in_process_queue_matches_flat_engine_across_seeds() {
+    let spec = SchemeSpec::Sca {
+        counters: 64,
+        threshold: 512,
+    };
+    for seed in [1u64, 0x5EED, 0xC0FFEE] {
+        let trace = seeded_trace(200_003, seed);
+        let mut reference = MemorySystem::new(geometry(), spec).with_epoch_length(EPOCH);
+        reference.process(&trace);
+        let ref_stats = reference.stats();
+        let ref_per_bank = reference.per_bank_stats();
+        assert!(
+            ref_stats.refresh_events > 0,
+            "seed {seed:#x}: trace too tame, nothing to compare"
+        );
+
+        for producers in [1usize, 2, 4] {
+            for shards in [1usize, 2, 4] {
+                let (handles, mut consumer) = IngestQueue::bounded(producers, 1 << 10);
+                let mut system = MemorySystem::new(geometry(), spec)
+                    .with_epoch_length(EPOCH)
+                    .with_shards(shards);
+                let outcome = std::thread::scope(|scope| {
+                    for (lane, handle) in deal(&trace, producers, CHUNK).into_iter().zip(handles) {
+                        scope.spawn(move || {
+                            let mut handle = handle;
+                            for batch in lane {
+                                handle.send(batch).expect("consumer outlives the scope");
+                            }
+                        });
+                    }
+                    system.ingest(&mut consumer)
+                });
+                let label = format!("seed {seed:#x}: {producers} producers × {shards} shards");
+                assert_eq!(outcome.accesses, trace.len() as u64, "{label}");
+                assert_eq!(system.stats(), ref_stats, "{label}: aggregate stats");
+                assert_eq!(
+                    system.per_bank_stats(),
+                    ref_per_bank,
+                    "{label}: per-bank stats"
+                );
             }
         }
     }

@@ -18,6 +18,7 @@
 //! | `wall-clock` | everywhere except `crates/bench` | `Instant`/`SystemTime` — wall time is nondeterministic input |
 //! | `panic-path` | `catd` datapath (`wire.rs`, `ingest.rs`, `system.rs`) | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `lock-order` | `crates/engine/src` | unannotated `Mutex`/`Condvar` fields, unresolvable `.lock()` sites, acquisition-order cycles |
+//! | `atomic-order` | `crates/engine/src` | `Ordering::Relaxed` — cross-thread publication needs Release/Acquire (or SeqCst) |
 //! | `crate-attrs` | crate roots, bench targets, examples | missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
 //!
 //! Test code — `#[cfg(test)]` / `#[test]` regions and any file under a
@@ -52,11 +53,12 @@ use std::io;
 use std::path::Path;
 
 /// The enforceable rule identifiers, in documentation order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "hash-order",
     "wall-clock",
     "panic-path",
     "lock-order",
+    "atomic-order",
     "crate-attrs",
 ];
 
@@ -594,6 +596,27 @@ fn rule_wall_clock(ctx: &Ctx<'_>, rel: &str, out: &mut Vec<Violation>) {
     }
 }
 
+fn rule_atomic_order(ctx: &Ctx<'_>, rel: &str, out: &mut Vec<Violation>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Relaxed" {
+            push(
+                out,
+                rel,
+                t.line,
+                "atomic-order",
+                "`Ordering::Relaxed` in engine sources: cross-thread publication must \
+                 use Release/Acquire (or SeqCst); a data slot whose ordering is carried \
+                 by a neighbouring cursor publication takes an allow with the rationale \
+                 (DESIGN.md §9)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 fn rule_panic_path(ctx: &Ctx<'_>, rel: &str, out: &mut Vec<Violation>) {
     let toks = ctx.tokens;
     for i in 0..toks.len() {
@@ -973,6 +996,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         }
         if scope.engine_src {
             rule_lock_order(&ctx, rel, &mut out);
+            rule_atomic_order(&ctx, rel, &mut out);
         }
     }
     if scope.crate_root {

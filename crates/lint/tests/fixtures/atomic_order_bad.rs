@@ -1,0 +1,14 @@
+//! Fixture: `Relaxed` atomic orderings in engine sources.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Publishes without ordering: a consumer may observe the cursor move
+/// before the data it guards.
+pub fn publish(cursor: &AtomicU64, pos: u64) {
+    cursor.store(pos, Ordering::Relaxed);
+}
+
+/// Observes without ordering.
+pub fn observe(cursor: &AtomicU64) -> u64 {
+    cursor.load(Ordering::Relaxed)
+}

@@ -1,0 +1,31 @@
+//! Fixture: ordered publications, a justified `Relaxed` payload access,
+//! and test-masked `Relaxed` are all admitted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Publishes with release ordering.
+pub fn publish(cursor: &AtomicU64, pos: u64) {
+    cursor.store(pos, Ordering::Release);
+}
+
+/// Observes with acquire ordering.
+pub fn observe(cursor: &AtomicU64) -> u64 {
+    cursor.load(Ordering::Acquire)
+}
+
+/// Reads a payload slot whose ordering the cursor pair carries.
+pub fn slot_read(slot: &AtomicU64) -> u64 {
+    // cat-lint: allow(atomic-order) -- payload slot; ordered by the cursor's release/acquire pair
+    slot.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_is_fine_in_tests() {
+        let x = AtomicU64::new(1);
+        assert_eq!(x.load(Ordering::Relaxed), 1);
+    }
+}

@@ -143,6 +143,34 @@ fn lock_order_only_applies_to_engine_sources() {
     assert_eq!(lint_source("crates/sim/src/fixture.rs", src), []);
 }
 
+// --- atomic-order ---------------------------------------------------------
+
+#[test]
+fn atomic_order_bad_fragment_is_rejected() {
+    let src = include_str!("fixtures/atomic_order_bad.rs");
+    let v = lint_source("crates/engine/src/ingest.rs", src);
+    assert_eq!(
+        skeleton(&v),
+        vec![
+            (8, "atomic-order"),  // cursor.store(pos, Ordering::Relaxed)
+            (13, "atomic-order"), // cursor.load(Ordering::Relaxed)
+        ],
+        "diagnostics: {v:#?}"
+    );
+}
+
+#[test]
+fn atomic_order_good_fragment_is_clean() {
+    let src = include_str!("fixtures/atomic_order_good.rs");
+    assert_eq!(lint_source("crates/engine/src/ingest.rs", src), []);
+}
+
+#[test]
+fn atomic_order_only_applies_to_engine_sources() {
+    let src = include_str!("fixtures/atomic_order_bad.rs");
+    assert_eq!(lint_source("crates/sim/src/fixture.rs", src), []);
+}
+
 // --- crate-attrs ----------------------------------------------------------
 
 #[test]
@@ -248,6 +276,11 @@ fn seeding_violations_into_live_roots_is_caught() {
             "crates/engine/src/lib.rs",
             "fn seeded(m: &std::sync::Mutex<u32>) { let _ = m.lock(); }",
             "lock-order",
+        ),
+        (
+            "crates/engine/src/lib.rs",
+            "fn seeded() { let _ = std::sync::atomic::Ordering::Relaxed; }",
+            "atomic-order",
         ),
     ] {
         let live = std::fs::read_to_string(root.join(rel)).expect("read live source");

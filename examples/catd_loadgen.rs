@@ -13,8 +13,11 @@
 //! chunk across the connections (chunk `k` → producer `k % P`), which the
 //! server's `(seq, producer)` merge inverts — any producer count yields
 //! the same merged stream, so the verification passes for every `P`.
-//! Exits nonzero on any mismatch, making this the client half of the
-//! loopback smoke in `scripts/tier1.sh`.
+//! Each connection reuses one frame buffer across sends
+//! (`IngestClient::send` encodes in place), so the steady state
+//! allocates nothing per chunk. Exits nonzero on any mismatch, making
+//! this the client half of the loopback smoke in `scripts/tier1.sh`
+//! (run there at 2 producers × 2 shards and 4 × 4).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

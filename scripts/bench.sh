@@ -2,8 +2,14 @@
 # Perf trajectory: run the engine throughput bench, record the numbers in
 # BENCH_engine.json at the repo root (committed, so regressions show in
 # review), and print a per-scheme/path delta table against the numbers
-# committed at HEAD. Pass REPRO_QUICK=1 for a fast smoke run — but commit
-# numbers from a full run only.
+# committed at HEAD.
+#
+# Every row is the MEDIAN of 3 independent runs (each itself best-of-3
+# replays over identical work — the bench asserts the replays produce
+# bit-identical stats), so a single scheduling hiccup cannot skew a
+# committed number. Override the run count with BENCH_RUNS=N; pass
+# REPRO_QUICK=1 for a fast single-run smoke — but commit numbers from a
+# full (median-of-3) run only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -33,8 +33,10 @@ cargo run --release --quiet --example quickstart >/dev/null
 
 # Loopback ingestion smoke: catd serves a MemorySystem on an ephemeral
 # 127.0.0.1 port, the load generator streams a bounded workload slice over
-# two producer connections and exits nonzero unless the server's stats
-# snapshot is bit-identical to its local replay (DESIGN.md §8).
+# N producer connections and exits nonzero unless the server's stats
+# snapshot is bit-identical to its local replay (DESIGN.md §8). Run at
+# 2 producers × 2 shards and again at 4 × 4 so the SPSC-lane merge is
+# exercised with more lanes than this host may have cores.
 CATD_LOG="$(mktemp)"
 CATD_PID=""
 cleanup_catd() {
@@ -42,22 +44,29 @@ cleanup_catd() {
     rm -f "$CATD_LOG"
 }
 trap cleanup_catd EXIT
-# drcat:64:11:2048: a threshold low enough that the scheme actually fires
-# on a 200k-access slice, so the bit-identical check covers refresh
-# accounting, not just activation counts.
-./target/release/examples/catd 127.0.0.1:0 drcat:64:11:2048 2 50000 2 >"$CATD_LOG" &
-CATD_PID=$!
-ADDR=""
-for _ in $(seq 1 100); do
-    ADDR="$(sed -n 's/^catd: listening on //p' "$CATD_LOG")"
-    [ -n "$ADDR" ] && break
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "catd never reported its address"; cat "$CATD_LOG"; exit 1; }
-./target/release/examples/catd_loadgen "$ADDR" swapt 200000 2
-wait "$CATD_PID"
-CATD_PID=""
-grep -q "session done" "$CATD_LOG" || { echo "catd did not finish cleanly"; cat "$CATD_LOG"; exit 1; }
-echo "tier-1: catd loopback smoke OK"
+run_catd_smoke() {
+    local producers="$1" shards="$2"
+    : >"$CATD_LOG"
+    # drcat:64:11:2048: a threshold low enough that the scheme actually
+    # fires on a 200k-access slice, so the bit-identical check covers
+    # refresh accounting, not just activation counts.
+    ./target/release/examples/catd 127.0.0.1:0 drcat:64:11:2048 \
+        "$producers" 50000 "$shards" >"$CATD_LOG" &
+    CATD_PID=$!
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^catd: listening on //p' "$CATD_LOG")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "catd never reported its address"; cat "$CATD_LOG"; exit 1; }
+    ./target/release/examples/catd_loadgen "$addr" swapt 200000 "$producers"
+    wait "$CATD_PID"
+    CATD_PID=""
+    grep -q "session done" "$CATD_LOG" || { echo "catd did not finish cleanly"; cat "$CATD_LOG"; exit 1; }
+    echo "tier-1: catd loopback smoke OK (${producers} producers × ${shards} shards)"
+}
+run_catd_smoke 2 2
+run_catd_smoke 4 4
 
 echo "tier-1: OK"
