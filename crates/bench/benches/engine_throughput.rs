@@ -25,6 +25,15 @@
 //!   merge chunk-at-a-time through the streaming path. Measures the
 //!   merge + handoff overhead on top of `stream` (the `catd` TCP server
 //!   adds only wire framing on top of this);
+//! * `sparse-1m-*`  — the huge-geometry rows (DESIGN.md §10): a 1 Mi-bank
+//!   engine with ~1% of the banks hot, on the flat path and the 4-shard
+//!   pool. Construction is O(1) in bank count and only touched banks
+//!   materialize scheme state, so these rows also record the resident
+//!   footprint (`resident_bytes`, amortized `bytes_per_bank`, and the
+//!   arithmetic dense estimate — per-instance bytes × total banks — the
+//!   sparse storage is beating). Speedups are reported against
+//!   `sparse-1m-flat`, not `boxed-dyn`: the dense baseline at this
+//!   geometry would spend its time in construction, not the hot path;
 //! * `*-small`      — the same paths at an epoch length of 65 536 accesses
 //!   (hundreds of boundaries per replay): the cut-aware regression guard.
 //!   Before cuts travelled inside the batch, small epochs drained the
@@ -60,7 +69,7 @@ use std::time::Instant;
 use cat_bench::{banner, decode_trace, quick_factor};
 use cat_core::{MitigationScheme, RowId, SchemeSpec, SchemeStats};
 use cat_engine::ingest::{self, IngestQueue};
-use cat_engine::{BankEngine, MemorySystem};
+use cat_engine::{BankEngine, EngineFootprint, MemorySystem};
 use cat_sim::SystemConfig;
 use cat_workloads::catalog;
 
@@ -95,6 +104,10 @@ struct Measurement {
     path: &'static str,
     acts_per_sec: f64,
     refresh_events: u64,
+    /// Resident-state footprint, recorded for the `sparse-1m-*` rows only
+    /// (the standard rows run a geometry small enough that footprint is
+    /// not the interesting axis).
+    footprint: Option<EngineFootprint>,
 }
 
 /// Median-of-runs activations/sec for `f` (each run the best of [`REPS`]
@@ -214,6 +227,7 @@ fn main() {
                 path,
                 acts_per_sec: rate,
                 refresh_events: stats.refresh_events,
+                footprint: None,
             });
         };
         row("boxed-dyn", base_rate, &base_stats, &base_stats, base_rate);
@@ -326,30 +340,152 @@ fn main() {
         println!();
     }
 
+    sparse_1m_rows(&mut results);
+
     if let Ok(path) = std::env::var("BENCH_ENGINE_JSON") {
         write_json(&path, accesses, &results);
         println!("wrote {path}");
     }
 }
 
+/// The huge-geometry rows: a 1 Mi-bank engine, ~1% of the banks hot
+/// (every 97th global bank), row 7 hammered on 3 of every 4 accesses so
+/// the mitigation actually fires. Records throughput **and** the resident
+/// footprint — on this geometry the win the sparse storage buys is
+/// measured in bytes as much as in acts/sec, so the JSON rows carry
+/// `resident_bytes`, amortized `bytes_per_bank`, and the arithmetic dense
+/// estimate (per-materialized-instance bytes × total banks).
+fn sparse_1m_rows(results: &mut Vec<Measurement>) {
+    const SPARSE_BANKS: u32 = 1 << 20;
+    const ROWS_PER_BANK: u32 = 4096;
+    let spec = SchemeSpec::Drcat {
+        counters: 64,
+        levels: 11,
+        threshold: 32_768,
+    };
+    let hot: Vec<u32> = (0..SPARSE_BANKS).step_by(97).collect();
+    let accesses = (3_000_000 / quick_factor()) as usize;
+    let entries: Vec<(u32, u32)> = (0..accesses)
+        .map(|i| {
+            let row = if !i.is_multiple_of(4) {
+                7
+            } else {
+                (i.wrapping_mul(2_654_435_761) % ROWS_PER_BANK as usize) as u32
+            };
+            (hot[i % hot.len()], row)
+        })
+        .collect();
+    println!(
+        "sparse trace: {accesses} accesses over {} of {SPARSE_BANKS} banks hot ({:.2}%)",
+        hot.len(),
+        100.0 * hot.len() as f64 / f64::from(SPARSE_BANKS)
+    );
+    println!(
+        "{:<12} {:<16} {:>14} {:>10}",
+        "scheme", "path", "acts/sec", "speedup"
+    );
+
+    let mut footprint = EngineFootprint::default();
+    let (flat_rate, flat_stats) = measure(accesses as u64, || {
+        let mut engine =
+            BankEngine::new(spec, SPARSE_BANKS, ROWS_PER_BANK).with_epoch_length(1_000_000);
+        engine.process(&entries);
+        footprint = engine.footprint();
+        engine.stats()
+    });
+    let mut row = |path: &'static str, rate: f64, stats: &SchemeStats, fp: EngineFootprint| {
+        assert_eq!(
+            stats,
+            &flat_stats,
+            "{} {path}: paths must do identical work",
+            spec.label()
+        );
+        assert_eq!(
+            fp.materialized_banks,
+            hot.len(),
+            "{path}: exactly the hot banks must materialize"
+        );
+        // The footprint win the committed JSON records: resident sparse
+        // state must beat the dense per-bank estimate by >= 10x.
+        let dense = fp.scheme_bytes / fp.materialized_banks * fp.banks;
+        assert!(
+            fp.resident_bytes() * 10 <= dense,
+            "{path}: resident {} bytes vs dense estimate {dense}: under the 10x win",
+            fp.resident_bytes()
+        );
+        println!(
+            "{:<12} {:<16} {:>14.0} {:>9.2}x   ({} resident bytes, dense estimate {})",
+            spec.label(),
+            path,
+            rate,
+            rate / flat_rate,
+            fp.resident_bytes(),
+            dense
+        );
+        results.push(Measurement {
+            scheme: spec.label(),
+            path,
+            acts_per_sec: rate,
+            refresh_events: stats.refresh_events,
+            footprint: Some(fp),
+        });
+    };
+    row("sparse-1m-flat", flat_rate, &flat_stats, footprint);
+
+    let mut pooled_fp = EngineFootprint::default();
+    let (rate, stats) = measure(accesses as u64, || {
+        let mut engine =
+            BankEngine::new(spec, SPARSE_BANKS, ROWS_PER_BANK).with_epoch_length(1_000_000);
+        engine.process_sharded(&entries, 4);
+        pooled_fp = engine.footprint();
+        engine.stats()
+    });
+    row("sparse-1m-pool-4", rate, &stats, pooled_fp);
+    println!();
+}
+
 /// Minimal JSON writer (the workspace has no serde — offline build).
 /// `*-small` rows report their speedup against `boxed-dyn-small` (same
-/// epoch length); everything else against `boxed-dyn`.
+/// epoch length) and `sparse-1m-*` rows against `sparse-1m-flat` (a dense
+/// baseline at 1 Mi banks would measure construction, not the hot path);
+/// everything else against `boxed-dyn`. The sparse rows additionally
+/// carry their resident footprint — `bytes_per_bank` is the amortized
+/// cost over **all** banks, the number a dense layout cannot get below
+/// one full instance. New fields always go after `acts_per_sec`: the
+/// `scripts/bench.sh` delta table parses the rate by quote-field
+/// position.
 fn write_json(path: &str, accesses: u64, results: &[Measurement]) {
     let mut rows = String::new();
     for (i, m) in results.iter().enumerate() {
-        let baseline = if m.path.ends_with("-small") {
-            "boxed-dyn-small"
+        let (speedup_key, baseline) = if m.path.starts_with("sparse-1m") {
+            ("speedup_vs_sparse_flat", "sparse-1m-flat")
+        } else if m.path.ends_with("-small") {
+            ("speedup_vs_boxed_dyn", "boxed-dyn-small")
         } else {
-            "boxed-dyn"
+            ("speedup_vs_boxed_dyn", "boxed-dyn")
         };
         let boxed = results
             .iter()
             .find(|b| b.scheme == m.scheme && b.path == baseline)
             .expect("baseline measured first");
+        let footprint = match m.footprint {
+            Some(fp) => {
+                let dense = fp.scheme_bytes / fp.materialized_banks * fp.banks;
+                format!(
+                    ", \"resident_bytes\": {}, \"bytes_per_bank\": {:.2}, \
+                     \"materialized_banks\": {}, \"banks\": {}, \
+                     \"dense_estimate_bytes\": {dense}",
+                    fp.resident_bytes(),
+                    fp.resident_bytes() as f64 / fp.banks as f64,
+                    fp.materialized_banks,
+                    fp.banks
+                )
+            }
+            None => String::new(),
+        };
         rows.push_str(&format!(
             "    {{\"scheme\": \"{}\", \"path\": \"{}\", \"acts_per_sec\": {:.0}, \
-             \"speedup_vs_boxed_dyn\": {:.4}, \"refresh_events\": {}}}{}\n",
+             \"{speedup_key}\": {:.4}, \"refresh_events\": {}{footprint}}}{}\n",
             m.scheme,
             m.path,
             m.acts_per_sec,

@@ -70,6 +70,10 @@ pub struct CounterCache {
     rows: u32,
     refresh_threshold: u32,
     /// Backing store: the "reserved DRAM area" with one counter per row.
+    /// Deliberately dense: exact per-row counting makes every activation
+    /// index this array, so the O(1) direct index is the scheme's hot
+    /// path. Sparsity lives at bank granularity instead — an engine never
+    /// builds a `CounterCache` for an untouched bank (`DESIGN.md §10`).
     backing: Vec<u32>,
     cache: Vec<Way>,
     config: CounterCacheConfig,
@@ -108,6 +112,13 @@ impl CounterCache {
     /// Cache geometry.
     pub fn cache_config(&self) -> CounterCacheConfig {
         self.config
+    }
+
+    /// Resident heap bytes of the scheme's state (per-row backing store
+    /// plus the on-chip cache model).
+    pub fn heap_bytes(&self) -> usize {
+        self.backing.capacity() * std::mem::size_of::<u32>()
+            + self.cache.capacity() * std::mem::size_of::<Way>()
     }
 
     /// Touches `row` in the cache; returns `true` on a hit.

@@ -62,6 +62,11 @@ impl Drcat {
         &self.weights
     }
 
+    /// Resident heap bytes of the scheme's state (tree slabs + weights).
+    pub fn heap_bytes(&self) -> usize {
+        self.tree.heap_bytes() + self.weights.capacity()
+    }
+
     /// Overrides the weight registers — test/diagnostic hook used to
     /// reproduce the paper's Fig. 7 walk-through from a known state.
     #[doc(hidden)]

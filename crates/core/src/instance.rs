@@ -110,6 +110,25 @@ impl SchemeInstance {
         })
     }
 
+    /// Resident bytes of this scheme's live state: the enum itself plus
+    /// each variant's heap allocations (tree slabs, counter arrays, the
+    /// counter cache's per-row backing store, …).
+    ///
+    /// For [`SchemeInstance::Boxed`] only the trait object's immediate
+    /// size is visible, so external schemes report that lower bound.
+    pub fn footprint_bytes(&self) -> usize {
+        let heap = match self {
+            SchemeInstance::Pra(s) => s.heap_bytes(),
+            SchemeInstance::Sca(s) => s.heap_bytes(),
+            SchemeInstance::Prcat(s) => s.heap_bytes(),
+            SchemeInstance::Drcat(s) => s.heap_bytes(),
+            SchemeInstance::CounterCache(s) => s.heap_bytes(),
+            SchemeInstance::SpaceSaving(s) => s.heap_bytes(),
+            SchemeInstance::Boxed(b) => std::mem::size_of_val(&**b),
+        };
+        std::mem::size_of::<Self>() + heap
+    }
+
     /// Converts into a trait object. A [`SchemeInstance::Boxed`] variant is
     /// unwrapped rather than double-boxed.
     pub fn into_boxed(self) -> Box<dyn MitigationScheme + Send> {

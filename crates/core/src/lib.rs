@@ -65,6 +65,7 @@ pub mod rng;
 mod sca;
 mod scheme;
 mod space_saving;
+pub mod sparse;
 mod spec;
 mod stats;
 pub mod thresholds;
@@ -80,6 +81,7 @@ pub use prcat::Prcat;
 pub use sca::Sca;
 pub use scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
 pub use space_saving::SpaceSaving;
+pub use sparse::SparseSlab;
 pub use spec::{ParseSpecError, SchemeSpec, PRA_DEFAULT_SEED};
 pub use stats::SchemeStats;
 pub use thresholds::{SplitThresholds, ThresholdPolicy};

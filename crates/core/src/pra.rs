@@ -107,6 +107,11 @@ impl Pra {
     pub fn effective_probability(&self) -> f64 {
         f64::from(self.accept_below) / f64::from(1u32 << self.bits)
     }
+
+    /// Resident heap bytes of the scheme's state (the boxed PRNG).
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(&*self.rng)
+    }
 }
 
 impl MitigationScheme for Pra {

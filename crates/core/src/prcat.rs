@@ -38,6 +38,11 @@ impl Prcat {
     pub fn tree(&self) -> &CatTree {
         &self.tree
     }
+
+    /// Resident heap bytes of the scheme's state (the tree slabs).
+    pub fn heap_bytes(&self) -> usize {
+        self.tree.heap_bytes()
+    }
 }
 
 impl MitigationScheme for Prcat {

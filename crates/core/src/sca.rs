@@ -69,6 +69,11 @@ impl Sca {
     pub fn counter_value(&self, idx: usize) -> Option<u32> {
         self.counters.get(idx).copied()
     }
+
+    /// Resident heap bytes of the scheme's state (the counter array).
+    pub fn heap_bytes(&self) -> usize {
+        self.counters.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 impl MitigationScheme for Sca {

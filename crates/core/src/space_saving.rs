@@ -92,6 +92,11 @@ impl SpaceSaving {
         self.k
     }
 
+    /// Resident heap bytes of the scheme's state (the CAM table).
+    pub fn heap_bytes(&self) -> usize {
+        self.table.capacity() * std::mem::size_of::<Slot>()
+    }
+
     /// Upper bound on `row`'s activation count since the epoch began: its
     /// estimate if tracked, else the table minimum.
     pub fn upper_bound(&self, row: RowId) -> u32 {

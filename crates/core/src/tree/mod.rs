@@ -128,6 +128,18 @@ impl CatTree {
         &self.thresholds
     }
 
+    /// Resident heap bytes of the tree's slabs (`I`, `C`, roots and free
+    /// lists). The slabs are deliberately dense: they hold at most `M`
+    /// (≤ 64 in every paper configuration) entries — the tree itself is
+    /// the compression, so bit-block storage would only add overhead.
+    pub fn heap_bytes(&self) -> usize {
+        self.roots.capacity() * std::mem::size_of::<NodeRef>()
+            + self.inodes.capacity() * std::mem::size_of::<INode>()
+            + self.counters.capacity() * std::mem::size_of::<Counter>()
+            + self.free_counters.capacity() * std::mem::size_of::<u16>()
+            + self.free_inodes.capacity() * std::mem::size_of::<u16>()
+    }
+
     /// Number of currently active counters.
     pub fn active_counters(&self) -> usize {
         self.active_counters

@@ -1,0 +1,64 @@
+//! Fresh-idempotence: `on_epoch_end` applied to a *fresh* scheme instance
+//! is a bit-exact no-op — state and stats stay identical to a fresh build.
+//!
+//! This is the invariant that makes the engine's lazy bank materialization
+//! (`DESIGN.md §10`) sound: a bank first touched in epoch `k` can be built
+//! on touch instead of at construction, because the `k` epoch boundaries
+//! it "missed" would not have changed it. Every scheme upholds it by
+//! construction — PRCAT rebuilds to the pre-split shape, DRCAT zeroes
+//! counters it never incremented, SCA/CC clear already-zero counters,
+//! Space-Saving empties an empty table, PRA's epoch hook is stateless —
+//! and this test keeps future schemes honest.
+
+use cat_core::{RowId, SchemeSpec};
+
+const ROWS: u32 = 8192;
+
+fn all_specs() -> Vec<SchemeSpec> {
+    [
+        "pra:0.002",
+        "sca:64:512",
+        "prcat:64:11:512",
+        "drcat:64:11:512",
+        "cc:256:4:512",
+        "ss:64:512",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("valid spec"))
+    .collect()
+}
+
+#[test]
+fn epoch_end_on_fresh_instance_is_identity() {
+    for spec in all_specs() {
+        // Two bank indices so PRA's per-bank seed derivation is covered.
+        for bank in [0u32, 7] {
+            let mut idled = spec.build_instance(ROWS, bank).expect("buildable");
+            let mut fresh = spec.build_instance(ROWS, bank).expect("buildable");
+            for _ in 0..5 {
+                idled.on_epoch_end();
+            }
+            assert_eq!(idled.stats(), fresh.stats(), "{spec} bank {bank}: stats");
+
+            // The instances must stay indistinguishable under load:
+            // identical refresh decisions on every subsequent activation.
+            for i in 0..50_000u32 {
+                let row = RowId(if i.is_multiple_of(4) { 1_000 } else { i % ROWS });
+                assert_eq!(
+                    idled.on_activation(row),
+                    fresh.on_activation(row),
+                    "{spec} bank {bank}: diverged at access {i}"
+                );
+            }
+            assert_eq!(
+                idled.stats(),
+                fresh.stats(),
+                "{spec} bank {bank}: stats after load"
+            );
+            assert!(
+                idled.stats().activations == 50_000,
+                "{spec}: trace must have run"
+            );
+        }
+    }
+}

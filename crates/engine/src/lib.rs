@@ -109,14 +109,16 @@
 mod address;
 pub mod ingest;
 mod pool;
+mod sparse;
 mod system;
 pub mod wire;
 
 pub use address::{AddressMapping, GeometryError, Location, MemGeometry};
 pub use system::MemorySystem;
 
-use cat_core::{Refreshes, RowId, SchemeInstance, SchemeSpec, SchemeStats};
+use cat_core::{Refreshes, RowId, SchemeInstance, SchemeSpec, SchemeStats, SparseSlab};
 use pool::ShardPool;
+use sparse::SparseBanks;
 
 /// Computes the epoch **cut positions** inside a batch of `len` accesses:
 /// a cut at position `c` means "after the batch's first `c` accesses, a
@@ -204,6 +206,40 @@ impl BatchOutcome {
     }
 }
 
+/// Resident-memory snapshot of an engine's sparse bank storage
+/// (`DESIGN.md §10`): how many banks exist, how many were ever touched,
+/// and what the touched ones cost in bytes. Cold banks cost nothing, so
+/// `materialized_banks / banks` *is* the workload's bank-sparsity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineFootprint {
+    /// Banks the engine spans (with or without an attached scheme).
+    pub banks: usize,
+    /// Banks whose scheme instance has been built (touched at least once).
+    pub materialized_banks: usize,
+    /// Resident bytes of materialized scheme/tree state, including the
+    /// sparse containers' own block storage.
+    pub scheme_bytes: usize,
+    /// Resident bytes of activation accounting (per-bank counters plus
+    /// the pooled path's scatter scratch).
+    pub accounting_bytes: usize,
+}
+
+impl EngineFootprint {
+    /// Total resident bytes of live engine state.
+    pub fn resident_bytes(&self) -> usize {
+        self.scheme_bytes + self.accounting_bytes
+    }
+
+    /// Accumulates another engine's footprint (the [`MemorySystem`] sums
+    /// its per-channel engines this way).
+    pub fn merge(&mut self, other: &EngineFootprint) {
+        self.banks += other.banks;
+        self.materialized_banks += other.materialized_banks;
+        self.scheme_bytes += other.scheme_bytes;
+        self.accounting_bytes += other.accounting_bytes;
+    }
+}
+
 /// Snapshot of an engine's accumulated state, shaped like the reports the
 /// simulator layers expose.
 #[derive(Clone, Debug, Default)]
@@ -220,14 +256,38 @@ pub struct EngineReport {
     /// Per-bank scheme statistics (empty when the spec is
     /// [`SchemeSpec::None`]).
     pub per_bank_stats: Vec<SchemeStats>,
+    /// Resident-memory snapshot of the sparse bank storage.
+    pub footprint: EngineFootprint,
 }
 
-/// A multi-bank mitigation engine: one [`SchemeInstance`] shard per bank,
+/// A multi-bank mitigation engine: one [`SchemeInstance`] per bank,
 /// batched activation processing with epoch accounting, and a deterministic
 /// bank-sharded runner on a persistent worker pool.
+///
+/// Bank storage is **sparse and lazily materialized** (`DESIGN.md §10`): a
+/// bank's scheme instance is built from the spec on the bank's first
+/// activation, so construction is O(1) in the bank count and an engine over
+/// millions of banks only pays for the banks the workload touches.
 pub struct BankEngine {
-    banks: Vec<Option<SchemeInstance>>,
-    activations: Vec<u64>,
+    banks: SparseBanks,
+    /// Per-bank row-activation counters, sparse like the scheme storage
+    /// (an absent entry is a bank that was never activated).
+    activations: SparseSlab<u64>,
+    /// Dense scatter scratch loaned to the pooled path's counting sort,
+    /// allocated lazily on the first sharded batch; the flat batch path
+    /// reuses it as its per-segment bank counts.
+    act_scratch: Vec<u64>,
+    /// Counting-sort cursors for the flat batch path's per-segment
+    /// scatter, allocated lazily on the first flat batch. Scratch like
+    /// `act_scratch`: dense by design, but written only at touched banks.
+    seg_cursor: Vec<u32>,
+    /// Banks touched in the current flat segment, in first-touch order —
+    /// lets the scatter reset only what it dirtied (O(touched), not
+    /// O(banks)).
+    touched: Vec<u32>,
+    /// Row scatter buffer of the flat batch path (one slot per access of
+    /// the current segment).
+    row_scratch: Vec<u32>,
     accesses: u64,
     epochs: u64,
     /// Accesses per auto-refresh epoch; `None` disables access-count epoch
@@ -240,9 +300,10 @@ pub struct BankEngine {
 }
 
 impl BankEngine {
-    /// Creates an engine for `banks` banks of `rows_per_bank` rows each,
-    /// instantiating `spec` per bank (PRA banks get distinct deterministic
-    /// seeds).
+    /// Creates an engine for `banks` banks of `rows_per_bank` rows each.
+    /// `spec` is instantiated per bank **on the bank's first activation**
+    /// (PRA banks get distinct deterministic seeds from their global bank
+    /// index), so construction is O(1) in `banks`.
     ///
     /// # Panics
     ///
@@ -262,11 +323,17 @@ impl BankEngine {
         rows_per_bank: u32,
         bank_base: u32,
     ) -> Self {
+        // Banks materialize lazily, so probe-build one instance up front:
+        // an invalid spec/geometry still fails at construction, not at an
+        // arbitrary later first touch.
+        drop(spec.build_instance(rows_per_bank, bank_base));
         BankEngine {
-            banks: (0..banks)
-                .map(|b| spec.build_instance(rows_per_bank, bank_base + b))
-                .collect(),
-            activations: vec![0; banks as usize],
+            banks: SparseBanks::new(spec, banks, rows_per_bank, bank_base),
+            activations: SparseSlab::new(banks as usize),
+            act_scratch: Vec::new(),
+            seg_cursor: Vec::new(),
+            touched: Vec::new(),
+            row_scratch: Vec::new(),
             accesses: 0,
             epochs: 0,
             epoch_len: None,
@@ -288,7 +355,7 @@ impl BankEngine {
 
     /// Number of banks (with or without an attached scheme).
     pub fn bank_count(&self) -> usize {
-        self.banks.len()
+        self.banks.capacity()
     }
 
     /// Accesses processed so far.
@@ -301,9 +368,14 @@ impl BankEngine {
         self.epochs
     }
 
-    /// Row activations observed per bank.
-    pub fn activations_per_bank(&self) -> &[u64] {
-        &self.activations
+    /// Row activations observed per bank, materialized densely (banks that
+    /// were never activated report `0`).
+    pub fn activations_per_bank(&self) -> Vec<u64> {
+        let mut dense = vec![0u64; self.banks.capacity()];
+        for (bank, &count) in self.activations.iter() {
+            dense[bank] = count;
+        }
+        dense
     }
 
     /// Drives one activation through bank `bank` and returns the refreshes
@@ -333,9 +405,9 @@ impl BankEngine {
     /// phase themselves.
     #[inline]
     fn activate_unchecked(&mut self, bank: usize, row: u32) -> Refreshes {
-        self.activations[bank] += 1;
+        *self.activations.get_or_insert_with(bank, u64::default) += 1;
         self.accesses += 1;
-        match &mut self.banks[bank] {
+        match self.banks.scheme_mut(bank) {
             Some(scheme) => scheme.on_activation(RowId(row)),
             None => Refreshes::none(),
         }
@@ -362,21 +434,25 @@ impl BankEngine {
     }
 
     /// The unguarded boundary used by the batch paths when the engine's
-    /// own access-count clock (or a caller's cut list) fires.
+    /// own access-count clock (or a caller's cut list) fires. Only
+    /// materialized banks are visited: an unmaterialized bank is fresh,
+    /// and `on_epoch_end` on a fresh instance is a bit-exact no-op
+    /// (fresh-idempotence, `DESIGN.md §10`).
     fn fire_epoch(&mut self) {
         self.epochs += 1;
-        for s in self.banks.iter_mut().flatten() {
+        for (_, s) in self.banks.iter_mut() {
             s.on_epoch_end();
         }
     }
 
     /// Running totals of (refresh events, refreshed rows) across banks.
-    /// Cheap (O(banks)); differencing two snapshots gives a batch's outcome
-    /// without putting any accounting in the per-activation loop.
+    /// Cheap (O(materialized banks)); differencing two snapshots gives a
+    /// batch's outcome without putting any accounting in the
+    /// per-activation loop.
     pub(crate) fn refresh_totals(&self) -> (u64, u64) {
         let mut events = 0u64;
         let mut rows = 0u64;
-        for s in self.banks.iter().flatten() {
+        for (_, s) in self.banks.iter() {
             let stats = s.stats();
             events += stats.refresh_events;
             rows += stats.refreshed_rows;
@@ -445,17 +521,77 @@ impl BankEngine {
     }
 
     /// The shared sequential core of [`process`](Self::process) and
-    /// [`process_with_cuts`](Self::process_with_cuts).
+    /// [`process_with_cuts`](Self::process_with_cuts): per segment, a
+    /// counting-sort scatter of the accesses by bank, then each touched
+    /// bank replays its whole subsequence through one monomorphic
+    /// [`SchemeInstance::run`] loop — the same replay shape the shard
+    /// workers use, minus the threads. Schemes never observe other banks'
+    /// activations (the determinism contract, `DESIGN.md §7`), so the
+    /// replay is bit-identical to interleaved per-access dispatch while
+    /// paying the bank lookup once per touched bank per segment instead
+    /// of twice per access.
     fn run_with_cuts(&mut self, batch: &[(u32, u32)], cuts: &[usize]) -> BatchOutcome {
         let (events_before, rows_before) = self.refresh_totals();
+        let nbanks = self.banks.capacity();
+        if self.act_scratch.len() < nbanks {
+            self.act_scratch.resize(nbanks, 0);
+        }
+        if self.seg_cursor.len() < nbanks {
+            self.seg_cursor.resize(nbanks, 0);
+        }
+        let mut touched = std::mem::take(&mut self.touched);
+        let mut rows_buf = std::mem::take(&mut self.row_scratch);
         for_each_segment(batch.len(), cuts, |range, on_boundary| {
-            for &(bank, row) in &batch[range] {
-                self.activate_unchecked(bank as usize, row);
+            let seg = &batch[range];
+            // Pass 1: per-bank counts, recording each bank at its first
+            // touch so the scratch resets in O(touched), not O(banks).
+            for &(bank, _) in seg {
+                let b = bank as usize;
+                if self.act_scratch[b] == 0 {
+                    touched.push(bank);
+                }
+                self.act_scratch[b] += 1;
             }
+            // Prefix offsets in first-touch order (replay order across
+            // banks is unobservable: every bank sees only its own rows).
+            let mut acc = 0u32;
+            for &bank in &touched {
+                let b = bank as usize;
+                self.seg_cursor[b] = acc;
+                acc += self.act_scratch[b] as u32;
+            }
+            // Pass 2: scatter. Every slot in [0..seg.len()) is written
+            // exactly once (cursors cover sum(counts)), so stale contents
+            // of the recycled buffer are never read and resize only
+            // zero-fills genuine growth.
+            rows_buf.resize(seg.len(), 0);
+            for &(bank, row) in seg {
+                let c = &mut self.seg_cursor[bank as usize];
+                rows_buf[*c as usize] = row;
+                *c += 1;
+            }
+            // Replay each touched bank's subsequence, fold its count into
+            // the sparse activation accounting, and reset its scratch.
+            let mut start = 0usize;
+            for &bank in &touched {
+                let b = bank as usize;
+                let count = self.act_scratch[b];
+                let end = start + count as usize;
+                if let Some(scheme) = self.banks.scheme_mut(b) {
+                    scheme.run(&rows_buf[start..end], |_| {});
+                }
+                *self.activations.get_or_insert_with(b, u64::default) += count;
+                self.act_scratch[b] = 0;
+                start = end;
+            }
+            touched.clear();
             if on_boundary {
                 self.fire_epoch();
             }
         });
+        self.touched = touched;
+        self.row_scratch = rows_buf;
+        self.accesses += batch.len() as u64;
         let (events, rows) = self.refresh_totals();
         BatchOutcome {
             accesses: batch.len() as u64,
@@ -530,16 +666,33 @@ impl BankEngine {
     /// it into cache-sized sub-batches internally), reclaims.
     fn run_sharded(&mut self, batch: &[(u32, u32)], cuts: &[usize], shards: usize) -> BatchOutcome {
         let (events_before, rows_before) = self.refresh_totals();
-        let nbanks = self.banks.len().max(1);
+        let nbanks = self.banks.capacity().max(1);
         let shards = shards.clamp(1, nbanks);
         if self.pool.as_ref().map(ShardPool::shards) != Some(shards) {
             self.pool = Some(ShardPool::new(shards, nbanks));
         }
         let mut pool = self.pool.take().expect("pool just ensured");
-        pool.loan(&mut self.banks);
-        pool.run_batch(batch, cuts, &mut self.activations);
-        pool.reclaim(&mut self.banks);
+        for w in 0..pool.shards() {
+            let range = pool.shard_range(w);
+            let range =
+                range.start.min(self.banks.capacity())..range.end.min(self.banks.capacity());
+            pool.loan_shard(w, self.banks.take_range(range));
+        }
+        if self.act_scratch.len() < nbanks {
+            self.act_scratch.resize(nbanks, 0);
+        }
+        self.act_scratch[..nbanks].fill(0);
+        pool.run_batch(batch, cuts, &mut self.act_scratch[..nbanks]);
+        for w in 0..pool.shards() {
+            let start = pool.shard_range(w).start.min(self.banks.capacity());
+            self.banks.absorb(start, pool.reclaim_shard(w));
+        }
         self.pool = Some(pool);
+        for (bank, &count) in self.act_scratch[..nbanks].iter().enumerate() {
+            if count > 0 {
+                *self.activations.get_or_insert_with(bank, u64::default) += count;
+            }
+        }
         self.accesses += batch.len() as u64;
         self.epochs += cuts.len() as u64;
         let (events, rows) = self.refresh_totals();
@@ -553,9 +706,8 @@ impl BankEngine {
 
     /// Hands the per-bank scheme storage to [`MemorySystem`]'s shared pool
     /// for the duration of one batch (the system-level counterpart of the
-    /// loan/reclaim protocol in [`pool`](self)). Outside a batch the vector
-    /// holds one entry per bank.
-    pub(crate) fn banks_storage(&mut self) -> &mut Vec<Option<SchemeInstance>> {
+    /// loan/reclaim protocol in [`pool`](self)).
+    pub(crate) fn banks_mut(&mut self) -> &mut SparseBanks {
         &mut self.banks
     }
 
@@ -564,34 +716,61 @@ impl BankEngine {
     /// drives the banks directly through the shared pool, bypassing the
     /// per-engine batch paths).
     pub(crate) fn absorb_pooled_batch(&mut self, counts: &[u64], epochs: u64) {
-        debug_assert_eq!(counts.len(), self.activations.len());
+        debug_assert_eq!(counts.len(), self.banks.capacity());
         let mut total = 0u64;
-        for (bank, &count) in self.activations.iter_mut().zip(counts) {
-            *bank += count;
-            total += count;
+        for (bank, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                *self.activations.get_or_insert_with(bank, u64::default) += count;
+                total += count;
+            }
         }
         self.accesses += total;
         self.epochs += epochs;
     }
 
-    /// Scheme statistics aggregated across banks, in bank order.
+    /// Scheme statistics aggregated across banks, in ascending bank order.
+    /// Unmaterialized banks contribute nothing (their stats are all-zero
+    /// by fresh-idempotence), so only materialized banks are walked.
     pub fn stats(&self) -> SchemeStats {
         let mut total = SchemeStats::default();
-        for s in self.banks.iter().flatten() {
+        for (_, s) in self.banks.iter() {
             total.merge(s.stats());
         }
         total
     }
 
-    /// Per-bank scheme statistics (banks without a scheme are skipped, so
-    /// this is empty for [`SchemeSpec::None`]).
+    /// Per-bank scheme statistics: one entry per bank in bank order, with
+    /// all-zero stats synthesized for banks that were never touched (empty
+    /// for [`SchemeSpec::None`], which attaches no schemes at all).
     pub fn per_bank_stats(&self) -> Vec<SchemeStats> {
-        self.banks.iter().flatten().map(|s| *s.stats()).collect()
+        if !self.banks.has_scheme() {
+            return Vec::new();
+        }
+        let mut stats = vec![SchemeStats::default(); self.banks.capacity()];
+        for (bank, s) in self.banks.iter() {
+            stats[bank] = *s.stats();
+        }
+        stats
     }
 
-    /// The attached scheme instances (banks without a scheme are skipped).
+    /// The materialized scheme instances, in ascending bank order (banks
+    /// never touched have no instance yet and are skipped).
     pub fn schemes(&self) -> impl Iterator<Item = &SchemeInstance> {
-        self.banks.iter().flatten()
+        self.banks.iter().map(|(_, s)| s)
+    }
+
+    /// Resident-memory snapshot of the engine's sparse bank storage.
+    pub fn footprint(&self) -> EngineFootprint {
+        EngineFootprint {
+            banks: self.banks.capacity(),
+            materialized_banks: self.banks.materialized(),
+            scheme_bytes: self.banks.scheme_bytes(),
+            accounting_bytes: self.activations.heap_bytes()
+                + self.act_scratch.capacity() * std::mem::size_of::<u64>()
+                + self.seg_cursor.capacity() * std::mem::size_of::<u32>()
+                + self.touched.capacity() * std::mem::size_of::<u32>()
+                + self.row_scratch.capacity() * std::mem::size_of::<u32>(),
+        }
     }
 
     /// Snapshot of everything the simulator layers report.
@@ -599,9 +778,10 @@ impl BankEngine {
         EngineReport {
             accesses: self.accesses,
             epochs: self.epochs,
-            activations_per_bank: self.activations.clone(),
+            activations_per_bank: self.activations_per_bank(),
             scheme_stats: self.stats(),
             per_bank_stats: self.per_bank_stats(),
+            footprint: self.footprint(),
         }
     }
 }

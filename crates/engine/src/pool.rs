@@ -15,14 +15,18 @@
 //! For the duration of one `process_sharded` call the banks are *loaned*
 //! to the workers:
 //!
-//! 1. [`ShardPool::loan`] moves each shard's contiguous bank range into its
-//!    worker (one `Vec` move per shard, not per access);
+//! 1. [`ShardPool::loan_shard`] moves each shard's contiguous bank range —
+//!    split off the engine's sparse storage as a standalone
+//!    [`SparseBanks`] — into its worker (one move per shard, not per
+//!    access; cost is O(materialized banks), see `DESIGN.md §10`);
 //! 2. [`ShardPool::run_batch`] chunks the batch into cache-sized
 //!    sub-batches; for each it scatters rows into a [`RunJob`] per shard
-//!    and sends it; the worker replays it bank by bank and sends the
-//!    buffer back for reuse (up to [`JOBS_IN_FLIGHT`] jobs pipeline, so the
+//!    and sends it; the worker replays it bank by bank — materializing a
+//!    bank's scheme on the bank's first-ever rows — and sends the buffer
+//!    back for reuse (up to [`JOBS_IN_FLIGHT`] jobs pipeline, so the
 //!    engine scatters sub-batch *k+1* while workers replay *k*);
-//! 3. [`ShardPool::reclaim`] collects the banks back in shard order.
+//! 3. [`ShardPool::reclaim_shard`] collects each shard's banks back and
+//!    the engine absorbs them at the shard's offset.
 //!
 //! Epoch boundaries arrive as an explicit **cut list** (positions in the
 //! batch where every bank's `on_epoch_end` fires — see
@@ -42,7 +46,7 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
-use cat_core::SchemeInstance;
+use crate::sparse::SparseBanks;
 
 /// Sub-batches pipelined per worker: 2 lets the engine scatter the next
 /// job while the worker replays the current one; more would only add
@@ -73,7 +77,7 @@ impl RunJob {
 
 enum ToWorker {
     /// Loan the shard's banks to the worker.
-    Banks(Vec<Option<SchemeInstance>>),
+    Banks(SparseBanks),
     /// Replay one sub-batch.
     Run(RunJob),
     /// Return the loaned banks.
@@ -84,7 +88,7 @@ enum FromWorker {
     /// A processed job buffer, ready for reuse.
     Job(RunJob),
     /// The loaned banks, returned on `Collect`.
-    Banks(Vec<Option<SchemeInstance>>),
+    Banks(SparseBanks),
 }
 
 struct Worker {
@@ -95,6 +99,8 @@ struct Worker {
     free: Vec<RunJob>,
     /// Jobs sent but not yet returned.
     inflight: usize,
+    /// First bank of this shard.
+    start: usize,
     /// Banks in this shard.
     banks: usize,
 }
@@ -144,6 +150,7 @@ impl ShardPool {
                 handle: Some(handle),
                 free: (0..JOBS_IN_FLIGHT).map(|_| RunJob::empty()).collect(),
                 inflight: 0,
+                start: bank0 - banks,
                 banks,
             });
         }
@@ -167,37 +174,37 @@ impl ShardPool {
         self.workers[w].banks
     }
 
-    /// Moves the engine's banks into the workers, one contiguous range
-    /// each. `banks` is left empty.
-    pub fn loan(&mut self, banks: &mut Vec<Option<SchemeInstance>>) {
-        debug_assert_eq!(banks.len(), self.shard_of.len());
-        let mut rest = std::mem::take(banks);
-        for w in &mut self.workers {
-            let tail = rest.split_off(w.banks.min(rest.len()));
-            w.send(ToWorker::Banks(rest));
-            rest = tail;
-        }
-        debug_assert!(rest.is_empty());
+    /// The contiguous bank range worker `w` owns.
+    pub fn shard_range(&self, w: usize) -> std::ops::Range<usize> {
+        let worker = &self.workers[w];
+        worker.start..worker.start + worker.banks
     }
 
-    /// Waits for all outstanding jobs, then moves the banks back into
-    /// `banks` in shard order.
-    pub fn reclaim(&mut self, banks: &mut Vec<Option<SchemeInstance>>) {
-        for w in &mut self.workers {
-            w.send(ToWorker::Collect);
-            loop {
-                match w.recv() {
-                    FromWorker::Job(job) => {
-                        w.inflight -= 1;
-                        w.free.push(job);
-                    }
-                    FromWorker::Banks(mut b) => {
-                        banks.append(&mut b);
-                        break;
-                    }
+    /// Moves one shard's banks into its worker. The caller splits its
+    /// sparse storage along [`shard_range`](Self::shard_range) boundaries
+    /// (at system scope the range can straddle several channel engines —
+    /// the [`MemorySystem`] assembles the carrier).
+    pub fn loan_shard(&mut self, w: usize, banks: SparseBanks) {
+        debug_assert!(banks.capacity() <= self.workers[w].banks);
+        self.workers[w].send(ToWorker::Banks(banks));
+    }
+
+    /// Waits for worker `w`'s outstanding jobs, then moves its banks back
+    /// out — the caller absorbs them at the shard's offset.
+    pub fn reclaim_shard(&mut self, w: usize) -> SparseBanks {
+        let worker = &mut self.workers[w];
+        worker.send(ToWorker::Collect);
+        loop {
+            match worker.recv() {
+                FromWorker::Job(job) => {
+                    worker.inflight -= 1;
+                    worker.free.push(job);
+                }
+                FromWorker::Banks(banks) => {
+                    debug_assert_eq!(worker.inflight, 0);
+                    return banks;
                 }
             }
-            debug_assert_eq!(w.inflight, 0);
         }
     }
 
@@ -232,8 +239,9 @@ impl ShardPool {
     /// `batch.len()` are all legal). Per-chunk activation counts are folded
     /// into `activations` (one slot per bank).
     ///
-    /// The banks must already be loaned ([`loan`](Self::loan)); they stay
-    /// with the workers afterwards — the enclosing batch call reclaims.
+    /// The banks must already be loaned ([`loan_shard`](Self::loan_shard));
+    /// they stay with the workers afterwards — the enclosing batch call
+    /// reclaims.
     pub fn run_batch(&mut self, batch: &[(u32, u32)], cuts: &[usize], activations: &mut [u64]) {
         if batch.is_empty() {
             // No rows to scatter, but boundary-only cut lists must still
@@ -383,7 +391,7 @@ impl Drop for ShardPool {
 }
 
 fn worker_loop(rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
-    let mut banks: Vec<Option<SchemeInstance>> = Vec::new();
+    let mut banks = SparseBanks::empty();
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Banks(b) => banks = b,
@@ -394,10 +402,8 @@ fn worker_loop(rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
                 }
             }
             ToWorker::Collect => {
-                if tx
-                    .send(FromWorker::Banks(std::mem::take(&mut banks)))
-                    .is_err()
-                {
+                let loaned = std::mem::replace(&mut banks, SparseBanks::empty());
+                if tx.send(FromWorker::Banks(loaned)).is_err() {
                     return;
                 }
             }
@@ -406,20 +412,32 @@ fn worker_loop(rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
 }
 
 /// Replays one job, bank by bank: each bank's whole activation subsequence
-/// runs through one monomorphic [`SchemeInstance::run`] loop, with that
-/// bank's epoch ends fired at the recorded cut positions.
+/// runs through one monomorphic [`cat_core::SchemeInstance::run`] loop,
+/// with that bank's epoch ends fired at the recorded cut positions.
+///
+/// A bank with rows in this job materializes its scheme on first-ever
+/// touch, exactly as the sequential path would have at that bank's first
+/// activation. A bank with no rows only needs its epoch boundaries, and
+/// only if it is *already* materialized — on a fresh instance
+/// `on_epoch_end` is a bit-exact no-op (fresh-idempotence, `DESIGN.md
+/// §10`), so unmaterialized banks skip the boundary with no observable
+/// difference.
 ///
 /// No per-activation accounting happens here — the schemes track their own
 /// stats, and the engine diffs aggregate snapshots. Keeping the sink empty
 /// lets the compiler drop the `Refreshes` return path from the inlined
 /// loops entirely.
-fn run_job(banks: &mut [Option<SchemeInstance>], job: &RunJob) {
+fn run_job(banks: &mut SparseBanks, job: &RunJob) {
     let mut offset = 0usize;
-    for (i, bank) in banks.iter_mut().enumerate() {
-        let len = job.lens[i];
+    for (i, &len) in job.lens.iter().enumerate() {
         let rows = &job.rows[offset..offset + len];
         offset += len;
-        let Some(scheme) = bank else { continue };
+        let scheme = if len > 0 {
+            banks.scheme_mut(i)
+        } else {
+            banks.materialized_mut(i)
+        };
+        let Some(scheme) = scheme else { continue };
         let mut next = 0usize;
         for &cut in &job.cuts[i] {
             scheme.run(&rows[next..cut], |_| {});

@@ -1,0 +1,138 @@
+//! Lazily-materialized per-bank scheme storage — **the** sparse accessor
+//! module (`DESIGN.md §10`).
+//!
+//! [`SparseBanks`] wraps a [`SparseSlab`] of [`SchemeInstance`]s plus the
+//! recipe to build one: the [`SchemeSpec`], the per-bank row count and
+//! the engine's bank base. A bank's scheme is built on the bank's *first
+//! touch*, from the spec and the bank's deterministic global index — the
+//! same pure function [`BankEngine::with_bank_base`] used to call for
+//! every bank eagerly — so instantiation order cannot leak into results
+//! and an engine over a million banks constructs in O(1).
+//!
+//! Lazy materialization preserves the determinism contract (`DESIGN.md
+//! §7`) because every scheme's `on_epoch_end` is *fresh-idempotent*: on a
+//! freshly built instance it is a bit-exact no-op (locked by
+//! `cat-core/tests/fresh_idempotence.rs`). A bank first touched in epoch
+//! `k` therefore equals an eagerly-built bank that sat through `k`
+//! boundaries, and untouched banks can skip boundaries entirely.
+//!
+//! Every other module in this crate goes through these accessors;
+//! `cat-lint`'s `dense-banks` rule refuses direct dense indexing of bank
+//! storage anywhere else under `crates/engine/src`.
+//!
+//! [`BankEngine::with_bank_base`]: crate::BankEngine::with_bank_base
+
+use cat_core::{SchemeInstance, SchemeSpec, SparseSlab};
+
+/// Sparse, lazily-materialized map from local bank index to the bank's
+/// [`SchemeInstance`] (see the module docs).
+pub(crate) struct SparseBanks {
+    spec: SchemeSpec,
+    rows: u32,
+    /// Global index of local bank 0 — the PRA seed derivation input.
+    base: u32,
+    slab: SparseSlab<SchemeInstance>,
+}
+
+impl SparseBanks {
+    /// Storage for `banks` banks of `rows` rows each, local bank `b`
+    /// carrying global index `base + b`. O(1): nothing is built yet.
+    pub(crate) fn new(spec: SchemeSpec, banks: u32, rows: u32, base: u32) -> Self {
+        SparseBanks {
+            spec,
+            rows,
+            base,
+            slab: SparseSlab::new(banks as usize),
+        }
+    }
+
+    /// The placeholder a pool worker holds between loans.
+    pub(crate) fn empty() -> Self {
+        Self::new(SchemeSpec::None, 0, 8, 0)
+    }
+
+    /// Number of banks this storage spans (materialized or not).
+    pub(crate) fn capacity(&self) -> usize {
+        self.slab.capacity()
+    }
+
+    /// Number of banks whose scheme instance has been materialized.
+    pub(crate) fn materialized(&self) -> usize {
+        self.slab.occupied()
+    }
+
+    /// `true` when the spec attaches a scheme to banks at all.
+    pub(crate) fn has_scheme(&self) -> bool {
+        !matches!(self.spec, SchemeSpec::None)
+    }
+
+    /// The scheme of `bank`, materializing it on first touch. `None` only
+    /// for [`SchemeSpec::None`]. Per-activation path: the materialized
+    /// case is a single slab pass (`SparseSlab::get_or_insert_with`).
+    #[inline]
+    pub(crate) fn scheme_mut(&mut self, bank: usize) -> Option<&mut SchemeInstance> {
+        if !self.has_scheme() {
+            return None;
+        }
+        let (spec, rows, base) = (self.spec, self.rows, self.base);
+        Some(self.slab.get_or_insert_with(bank, || {
+            spec.build_instance(rows, base + bank as u32)
+                .expect("has_scheme() holds: every non-None spec builds")
+        }))
+    }
+
+    /// The scheme of `bank` only if already materialized — epoch
+    /// boundaries use this: an unmaterialized bank is fresh, and
+    /// `on_epoch_end` on fresh is a no-op (fresh-idempotence), so it can
+    /// skip the boundary without observable difference.
+    pub(crate) fn materialized_mut(&mut self, bank: usize) -> Option<&mut SchemeInstance> {
+        self.slab.get_mut(bank)
+    }
+
+    /// Materialized schemes in ascending bank order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (usize, &SchemeInstance)> {
+        self.slab.iter()
+    }
+
+    /// Mutable materialized schemes in ascending bank order.
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut SchemeInstance)> {
+        self.slab.iter_mut()
+    }
+
+    /// Splits off the banks in `range` as a standalone `SparseBanks`
+    /// (local index 0 = this storage's `range.start`, global indices
+    /// preserved) — the loan half of the pool's ownership protocol. Cost
+    /// is O(materialized in range), not O(range).
+    pub(crate) fn take_range(&mut self, range: std::ops::Range<usize>) -> SparseBanks {
+        let mut sub = SparseBanks::new(
+            self.spec,
+            (range.end - range.start) as u32,
+            self.rows,
+            self.base + range.start as u32,
+        );
+        for (bank, instance) in self.slab.drain_range(range.clone()) {
+            sub.slab.insert(bank - range.start, instance);
+        }
+        sub
+    }
+
+    /// Merges a loaned-out range back in at `offset` — the reclaim half
+    /// of the pool protocol. Ascending inserts, so re-absorbing a shard
+    /// is amortized O(materialized in shard).
+    pub(crate) fn absorb(&mut self, offset: usize, mut sub: SparseBanks) {
+        let span = sub.capacity();
+        for (bank, instance) in sub.slab.drain_range(0..span) {
+            self.slab.insert(offset + bank, instance);
+        }
+    }
+
+    /// Resident bytes of the materialized schemes plus the slab's own
+    /// block storage.
+    pub(crate) fn scheme_bytes(&self) -> usize {
+        self.slab.heap_bytes_with(|instance| {
+            // The slab's payload slots already account for the enum
+            // itself; add only each instance's heap state.
+            instance.footprint_bytes() - std::mem::size_of::<SchemeInstance>()
+        })
+    }
+}

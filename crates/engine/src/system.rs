@@ -48,7 +48,11 @@ use cat_core::{Refreshes, SchemeInstance, SchemeSpec, SchemeStats};
 
 use crate::ingest::IngestConsumer;
 use crate::pool::ShardPool;
-use crate::{epoch_cuts, AddressMapping, BankEngine, BatchOutcome, EngineReport, MemGeometry};
+use crate::sparse::SparseBanks;
+use crate::{
+    epoch_cuts, AddressMapping, BankEngine, BatchOutcome, EngineFootprint, EngineReport,
+    MemGeometry,
+};
 
 /// A whole memory system: address decode, per-channel [`BankEngine`]s,
 /// global epoch accounting, streaming ingestion, and an optional shared
@@ -99,11 +103,11 @@ pub struct MemorySystem {
     /// Global cut-position scratch, reused across batches.
     cut_scratch: Vec<usize>,
     /// Per-batch activation counts for the pooled path (one slot per
-    /// global bank), folded back into the channel engines after each batch.
+    /// global bank), folded back into the channel engines after each
+    /// batch. Allocated lazily on the first pooled batch, so a system
+    /// that never shards — the huge-geometry configurations — pays
+    /// nothing for it.
     act_scratch: Vec<u64>,
-    /// Assembly buffer moving every channel's banks to/from the shared
-    /// pool (pooled path; empty between batches).
-    bank_scratch: Vec<Option<SchemeInstance>>,
     /// Streaming staging buffer (decoded, not yet processed accesses).
     staged: Vec<(u32, u32)>,
     /// Staging capacity at which `push` flushes automatically.
@@ -158,8 +162,7 @@ impl MemorySystem {
             route,
             route_cuts,
             cut_scratch: Vec::new(),
-            act_scratch: vec![0; geometry.total_banks() as usize],
-            bank_scratch: Vec::new(),
+            act_scratch: Vec::new(),
             staged: Vec::new(),
             stream_capacity: Self::DEFAULT_STREAM_CAPACITY,
             staged_outcome: BatchOutcome::default(),
@@ -507,34 +510,60 @@ impl MemorySystem {
         let mut pool = self.pool.take().expect("pool just ensured");
         let (events_before, rows_before) = self.refresh_totals();
 
-        // Assemble every channel's banks in global bank order and loan them
-        // to the workers for the duration of the batch.
-        debug_assert!(self.bank_scratch.is_empty());
-        for engine in &mut self.channels {
-            self.bank_scratch.append(engine.banks_storage());
+        // Loan each shard a carrier assembled — in global bank order —
+        // from the channel ranges the shard straddles. Splitting and
+        // re-absorbing costs O(materialized banks), not O(banks)
+        // (`DESIGN.md §10`), and a scheme built by a worker keeps its
+        // global bank index: the carrier's base is the shard's first
+        // global bank.
+        let bpc = self.banks_per_channel as usize;
+        let rows_per_bank = self.geometry.rows_per_bank;
+        for w in 0..pool.shards() {
+            let range = pool.shard_range(w);
+            let mut carrier = SparseBanks::new(
+                self.spec,
+                (range.end - range.start) as u32,
+                rows_per_bank,
+                range.start as u32,
+            );
+            for (ch, engine) in self.channels.iter_mut().enumerate() {
+                let g_lo = range.start.max(ch * bpc);
+                let g_hi = range.end.min((ch + 1) * bpc);
+                if g_lo >= g_hi {
+                    continue;
+                }
+                let sub = engine
+                    .banks_mut()
+                    .take_range(g_lo - ch * bpc..g_hi - ch * bpc);
+                carrier.absorb(g_lo - range.start, sub);
+            }
+            pool.loan_shard(w, carrier);
         }
-        pool.loan(&mut self.bank_scratch);
-        self.act_scratch.fill(0);
-        pool.run_batch(batch, cuts, &mut self.act_scratch);
-        pool.reclaim(&mut self.bank_scratch);
+        let nbanks = self.bank_count().max(1);
+        if self.act_scratch.len() < nbanks {
+            self.act_scratch.resize(nbanks, 0);
+        }
+        self.act_scratch[..nbanks].fill(0);
+        pool.run_batch(batch, cuts, &mut self.act_scratch[..nbanks]);
 
-        // Hand the banks back and fold the batch into each engine's
-        // accounting.
-        let banks_per_channel = self.banks_per_channel as usize;
-        {
-            let mut returned = self.bank_scratch.drain(..);
-            for engine in &mut self.channels {
-                engine
-                    .banks_storage()
-                    .extend(returned.by_ref().take(banks_per_channel));
+        // Reclaim each shard's carrier, hand every channel its banks back,
+        // and fold the batch into each engine's accounting.
+        for w in 0..pool.shards() {
+            let range = pool.shard_range(w);
+            let mut carrier = pool.reclaim_shard(w);
+            for (ch, engine) in self.channels.iter_mut().enumerate() {
+                let g_lo = range.start.max(ch * bpc);
+                let g_hi = range.end.min((ch + 1) * bpc);
+                if g_lo >= g_hi {
+                    continue;
+                }
+                let sub = carrier.take_range(g_lo - range.start..g_hi - range.start);
+                engine.banks_mut().absorb(g_lo - ch * bpc, sub);
             }
         }
         for (ch, engine) in self.channels.iter_mut().enumerate() {
-            let base = ch * banks_per_channel;
-            engine.absorb_pooled_batch(
-                &self.act_scratch[base..base + banks_per_channel],
-                cuts.len() as u64,
-            );
+            let base = ch * bpc;
+            engine.absorb_pooled_batch(&self.act_scratch[base..base + bpc], cuts.len() as u64);
         }
         self.pool = Some(pool);
 
@@ -634,7 +663,7 @@ impl MemorySystem {
     pub fn activations_per_bank(&self) -> Vec<u64> {
         self.channels
             .iter()
-            .flat_map(|e| e.activations_per_bank().iter().copied())
+            .flat_map(BankEngine::activations_per_bank)
             .collect()
     }
 
@@ -649,6 +678,17 @@ impl MemorySystem {
         &self.channels
     }
 
+    /// Resident-memory snapshot across every channel's sparse bank
+    /// storage, plus the system's own pooled-path scatter scratch.
+    pub fn footprint(&self) -> EngineFootprint {
+        let mut total = EngineFootprint::default();
+        for engine in &self.channels {
+            total.merge(&engine.footprint());
+        }
+        total.accounting_bytes += self.act_scratch.capacity() * std::mem::size_of::<u64>();
+        total
+    }
+
     /// Snapshot of everything the simulator layers report, at system scope.
     pub fn report(&self) -> EngineReport {
         EngineReport {
@@ -657,6 +697,7 @@ impl MemorySystem {
             activations_per_bank: self.activations_per_bank(),
             scheme_stats: self.stats(),
             per_bank_stats: self.per_bank_stats(),
+            footprint: self.footprint(),
         }
     }
 }

@@ -41,7 +41,7 @@ fn trace(n: u64) -> Vec<(u32, u32)> {
             z ^= z >> 27;
             z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
             let bank = (z % u64::from(BANKS)) as u32;
-            let row = if i % 4 != 0 {
+            let row = if !i.is_multiple_of(4) {
                 // Hot rows, distinct per bank, hammered 75% of the time.
                 1000 + bank
             } else {
@@ -322,6 +322,178 @@ fn external_cuts_match_internal_epoch_accounting() {
     external_sharded.process_sharded_with_cuts(&trace, &cuts, 4);
     assert_eq!(external_sharded.stats(), internal.stats());
     assert_eq!(external_sharded.per_bank_stats(), internal.per_bank_stats());
+}
+
+/// The old eager loop generalized over the bank count — the dense
+/// reference for the sparse-storage differential below.
+fn old_loop_over_banks(
+    spec: SchemeSpec,
+    trace: &[(u32, u32)],
+    epoch: u64,
+    banks: u32,
+    rows: u32,
+) -> (SchemeStats, Vec<SchemeStats>) {
+    let mut schemes: Vec<Option<Box<dyn MitigationScheme + Send>>> =
+        (0..banks).map(|b| spec.build(rows, b)).collect();
+    let mut accesses = 0u64;
+    for &(bank, row) in trace {
+        if let Some(s) = &mut schemes[bank as usize] {
+            s.on_activation(RowId(row));
+        }
+        accesses += 1;
+        if accesses.is_multiple_of(epoch) {
+            for s in schemes.iter_mut().flatten() {
+                s.on_epoch_end();
+            }
+        }
+    }
+    let mut total = SchemeStats::default();
+    let mut per_bank = Vec::new();
+    for s in schemes.iter().flatten() {
+        per_bank.push(*s.stats());
+        total.merge(s.stats());
+    }
+    (total, per_bank)
+}
+
+#[test]
+fn sparse_storage_matches_dense_reference_across_touch_patterns() {
+    // The tentpole differential for the lazily-materialized bank storage:
+    // whatever subset of banks a workload touches — a contiguous hot
+    // range, a stride that leaves gaps, one single bank, or every bank —
+    // the sparse engine must be bit-identical to the dense eagerly-built
+    // reference on the flat and 1/2/4-shard pooled paths, and must have
+    // materialized exactly the touched banks, never the cold ones.
+    const SPARSE_BANKS: u32 = 64;
+    const N: u64 = 60_000;
+    let mix = |i: u64, bank: u32| {
+        let mut z = i
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x6a09_e667);
+        z ^= z >> 27;
+        if !i.is_multiple_of(4) {
+            1000 + bank
+        } else {
+            (z % u64::from(ROWS)) as u32
+        }
+    };
+    let patterns: Vec<(&str, Vec<(u32, u32)>)> = vec![
+        (
+            "contiguous-hot",
+            (0..N)
+                .map(|i| {
+                    let bank = (i % 4) as u32;
+                    (bank, mix(i, bank))
+                })
+                .collect(),
+        ),
+        (
+            "strided",
+            (0..N)
+                .map(|i| {
+                    let bank = ((i % 8) * 8) as u32;
+                    (bank, mix(i, bank))
+                })
+                .collect(),
+        ),
+        ("single-bank", (0..N).map(|i| (37, mix(i, 37))).collect()),
+        (
+            "all-banks",
+            (0..N)
+                .map(|i| {
+                    let bank = (i % u64::from(SPARSE_BANKS)) as u32;
+                    (bank, mix(i, bank))
+                })
+                .collect(),
+        ),
+    ];
+    for (name, trace) in &patterns {
+        let touched: std::collections::BTreeSet<u32> = trace.iter().map(|&(b, _)| b).collect();
+        for spec in all_specs() {
+            let (old_total, old_per_bank) =
+                old_loop_over_banks(spec, trace, EPOCH, SPARSE_BANKS, ROWS);
+            let mut flat = BankEngine::new(spec, SPARSE_BANKS, ROWS).with_epoch_length(EPOCH);
+            flat.process(trace);
+            assert_eq!(flat.stats(), old_total, "{spec} {name}: flat != dense");
+            if spec != SchemeSpec::None {
+                assert_eq!(
+                    flat.per_bank_stats().len(),
+                    SPARSE_BANKS as usize,
+                    "{spec} {name}: cold banks must still report (zero) stats"
+                );
+                assert_eq!(
+                    flat.per_bank_stats(),
+                    old_per_bank,
+                    "{spec} {name}: per-bank mismatch"
+                );
+                let fp = flat.footprint();
+                assert_eq!(
+                    fp.materialized_banks,
+                    touched.len(),
+                    "{spec} {name}: must materialize exactly the touched banks"
+                );
+                assert!(fp.scheme_bytes > 0, "{spec} {name}: footprint not wired");
+            } else {
+                assert_eq!(flat.footprint().materialized_banks, 0);
+            }
+
+            for shards in [1usize, 2, 4] {
+                let mut sharded =
+                    BankEngine::new(spec, SPARSE_BANKS, ROWS).with_epoch_length(EPOCH);
+                sharded.process_sharded(trace, shards);
+                assert_eq!(
+                    sharded.stats(),
+                    old_total,
+                    "{spec} {name}: {shards}-shard != dense"
+                );
+                assert_eq!(sharded.per_bank_stats(), flat.per_bank_stats());
+                assert_eq!(sharded.activations_per_bank(), flat.activations_per_bank());
+                if spec != SchemeSpec::None {
+                    assert_eq!(
+                        sharded.footprint().materialized_banks,
+                        touched.len(),
+                        "{spec} {name}: {shards}-shard workers over-materialized"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cold_banks_never_materialize_at_big_geometry() {
+    // Construction must be O(1) in the bank count and cold banks must
+    // stay unbuilt: a 1Mi-bank engine touching 64 banks holds exactly 64
+    // scheme instances, and its resident footprint is orders of magnitude
+    // below the dense estimate.
+    const BIG: u32 = 1 << 20;
+    let spec = SchemeSpec::Drcat {
+        counters: 64,
+        levels: 11,
+        threshold: 512,
+    };
+    let mut engine = BankEngine::new(spec, BIG, ROWS).with_epoch_length(1_000);
+    let trace: Vec<(u32, u32)> = (0..10_000u64)
+        .map(|i| ((i % 64 * 16_384) as u32, 1_000 + (i % 7) as u32))
+        .collect();
+    engine.process(&trace);
+    let fp = engine.footprint();
+    assert_eq!(fp.banks, BIG as usize);
+    assert_eq!(fp.materialized_banks, 64);
+    let per_instance = fp.scheme_bytes / 64;
+    let dense_estimate = per_instance * BIG as usize;
+    assert!(
+        fp.resident_bytes() * 10 <= dense_estimate,
+        "sparse {} vs dense estimate {}: under 10x win",
+        fp.resident_bytes(),
+        dense_estimate
+    );
+    // The pooled path must stay lazy too (shard workers materialize only
+    // on rows), and keep matching the flat run.
+    let mut pooled = BankEngine::new(spec, BIG, ROWS).with_epoch_length(1_000);
+    pooled.process_sharded(&trace, 4);
+    assert_eq!(pooled.stats(), engine.stats());
+    assert_eq!(pooled.footprint().materialized_banks, 64);
 }
 
 #[test]

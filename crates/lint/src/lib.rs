@@ -19,10 +19,11 @@
 //! | `panic-path` | `catd` datapath (`wire.rs`, `ingest.rs`, `system.rs`) | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `lock-order` | `crates/engine/src` | unannotated `Mutex`/`Condvar` fields, unresolvable `.lock()` sites, acquisition-order cycles |
 //! | `atomic-order` | `crates/engine/src` | `Ordering::Relaxed` — cross-thread publication needs Release/Acquire (or SeqCst) |
+//! | `dense-banks` | `crates/engine/src` minus `sparse.rs` | `banks[…]` indexing and `Vec<Option<SchemeInstance>>` — dense per-bank storage outside the sparse accessor module (DESIGN.md §10) |
 //! | `crate-attrs` | crate roots, bench targets, examples | missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
 //!
 //! Test code — `#[cfg(test)]` / `#[test]` regions and any file under a
-//! `tests/` directory — is exempt from the first four rules. A justified
+//! `tests/` directory — is exempt from every rule but `crate-attrs`. A justified
 //! exception is granted by a directive on the offending line or the line
 //! directly above:
 //!
@@ -53,12 +54,13 @@ use std::io;
 use std::path::Path;
 
 /// The enforceable rule identifiers, in documentation order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "hash-order",
     "wall-clock",
     "panic-path",
     "lock-order",
     "atomic-order",
+    "dense-banks",
     "crate-attrs",
 ];
 
@@ -492,6 +494,9 @@ struct FileScope {
     datapath: bool,
     /// Engine sources: `lock-order` applies.
     engine_src: bool,
+    /// Engine sources outside the sparse accessor module: `dense-banks`
+    /// applies (`sparse.rs` itself owns the block layout).
+    dense_banks: bool,
     /// A crate root / bench target / example: `crate-attrs` applies.
     crate_root: bool,
 }
@@ -516,6 +521,7 @@ fn classify(rel: &str) -> FileScope {
                 | "crates/engine/src/system.rs"
         ),
         engine_src: rel.starts_with("crates/engine/src/"),
+        dense_banks: rel.starts_with("crates/engine/src/") && rel != "crates/engine/src/sparse.rs",
         crate_root: rel.ends_with("src/lib.rs")
             || rel.ends_with("src/main.rs")
             || parent == "benches"
@@ -644,6 +650,46 @@ fn rule_panic_path(ctx: &Ctx<'_>, rel: &str, out: &mut Vec<Violation>) {
                 format!("`{m}!` in the catd server datapath: return an error instead"),
             ),
             _ => {}
+        }
+    }
+}
+
+fn rule_dense_banks(ctx: &Ctx<'_>, rel: &str, out: &mut Vec<Violation>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let at = |k: usize| toks.get(i + k).map(|t| t.text.as_str());
+        if toks[i].text == "banks" && at(1) == Some("[") {
+            push(
+                out,
+                rel,
+                toks[i].line,
+                "dense-banks",
+                "`banks[…]` indexes bank storage directly: go through the sparse \
+                 accessor module (`SparseBanks::scheme_mut` / `iter`), which \
+                 materializes banks lazily — dense indexing reintroduces O(banks) \
+                 residency (DESIGN.md §10)"
+                    .to_string(),
+            );
+        }
+        if toks[i].text == "Vec"
+            && at(1) == Some("<")
+            && at(2) == Some("Option")
+            && at(3) == Some("<")
+            && at(4) == Some("SchemeInstance")
+        {
+            push(
+                out,
+                rel,
+                toks[i].line,
+                "dense-banks",
+                "`Vec<Option<SchemeInstance>>` is the dense per-bank layout the sparse \
+                 storage replaced: one resident slot per bank whether or not the bank \
+                 is ever touched; hold a `SparseBanks` instead (DESIGN.md §10)"
+                    .to_string(),
+            );
         }
     }
 }
@@ -997,6 +1043,9 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         if scope.engine_src {
             rule_lock_order(&ctx, rel, &mut out);
             rule_atomic_order(&ctx, rel, &mut out);
+        }
+        if scope.dense_banks {
+            rule_dense_banks(&ctx, rel, &mut out);
         }
     }
     if scope.crate_root {

@@ -1,0 +1,19 @@
+//! Fixture: dense per-bank storage patterns in engine sources.
+
+use cat_core::SchemeInstance;
+
+/// The dense layout the sparse refactor removed: one resident slot per
+/// bank, whether or not the bank is ever touched.
+pub struct DenseEngine {
+    banks: Vec<Option<SchemeInstance>>,
+}
+
+impl DenseEngine {
+    /// Indexes bank storage directly instead of going through the sparse
+    /// accessor module.
+    pub fn touch(&mut self, bank: usize) {
+        if let Some(s) = self.banks[bank].as_mut() {
+            let _ = s;
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: bank access through the sparse accessor, plus the rule's
+//! escape hatches (allow directive and test-region masking).
+
+use cat_core::SchemeInstance;
+
+use crate::sparse::SparseBanks;
+
+/// Goes through the sparse accessor: the bank materializes lazily.
+pub fn touch(banks: &mut SparseBanks, bank: usize) -> Option<&mut SchemeInstance> {
+    banks.scheme_mut(bank)
+}
+
+/// A justified dense borrow (a scratch slice that is not scheme storage)
+/// takes an allow directive with the rationale.
+pub fn scratch(banks: &mut [u64], bank: usize) -> u64 {
+    // cat-lint: allow(dense-banks) -- fixture: activation scratch, not scheme storage
+    banks[bank]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dense_indexing_in_tests_is_fine() {
+        let banks = [1u64, 2];
+        assert_eq!(banks[0], 1);
+    }
+}

@@ -171,6 +171,38 @@ fn atomic_order_only_applies_to_engine_sources() {
     assert_eq!(lint_source("crates/sim/src/fixture.rs", src), []);
 }
 
+// --- dense-banks ----------------------------------------------------------
+
+#[test]
+fn dense_banks_bad_fragment_is_rejected() {
+    let src = include_str!("fixtures/dense_banks_bad.rs");
+    let v = lint_source("crates/engine/src/fixture.rs", src);
+    assert_eq!(
+        skeleton(&v),
+        vec![
+            (8, "dense-banks"),  // banks: Vec<Option<SchemeInstance>>
+            (15, "dense-banks"), // self.banks[bank]
+        ],
+        "diagnostics: {v:#?}"
+    );
+}
+
+#[test]
+fn dense_banks_good_fragment_is_clean() {
+    let src = include_str!("fixtures/dense_banks_good.rs");
+    assert_eq!(lint_source("crates/engine/src/fixture.rs", src), []);
+}
+
+#[test]
+fn dense_banks_is_exempt_in_the_sparse_module_and_other_crates() {
+    let src = include_str!("fixtures/dense_banks_bad.rs");
+    // The sparse accessor module owns the block layout itself.
+    assert_eq!(lint_source("crates/engine/src/sparse.rs", src), []);
+    // Dense per-bank vectors elsewhere (the bench's boxed-dyn baseline,
+    // the sim crate) are out of scope.
+    assert_eq!(lint_source("crates/sim/src/fixture.rs", src), []);
+}
+
 // --- crate-attrs ----------------------------------------------------------
 
 #[test]
@@ -281,6 +313,11 @@ fn seeding_violations_into_live_roots_is_caught() {
             "crates/engine/src/lib.rs",
             "fn seeded() { let _ = std::sync::atomic::Ordering::Relaxed; }",
             "atomic-order",
+        ),
+        (
+            "crates/engine/src/lib.rs",
+            "fn seeded(banks: &mut [Option<u32>], b: usize) { banks[b] = None; }",
+            "dense-banks",
         ),
     ] {
         let live = std::fs::read_to_string(root.join(rel)).expect("read live source");

@@ -182,4 +182,51 @@ mod tests {
         }
         assert_eq!(r.activations_per_bank.iter().sum::<u64>(), 9_000);
     }
+
+    #[test]
+    fn million_bank_geometry_stays_sparse() {
+        // 8× the regression above: 4 channels × 4 ranks × 65_536 banks =
+        // 1_048_576 banks. Bank storage is lazily materialized, so the
+        // system constructs in O(channels) and only the 64 banks the
+        // stream touches ever hold a scheme instance — the other ~1M stay
+        // cold and cost nothing.
+        let cfg = SystemConfig {
+            channels: 4,
+            ranks_per_channel: 4,
+            banks_per_rank: 65_536,
+            rows_per_bank: 16,
+            lines_per_row: 2,
+            ..SystemConfig::dual_core_two_channel()
+        };
+        assert_eq!(cfg.total_banks(), 1 << 20);
+        let spec = SchemeSpec::Sca {
+            counters: 8,
+            threshold: 64,
+        };
+        let mut system = MemorySystem::new(&cfg, spec).with_epoch_length(1_000_000);
+        let map = AddressMapping::new(&cfg);
+        let addr_of = |global: u32| {
+            let bank = global % cfg.banks_per_rank;
+            let rank = (global / cfg.banks_per_rank) % cfg.ranks_per_channel;
+            let channel = global / (cfg.ranks_per_channel * cfg.banks_per_rank);
+            map.encode_line(channel, rank, bank, 7, 0)
+        };
+        let hot: Vec<u32> = (0..64u32).map(|k| k * 16_384 + 5).collect();
+        for i in 0..20_000u64 {
+            system.push(addr_of(hot[(i % 64) as usize]));
+        }
+        system.flush();
+        let fp = system.footprint();
+        assert_eq!(fp.banks, 1 << 20);
+        assert_eq!(
+            fp.materialized_banks, 64,
+            "cold banks must never materialize"
+        );
+        assert!(fp.scheme_bytes > 0, "footprint must see the hot banks");
+        assert!(
+            system.stats().refresh_events > 0,
+            "hammered rows must fire through the sparse storage"
+        );
+        assert_eq!(system.accesses(), 20_000);
+    }
 }

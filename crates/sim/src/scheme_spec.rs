@@ -13,8 +13,10 @@ mod tests {
         // The old `cat_sim::SchemeSpec` spelling keeps working and is the
         // same type the engine consumes.
         let spec: SchemeSpec = "drcat:64:11:32768".parse().unwrap();
-        let engine = cat_engine::BankEngine::new(spec, 2, 65_536);
+        let mut engine = cat_engine::BankEngine::new(spec, 2, 65_536);
         assert_eq!(engine.bank_count(), 2);
+        // Banks materialize lazily; touch both so the instances exist.
+        engine.process(&[(0, 7), (1, 7)]);
         assert_eq!(engine.schemes().count(), 2);
     }
 }

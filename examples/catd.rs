@@ -96,4 +96,10 @@ fn main() {
             engine.bank_count()
         );
     }
+    let fp = system.footprint();
+    println!(
+        "catd: footprint — {} of {} banks materialized, {} scheme bytes + {} accounting \
+         bytes resident",
+        fp.materialized_banks, fp.banks, fp.scheme_bytes, fp.accounting_bytes
+    );
 }

@@ -31,6 +31,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo build --release --examples
 cargo run --release --quiet --example quickstart >/dev/null
 
+# Huge-geometry smoke (DESIGN.md §10): a 1Mi-bank system with ~1% of the
+# banks hot must fit and finish under a 1 GiB virtual-memory ceiling —
+# eager dense bank storage would need several GiB, so a regression to
+# eager materialization dies on the ulimit, not just on the asserts. Run
+# the prebuilt binary in a subshell so the ceiling binds nothing else.
+( ulimit -v 1048576; ./target/release/examples/sparse_smoke >/dev/null )
+echo "tier-1: sparse 1Mi-bank smoke OK (under 1 GiB ceiling)"
+
 # Loopback ingestion smoke: catd serves a MemorySystem on an ephemeral
 # 127.0.0.1 port, the load generator streams a bounded workload slice over
 # N producer connections and exits nonzero unless the server's stats

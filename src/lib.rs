@@ -49,8 +49,8 @@ pub use cat_core::{
 };
 pub use cat_energy::{cmrpo_from_stats, CmrpoBreakdown};
 pub use cat_engine::{
-    AddressMapping, BankEngine, BatchOutcome, EngineReport, GeometryError, Location, MemGeometry,
-    MemorySystem,
+    AddressMapping, BankEngine, BatchOutcome, EngineFootprint, EngineReport, GeometryError,
+    Location, MemGeometry, MemorySystem,
 };
 pub use cat_sim::{
     functional, tracefile, MappingPolicy, MemAccess, SchemeSpec, SimReport, Simulator,

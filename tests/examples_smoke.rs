@@ -17,13 +17,14 @@ use std::process::Command;
 /// [`examples_build_and_quickstart_runs`]). The `catd`/`catd_loadgen`
 /// pair additionally gets a loopback run (server + client over
 /// 127.0.0.1) in `scripts/tier1.sh` and CI.
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "adaptive_tree",
     "attack_defense",
     "catd",
     "catd_loadgen",
     "full_system",
     "quickstart",
+    "sparse_smoke",
     "threshold_design",
 ];
 
