@@ -8,6 +8,7 @@
 //! what makes the approach expensive (§III-B, Fig. 2).
 
 use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::state::{StateError, StateReader};
 use crate::{ConfigError, RowId, RowRange, SchemeStats};
 
 /// Geometry of the on-chip counter cache.
@@ -119,6 +120,83 @@ impl CounterCache {
     pub fn heap_bytes(&self) -> usize {
         self.backing.capacity() * std::mem::size_of::<u32>()
             + self.cache.capacity() * std::mem::size_of::<Way>()
+    }
+
+    /// Appends the scheme's mutable state for checkpointing: stats, the LRU
+    /// tick, the non-zero backing counters (sparse pairs — the reserved
+    /// DRAM area is mostly zero), and every cache way verbatim.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.stats.save_state(out);
+        out.push(self.tick);
+        let nonzero = self.backing.iter().filter(|&&v| v != 0).count();
+        out.push(nonzero as u64);
+        for (row, &v) in self.backing.iter().enumerate() {
+            if v != 0 {
+                out.push(row as u64 | u64::from(v) << 32);
+            }
+        }
+        out.push(self.cache.len() as u64);
+        for way in &self.cache {
+            out.push(u64::from(way.row) | u64::from(way.valid) << 32);
+            out.push(way.lru);
+        }
+    }
+
+    /// Restores state captured by [`CounterCache::save_state`] onto a
+    /// freshly built instance of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] when a backing pair is out of range, out of
+    /// order, or at/above the refresh threshold; when the cache geometry
+    /// does not match; or when an LRU stamp exceeds the tick.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.stats.restore_state(r)?;
+        self.tick = r.next_word()?;
+        let nonzero = r.next_word()? as usize;
+        if nonzero > self.backing.len() {
+            return Err(StateError::Invalid("counter-cache backing pair count"));
+        }
+        self.backing.fill(0);
+        let mut prev: Option<u32> = None;
+        for _ in 0..nonzero {
+            let w = r.next_word()?;
+            let row = w as u32;
+            let value = (w >> 32) as u32;
+            if prev.is_some_and(|p| row <= p) {
+                return Err(StateError::Invalid("counter-cache backing pairs unordered"));
+            }
+            prev = Some(row);
+            let Some(slot) = self.backing.get_mut(row as usize) else {
+                return Err(StateError::Invalid(
+                    "counter-cache backing row out of range",
+                ));
+            };
+            if value == 0 || value >= self.refresh_threshold {
+                return Err(StateError::Invalid("counter-cache backing value"));
+            }
+            *slot = value;
+        }
+        if r.next_word()? != self.cache.len() as u64 {
+            return Err(StateError::Invalid("counter-cache way count"));
+        }
+        for way in &mut self.cache {
+            let w = r.next_word()?;
+            if w >> 33 != 0 {
+                return Err(StateError::Invalid("counter-cache way stray bits"));
+            }
+            let row = w as u32;
+            let valid = (w >> 32) & 1 == 1;
+            let lru = r.next_word()?;
+            if valid && row >= self.rows {
+                return Err(StateError::Invalid("counter-cache way row out of range"));
+            }
+            if lru > self.tick {
+                return Err(StateError::Invalid("counter-cache LRU beyond tick"));
+            }
+            *way = Way { row, valid, lru };
+        }
+        Ok(())
     }
 
     /// Touches `row` in the cache; returns `true` on a hit.

@@ -67,6 +67,40 @@ impl Drcat {
         self.tree.heap_bytes() + self.weights.capacity()
     }
 
+    /// Appends the scheme's mutable state (tree + weight registers) for
+    /// checkpointing.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.tree.save_state(out);
+        out.push(self.weights.len() as u64);
+        out.extend(self.weights.iter().map(|&w| u64::from(w)));
+    }
+
+    /// Restores state captured by [`Drcat::save_state`] onto a freshly
+    /// built instance of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StateError`] when the tree state is malformed or a
+    /// weight exceeds the 2-bit register range.
+    pub fn restore_state(
+        &mut self,
+        r: &mut crate::state::StateReader<'_>,
+    ) -> Result<(), crate::StateError> {
+        use crate::StateError;
+        self.tree.restore_state(r)?;
+        if r.next_word()? != self.weights.len() as u64 {
+            return Err(StateError::Invalid("DRCAT weight count"));
+        }
+        for w in &mut self.weights {
+            let v = r.next_u8()?;
+            if v > WEIGHT_MAX {
+                return Err(StateError::Invalid("DRCAT weight out of range"));
+            }
+            *w = v;
+        }
+        Ok(())
+    }
+
     /// Overrides the weight registers — test/diagnostic hook used to
     /// reproduce the paper's Fig. 7 walk-through from a known state.
     #[doc(hidden)]

@@ -9,6 +9,7 @@
 //! crate.
 
 use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes};
+use crate::state::{StateError, StateReader};
 use crate::{CounterCache, Drcat, Pra, Prcat, RowId, Sca, SchemeStats, SpaceSaving};
 
 /// One concrete mitigation scheme, statically dispatched.
@@ -43,6 +44,14 @@ pub enum SchemeInstance {
     /// (pays the virtual call the other variants avoid).
     Boxed(Box<dyn MitigationScheme + Send>),
 }
+
+// Stable state-image kind tags (never renumber: checkpoints persist).
+const KIND_PRA: u64 = 1;
+const KIND_SCA: u64 = 2;
+const KIND_PRCAT: u64 = 3;
+const KIND_DRCAT: u64 = 4;
+const KIND_COUNTER_CACHE: u64 = 5;
+const KIND_SPACE_SAVING: u64 = 6;
 
 /// Delegates one method call to whichever variant is live.
 macro_rules! dispatch {
@@ -127,6 +136,69 @@ impl SchemeInstance {
             SchemeInstance::Boxed(b) => std::mem::size_of_val(&**b),
         };
         std::mem::size_of::<Self>() + heap
+    }
+
+    /// Appends this scheme's complete mutable state (a stable kind tag
+    /// followed by variant-specific words) for checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Unsupported`] for [`SchemeInstance::Boxed`]
+    /// (external schemes have no state-capture contract) and for PRA
+    /// backends without PRNG state capture.
+    pub fn save_state(&self, out: &mut Vec<u64>) -> Result<(), StateError> {
+        match self {
+            SchemeInstance::Pra(s) => {
+                out.push(KIND_PRA);
+                s.save_state(out)?;
+            }
+            SchemeInstance::Sca(s) => {
+                out.push(KIND_SCA);
+                s.save_state(out);
+            }
+            SchemeInstance::Prcat(s) => {
+                out.push(KIND_PRCAT);
+                s.save_state(out);
+            }
+            SchemeInstance::Drcat(s) => {
+                out.push(KIND_DRCAT);
+                s.save_state(out);
+            }
+            SchemeInstance::CounterCache(s) => {
+                out.push(KIND_COUNTER_CACHE);
+                s.save_state(out);
+            }
+            SchemeInstance::SpaceSaving(s) => {
+                out.push(KIND_SPACE_SAVING);
+                s.save_state(out);
+            }
+            SchemeInstance::Boxed(_) => {
+                return Err(StateError::Unsupported("boxed external scheme"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores state captured by [`SchemeInstance::save_state`] onto a
+    /// freshly built instance of the same spec. The leading kind tag must
+    /// match the live variant — restoring a DRCAT image into an SCA engine
+    /// is a typed error, not a reinterpretation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on kind mismatch or malformed variant state.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let kind = r.next_word()?;
+        match (kind, self) {
+            (KIND_PRA, SchemeInstance::Pra(s)) => s.restore_state(r),
+            (KIND_SCA, SchemeInstance::Sca(s)) => s.restore_state(r),
+            (KIND_PRCAT, SchemeInstance::Prcat(s)) => s.restore_state(r),
+            (KIND_DRCAT, SchemeInstance::Drcat(s)) => s.restore_state(r),
+            (KIND_COUNTER_CACHE, SchemeInstance::CounterCache(s)) => s.restore_state(r),
+            (KIND_SPACE_SAVING, SchemeInstance::SpaceSaving(s)) => s.restore_state(r),
+            (_, SchemeInstance::Boxed(_)) => Err(StateError::Unsupported("boxed external scheme")),
+            _ => Err(StateError::Invalid("scheme kind tag mismatch")),
+        }
     }
 
     /// Converts into a trait object. A [`SchemeInstance::Boxed`] variant is

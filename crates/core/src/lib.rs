@@ -67,6 +67,7 @@ mod scheme;
 mod space_saving;
 pub mod sparse;
 mod spec;
+pub mod state;
 mod stats;
 pub mod thresholds;
 pub mod tree;
@@ -83,6 +84,7 @@ pub use scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
 pub use space_saving::SpaceSaving;
 pub use sparse::SparseSlab;
 pub use spec::{ParseSpecError, SchemeSpec, PRA_DEFAULT_SEED};
-pub use stats::SchemeStats;
+pub use state::{StateError, StateReader};
+pub use stats::{SchemeStats, StatsField};
 pub use thresholds::{SplitThresholds, ThresholdPolicy};
 pub use tree::CatTree;

@@ -2,6 +2,7 @@
 
 use crate::rng::{DecisionRng, IdealRng};
 use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::state::{StateError, StateReader};
 use crate::{ConfigError, RowId, RowRange, SchemeStats};
 
 /// Probabilistic Row Activation: on every activation the controller draws
@@ -111,6 +112,46 @@ impl Pra {
     /// Resident heap bytes of the scheme's state (the boxed PRNG).
     pub fn heap_bytes(&self) -> usize {
         std::mem::size_of_val(&*self.rng)
+    }
+
+    /// Appends the scheme's mutable state (stats + PRNG words) for
+    /// checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Unsupported`] when the PRNG backend does not
+    /// implement state capture.
+    pub fn save_state(&self, out: &mut Vec<u64>) -> Result<(), StateError> {
+        let Some(rng) = self.rng.save_state() else {
+            return Err(StateError::Unsupported("PRA PRNG backend"));
+        };
+        self.stats.save_state(out);
+        out.push(rng.len() as u64);
+        out.extend(rng);
+        Ok(())
+    }
+
+    /// Restores state captured by [`Pra::save_state`] onto a freshly built
+    /// instance of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] when the word stream is malformed or the PRNG
+    /// backend rejects the saved state.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.stats.restore_state(r)?;
+        let len = r.next_u32()? as usize;
+        if len > 16 || len > r.remaining() {
+            return Err(StateError::Invalid("PRA PRNG state length"));
+        }
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            words.push(r.next_word()?);
+        }
+        if !self.rng.load_state(&words) {
+            return Err(StateError::Invalid("PRA PRNG state rejected"));
+        }
+        Ok(())
     }
 }
 

@@ -43,6 +43,24 @@ impl Prcat {
     pub fn heap_bytes(&self) -> usize {
         self.tree.heap_bytes()
     }
+
+    /// Appends the scheme's mutable state (the tree) for checkpointing.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.tree.save_state(out);
+    }
+
+    /// Restores state captured by [`Prcat::save_state`] onto a freshly
+    /// built instance of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StateError`] when the tree state is malformed.
+    pub fn restore_state(
+        &mut self,
+        r: &mut crate::state::StateReader<'_>,
+    ) -> Result<(), crate::StateError> {
+        self.tree.restore_state(r)
+    }
 }
 
 impl MitigationScheme for Prcat {

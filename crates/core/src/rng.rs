@@ -15,6 +15,21 @@ pub trait DecisionRng {
     /// Draws `bits` random bits (1 ≤ `bits` ≤ 32) as the low bits of the
     /// returned word.
     fn draw(&mut self, bits: u32) -> u32;
+
+    /// Serializes the generator's internal state as words for
+    /// checkpointing, or `None` when the implementation does not support
+    /// state capture (the default for external generators).
+    fn save_state(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restores state previously produced by [`DecisionRng::save_state`].
+    /// Returns `false` when unsupported or when `words` is malformed — the
+    /// generator is left unchanged in that case.
+    fn load_state(&mut self, words: &[u64]) -> bool {
+        let _ = words;
+        false
+    }
 }
 
 /// An ideal (cryptographic-quality, for our purposes) PRNG standing in for
@@ -47,6 +62,22 @@ impl DecisionRng for IdealRng {
             self.inner.next_u32()
         } else {
             self.inner.next_u32() & ((1 << bits) - 1)
+        }
+    }
+
+    fn save_state(&self) -> Option<Vec<u64>> {
+        Some(self.inner.state().to_vec())
+    }
+
+    fn load_state(&mut self, words: &[u64]) -> bool {
+        // Four non-zero state words; the all-zero state is unreachable from
+        // any seed (and a xoshiro fixed point), so it can only be corruption.
+        match <[u64; 4]>::try_from(words) {
+            Ok(s) if s != [0, 0, 0, 0] => {
+                self.inner = StdRng::from_state(s);
+                true
+            }
+            _ => false,
         }
     }
 }
@@ -103,6 +134,25 @@ impl DecisionRng for Lfsr16 {
         }
         v
     }
+
+    fn save_state(&self) -> Option<Vec<u64>> {
+        Some(vec![u64::from(self.state)])
+    }
+
+    fn load_state(&mut self, words: &[u64]) -> bool {
+        // One word, 16 bits, non-zero (the all-zero state is a fixed point
+        // the constructor already remaps).
+        match words {
+            [w] => match u16::try_from(*w) {
+                Ok(s) if s != 0 => {
+                    self.state = s;
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +203,41 @@ mod tests {
         for bits in 1..=16 {
             assert!(l.draw(bits) < (1u32 << bits));
         }
+    }
+
+    #[test]
+    fn state_round_trips_resume_the_decision_stream() {
+        let mut ideal = IdealRng::seeded(11);
+        ideal.draw(9);
+        let saved = ideal.save_state().unwrap();
+        let mut resumed = IdealRng::seeded(999);
+        assert!(resumed.load_state(&saved));
+        for _ in 0..100 {
+            assert_eq!(resumed.draw(9), ideal.draw(9));
+        }
+        let mut lfsr = Lfsr16::new(0xBEEF);
+        lfsr.draw(7);
+        let saved = lfsr.save_state().unwrap();
+        let mut resumed = Lfsr16::new(1);
+        assert!(resumed.load_state(&saved));
+        for _ in 0..64 {
+            assert_eq!(resumed.draw(5), lfsr.draw(5));
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_malformed_words() {
+        let mut ideal = IdealRng::seeded(1);
+        assert!(!ideal.load_state(&[1, 2, 3]));
+        assert!(!ideal.load_state(&[0, 0, 0, 0]));
+        assert!(!ideal.load_state(&[1, 2, 3, 4, 5]));
+        let mut lfsr = Lfsr16::new(5);
+        assert!(!lfsr.load_state(&[]));
+        assert!(!lfsr.load_state(&[0]));
+        assert!(!lfsr.load_state(&[0x1_0000]));
+        assert!(!lfsr.load_state(&[1, 2]));
+        // A rejected load leaves the generator untouched.
+        assert_eq!(lfsr.state(), 5);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! SCA — Static Counter Assignment (§III-B).
 
 use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::state::{StateError, StateReader};
 use crate::{ConfigError, RowId, RowRange, SchemeStats};
 
 /// Static Counter Assignment: the bank's `N` rows are split into `M`
@@ -73,6 +74,37 @@ impl Sca {
     /// Resident heap bytes of the scheme's state (the counter array).
     pub fn heap_bytes(&self) -> usize {
         self.counters.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Appends the scheme's mutable state (stats + counter values) for
+    /// checkpointing.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.stats.save_state(out);
+        out.push(self.counters.len() as u64);
+        out.extend(self.counters.iter().map(|&c| u64::from(c)));
+    }
+
+    /// Restores state captured by [`Sca::save_state`] onto a freshly built
+    /// instance of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] when the counter count does not match the
+    /// configuration or a value is at or above the refresh threshold
+    /// (counters reset on reaching it, so such a value cannot occur).
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.stats.restore_state(r)?;
+        if r.next_word()? != self.counters.len() as u64 {
+            return Err(StateError::Invalid("SCA counter count"));
+        }
+        for c in &mut self.counters {
+            let v = r.next_u32()?;
+            if v >= self.refresh_threshold {
+                return Err(StateError::Invalid("SCA counter above threshold"));
+            }
+            *c = v;
+        }
+        Ok(())
     }
 }
 

@@ -26,6 +26,7 @@
 //! refinement that this extension explores.
 
 use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::state::{StateError, StateReader};
 use crate::{ConfigError, RowId, RowRange, SchemeStats};
 
 #[derive(Copy, Clone, Debug)]
@@ -95,6 +96,53 @@ impl SpaceSaving {
     /// Resident heap bytes of the scheme's state (the CAM table).
     pub fn heap_bytes(&self) -> usize {
         self.table.capacity() * std::mem::size_of::<Slot>()
+    }
+
+    /// Appends the scheme's mutable state (stats + the tracking table in
+    /// insertion order, which min-takeover tie-breaking depends on) for
+    /// checkpointing.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.stats.save_state(out);
+        out.push(self.table.len() as u64);
+        for slot in &self.table {
+            out.push(u64::from(slot.row) | u64::from(slot.estimate) << 32);
+            out.push(u64::from(slot.next_fire));
+        }
+    }
+
+    /// Restores state captured by [`SpaceSaving::save_state`] onto a
+    /// freshly built instance of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] when the table overflows `k`, a row is out of
+    /// range or duplicated, or a firing point is below its estimate's last
+    /// firing window.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.stats.restore_state(r)?;
+        let len = r.next_word()? as usize;
+        if len > self.k {
+            return Err(StateError::Invalid("space-saving table overflow"));
+        }
+        self.table.clear();
+        for _ in 0..len {
+            let w = r.next_word()?;
+            let row = w as u32;
+            let estimate = (w >> 32) as u32;
+            let next_fire = r.next_u32()?;
+            if row >= self.rows {
+                return Err(StateError::Invalid("space-saving row out of range"));
+            }
+            if self.table.iter().any(|s| s.row == row) {
+                return Err(StateError::Invalid("space-saving duplicate row"));
+            }
+            self.table.push(Slot {
+                row,
+                estimate,
+                next_fire,
+            });
+        }
+        Ok(())
     }
 
     /// Upper bound on `row`'s activation count since the epoch began: its

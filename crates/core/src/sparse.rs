@@ -149,6 +149,24 @@ impl<T> SparseSlab<T> {
         self.occupied
     }
 
+    /// Allocated capacity of the block directory, in blocks. Unlike the
+    /// entry count this is touch-*order* dependent (the directory grows to
+    /// cover the highest block seen so far), so checkpoints record it as a
+    /// high-water mark and restore it via
+    /// [`SparseSlab::reserve_block_capacity`] to keep
+    /// [`SparseSlab::heap_bytes`] bit-equal across a save/restore cycle.
+    pub fn block_capacity(&self) -> usize {
+        self.blocks.capacity()
+    }
+
+    /// Grows the block directory's allocation to at least `cap` blocks
+    /// without changing its contents. Exact (`reserve_exact`), so restoring
+    /// a saved [`SparseSlab::block_capacity`] reproduces it precisely.
+    pub fn reserve_block_capacity(&mut self, cap: usize) {
+        self.blocks
+            .reserve_exact(cap.saturating_sub(self.blocks.len()));
+    }
+
     /// `true` when no index holds an entry.
     pub fn is_empty(&self) -> bool {
         self.occupied == 0
@@ -590,5 +608,27 @@ mod tests {
         let shallow = slab.heap_bytes();
         let deep = slab.heap_bytes_with(|v| v.capacity());
         assert_eq!(deep, shallow + 1024);
+    }
+
+    #[test]
+    fn block_capacity_round_trips_heap_bytes() {
+        // Grow a slab with an out-of-order touch pattern (high block first,
+        // then low), which leaves directory capacity above its length needs.
+        let mut slab = SparseSlab::new(4096);
+        slab.insert(4000, 1u64);
+        slab.insert(3, 2);
+        for idx in (0..2048).step_by(5) {
+            slab.insert(idx, idx as u64);
+        }
+        // Rebuild by ascending reinsertion with the capacity pre-reserved,
+        // the way checkpoint restore does.
+        let mut rebuilt = SparseSlab::new(4096);
+        rebuilt.reserve_block_capacity(slab.block_capacity());
+        for (idx, v) in slab.iter() {
+            rebuilt.insert(idx, *v);
+        }
+        assert_eq!(rebuilt.block_capacity(), slab.block_capacity());
+        assert_eq!(rebuilt.heap_bytes(), slab.heap_bytes());
+        assert_eq!(rebuilt.occupied(), slab.occupied());
     }
 }

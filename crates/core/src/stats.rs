@@ -1,5 +1,7 @@
 //! Per-scheme event counters consumed by the energy model and the benches.
 
+use crate::state::{StateError, StateReader};
+
 /// Raw event counts accumulated by a [`crate::MitigationScheme`].
 ///
 /// All counts are monotonically increasing over the lifetime of the scheme
@@ -44,7 +46,61 @@ pub struct SchemeStats {
     pub max_depth_touched: u64,
 }
 
+/// One field of [`SchemeStats`] in the canonical encode order shared by the
+/// wire `StatsSnapshot` and the engine checkpoint format.
+pub struct StatsField {
+    /// Field name — matches the struct field identifier (checked by test
+    /// against the `Debug` field list, so a new field can't silently skew
+    /// the encoders).
+    pub name: &'static str,
+    /// Reads the field.
+    pub get: fn(&SchemeStats) -> u64,
+    /// Writes the field.
+    pub set: fn(&mut SchemeStats, u64),
+}
+
+macro_rules! stats_fields {
+    ($($field:ident),* $(,)?) => {
+        [$(StatsField {
+            name: stringify!($field),
+            get: |s: &SchemeStats| s.$field,
+            set: |s: &mut SchemeStats, v: u64| s.$field = v,
+        }),*]
+    };
+}
+
 impl SchemeStats {
+    /// Canonical field table: every encoder and decoder of `SchemeStats`
+    /// (wire stats frames, engine checkpoints) iterates this table instead
+    /// of hand-listing fields, so the encode order is defined exactly once.
+    pub const FIELDS: [StatsField; 12] = stats_fields!(
+        activations,
+        refresh_events,
+        refreshed_rows,
+        sram_reads,
+        sram_writes,
+        prng_bits,
+        splits,
+        merges,
+        reconfigurations,
+        cache_misses,
+        dram_counter_transfers,
+        max_depth_touched,
+    );
+
+    /// Appends the counters as words in [`SchemeStats::FIELDS`] order.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(Self::FIELDS.iter().map(|f| (f.get)(self)));
+    }
+
+    /// Reads the counters back in [`SchemeStats::FIELDS`] order.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        for f in &Self::FIELDS {
+            (f.set)(self, r.next_word()?);
+        }
+        Ok(())
+    }
+
     /// Adds every counter of `other` into `self` (`max_depth_touched` takes
     /// the maximum). Used to aggregate per-bank schemes into system totals.
     pub fn merge(&mut self, other: &SchemeStats) {
@@ -117,6 +173,47 @@ mod tests {
         let s = SchemeStats::default();
         assert_eq!(s.sram_accesses_per_activation(), 0.0);
         assert_eq!(s.rows_per_refresh(), 0.0);
+    }
+
+    #[test]
+    fn field_table_names_every_struct_field_exactly_once() {
+        // `Debug` renders `SchemeStats { activations: 0, refresh_events: 0,
+        // … }` — one `name: value` pair per struct field. Any field added to
+        // the struct but not to `FIELDS` (or vice versa) breaks one of
+        // these assertions, so the encode table can never silently skew.
+        let debug = format!("{:?}", SchemeStats::default());
+        assert_eq!(
+            debug.matches(": ").count(),
+            SchemeStats::FIELDS.len(),
+            "struct field count diverged from the encode table: {debug}"
+        );
+        for f in &SchemeStats::FIELDS {
+            assert!(
+                debug.contains(&format!("{}: ", f.name)),
+                "table names unknown field {:?}",
+                f.name
+            );
+        }
+        let mut names: Vec<&str> = SchemeStats::FIELDS.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SchemeStats::FIELDS.len(), "duplicate names");
+    }
+
+    #[test]
+    fn field_table_getters_and_setters_agree() {
+        let mut s = SchemeStats::default();
+        for (i, f) in SchemeStats::FIELDS.iter().enumerate() {
+            (f.set)(&mut s, i as u64 + 1);
+        }
+        let mut words = Vec::new();
+        s.save_state(&mut words);
+        assert_eq!(words, (1..=12).collect::<Vec<u64>>());
+        let mut back = SchemeStats::default();
+        let mut r = crate::state::StateReader::new(&words);
+        back.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

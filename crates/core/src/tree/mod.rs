@@ -11,6 +11,7 @@ pub use layout::{INode, NodeRef};
 pub use shape::{LeafInfo, TreeShape};
 
 use crate::scheme::{HardwareProfile, MitigationScheme, Refreshes, SchemeKind};
+use crate::state::{StateError, StateReader};
 use crate::{CatConfig, RowId, RowRange, SchemeStats, SplitThresholds};
 
 /// Where a node reference is stored — needed to replace a leaf reference
@@ -469,6 +470,135 @@ impl CatTree {
         &mut self.stats
     }
 
+    /// Appends the tree's complete mutable state for checkpointing: stats,
+    /// the node arrays `I` and `C`, the root table, both free lists (whose
+    /// pop/push *order* determines future allocations, so they round-trip
+    /// verbatim), and the growth latch.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.stats.save_state(out);
+        out.push(self.active_counters as u64);
+        out.push(u64::from(self.all_active));
+        out.push(self.roots.len() as u64);
+        out.extend(self.roots.iter().map(|&n| pack_node(n)));
+        out.push(self.inodes.len() as u64);
+        for inode in &self.inodes {
+            out.push(pack_node(inode.left));
+            out.push(pack_node(inode.right));
+        }
+        out.push(self.counters.len() as u64);
+        for c in &self.counters {
+            out.push(
+                u64::from(c.value)
+                    | u64::from(c.tli) << 32
+                    | u64::from(c.depth) << 40
+                    | u64::from(c.active) << 48,
+            );
+        }
+        out.push(self.free_counters.len() as u64);
+        out.extend(self.free_counters.iter().map(|&i| u64::from(i)));
+        out.push(self.free_inodes.len() as u64);
+        out.extend(self.free_inodes.iter().map(|&i| u64::from(i)));
+    }
+
+    /// Restores state captured by [`CatTree::save_state`] onto a freshly
+    /// built tree of the same configuration.
+    ///
+    /// Every structural invariant is revalidated: index bounds, the active
+    /// count against the counter flags, free-list sizes against the active
+    /// count, and entry distinctness — a corrupted stream cannot produce a
+    /// silently inconsistent tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on any malformed or inconsistent value.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let m = self.counters.len();
+        let root_count = self.roots.len();
+        let top = (self.config.max_levels() - 1) as u8;
+        self.stats.restore_state(r)?;
+        let active_counters = r.next_word()? as usize;
+        if !(root_count..=m).contains(&active_counters) {
+            return Err(StateError::Invalid("tree active counter count"));
+        }
+        let all_active = r.next_bool()?;
+        // The latch is sticky: it fires when the tree first becomes fully
+        // grown and survives later merges, so only the forward implication
+        // can be checked.
+        if active_counters == m && !all_active {
+            return Err(StateError::Invalid("tree growth latch"));
+        }
+        if r.next_word()? != root_count as u64 {
+            return Err(StateError::Invalid("tree root count"));
+        }
+        let mut roots = Vec::with_capacity(root_count);
+        // Inode count arrives after the roots; node references into the
+        // inode array are validated against it in a second pass below.
+        for _ in 0..root_count {
+            roots.push(r.next_word()?);
+        }
+        let inode_len = r.next_word()? as usize;
+        if inode_len > m.saturating_sub(1) {
+            return Err(StateError::Invalid("tree inode count"));
+        }
+        let mut inodes = Vec::with_capacity(inode_len);
+        for _ in 0..inode_len {
+            let left = unpack_node(r.next_word()?, m, inode_len)?;
+            let right = unpack_node(r.next_word()?, m, inode_len)?;
+            inodes.push(INode { left, right });
+        }
+        let roots: Vec<NodeRef> = roots
+            .into_iter()
+            .map(|w| unpack_node(w, m, inode_len))
+            .collect::<Result<_, _>>()?;
+        if r.next_word()? != m as u64 {
+            return Err(StateError::Invalid("tree counter count"));
+        }
+        let mut counters = Vec::with_capacity(m);
+        let mut active_seen = 0usize;
+        for _ in 0..m {
+            let w = r.next_word()?;
+            if w >> 49 != 0 {
+                return Err(StateError::Invalid("tree counter stray bits"));
+            }
+            let counter = Counter {
+                value: w as u32,
+                tli: (w >> 32) as u8,
+                depth: (w >> 40) as u8,
+                active: (w >> 48) & 1 == 1,
+            };
+            if counter.tli > top || counter.depth > top {
+                return Err(StateError::Invalid("tree counter level out of range"));
+            }
+            active_seen += usize::from(counter.active);
+            counters.push(counter);
+        }
+        if active_seen != active_counters {
+            return Err(StateError::Invalid("tree active flags vs count"));
+        }
+        let free_counters =
+            read_free_list(r, m - active_counters, m, |i| !counters[i as usize].active)?;
+        let live_inodes = active_counters - root_count;
+        if inode_len < live_inodes {
+            return Err(StateError::Invalid("tree inode count vs active"));
+        }
+        let free_inodes = read_free_list(r, inode_len - live_inodes, inode_len, |_| true)?;
+        // clear + extend (rather than replacing the Vecs) preserves the
+        // capacities `new()` established, keeping `heap_bytes` bit-equal
+        // with a never-checkpointed tree.
+        self.roots.clear();
+        self.roots.extend(roots);
+        self.inodes.clear();
+        self.inodes.extend(inodes);
+        self.counters = counters;
+        self.free_counters.clear();
+        self.free_counters.extend(free_counters);
+        self.free_inodes.clear();
+        self.free_inodes.extend(free_inodes);
+        self.active_counters = active_counters;
+        self.all_active = all_active;
+        Ok(())
+    }
+
     fn profile(&self, kind: SchemeKind) -> HardwareProfile {
         HardwareProfile {
             kind,
@@ -483,6 +613,58 @@ impl CatTree {
     pub(crate) fn hardware_as(&self, kind: SchemeKind) -> HardwareProfile {
         self.profile(kind)
     }
+}
+
+/// Packs a node reference as `tag << 16 | index` (tag 1 = leaf).
+fn pack_node(n: NodeRef) -> u64 {
+    u64::from(n.is_leaf()) << 16 | u64::from(n.index())
+}
+
+/// Unpacks and bounds-checks a node reference against the counter and
+/// intermediate-node array sizes.
+fn unpack_node(w: u64, counters: usize, inodes: usize) -> Result<NodeRef, StateError> {
+    if w >> 17 != 0 {
+        return Err(StateError::Invalid("tree node reference stray bits"));
+    }
+    let idx = (w & 0xffff) as u16;
+    if w >> 16 == 1 {
+        if (idx as usize) < counters {
+            Ok(NodeRef::Leaf(idx))
+        } else {
+            Err(StateError::Invalid("tree leaf index out of range"))
+        }
+    } else if (idx as usize) < inodes {
+        Ok(NodeRef::Inode(idx))
+    } else {
+        Err(StateError::Invalid("tree inode index out of range"))
+    }
+}
+
+/// Reads a free list of exactly `expect` entries, each `< bound`, all
+/// distinct, each passing `eligible` (e.g. "that counter is inactive").
+fn read_free_list(
+    r: &mut StateReader<'_>,
+    expect: usize,
+    bound: usize,
+    eligible: impl Fn(u16) -> bool,
+) -> Result<Vec<u16>, StateError> {
+    if r.next_word()? != expect as u64 {
+        return Err(StateError::Invalid("tree free-list length"));
+    }
+    let mut seen = vec![false; bound];
+    let mut list = Vec::with_capacity(expect);
+    for _ in 0..expect {
+        let idx = r.next_u16()?;
+        let Some(slot) = seen.get_mut(idx as usize) else {
+            return Err(StateError::Invalid("tree free-list index out of range"));
+        };
+        if *slot || !eligible(idx) {
+            return Err(StateError::Invalid("tree free-list entry inconsistent"));
+        }
+        *slot = true;
+        list.push(idx);
+    }
+    Ok(list)
 }
 
 impl MitigationScheme for CatTree {
@@ -751,5 +933,66 @@ mod tests {
             tree.record(row);
         });
         assert!(tree.fully_grown());
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        // Sculpt a tree with splits, merges, and a reconfiguration-style
+        // split so the free lists carry non-trivial order, then round-trip.
+        let mut tree = CatTree::new(figure5_cfg());
+        tests_build_full(&mut tree);
+        let weights = vec![0u8; 8];
+        let (slot, inode, l, rr) = tree.find_cold_pair(&weights, u16::MAX).unwrap();
+        tree.merge_pair(slot, inode, l, rr);
+        let mut words = Vec::new();
+        tree.save_state(&mut words);
+        let mut fresh = CatTree::new(figure5_cfg());
+        let mut r = crate::state::StateReader::new(&words);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.shape().leaves(), tree.shape().leaves());
+        assert_eq!(fresh.stats(), tree.stats());
+        assert_eq!(fresh.active_counters(), tree.active_counters());
+        assert_eq!(fresh.heap_bytes(), tree.heap_bytes());
+        // The free lists round-trip in order: subsequent growth allocates
+        // the same counters in both trees.
+        for i in 0..500u32 {
+            assert_eq!(
+                tree.record(RowId(i * 13 % 32)),
+                fresh.record(RowId(i * 13 % 32))
+            );
+        }
+        assert_eq!(fresh.shape().leaves(), tree.shape().leaves());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let mut tree = CatTree::new(small_cfg());
+        for _ in 0..600 {
+            tree.record(RowId(10));
+        }
+        let mut words = Vec::new();
+        tree.save_state(&mut words);
+        // Truncation at every prefix length must fail, never panic.
+        for len in 0..words.len() {
+            let mut fresh = CatTree::new(small_cfg());
+            let mut r = crate::state::StateReader::new(&words[..len]);
+            let outcome = fresh
+                .restore_state(&mut r)
+                .err()
+                .map(|_| ())
+                .or_else(|| r.finish().err().map(|_| ()));
+            assert!(outcome.is_some(), "truncation to {len} words must error");
+        }
+        // Corrupting the active-counter count (word 12, right after the
+        // stats block) breaks either the growth latch or the flag count
+        // consistency check.
+        for delta in [1u64, 7] {
+            let mut bad = words.clone();
+            bad[12] = bad[12].wrapping_add(delta);
+            let mut fresh = CatTree::new(small_cfg());
+            let mut r = crate::state::StateReader::new(&bad);
+            assert!(fresh.restore_state(&mut r).is_err());
+        }
     }
 }

@@ -64,6 +64,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{JoinHandle, Thread};
 
+use crate::checkpoint::{drain_with_checkpoints, CheckpointConfig};
 use crate::wire::{self, Frame, FrameHeader, ServerHello, StatsSnapshot};
 use crate::{BatchOutcome, MemGeometry, MemorySystem};
 
@@ -606,13 +607,19 @@ pub fn deal(trace: &[(u32, u32)], producers: usize, chunk: usize) -> Vec<Vec<&[(
 }
 
 /// Options for [`serve`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Connections to accept; ingestion ends when all of them finish.
     pub producers: usize,
     /// Per-connection ring bound, in records (the backpressure
     /// threshold — see the [module docs](self)).
     pub queue_capacity: usize,
+    /// Checkpointing (`DESIGN.md §11`): when set, every merged batch is
+    /// logged to the checkpoint directory before processing, images are
+    /// published at epoch cuts, and clients may send
+    /// [`Frame::Checkpoint`]. `None` serves without durability (and
+    /// refuses `Checkpoint` frames).
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for ServeOptions {
@@ -620,6 +627,7 @@ impl Default for ServeOptions {
         ServeOptions {
             producers: 1,
             queue_capacity: 1 << 16,
+            checkpoint: None,
         }
     }
 }
@@ -733,6 +741,11 @@ pub fn serve(
     // Phase 2: one reader thread per connection, feeding its ring lane.
     let (producers, mut consumer) = IngestQueue::bounded(options.producers, options.queue_capacity);
     let geometry = *system.geometry();
+    // Set by any connection's Checkpoint frame, consumed by the drain at
+    // the next epoch cut (so a client-requested image is still
+    // cut-consistent). Handed to readers only when checkpointing is on —
+    // a None makes the frame a typed refusal instead of a silent no-op.
+    let checkpoint_requested = Arc::new(AtomicBool::new(false));
     let mut readers: Vec<JoinHandle<io::Result<(TcpStream, bool)>>> =
         Vec::with_capacity(options.producers);
     for (stream, producer) in connections.into_iter().zip(producers) {
@@ -740,18 +753,41 @@ pub fn serve(
         // ids form a permutation of `0..producers`, so every slot is filled.
         // cat-lint: allow(panic-path) -- unreachable by the permutation check above, not peer-reachable
         let stream = stream.expect("every slot filled by the permutation check");
+        let requested = options
+            .checkpoint
+            .as_ref()
+            .map(|_| Arc::clone(&checkpoint_requested));
         // A failed spawn (resource exhaustion) aborts the session as an
         // error; already-spawned readers see the queue close when `consumer`
         // drops below and error out of their sockets.
         readers.push(
             std::thread::Builder::new()
                 .name(format!("catd-reader-{}", producer.id()))
-                .spawn(move || read_connection(stream, producer, geometry))?,
+                .spawn(move || read_connection(stream, producer, geometry, requested))?,
         );
     }
 
-    // Phase 3: drain the deterministic merge into the system.
-    let outcome = system.ingest(&mut consumer);
+    // Phase 3: drain the deterministic merge into the system — through
+    // the logging/checkpointing loop when durability is configured.
+    let outcome = match &options.checkpoint {
+        None => system.ingest(&mut consumer),
+        Some(cfg) => {
+            match drain_with_checkpoints(system, &mut consumer, cfg, &checkpoint_requested) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    // A dead drain (disk full, corrupt log) must not leave
+                    // readers parked on full lanes: close the queue, let
+                    // them error out of their sockets, and report the
+                    // drain's error — the session is already failing.
+                    drop(consumer);
+                    for reader in readers {
+                        let _ = reader.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    };
 
     // Phase 4: join the readers and answer the stats requesters.
     let snapshot = StatsSnapshot {
@@ -801,6 +837,7 @@ fn read_connection(
     stream: TcpStream,
     mut producer: IngestProducer,
     geometry: MemGeometry,
+    checkpoint_requested: Option<Arc<AtomicBool>>,
 ) -> io::Result<(TcpStream, bool)> {
     let peer = producer.id();
     let total_banks = geometry.total_banks();
@@ -856,6 +893,27 @@ fn read_connection(
             }
             FrameHeader::StatsRequest => wants_stats = true,
             FrameHeader::Finish => return Ok((reader.into_inner(), wants_stats)),
+            FrameHeader::Checkpoint => match &checkpoint_requested {
+                Some(flag) => flag.store(true, Ordering::SeqCst),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        format!(
+                            "producer {peer}: checkpoint requested, but the server \
+                             runs without a checkpoint directory"
+                        ),
+                    ));
+                }
+            },
+            FrameHeader::Restore { len } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!(
+                        "producer {peer}: {len}-byte restore image refused mid-session \
+                         — recover at startup via --resume"
+                    ),
+                ));
+            }
         }
     }
 }
@@ -923,6 +981,19 @@ impl IngestClient {
             }
             rest = tail;
         }
+    }
+
+    /// Sends [`Frame::Checkpoint`]: ask a checkpointing server to publish
+    /// an image at the next epoch cut. Flushes so the request is not
+    /// stuck behind buffered records. A server running without
+    /// checkpointing refuses the frame (this connection errors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn request_checkpoint(&mut self) -> io::Result<()> {
+        wire::write_frame(&mut self.writer, &Frame::Checkpoint)?;
+        self.writer.flush()
     }
 
     /// Sends [`Frame::Finish`] and closes the connection without asking

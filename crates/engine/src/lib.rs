@@ -107,6 +107,7 @@
 #![warn(missing_docs)]
 
 mod address;
+pub mod checkpoint;
 pub mod ingest;
 mod pool;
 mod sparse;
@@ -269,30 +270,30 @@ pub struct EngineReport {
 /// activation, so construction is O(1) in the bank count and an engine over
 /// millions of banks only pays for the banks the workload touches.
 pub struct BankEngine {
-    banks: SparseBanks,
+    pub(crate) banks: SparseBanks,
     /// Per-bank row-activation counters, sparse like the scheme storage
     /// (an absent entry is a bank that was never activated).
-    activations: SparseSlab<u64>,
+    pub(crate) activations: SparseSlab<u64>,
     /// Dense scatter scratch loaned to the pooled path's counting sort,
     /// allocated lazily on the first sharded batch; the flat batch path
     /// reuses it as its per-segment bank counts.
-    act_scratch: Vec<u64>,
+    pub(crate) act_scratch: Vec<u64>,
     /// Counting-sort cursors for the flat batch path's per-segment
     /// scatter, allocated lazily on the first flat batch. Scratch like
     /// `act_scratch`: dense by design, but written only at touched banks.
-    seg_cursor: Vec<u32>,
+    pub(crate) seg_cursor: Vec<u32>,
     /// Banks touched in the current flat segment, in first-touch order —
     /// lets the scatter reset only what it dirtied (O(touched), not
     /// O(banks)).
-    touched: Vec<u32>,
+    pub(crate) touched: Vec<u32>,
     /// Row scatter buffer of the flat batch path (one slot per access of
     /// the current segment).
-    row_scratch: Vec<u32>,
-    accesses: u64,
-    epochs: u64,
+    pub(crate) row_scratch: Vec<u32>,
+    pub(crate) accesses: u64,
+    pub(crate) epochs: u64,
     /// Accesses per auto-refresh epoch; `None` disables access-count epoch
     /// accounting (the timed simulator fires epochs by cycle count instead).
-    epoch_len: Option<u64>,
+    pub(crate) epoch_len: Option<u64>,
     /// Persistent shard workers, spawned lazily on the first sharded batch
     /// and kept for the engine's lifetime (rebuilt only if the shard count
     /// changes).

@@ -61,6 +61,37 @@ impl SparseBanks {
         self.slab.occupied()
     }
 
+    /// The spec every bank is instantiated from (recorded in checkpoints
+    /// for validation).
+    pub(crate) fn spec(&self) -> SchemeSpec {
+        self.spec
+    }
+
+    /// Rows per bank (the spec instantiation input, recorded in
+    /// checkpoints for validation).
+    pub(crate) fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Global index of local bank 0 (see the struct docs).
+    pub(crate) fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Allocated block-directory capacity of the underlying slab — the
+    /// touch-order-dependent part of [`scheme_bytes`](Self::scheme_bytes)
+    /// that checkpoints record as a high-water mark.
+    pub(crate) fn block_capacity(&self) -> usize {
+        self.slab.block_capacity()
+    }
+
+    /// Pre-grows the slab's block directory (checkpoint restore: reserve
+    /// first, then materialize in ascending bank order, so the restored
+    /// footprint is bit-equal to the saved one).
+    pub(crate) fn reserve_block_capacity(&mut self, cap: usize) {
+        self.slab.reserve_block_capacity(cap);
+    }
+
     /// `true` when the spec attaches a scheme to banks at all.
     pub(crate) fn has_scheme(&self) -> bool {
         !matches!(self.spec, SchemeSpec::None)

@@ -79,19 +79,19 @@ use crate::{
 /// assert!(system.stats().refresh_events > 0);
 /// ```
 pub struct MemorySystem {
-    geometry: MemGeometry,
+    pub(crate) geometry: MemGeometry,
     /// The spec every bank was instantiated from (announced to ingestion
     /// clients in the wire handshake).
-    spec: SchemeSpec,
+    pub(crate) spec: SchemeSpec,
     mapping: AddressMapping,
-    channels: Vec<BankEngine>,
+    pub(crate) channels: Vec<BankEngine>,
     banks_per_channel: u32,
     /// `geometry.total_banks()`, cached: the streaming push validates
     /// every record against it, so it must not cost two multiplies each.
     total_banks: u32,
-    epoch_len: Option<u64>,
-    accesses: u64,
-    epochs: u64,
+    pub(crate) epoch_len: Option<u64>,
+    pub(crate) accesses: u64,
+    pub(crate) epochs: u64,
     shards: usize,
     /// Shared worker pool for the pooled path (spawned lazily on the first
     /// `shards > 1` batch; its shards span all channels' banks).
@@ -107,9 +107,9 @@ pub struct MemorySystem {
     /// batch. Allocated lazily on the first pooled batch, so a system
     /// that never shards — the huge-geometry configurations — pays
     /// nothing for it.
-    act_scratch: Vec<u64>,
+    pub(crate) act_scratch: Vec<u64>,
     /// Streaming staging buffer (decoded, not yet processed accesses).
-    staged: Vec<(u32, u32)>,
+    pub(crate) staged: Vec<(u32, u32)>,
     /// Staging capacity at which `push` flushes automatically.
     stream_capacity: usize,
     /// Outcomes of automatic flushes since the last explicit `flush()`.

@@ -20,6 +20,8 @@
 //!   ◄──────────────────────────────────────┤
 //!   │  Frame::Records {seq, (bank,row)*}   │  any number, seq = 0,1,2,…
 //!   ├──────────────────────────────────────►
+//!   │  Frame::Checkpoint    (optional)     │  any number, any time
+//!   ├──────────────────────────────────────►
 //!   │  Frame::StatsRequest  (optional)     │
 //!   ├──────────────────────────────────────►
 //!   │  Frame::Finish                       │
@@ -34,6 +36,14 @@
 //! merge in [`crate::ingest`]. Malformed input is reported as
 //! [`std::io::Error`] with [`std::io::ErrorKind::InvalidData`] — a protocol
 //! violation and a truncated stream are both connection-fatal.
+//!
+//! Version 2 adds the checkpointing frames (`DESIGN.md §11`):
+//! [`Frame::Checkpoint`] asks a checkpointing server to publish an image
+//! at the next epoch cut (a no-op tagged byte; servers without
+//! `--checkpoint-dir` refuse it), and [`Frame::Restore`] carries a
+//! checkpoint image inline — defined for symmetry and tooling, but `catd`
+//! refuses it mid-session: recovery happens at startup via `--resume`,
+//! never on a live system.
 
 use std::io::{self, Read, Write};
 
@@ -46,7 +56,8 @@ pub const MAGIC: [u8; 4] = *b"CATW";
 
 /// Wire format version. Bump on any incompatible change; peers with a
 /// different version refuse the handshake instead of misparsing frames.
-pub const VERSION: u16 = 1;
+/// Version 2 added the [`Frame::Checkpoint`] and [`Frame::Restore`] kinds.
+pub const VERSION: u16 = 2;
 
 /// Hard cap on records per [`Frame::Records`] — bounds the allocation a
 /// malformed (or malicious) length prefix can force on the receiver.
@@ -54,6 +65,10 @@ pub const MAX_RECORDS_PER_FRAME: u32 = 1 << 20;
 
 /// Hard cap on the spec string length in a [`ServerHello`].
 pub const MAX_SPEC_LEN: u16 = 1024;
+
+/// Hard cap on the image carried by a [`Frame::Restore`] — bounds the
+/// allocation a forged length prefix can force on the receiver.
+pub const MAX_RESTORE_BYTES: u32 = 1 << 26;
 
 /// Bytes of one `(bank, row)` record on the wire. A record's 8 wire bytes
 /// read as one little-endian `u64` **are** its [`pack_record`] value —
@@ -250,11 +265,24 @@ pub enum Frame {
     StatsRequest,
     /// This producer is done; no further frames follow on this connection.
     Finish,
+    /// Ask a checkpointing server to publish a checkpoint image at the
+    /// next epoch cut (`DESIGN.md §11`). Servers without checkpointing
+    /// configured refuse the frame (connection-fatal).
+    Checkpoint,
+    /// A checkpoint image, inline. `catd` refuses this mid-session
+    /// (recovery happens at startup via `--resume`); the frame exists so
+    /// offline tooling can ship images over the same framing.
+    Restore {
+        /// The sealed checkpoint image (≤ [`MAX_RESTORE_BYTES`]).
+        image: Vec<u8>,
+    },
 }
 
 const TAG_RECORDS: u8 = 0x01;
 const TAG_STATS_REQUEST: u8 = 0x02;
 const TAG_FINISH: u8 = 0x03;
+const TAG_CHECKPOINT: u8 = 0x04;
+const TAG_RESTORE: u8 = 0x05;
 
 /// Writes a [`Frame::Records`] directly from a slice (no intermediate
 /// `Vec`) — the form the streaming clients use.
@@ -305,12 +333,22 @@ pub fn encode_records(buf: &mut Vec<u8>, seq: u64, records: &[(u32, u32)]) -> io
 /// # Errors
 ///
 /// [`io::ErrorKind::InvalidData`] if a `Records` frame exceeds
-/// [`MAX_RECORDS_PER_FRAME`]; I/O errors pass through.
+/// [`MAX_RECORDS_PER_FRAME`] or a `Restore` image exceeds
+/// [`MAX_RESTORE_BYTES`]; I/O errors pass through.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     match frame {
         Frame::Records { seq, records } => write_records(w, *seq, records),
         Frame::StatsRequest => w.write_all(&[TAG_STATS_REQUEST]),
         Frame::Finish => w.write_all(&[TAG_FINISH]),
+        Frame::Checkpoint => w.write_all(&[TAG_CHECKPOINT]),
+        Frame::Restore { image } => {
+            if image.len() > MAX_RESTORE_BYTES as usize {
+                return Err(bad(format!("{}-byte restore image", image.len())));
+            }
+            w.write_all(&[TAG_RESTORE])?;
+            write_u32(w, image.len() as u32)?;
+            w.write_all(image)
+        }
     }
 }
 
@@ -332,6 +370,14 @@ pub enum FrameHeader {
     StatsRequest,
     /// A [`Frame::Finish`] (no payload).
     Finish,
+    /// A [`Frame::Checkpoint`] (no payload).
+    Checkpoint,
+    /// A [`Frame::Restore`] header; `len` image bytes follow on the
+    /// stream (≤ [`MAX_RESTORE_BYTES`]).
+    Restore {
+        /// Bytes in the unread image payload.
+        len: u32,
+    },
 }
 
 /// Reads one frame header, validating the record count against
@@ -356,6 +402,14 @@ pub fn read_frame_header<R: Read>(r: &mut R) -> io::Result<FrameHeader> {
         }
         TAG_STATS_REQUEST => Ok(FrameHeader::StatsRequest),
         TAG_FINISH => Ok(FrameHeader::Finish),
+        TAG_CHECKPOINT => Ok(FrameHeader::Checkpoint),
+        TAG_RESTORE => {
+            let len = read_u32(r)?;
+            if len > MAX_RESTORE_BYTES {
+                return Err(bad(format!("{len}-byte restore image")));
+            }
+            Ok(FrameHeader::Restore { len })
+        }
         other => Err(bad(format!("unknown frame tag {other:#04x}"))),
     }
 }
@@ -407,6 +461,12 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
         }
         FrameHeader::StatsRequest => Ok(Frame::StatsRequest),
         FrameHeader::Finish => Ok(Frame::Finish),
+        FrameHeader::Checkpoint => Ok(Frame::Checkpoint),
+        FrameHeader::Restore { len } => {
+            let mut image = vec![0u8; len as usize];
+            r.read_exact(&mut image)?;
+            Ok(Frame::Restore { image })
+        }
     }
 }
 
@@ -422,27 +482,11 @@ pub struct StatsSnapshot {
     pub stats: SchemeStats,
 }
 
-/// The 12 [`SchemeStats`] counters in wire order. A fixed list — adding a
-/// field to `SchemeStats` without updating this (and bumping [`VERSION`])
-/// fails the `snapshot_round_trip` test, not a peer at runtime.
-fn stats_fields(s: &SchemeStats) -> [u64; 12] {
-    [
-        s.activations,
-        s.refresh_events,
-        s.refreshed_rows,
-        s.sram_reads,
-        s.sram_writes,
-        s.prng_bits,
-        s.splits,
-        s.merges,
-        s.reconfigurations,
-        s.cache_misses,
-        s.dram_counter_transfers,
-        s.max_depth_touched,
-    ]
-}
-
-/// Writes a stats snapshot.
+/// Writes a stats snapshot. The counters go out in
+/// [`SchemeStats::FIELDS`] order — the same name-checked encode table the
+/// checkpoint format uses, so a new `SchemeStats` field extends both wire
+/// paths (and their tests) in one place instead of silently dropping off
+/// a hand-maintained positional list.
 ///
 /// # Errors
 ///
@@ -450,13 +494,13 @@ fn stats_fields(s: &SchemeStats) -> [u64; 12] {
 pub fn write_stats<W: Write>(w: &mut W, snap: &StatsSnapshot) -> io::Result<()> {
     write_u64(w, snap.accesses)?;
     write_u64(w, snap.epochs)?;
-    for field in stats_fields(&snap.stats) {
-        write_u64(w, field)?;
+    for field in SchemeStats::FIELDS {
+        write_u64(w, (field.get)(&snap.stats))?;
     }
     Ok(())
 }
 
-/// Reads a stats snapshot.
+/// Reads a stats snapshot (see [`write_stats`] for the field order).
 ///
 /// # Errors
 ///
@@ -464,24 +508,10 @@ pub fn write_stats<W: Write>(w: &mut W, snap: &StatsSnapshot) -> io::Result<()> 
 pub fn read_stats<R: Read>(r: &mut R) -> io::Result<StatsSnapshot> {
     let accesses = read_u64(r)?;
     let epochs = read_u64(r)?;
-    let mut fields = [0u64; 12];
-    for f in &mut fields {
-        *f = read_u64(r)?;
+    let mut stats = SchemeStats::default();
+    for field in SchemeStats::FIELDS {
+        (field.set)(&mut stats, read_u64(r)?);
     }
-    let stats = SchemeStats {
-        activations: fields[0],
-        refresh_events: fields[1],
-        refreshed_rows: fields[2],
-        sram_reads: fields[3],
-        sram_writes: fields[4],
-        prng_bits: fields[5],
-        splits: fields[6],
-        merges: fields[7],
-        reconfigurations: fields[8],
-        cache_misses: fields[9],
-        dram_counter_transfers: fields[10],
-        max_depth_touched: fields[11],
-    };
     Ok(StatsSnapshot {
         accesses,
         epochs,
@@ -549,6 +579,11 @@ mod tests {
             },
             Frame::StatsRequest,
             Frame::Finish,
+            Frame::Checkpoint,
+            Frame::Restore {
+                image: vec![0xCA, 0x7C, 0x00, 0xFF],
+            },
+            Frame::Restore { image: Vec::new() },
         ];
         let mut buf = Vec::new();
         for f in &frames {
@@ -579,6 +614,32 @@ mod tests {
             records: vec![(0, 0); MAX_RECORDS_PER_FRAME as usize + 1],
         };
         assert!(write_frame(&mut Vec::new(), &oversized).is_err());
+
+        // Same for a forged Restore length prefix and an oversized image.
+        let mut buf = Vec::new();
+        buf.push(0x05);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("restore image"));
+
+        let oversized = Frame::Restore {
+            image: vec![0; MAX_RESTORE_BYTES as usize + 1],
+        };
+        assert!(write_frame(&mut Vec::new(), &oversized).is_err());
+    }
+
+    #[test]
+    fn version_one_peers_are_refused() {
+        // A v1 hello, byte for byte — the frame kinds added in v2 make the
+        // formats incompatible, so the handshake must refuse it.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_client_hello(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 1"));
     }
 
     #[test]
@@ -646,8 +707,9 @@ mod tests {
 
     #[test]
     fn snapshot_round_trip() {
-        // Every SchemeStats field must survive the wire — a new field that
-        // is not added to `stats_fields` breaks this equality.
+        // Every SchemeStats field must survive the wire — the encode table
+        // is SchemeStats::FIELDS, whose own coverage test pins it to the
+        // struct definition, so a new field cannot silently drop off.
         let stats = SchemeStats {
             activations: 1,
             refresh_events: 2,
@@ -670,6 +732,6 @@ mod tests {
         let mut buf = Vec::new();
         write_stats(&mut buf, &snap).unwrap();
         assert_eq!(read_stats(&mut buf.as_slice()).unwrap(), snap);
-        assert_eq!(buf.len(), 14 * 8);
+        assert_eq!(buf.len(), (2 + SchemeStats::FIELDS.len()) * 8);
     }
 }

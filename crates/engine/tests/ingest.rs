@@ -84,6 +84,7 @@ fn loopback_run(
             &ServeOptions {
                 producers,
                 queue_capacity: 1 << 14,
+                ..Default::default()
             },
         )
         .expect("serve");

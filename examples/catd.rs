@@ -17,38 +17,88 @@
 //! served, the report is printed, and the process exits — `scripts/
 //! tier1.sh` runs exactly this against the `catd_loadgen` example over
 //! loopback.
+//!
+//! Checkpointing flags (`DESIGN.md §11`, mixable with the positionals):
+//!
+//! - `--checkpoint-dir <dir>` — log every merged batch to `<dir>` before
+//!   processing and publish a checkpoint image at epoch cuts; a killed
+//!   session becomes resumable.
+//! - `--checkpoint-epochs <n>` — publish a periodic image every `n`
+//!   epochs instead of every one (clients can still request one with the
+//!   `Checkpoint` frame).
+//! - `--resume` — before serving, recover state from `--checkpoint-dir`
+//!   (image + trace-log tail). The session configuration must match the
+//!   one checkpointed; prints `catd: resumed N accesses` for scripts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::net::TcpListener;
+use std::path::PathBuf;
 
+use catree::engine::checkpoint::{resume_from_dir, CheckpointConfig};
 use catree::engine::ingest::{serve, ServeOptions};
 use catree::{MemorySystem, SchemeSpec, SystemConfig};
 
-fn arg_or<T: std::str::FromStr>(n: usize, default: T) -> T
+fn parse<T: std::str::FromStr>(what: &str, s: &str) -> T
 where
     T::Err: std::fmt::Debug,
 {
-    match std::env::args().nth(n) {
-        Some(s) => s
-            .parse()
-            .unwrap_or_else(|e| panic!("argument {n} ({s:?}): {e:?}")),
-        None => default,
-    }
+    s.parse()
+        .unwrap_or_else(|e| panic!("{what} ({s:?}): {e:?}"))
 }
 
 fn main() {
-    let listen: String = arg_or(1, "127.0.0.1:0".to_string());
-    let spec: SchemeSpec = arg_or(2, "drcat:64:11:32768".parse().unwrap());
-    let producers: usize = arg_or(3, 1);
-    let epoch: u64 = arg_or(4, 50_000);
-    let shards: usize = arg_or(5, 1);
+    // Split `--flag`s out of the argument list; what remains are the
+    // positionals, in their documented order.
+    let mut positionals: Vec<String> = Vec::new();
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_epochs: u64 = 1;
+    let mut resume = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint-dir" => {
+                let dir = args.next().expect("--checkpoint-dir needs a directory");
+                checkpoint_dir = Some(PathBuf::from(dir));
+            }
+            "--checkpoint-epochs" => {
+                let n = args.next().expect("--checkpoint-epochs needs a count");
+                checkpoint_epochs = parse("--checkpoint-epochs", &n);
+                assert!(checkpoint_epochs >= 1, "--checkpoint-epochs must be >= 1");
+            }
+            "--resume" => resume = true,
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            _ => positionals.push(arg),
+        }
+    }
+    let positional = |n: usize| positionals.get(n).map(String::as_str);
+    let listen: String = positional(0).unwrap_or("127.0.0.1:0").to_string();
+    let spec: SchemeSpec = parse("spec", positional(1).unwrap_or("drcat:64:11:32768"));
+    let producers: usize = parse("producers", positional(2).unwrap_or("1"));
+    let epoch: u64 = parse("epoch", positional(3).unwrap_or("50000"));
+    let shards: usize = parse("shards", positional(4).unwrap_or("1"));
+    if resume && checkpoint_dir.is_none() {
+        panic!("--resume needs --checkpoint-dir");
+    }
 
     let cfg = SystemConfig::dual_core_two_channel();
     let mut system = MemorySystem::new(&cfg, spec).with_shards(shards);
     if epoch > 0 {
         system = system.with_epoch_length(epoch);
+    }
+    if resume {
+        let dir = checkpoint_dir.as_ref().expect("checked above");
+        let state = resume_from_dir(&mut system, dir).expect("recover from checkpoint directory");
+        // The scrape line for resume scripts: how far the recovered state
+        // reaches into the access stream.
+        println!(
+            "catd: resumed {} accesses ({} epochs; image: {}, {} records replayed)",
+            state.accesses,
+            state.epochs,
+            if state.from_checkpoint { "yes" } else { "no" },
+            state.replayed
+        );
     }
 
     let listener = TcpListener::bind(&listen).expect("bind listen address");
@@ -70,11 +120,16 @@ fn main() {
         }
     );
 
+    let checkpoint = checkpoint_dir.map(|dir| CheckpointConfig {
+        dir,
+        every_epochs: checkpoint_epochs,
+    });
     let report = serve(
         &listener,
         &mut system,
         &ServeOptions {
             producers,
+            checkpoint,
             ..Default::default()
         },
     )

@@ -6,7 +6,7 @@
 //! real socket.
 //!
 //! Run with:
-//! `cargo run --release --example catd_loadgen -- <addr> [workload] [accesses] [producers] [chunk]`
+//! `cargo run --release --example catd_loadgen -- <addr> [workload] [accesses] [producers] [chunk] [skip] [send]`
 //!
 //! Defaults: workload `swapt`, 200 000 accesses, 2 producer connections,
 //! 8 192 records per chunk. The trace is dealt round-robin by contiguous
@@ -18,6 +18,16 @@
 //! allocates nothing per chunk. Exits nonzero on any mismatch, making
 //! this the client half of the loopback smoke in `scripts/tier1.sh`
 //! (run there at 2 producers × 2 shards and 4 × 4).
+//!
+//! The `skip`/`send` positionals split the trace across *sessions* for
+//! the kill-and-resume smoke (`DESIGN.md §11`): the full `accesses`-long
+//! trace is still generated, but only `trace[skip .. skip + send]` is
+//! streamed — `skip` records are assumed already inside the server, from
+//! a `--resume`d checkpoint of an earlier partial session. The local
+//! reference replays `trace[.. skip + send]`, so verification stays
+//! bit-exact across the session boundary (the determinism contract makes
+//! the session's chunking irrelevant). Defaults: `skip 0`, `send` =
+//! everything after `skip`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,13 +48,19 @@ where
 }
 
 fn main() {
-    let addr: String = std::env::args()
-        .nth(1)
-        .expect("usage: catd_loadgen <addr> [workload] [accesses] [producers] [chunk]");
+    let addr: String = std::env::args().nth(1).expect(
+        "usage: catd_loadgen <addr> [workload] [accesses] [producers] [chunk] [skip] [send]",
+    );
     let workload: String = arg_or(2, "swapt".to_string());
     let accesses: usize = arg_or(3, 200_000);
     let producers: usize = arg_or(4, 2);
     let chunk: usize = arg_or(5, 8_192);
+    let skip: usize = arg_or(6, 0);
+    let send: usize = arg_or(7, accesses.saturating_sub(skip));
+    assert!(
+        skip + send <= accesses,
+        "skip {skip} + send {send} exceeds the {accesses}-access trace"
+    );
 
     // Producer 0 connects first and learns the served configuration from
     // the handshake; everything — trace geometry, the local reference run
@@ -63,9 +79,11 @@ fn main() {
         .parse()
         .unwrap_or_else(|e| panic!("server spec {:?}: {e}", hello.spec));
     println!(
-        "loadgen: {addr} serves {spec} (epoch {:?}); streaming {accesses} accesses of \
-         {workload} over {producers} connection(s), {chunk}-record chunks",
-        hello.epoch_len
+        "loadgen: {addr} serves {spec} (epoch {:?}); streaming accesses {skip}..{} of a \
+         {accesses}-access {workload} trace over {producers} connection(s), \
+         {chunk}-record chunks",
+        hello.epoch_len,
+        skip + send
     );
 
     // Generate and decode the trace once (single-core-equivalent stream,
@@ -81,19 +99,22 @@ fn main() {
         .collect();
     assert_eq!(trace.len(), accesses, "workload stream exhausted early");
 
-    // Local reference replay: what the server must report, bit for bit.
+    // Local reference replay of everything the server will hold after
+    // this session — the `skip` prefix (carried over from the earlier,
+    // checkpointed session) plus what this session sends. The server must
+    // report it bit for bit.
     let mut reference = MemorySystem::new(&cfg, spec);
     if let Some(epoch) = hello.epoch_len {
         reference = reference.with_epoch_length(epoch);
     }
-    for &(bank, row) in &trace {
+    for &(bank, row) in &trace[..skip + send] {
         reference.push_decoded(bank, row);
     }
     reference.flush();
 
-    // Deal the trace and stream it: producer 0 on this thread (its
-    // connection already exists), the rest on their own threads.
-    let lanes = deal(&trace, producers, chunk);
+    // Deal this session's slice and stream it: producer 0 on this thread
+    // (its connection already exists), the rest on their own threads.
+    let lanes = deal(&trace[skip..skip + send], producers, chunk);
     let snapshots = std::thread::scope(|scope| {
         let mut lanes = lanes.into_iter().enumerate();
         let (_, first_lane) = lanes.next().expect("at least one producer");
@@ -124,7 +145,11 @@ fn main() {
     for (id, snap) in snapshots.iter().enumerate() {
         assert_eq!(*snap, server, "producer {id} saw a different snapshot");
     }
-    assert_eq!(server.accesses, accesses as u64, "server lost accesses");
+    assert_eq!(
+        server.accesses,
+        (skip + send) as u64,
+        "server lost accesses"
+    );
     assert_eq!(server.epochs, reference.epochs(), "epoch count differs");
     if server.stats != reference.stats() {
         eprintln!(

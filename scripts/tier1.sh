@@ -77,4 +77,52 @@ run_catd_smoke() {
 run_catd_smoke 2 2
 run_catd_smoke 4 4
 
+# Kill-and-resume smoke (DESIGN.md §11): session 1 checkpoints into a
+# directory and ends after 110 000 of 240 000 accesses — past the epoch-50k
+# image at 100 000, leaving a 10 000-record trace-log tail. Session 2
+# starts with --resume, must report exactly the recovered position, and
+# the load generator (skip=110000) verifies the *combined* result
+# bit-identically against its local single-process replay of the full
+# trace. A broken image, log, or replay fails the scrape or the replay
+# comparison.
+run_catd_resume_smoke() {
+    local ckpt_dir total=240000 first=110000
+    ckpt_dir="$(mktemp -d)"
+    : >"$CATD_LOG"
+    ./target/release/examples/catd 127.0.0.1:0 drcat:64:11:2048 2 50000 2 \
+        --checkpoint-dir "$ckpt_dir" >"$CATD_LOG" &
+    CATD_PID=$!
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^catd: listening on //p' "$CATD_LOG")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "catd never reported its address"; cat "$CATD_LOG"; exit 1; }
+    ./target/release/examples/catd_loadgen "$addr" swapt "$total" 2 8192 0 "$first"
+    wait "$CATD_PID"
+    CATD_PID=""
+
+    : >"$CATD_LOG"
+    ./target/release/examples/catd 127.0.0.1:0 drcat:64:11:2048 2 50000 2 \
+        --checkpoint-dir "$ckpt_dir" --resume >"$CATD_LOG" &
+    CATD_PID=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^catd: listening on //p' "$CATD_LOG")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "catd never reported its address"; cat "$CATD_LOG"; exit 1; }
+    grep -q "^catd: resumed $first accesses" "$CATD_LOG" || {
+        echo "catd did not resume at access $first"; cat "$CATD_LOG"; exit 1; }
+    ./target/release/examples/catd_loadgen "$addr" swapt "$total" 2 8192 "$first"
+    wait "$CATD_PID"
+    CATD_PID=""
+    grep -q "session done" "$CATD_LOG" || { echo "catd did not finish cleanly"; cat "$CATD_LOG"; exit 1; }
+    rm -rf "$ckpt_dir"
+    echo "tier-1: catd kill-and-resume smoke OK (resumed at ${first}/${total})"
+}
+run_catd_resume_smoke
+
 echo "tier-1: OK"
