@@ -25,6 +25,14 @@
 //!   merge chunk-at-a-time through the streaming path. Measures the
 //!   merge + handoff overhead on top of `stream` (the `catd` TCP server
 //!   adds only wire framing on top of this);
+//! * `fleet-N`      — the partitioned datapath (DESIGN.md §12) minus the
+//!   sockets: the trace is scattered by `Partition::route` into N sliced
+//!   `MemorySystem`s (uniform bank split, global bank bases preserved)
+//!   with epoch cuts fired at exact **global** stream positions — the
+//!   in-process mirror of `catd_router` fronting N `catd --slice`
+//!   backends — and the per-slice stats are merged in slice-id order.
+//!   Measures the scatter + N-systems + merge overhead on top of
+//!   `stream`; the checksum assert is the fleet ≡ single-host contract;
 //! * `sparse-1m-*`  — the huge-geometry rows (DESIGN.md §10): a 1 Mi-bank
 //!   engine with ~1% of the banks hot, on the flat path and the 4-shard
 //!   pool. Construction is O(1) in bank count and only touched banks
@@ -69,7 +77,7 @@ use std::time::Instant;
 use cat_bench::{banner, decode_trace, quick_factor};
 use cat_core::{MitigationScheme, RowId, SchemeSpec, SchemeStats};
 use cat_engine::ingest::{self, IngestQueue};
-use cat_engine::{BankEngine, EngineFootprint, MemorySystem};
+use cat_engine::{BankEngine, EngineFootprint, MemorySystem, Partition};
 use cat_sim::SystemConfig;
 use cat_workloads::catalog;
 
@@ -197,7 +205,7 @@ fn main() {
     ];
     let mut results: Vec<Measurement> = Vec::new();
     println!(
-        "{:<12} {:<16} {:>14} {:>10}",
+        "{:<12} {:<18} {:>14} {:>10}",
         "scheme", "path", "acts/sec", "speedup"
     );
     for spec in specs {
@@ -216,7 +224,7 @@ fn main() {
                 spec.label()
             );
             println!(
-                "{:<12} {:<16} {:>14.0} {:>9.2}x",
+                "{:<12} {:<18} {:>14.0} {:>9.2}x",
                 spec.label(),
                 path,
                 rate,
@@ -295,6 +303,40 @@ fn main() {
                 system.stats()
             });
             row(path, rate, &stats, &base_stats, base_rate);
+        }
+
+        // Partitioned datapath: scatter by Partition::route into sliced
+        // systems, cut epochs at global positions, merge in slice-id
+        // order — the fleet minus the sockets. The checksum assert
+        // against the boxed baseline is the fleet ≡ single-host contract
+        // (DESIGN.md §12).
+        {
+            let partition = Partition::uniform(&cfg, 2).expect("uniform split");
+            let (rate, stats) = measure(accesses, || {
+                let mut systems: Vec<MemorySystem> = partition
+                    .slices()
+                    .iter()
+                    .map(|s| MemorySystem::for_slice(s, spec))
+                    .collect();
+                for segment in trace.entries.chunks(trace.per_epoch as usize) {
+                    for &(bank, row) in segment {
+                        systems[partition.route(bank)].push_decoded(bank, row);
+                    }
+                    if segment.len() == trace.per_epoch as usize {
+                        for system in &mut systems {
+                            system.flush();
+                            system.end_epoch();
+                        }
+                    }
+                }
+                let mut stats = SchemeStats::default();
+                for system in &mut systems {
+                    system.flush();
+                    stats.merge(&system.stats());
+                }
+                stats
+            });
+            row("fleet-2", rate, &stats, &base_stats, base_rate);
         }
 
         // Overlapped channels: one shared pool spanning all channels.
@@ -381,7 +423,7 @@ fn sparse_1m_rows(results: &mut Vec<Measurement>) {
         100.0 * hot.len() as f64 / f64::from(SPARSE_BANKS)
     );
     println!(
-        "{:<12} {:<16} {:>14} {:>10}",
+        "{:<12} {:<18} {:>14} {:>10}",
         "scheme", "path", "acts/sec", "speedup"
     );
 
@@ -414,7 +456,7 @@ fn sparse_1m_rows(results: &mut Vec<Measurement>) {
             fp.resident_bytes()
         );
         println!(
-            "{:<12} {:<16} {:>14.0} {:>9.2}x   ({} resident bytes, dense estimate {})",
+            "{:<12} {:<18} {:>14.0} {:>9.2}x   ({} resident bytes, dense estimate {})",
             spec.label(),
             path,
             rate,

@@ -237,6 +237,426 @@ impl AddressMapping {
     }
 }
 
+/// A validated sub-range of a [`MemGeometry`]'s global bank space — the
+/// unit of datapath partitioning (`DESIGN.md §12`).
+///
+/// A slice owns the contiguous global banks `start_bank ..
+/// start_bank + banks`. Because the global bank order is channel-major,
+/// a slice is "by channel, or by bank range within a channel" exactly
+/// when it is power-of-two sized and naturally aligned — which
+/// [`GeometrySlice::new`] enforces — so a slice is always either a whole
+/// number of channels or a sub-range of one channel, never a misaligned
+/// straddle.
+///
+/// Slices carry **global** bank indices end to end: a bank keeps the
+/// index (and therefore the PRA seed and the checkpoint-image identity)
+/// it has in the unsliced system, which is what makes per-slice engines
+/// bit-identical to one flat engine (`DESIGN.md §7`) and checkpoint
+/// images portable between fleet layouts.
+///
+/// ```
+/// use cat_engine::{GeometrySlice, MemGeometry};
+/// let g = MemGeometry {
+///     channels: 2,
+///     ranks_per_channel: 1,
+///     banks_per_rank: 8,
+///     rows_per_bank: 4096,
+///     lines_per_row: 16,
+///     line_bytes: 64,
+/// };
+/// let s = GeometrySlice::new(&g, 8, 8).unwrap(); // channel 1
+/// assert!(s.contains(11) && !s.contains(3));
+/// assert_eq!((s.start_bank(), s.banks()), (8, 8));
+/// assert!(GeometrySlice::new(&g, 4, 8).is_err()); // misaligned straddle
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GeometrySlice {
+    geometry: MemGeometry,
+    start_bank: u32,
+    banks: u32,
+}
+
+/// Why a [`GeometrySlice`] could not be built. Slicing mistakes are
+/// configuration errors reachable from remote fleet peers, so they are
+/// typed values, never panics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SliceError {
+    /// The underlying geometry itself is invalid.
+    Geometry(GeometryError),
+    /// The slice spans zero banks.
+    Empty,
+    /// The bank count is not a power of two (the slice would straddle
+    /// the bit-field decode boundaries and alias across channels).
+    NotPowerOfTwo {
+        /// The offending bank count.
+        banks: u32,
+    },
+    /// `start_bank` is not a multiple of the slice size, so the slice
+    /// straddles a natural boundary (part of two channels without
+    /// covering either).
+    Misaligned {
+        /// First global bank of the slice.
+        start_bank: u32,
+        /// Banks the slice spans.
+        banks: u32,
+    },
+    /// The slice reaches past the geometry's last bank.
+    OutOfRange {
+        /// First global bank of the slice.
+        start_bank: u32,
+        /// Banks the slice spans.
+        banks: u32,
+        /// Banks the geometry actually has.
+        total_banks: u32,
+    },
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SliceError::Geometry(e) => write!(f, "slice over an invalid geometry: {e}"),
+            SliceError::Empty => write!(f, "geometry slice must span at least one bank"),
+            SliceError::NotPowerOfTwo { banks } => write!(
+                f,
+                "geometry slice must span a power-of-two bank count, got {banks}"
+            ),
+            SliceError::Misaligned { start_bank, banks } => write!(
+                f,
+                "geometry slice of {banks} banks must start at a multiple of its size, \
+                 got start bank {start_bank}"
+            ),
+            SliceError::OutOfRange {
+                start_bank,
+                banks,
+                total_banks,
+            } => write!(
+                f,
+                "geometry slice {start_bank}..{} reaches past the {total_banks}-bank geometry",
+                start_bank as u64 + banks as u64
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+impl From<GeometryError> for SliceError {
+    fn from(e: GeometryError) -> Self {
+        SliceError::Geometry(e)
+    }
+}
+
+impl GeometrySlice {
+    /// Builds the slice `start_bank .. start_bank + banks` of `geometry`,
+    /// validating the power-of-two size, natural alignment and range
+    /// invariants documented on the type.
+    pub fn new(
+        geometry: impl Into<MemGeometry>,
+        start_bank: u32,
+        banks: u32,
+    ) -> Result<Self, SliceError> {
+        let geometry = geometry.into();
+        geometry.validate()?;
+        if banks == 0 {
+            return Err(SliceError::Empty);
+        }
+        if !banks.is_power_of_two() {
+            return Err(SliceError::NotPowerOfTwo { banks });
+        }
+        if !start_bank.is_multiple_of(banks) {
+            return Err(SliceError::Misaligned { start_bank, banks });
+        }
+        let total_banks = geometry.total_banks();
+        if u64::from(start_bank) + u64::from(banks) > u64::from(total_banks) {
+            return Err(SliceError::OutOfRange {
+                start_bank,
+                banks,
+                total_banks,
+            });
+        }
+        Ok(GeometrySlice {
+            geometry,
+            start_bank,
+            banks,
+        })
+    }
+
+    /// The slice covering the whole geometry — what an unpartitioned
+    /// system owns, and what a backend serving no `--slice` advertises.
+    pub fn full(geometry: impl Into<MemGeometry>) -> Result<Self, SliceError> {
+        let geometry = geometry.into();
+        Self::new(geometry, 0, geometry.total_banks())
+    }
+
+    /// The slice owning exactly channel `channel` of `geometry`.
+    pub fn channel(geometry: impl Into<MemGeometry>, channel: u32) -> Result<Self, SliceError> {
+        let geometry = geometry.into();
+        let bpc = geometry.banks_per_channel();
+        Self::new(geometry, channel * bpc, bpc)
+    }
+
+    /// The geometry this slice partitions.
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geometry
+    }
+
+    /// First global bank of the slice.
+    pub fn start_bank(&self) -> u32 {
+        self.start_bank
+    }
+
+    /// Banks the slice spans.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// One past the last global bank of the slice.
+    pub fn end_bank(&self) -> u32 {
+        self.start_bank + self.banks
+    }
+
+    /// Whether the slice covers the whole geometry.
+    pub fn is_full(&self) -> bool {
+        self.start_bank == 0 && self.banks == self.geometry.total_banks()
+    }
+
+    /// Whether global bank `bank` falls inside the slice.
+    #[inline]
+    pub fn contains(&self, bank: u32) -> bool {
+        bank.wrapping_sub(self.start_bank) < self.banks
+    }
+}
+
+impl fmt::Display for GeometrySlice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "banks {}..{} of {}",
+            self.start_bank,
+            self.end_bank(),
+            self.geometry.total_banks()
+        )
+    }
+}
+
+/// An exact, ordered cover of a geometry's bank space by disjoint
+/// [`GeometrySlice`]s — the partition the datapath routes over. The
+/// position of a slice in the partition is its **slice id**; every
+/// order-sensitive merge (stats, per-bank vectors, footprints) is fixed
+/// by it (`DESIGN.md §12`).
+///
+/// ```
+/// use cat_engine::{MemGeometry, Partition};
+/// let g = MemGeometry {
+///     channels: 2,
+///     ranks_per_channel: 1,
+///     banks_per_rank: 8,
+///     rows_per_bank: 4096,
+///     lines_per_row: 16,
+///     line_bytes: 64,
+/// };
+/// let p = Partition::uniform(&g, 4).unwrap();
+/// assert_eq!(p.len(), 4);
+/// assert_eq!(p.route(0), 0);
+/// assert_eq!(p.route(13), 3);
+/// assert_eq!(Partition::per_channel(&g).unwrap().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    slices: Vec<GeometrySlice>,
+    /// `log2(slice size)` when every slice spans the same bank count —
+    /// the routed hot path is then a shift instead of a binary search.
+    uniform_shift: Option<u32>,
+}
+
+/// Why a set of slices is not a valid [`Partition`]. Like
+/// [`SliceError`], these are reachable from remote fleet configuration,
+/// so they are typed values, never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// One of the member slices is itself invalid.
+    Slice(SliceError),
+    /// The partition has no slices at all.
+    Empty,
+    /// Two slices were built over different geometries.
+    GeometryMismatch {
+        /// Index of the first slice over a different geometry.
+        slice: usize,
+    },
+    /// Slice `slice` overlaps its predecessor (or the slices are not in
+    /// ascending bank order — the slice id order *is* the bank order).
+    Overlap {
+        /// Index of the overlapping slice.
+        slice: usize,
+    },
+    /// The cover has a hole before slice `slice` (or after the last
+    /// slice, in which case `slice` is the partition length).
+    Gap {
+        /// Index of the slice after the hole.
+        slice: usize,
+        /// First global bank the cover is missing.
+        missing_bank: u32,
+    },
+    /// A uniform split into `slices` parts does not divide the
+    /// geometry's `total_banks` into power-of-two slices.
+    UnevenSplit {
+        /// Requested slice count.
+        slices: u32,
+        /// Banks that would have to be divided.
+        total_banks: u32,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Slice(e) => write!(f, "invalid partition member: {e}"),
+            PartitionError::Empty => write!(f, "partition must contain at least one slice"),
+            PartitionError::GeometryMismatch { slice } => write!(
+                f,
+                "partition slice {slice} was built over a different geometry"
+            ),
+            PartitionError::Overlap { slice } => write!(
+                f,
+                "partition slice {slice} overlaps its predecessor (slices must be \
+                 disjoint and in ascending bank order)"
+            ),
+            PartitionError::Gap {
+                slice,
+                missing_bank,
+            } => write!(
+                f,
+                "partition does not cover bank {missing_bank} (hole before slice {slice})"
+            ),
+            PartitionError::UnevenSplit {
+                slices,
+                total_banks,
+            } => write!(
+                f,
+                "cannot split {total_banks} banks into {slices} power-of-two slices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl From<SliceError> for PartitionError {
+    fn from(e: SliceError) -> Self {
+        PartitionError::Slice(e)
+    }
+}
+
+impl Partition {
+    /// Builds a partition from slices already in ascending bank order,
+    /// validating that they share one geometry and cover its bank space
+    /// exactly — no overlap, no gap.
+    pub fn from_slices(slices: Vec<GeometrySlice>) -> Result<Self, PartitionError> {
+        let Some(first) = slices.first() else {
+            return Err(PartitionError::Empty);
+        };
+        let geometry = first.geometry;
+        let mut expected = 0u32;
+        for (i, s) in slices.iter().enumerate() {
+            if s.geometry != geometry {
+                return Err(PartitionError::GeometryMismatch { slice: i });
+            }
+            if s.start_bank < expected {
+                return Err(PartitionError::Overlap { slice: i });
+            }
+            if s.start_bank > expected {
+                return Err(PartitionError::Gap {
+                    slice: i,
+                    missing_bank: expected,
+                });
+            }
+            expected = s.end_bank();
+        }
+        if expected != geometry.total_banks() {
+            return Err(PartitionError::Gap {
+                slice: slices.len(),
+                missing_bank: expected,
+            });
+        }
+        let size = slices[0].banks;
+        let uniform_shift = slices
+            .iter()
+            .all(|s| s.banks == size)
+            .then(|| bits_for(size));
+        Ok(Partition {
+            slices,
+            uniform_shift,
+        })
+    }
+
+    /// The partition with one slice per channel — the layout the
+    /// unpartitioned [`crate::MemorySystem`] has always used.
+    pub fn per_channel(geometry: impl Into<MemGeometry>) -> Result<Self, PartitionError> {
+        let geometry = geometry.into();
+        let slices = (0..geometry.channels)
+            .map(|c| GeometrySlice::channel(geometry, c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_slices(slices)
+    }
+
+    /// Splits the geometry into `slices` equal slices (`slices` must be
+    /// a power of two no larger than the bank count, so every slice is a
+    /// power-of-two aligned range).
+    pub fn uniform(geometry: impl Into<MemGeometry>, slices: u32) -> Result<Self, PartitionError> {
+        let geometry = geometry.into();
+        geometry.validate().map_err(SliceError::from)?;
+        let total_banks = geometry.total_banks();
+        if slices == 0 || !slices.is_power_of_two() || slices > total_banks {
+            return Err(PartitionError::UnevenSplit {
+                slices,
+                total_banks,
+            });
+        }
+        let size = total_banks / slices;
+        let members = (0..slices)
+            .map(|i| GeometrySlice::new(geometry, i * size, size))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_slices(members)
+    }
+
+    /// The geometry this partition covers.
+    pub fn geometry(&self) -> &MemGeometry {
+        self.slices[0].geometry()
+    }
+
+    /// The member slices, in slice-id (= ascending bank) order.
+    pub fn slices(&self) -> &[GeometrySlice] {
+        &self.slices
+    }
+
+    /// Number of slices.
+    #[allow(clippy::len_without_is_empty)] // a partition is never empty
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Routes a global bank to the id of the slice that owns it — the
+    /// decode hook of the partitioned datapath. Uniform partitions route
+    /// with a shift; mixed slice sizes fall back to a binary search over
+    /// the slice starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is outside the geometry (the partition covers
+    /// the bank space exactly, so every in-range bank routes).
+    #[inline]
+    pub fn route(&self, bank: u32) -> usize {
+        assert!(
+            bank < self.geometry().total_banks(),
+            "bank {bank} outside the partitioned geometry"
+        );
+        match self.uniform_shift {
+            Some(shift) => (bank >> shift) as usize,
+            None => self.slices.partition_point(|s| s.end_bank() <= bank),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,5 +740,140 @@ mod tests {
         let e = g.validate().unwrap_err();
         assert!(e.to_string().contains("rows_per_bank"));
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn slice_validation_hard_errors_are_typed() {
+        let g = geometry(); // 16 banks, 8 per channel
+        assert!(GeometrySlice::new(g, 0, 16).unwrap().is_full());
+        assert_eq!(GeometrySlice::channel(g, 1).unwrap().start_bank(), 8);
+        assert_eq!(GeometrySlice::new(g, 0, 0).unwrap_err(), SliceError::Empty);
+        assert_eq!(
+            GeometrySlice::new(g, 0, 6).unwrap_err(),
+            SliceError::NotPowerOfTwo { banks: 6 }
+        );
+        assert_eq!(
+            GeometrySlice::new(g, 4, 8).unwrap_err(),
+            SliceError::Misaligned {
+                start_bank: 4,
+                banks: 8
+            }
+        );
+        assert_eq!(
+            GeometrySlice::new(g, 16, 8).unwrap_err(),
+            SliceError::OutOfRange {
+                start_bank: 16,
+                banks: 8,
+                total_banks: 16
+            }
+        );
+        let bad = MemGeometry { channels: 3, ..g };
+        assert!(matches!(
+            GeometrySlice::full(bad).unwrap_err(),
+            SliceError::Geometry(_)
+        ));
+    }
+
+    #[test]
+    fn slice_contains_and_display() {
+        let g = geometry();
+        let s = GeometrySlice::new(g, 8, 4).unwrap();
+        assert!(s.contains(8) && s.contains(11));
+        assert!(!s.contains(7) && !s.contains(12));
+        assert_eq!(s.end_bank(), 12);
+        assert_eq!(s.to_string(), "banks 8..12 of 16");
+    }
+
+    #[test]
+    fn partition_covers_route_and_rejects_bad_covers() {
+        let g = geometry();
+        let p = Partition::uniform(g, 4).unwrap();
+        for bank in 0..16 {
+            let id = p.route(bank);
+            assert!(p.slices()[id].contains(bank));
+            assert_eq!(id, (bank / 4) as usize);
+        }
+        // Mixed slice sizes are a legal cover; routing falls back to the
+        // binary search and still lands on the owner.
+        let mixed = Partition::from_slices(vec![
+            GeometrySlice::new(g, 0, 4).unwrap(),
+            GeometrySlice::new(g, 4, 4).unwrap(),
+            GeometrySlice::new(g, 8, 8).unwrap(),
+        ])
+        .unwrap();
+        for bank in 0..16 {
+            assert!(mixed.slices()[mixed.route(bank)].contains(bank));
+        }
+
+        assert_eq!(
+            Partition::from_slices(Vec::new()).unwrap_err(),
+            PartitionError::Empty
+        );
+        // Overlapping slices.
+        assert_eq!(
+            Partition::from_slices(vec![
+                GeometrySlice::new(g, 0, 8).unwrap(),
+                GeometrySlice::new(g, 4, 4).unwrap(),
+            ])
+            .unwrap_err(),
+            PartitionError::Overlap { slice: 1 }
+        );
+        // Gapped cover in the middle…
+        assert_eq!(
+            Partition::from_slices(vec![
+                GeometrySlice::new(g, 0, 4).unwrap(),
+                GeometrySlice::new(g, 8, 8).unwrap(),
+            ])
+            .unwrap_err(),
+            PartitionError::Gap {
+                slice: 1,
+                missing_bank: 4
+            }
+        );
+        // …and at the end.
+        assert_eq!(
+            Partition::from_slices(vec![GeometrySlice::new(g, 0, 8).unwrap()]).unwrap_err(),
+            PartitionError::Gap {
+                slice: 1,
+                missing_bank: 8
+            }
+        );
+        // Two geometries cannot share a partition.
+        let other = MemGeometry { channels: 4, ..g };
+        assert_eq!(
+            Partition::from_slices(vec![
+                GeometrySlice::channel(g, 0).unwrap(),
+                GeometrySlice::channel(other, 1).unwrap(),
+            ])
+            .unwrap_err(),
+            PartitionError::GeometryMismatch { slice: 1 }
+        );
+        // Uniform splits must divide into power-of-two slices.
+        assert_eq!(
+            Partition::uniform(g, 3).unwrap_err(),
+            PartitionError::UnevenSplit {
+                slices: 3,
+                total_banks: 16
+            }
+        );
+        assert_eq!(
+            Partition::uniform(g, 32).unwrap_err(),
+            PartitionError::UnevenSplit {
+                slices: 32,
+                total_banks: 16
+            }
+        );
+    }
+
+    #[test]
+    fn per_channel_partition_matches_channel_slices() {
+        let g = geometry();
+        let p = Partition::per_channel(g).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.slices()[1], GeometrySlice::channel(g, 1).unwrap());
+        assert_eq!(p.route(7), 0);
+        assert_eq!(p.route(8), 1);
+        // per-channel ≡ uniform(channels) on any valid geometry.
+        assert_eq!(p, Partition::uniform(g, 2).unwrap());
     }
 }

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use cat_core::{StateError, StateReader};
 
-use crate::ingest::IngestConsumer;
+use crate::ingest::{IngestConsumer, IngestEvent};
 use crate::wire::{pack_record, unpack_record, MAX_SPEC_LEN};
 use crate::{BankEngine, BatchOutcome, MemorySystem};
 
@@ -51,7 +51,12 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"CATC";
 
 /// Checkpoint format version. Bump on any incompatible layout change;
 /// images of another version are refused instead of misparsed.
-pub const CHECKPOINT_VERSION: u16 = 1;
+///
+/// Version 2 added the owned [`crate::GeometrySlice`] (start bank + bank
+/// count) to the system section, so a fleet backend's image is pinned to
+/// its slice and cannot be restored into a backend serving a different
+/// partition.
+pub const CHECKPOINT_VERSION: u16 = 2;
 
 /// Hard cap on a checkpoint image/file size — bounds what [`resume_from_dir`]
 /// will read into memory.
@@ -81,10 +86,18 @@ const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 
 /// Trace-log magic ("CAT Log").
 const LOG_MAGIC: [u8; 4] = *b"CATL";
-/// Trace-log format version.
-const LOG_VERSION: u16 = 1;
-/// Log header bytes: magic + version + base access count.
-const LOG_HEADER_BYTES: u64 = 4 + 2 + 8;
+/// Trace-log format version. Version 2 added the base epoch count to the
+/// header and the in-stream cut marker word.
+const LOG_VERSION: u16 = 2;
+/// Log header bytes: magic + version + base access count + base epochs.
+const LOG_HEADER_BYTES: u64 = 4 + 2 + 8 + 8;
+/// In-stream epoch-cut marker: a word whose bank half is `u32::MAX`,
+/// which no validated record can carry (banks are bounded by the
+/// geometry, itself capped well below `u32::MAX`). Clockless systems
+/// driven by a router's epoch clock persist each wire-delivered cut as
+/// one marker word, so log replay reproduces the epoch boundaries at the
+/// exact stream positions they fired.
+const CUT_MARKER: u64 = u32::MAX as u64;
 /// Records per [`MemorySystem::process`] call during log replay.
 const REPLAY_CHUNK: usize = 1 << 16;
 
@@ -545,9 +558,9 @@ fn decode_engine_section(e: &mut BankEngine, r: &mut ByteReader<'_>) -> io::Resu
 // System section
 // ---------------------------------------------------------------------------
 
-/// Appends one system's complete state: geometry + epoch clock + counters,
-/// the system-level scratch high-water marks, then every channel engine's
-/// section in channel order.
+/// Appends one system's complete state: geometry + owned slice + epoch
+/// clock + counters, the system-level scratch high-water marks, then
+/// every engine's section in slice order.
 fn encode_system_section(s: &MemorySystem, out: &mut Vec<u8>) -> io::Result<()> {
     let g = s.geometry;
     for field in [
@@ -560,13 +573,15 @@ fn encode_system_section(s: &MemorySystem, out: &mut Vec<u8>) -> io::Result<()> 
     ] {
         put_u32(out, field);
     }
+    put_u32(out, s.owned.start_bank());
+    put_u32(out, s.owned.banks());
     put_epoch_len(out, s.epoch_len);
     put_u64(out, s.accesses);
     put_u64(out, s.epochs);
     put_u64(out, s.act_scratch.capacity() as u64);
     put_u64(out, s.staged.capacity() as u64);
-    put_u32(out, s.channels.len() as u32);
-    for engine in &s.channels {
+    put_u32(out, s.engines.len() as u32);
+    for engine in &s.engines {
         encode_engine_section(engine, out)?;
     }
     Ok(())
@@ -597,6 +612,15 @@ fn decode_system_section(s: &mut MemorySystem, r: &mut ByteReader<'_>) -> io::Re
             "checkpoint geometry {fields:?} does not match system geometry {saved:?}"
         )));
     }
+    let slice_start = r.u32("slice start bank")?;
+    let slice_banks = r.u32("slice bank count")?;
+    if slice_start != s.owned.start_bank() || slice_banks != s.owned.banks() {
+        return Err(bad(format!(
+            "checkpoint owns banks {slice_start}..{}, system owns {}",
+            u64::from(slice_start) + u64::from(slice_banks),
+            s.owned
+        )));
+    }
     let epoch_len = read_epoch_len(r)?;
     if epoch_len != s.epoch_len {
         return Err(bad(format!(
@@ -615,27 +639,27 @@ fn decode_system_section(s: &mut MemorySystem, r: &mut ByteReader<'_>) -> io::Re
     s.act_scratch.reserve_exact(act_scratch);
     let staged = read_scratch_cap(r, "staging buffer capacity")?;
     s.staged.reserve_exact(staged);
-    let channels = r.u32("channel count")? as usize;
-    if channels != s.channels.len() {
+    let engines = r.u32("engine count")? as usize;
+    if engines != s.engines.len() {
         return Err(bad(format!(
-            "checkpoint has {channels} channels, system has {}",
-            s.channels.len()
+            "checkpoint has {engines} engines, system has {}",
+            s.engines.len()
         )));
     }
-    let mut channel_accesses = 0u64;
-    for engine in &mut s.channels {
+    let mut engine_accesses = 0u64;
+    for engine in &mut s.engines {
         decode_engine_section(engine, r)?;
-        channel_accesses = channel_accesses.saturating_add(engine.accesses);
+        engine_accesses = engine_accesses.saturating_add(engine.accesses);
         if engine.epochs != epochs {
             return Err(bad(format!(
-                "channel counted {} epochs, system counted {epochs}",
+                "engine counted {} epochs, system counted {epochs}",
                 engine.epochs
             )));
         }
     }
-    if channel_accesses != accesses {
+    if engine_accesses != accesses {
         return Err(bad(format!(
-            "channels sum to {channel_accesses} accesses, system counted {accesses}"
+            "engines sum to {engine_accesses} accesses, system counted {accesses}"
         )));
     }
     s.accesses = accesses;
@@ -803,10 +827,15 @@ pub(crate) struct TraceLog {
 
 impl TraceLog {
     /// Opens `dir`'s trace log for appending, creating it (with
-    /// `expected_end` as its base) if absent. An existing log must line
-    /// up: base + whole records == `expected_end` (a torn trailing record
-    /// from a crash is truncated away first).
-    pub(crate) fn open_for_append(dir: &Path, expected_end: u64) -> io::Result<TraceLog> {
+    /// `expected_end`/`expected_epochs` as its base) if absent. An
+    /// existing log must line up: base + whole non-marker records ==
+    /// `expected_end` (a torn trailing word from a crash is truncated
+    /// away first; cut markers occupy a word but carry no access).
+    pub(crate) fn open_for_append(
+        dir: &Path,
+        expected_end: u64,
+        expected_epochs: u64,
+    ) -> io::Result<TraceLog> {
         let path = dir.join(TRACE_LOG_FILE);
         let existing = match fs::OpenOptions::new().read(true).write(true).open(&path) {
             Ok(f) => Some(f),
@@ -818,7 +847,7 @@ impl TraceLog {
                 file: fs::File::create(&path)?,
                 buf: Vec::new(),
             };
-            log.write_header(expected_end)?;
+            log.write_header(expected_end, expected_epochs)?;
             return Ok(log);
         };
         let mut header = [0u8; LOG_HEADER_BYTES as usize];
@@ -837,11 +866,24 @@ impl TraceLog {
         base.copy_from_slice(&header[6..14]);
         let base = u64::from_le_bytes(base);
         let len = file.metadata()?.len();
-        let records = (len - LOG_HEADER_BYTES) / 8;
-        // Drop a torn trailing record from a crash mid-append.
-        let whole = LOG_HEADER_BYTES + records * 8;
+        let words = (len - LOG_HEADER_BYTES) / 8;
+        // Drop a torn trailing word from a crash mid-append.
+        let whole = LOG_HEADER_BYTES + words * 8;
         if whole != len {
             file.set_len(whole)?;
+        }
+        // Cut markers occupy words but carry no access, so the position
+        // arithmetic counts only record words.
+        file.seek(SeekFrom::Start(LOG_HEADER_BYTES))?;
+        let mut records = 0u64;
+        {
+            let mut r = io::BufReader::new(&file);
+            let mut rec = [0u8; 8];
+            while let Some(word) = read_log_record(&mut r, &mut rec)? {
+                if word != CUT_MARKER {
+                    records += 1;
+                }
+            }
         }
         if base.saturating_add(records) != expected_end {
             return Err(bad(format!(
@@ -856,11 +898,12 @@ impl TraceLog {
         })
     }
 
-    fn write_header(&mut self, base: u64) -> io::Result<()> {
+    fn write_header(&mut self, base: u64, base_epochs: u64) -> io::Result<()> {
         self.buf.clear();
         self.buf.extend_from_slice(&LOG_MAGIC);
         put_u16(&mut self.buf, LOG_VERSION);
         put_u64(&mut self.buf, base);
+        put_u64(&mut self.buf, base_epochs);
         self.file.write_all(&self.buf)?;
         self.file.sync_data()
     }
@@ -878,14 +921,22 @@ impl TraceLog {
         self.file.sync_data()
     }
 
+    /// Appends one epoch-cut marker and syncs it — called *before* the
+    /// cut is applied, mirroring [`append`](Self::append)'s write-ahead
+    /// discipline, so replay fires the boundary at the same position.
+    pub(crate) fn append_cut(&mut self) -> io::Result<()> {
+        self.file.write_all(&CUT_MARKER.to_le_bytes())?;
+        self.file.sync_data()
+    }
+
     /// Rotates the log after a checkpoint was published: truncate and
-    /// restart at `base` (the checkpoint's access position). Runs *after*
-    /// the image rename, so a crash between the two leaves a log that
-    /// starts before the image — recovery skips the overlap.
-    pub(crate) fn reset(&mut self, base: u64) -> io::Result<()> {
+    /// restart at `base`/`base_epochs` (the checkpoint's position). Runs
+    /// *after* the image rename, so a crash between the two leaves a log
+    /// that starts before the image — recovery skips the overlap.
+    pub(crate) fn reset(&mut self, base: u64, base_epochs: u64) -> io::Result<()> {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
-        self.write_header(base)
+        self.write_header(base, base_epochs)
     }
 }
 
@@ -931,31 +982,59 @@ fn replay_log(system: &mut MemorySystem, path: &Path) -> io::Result<u64> {
     r.read_exact(&mut b)
         .map_err(|e| bad(format!("trace log header: {e}")))?;
     let base = u64::from_le_bytes(b);
+    r.read_exact(&mut b)
+        .map_err(|e| bad(format!("trace log header: {e}")))?;
+    let base_epochs = u64::from_le_bytes(b);
     if base > system.accesses() {
         return Err(bad(format!(
             "trace log starts at access {base}, after the checkpoint position {}",
             system.accesses()
         )));
     }
-    // Records below the checkpoint position are already inside the image
-    // (the log is appended before processing and rotated after the image
-    // rename, so an overlap — never a gap — is the crash window).
+    if base_epochs > system.epochs() {
+        return Err(bad(format!(
+            "trace log starts at epoch {base_epochs}, after the checkpoint epoch {}",
+            system.epochs()
+        )));
+    }
+    // Records (and cut markers) below the checkpoint position are already
+    // inside the image (the log is appended before processing and rotated
+    // after the image rename, so an overlap — never a gap — is the crash
+    // window).
     let mut skip = system.accesses() - base;
-    let total_banks = system.bank_count() as u32;
+    let mut skip_cuts = system.epochs() - base_epochs;
+    let owned = *system.slice();
     let rows = system.geometry().rows_per_bank;
     let mut chunk: Vec<(u32, u32)> = Vec::with_capacity(REPLAY_CHUNK);
     let mut replayed = 0u64;
     let mut rec = [0u8; 8];
     while let Some(packed) = read_log_record(&mut r, &mut rec)? {
+        if packed == CUT_MARKER {
+            if skip_cuts > 0 {
+                skip_cuts -= 1;
+                continue;
+            }
+            if system.epoch_length().is_some() {
+                return Err(bad(
+                    "cut marker in the trace log of a system with its own epoch clock",
+                ));
+            }
+            if !chunk.is_empty() {
+                system.process(&chunk);
+                chunk.clear();
+            }
+            system.end_epoch();
+            continue;
+        }
         if skip > 0 {
             skip -= 1;
             continue;
         }
         let (bank, row) = unpack_record(packed);
-        if bank >= total_banks || row >= rows {
+        if !owned.contains(bank) || row >= rows {
             return Err(bad(format!(
                 "trace log record (bank {bank}, row {row}) out of range for a \
-                 {total_banks}-bank × {rows}-row system"
+                 system owning {owned} with {rows}-row banks"
             )));
         }
         chunk.push((bank, row));
@@ -1017,12 +1096,14 @@ pub fn resume_from_dir(system: &mut MemorySystem, dir: &Path) -> io::Result<Reco
 
 /// The checkpointing drain loop behind [`crate::ingest::serve`]: every
 /// merged batch is logged (and synced) before it is processed, batches
-/// are split at epoch cuts, and at each cut a checkpoint is published
-/// when one is due ([`CheckpointConfig::every_epochs`]) or a client
-/// requested one over the wire (`requested`, consumed only at a cut so
-/// the image is always cut-consistent). If the stream ends on a cut a
-/// final checkpoint is taken; otherwise the log tail carries the
-/// remainder for [`resume_from_dir`].
+/// are split at epoch cuts, stream-delivered cuts (a router's epoch
+/// clock driving a clockless backend) are persisted as log markers and
+/// applied, and at each cut a checkpoint is published when one is due
+/// ([`CheckpointConfig::every_epochs`]) or a client requested one over
+/// the wire (`requested`, consumed only at a cut so the image is always
+/// cut-consistent). If the stream ends on a cut a final checkpoint is
+/// taken; otherwise the log tail carries the remainder for
+/// [`resume_from_dir`].
 pub(crate) fn drain_with_checkpoints(
     system: &mut MemorySystem,
     consumer: &mut IngestConsumer,
@@ -1033,62 +1114,83 @@ pub(crate) fn drain_with_checkpoints(
         return Err(bad("checkpoint interval of zero epochs"));
     }
     fs::create_dir_all(&cfg.dir)?;
-    let mut log = TraceLog::open_for_append(&cfg.dir, system.accesses())?;
-    let total_banks = system.bank_count() as u32;
+    let mut log = TraceLog::open_for_append(&cfg.dir, system.accesses(), system.epochs())?;
+    let owned = *system.slice();
     let mut out = BatchOutcome::default();
     let mut batch: Vec<(u32, u32)> = Vec::new();
-    let mut last_checkpoint: Option<u64> = None;
+    let mut last_checkpoint: Option<(u64, u64)> = None;
     loop {
         batch.clear();
-        if !consumer.next_batch_into(&mut batch) {
-            break;
-        }
-        if let Some(&(bank, _)) = batch.iter().find(|&&(bank, _)| bank >= total_banks) {
-            return Err(bad(format!(
-                "global bank {bank} out of range for a {total_banks}-bank system"
-            )));
-        }
-        log.append(&batch)?;
-        let mut start = 0usize;
-        while start < batch.len() {
-            let stop = match system.epoch_length() {
-                None => batch.len(),
-                Some(n) => {
-                    let to_cut = n - (system.accesses() % n);
-                    start + to_cut.min((batch.len() - start) as u64) as usize
+        match consumer.next_event_into(&mut batch) {
+            None => break,
+            Some(IngestEvent::EpochCut) => {
+                if system.epoch_length().is_some() {
+                    return Err(bad(
+                        "stream epoch cut for a system with its own epoch clock",
+                    ));
                 }
-            };
-            out.merge(&system.process(&batch[start..stop]));
-            start = stop;
-            let at_cut = match system.epoch_length() {
-                None => start == batch.len(),
-                Some(n) => system.accesses().is_multiple_of(n),
-            };
-            if !at_cut {
-                continue;
+                log.append_cut()?;
+                system.end_epoch();
+                out.epochs += 1;
+                let asked = requested.swap(false, Ordering::SeqCst);
+                let due = system.epochs().is_multiple_of(cfg.every_epochs);
+                let position = (system.accesses(), system.epochs());
+                if (asked || due) && last_checkpoint != Some(position) {
+                    publish_checkpoint(system, cfg, &mut log)?;
+                    last_checkpoint = Some(position);
+                }
             }
-            let asked = requested.swap(false, Ordering::SeqCst);
-            let due = system.epoch_length().is_some()
-                && system.epochs() > 0
-                && system.epochs().is_multiple_of(cfg.every_epochs);
-            if (asked || due) && last_checkpoint != Some(system.accesses()) {
-                publish_checkpoint(system, cfg, &mut log)?;
-                // The rotation truncated the log at the cut, which also
-                // dropped this batch's still-unprocessed tail — re-append
-                // it so the write-ahead invariant (the log covers every
-                // record past the image) holds before processing resumes.
-                // A crash inside this small window recovers consistently
-                // at the cut; the in-flight tail is lost with the process,
-                // like any record still in a socket buffer at kill time.
-                if start < batch.len() {
-                    log.append(&batch[start..])?;
+            Some(IngestEvent::Records(_)) => {
+                if let Some(&(bank, _)) = batch.iter().find(|&&(bank, _)| !owned.contains(bank)) {
+                    return Err(bad(format!(
+                        "global bank {bank} out of range for a system owning {owned}"
+                    )));
                 }
-                last_checkpoint = Some(system.accesses());
+                log.append(&batch)?;
+                let mut start = 0usize;
+                while start < batch.len() {
+                    let stop = match system.epoch_length() {
+                        None => batch.len(),
+                        Some(n) => {
+                            let to_cut = n - (system.accesses() % n);
+                            start + to_cut.min((batch.len() - start) as u64) as usize
+                        }
+                    };
+                    out.merge(&system.process(&batch[start..stop]));
+                    start = stop;
+                    let at_cut = match system.epoch_length() {
+                        None => start == batch.len(),
+                        Some(n) => system.accesses().is_multiple_of(n),
+                    };
+                    if !at_cut {
+                        continue;
+                    }
+                    let asked = requested.swap(false, Ordering::SeqCst);
+                    let due = system.epoch_length().is_some()
+                        && system.epochs() > 0
+                        && system.epochs().is_multiple_of(cfg.every_epochs);
+                    let position = (system.accesses(), system.epochs());
+                    if (asked || due) && last_checkpoint != Some(position) {
+                        publish_checkpoint(system, cfg, &mut log)?;
+                        // The rotation truncated the log at the cut, which
+                        // also dropped this batch's still-unprocessed tail —
+                        // re-append it so the write-ahead invariant (the log
+                        // covers every record past the image) holds before
+                        // processing resumes. A crash inside this small
+                        // window recovers consistently at the cut; the
+                        // in-flight tail is lost with the process, like any
+                        // record still in a socket buffer at kill time.
+                        if start < batch.len() {
+                            log.append(&batch[start..])?;
+                        }
+                        last_checkpoint = Some(position);
+                    }
+                }
             }
         }
     }
     if aligned(system.accesses(), system.epoch_length())
-        && last_checkpoint != Some(system.accesses())
+        && last_checkpoint != Some((system.accesses(), system.epochs()))
     {
         publish_checkpoint(system, cfg, &mut log)?;
     }
@@ -1104,7 +1206,7 @@ fn publish_checkpoint(
 ) -> io::Result<()> {
     let image = system.checkpoint()?;
     write_checkpoint_file(&cfg.dir, &image)?;
-    log.reset(system.accesses())
+    log.reset(system.accesses(), system.epochs())
 }
 
 #[cfg(test)]
@@ -1336,7 +1438,7 @@ mod tests {
         // the forged offsets stay correct if the layout ever shifts.
         let mut r = ByteReader::new(&image[..body_len]);
         read_header(&mut r, SCOPE_SYSTEM).unwrap();
-        let sys_fixed = 6 * 4 + 9 + 8 + 8 + 8 + 8 + 4; // geometry..channel count
+        let sys_fixed = 6 * 4 + 8 + 9 + 8 + 8 + 8 + 8 + 4; // geometry..engine count
         r.take(sys_fixed, "system fields").unwrap();
         let spec_len = usize::from(r.u16("spec length").unwrap());
         let eng_fixed = spec_len + 12 + 9 + 16; // spec..epoch count
@@ -1367,9 +1469,9 @@ mod tests {
         let dir = temp_dir("log");
         let trace = trace(5000);
 
-        let mut log = TraceLog::open_for_append(&dir, 0).unwrap();
+        let mut log = TraceLog::open_for_append(&dir, 0, 0).unwrap();
         log.append(&trace[..2000]).unwrap();
-        log.reset(1000).unwrap(); // as if a checkpoint landed at access 1000
+        log.reset(1000, 1).unwrap(); // as if a checkpoint landed at access 1000
         log.append(&trace[1000..3000]).unwrap();
         drop(log);
 
@@ -1392,9 +1494,9 @@ mod tests {
         assert_eq!(resumed.stats(), reference.stats());
 
         // Reopening for append after the torn tail truncates and lines up.
-        let log = TraceLog::open_for_append(&dir, 2999).unwrap();
+        let log = TraceLog::open_for_append(&dir, 2999, 2).unwrap();
         drop(log);
-        let err = TraceLog::open_for_append(&dir, 1234).unwrap_err();
+        let err = TraceLog::open_for_append(&dir, 1234, 1).unwrap_err();
         assert!(err.to_string().contains("covers"));
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -1409,7 +1511,7 @@ mod tests {
         let mut session = fresh();
         session.process(&trace[..3000]);
         write_checkpoint_file(&dir, &session.checkpoint().unwrap()).unwrap();
-        let mut log = TraceLog::open_for_append(&dir, 3000).unwrap();
+        let mut log = TraceLog::open_for_append(&dir, 3000, 3).unwrap();
         log.append(&trace[3000..5500]).unwrap();
         drop(log);
         session.process(&trace[3000..5500]);

@@ -66,7 +66,26 @@ use std::thread::{JoinHandle, Thread};
 
 use crate::checkpoint::{drain_with_checkpoints, CheckpointConfig};
 use crate::wire::{self, Frame, FrameHeader, ServerHello, StatsSnapshot};
-use crate::{BatchOutcome, MemGeometry, MemorySystem};
+use crate::{BatchOutcome, GeometrySlice, MemorySystem};
+
+/// Batch-descriptor flag bit marking an epoch-cut event instead of a
+/// record batch (`DESIGN.md §12`). Record counts are bounded far below
+/// bit 63 ([`wire::MAX_RECORDS_PER_FRAME`] per frame, ring capacities in
+/// the millions), so the flag can never collide with a length.
+const CUT_FLAG: u64 = 1 << 63;
+
+/// One event of the merged ingestion stream, in deterministic
+/// `(sequence, producer)` order: a record batch, or an epoch cut a
+/// producer placed between its batches ([`IngestProducer::send_cut`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestEvent {
+    /// A record batch; the records were appended to the caller's buffer
+    /// (the count is what actually arrived — a producer dying mid-batch
+    /// delivers the prefix).
+    Records(usize),
+    /// An epoch boundary at this exact position of the merged stream.
+    EpochCut,
+}
 
 /// Stores a packed record into the pow2-masked ring slot at monotonic
 /// position `pos`.
@@ -361,6 +380,27 @@ impl IngestProducer {
     ///
     /// [`QueueClosed`] if the consumer has been dropped.
     pub fn begin_batch(&mut self, len: usize) -> Result<u64, QueueClosed> {
+        self.publish_descriptor(len as u64)
+    }
+
+    /// Publishes an epoch-cut event at this position of the producer's
+    /// stream ([`IngestEvent::EpochCut`] to the consumer) and returns the
+    /// sequence number it consumed — cuts share the batch sequence space,
+    /// which is what pins their position in the deterministic merge.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueClosed`] if the consumer has been dropped.
+    pub fn send_cut(&mut self) -> Result<u64, QueueClosed> {
+        self.publish_descriptor(CUT_FLAG)
+    }
+
+    /// The descriptor-publication loop shared by [`begin_batch`]
+    /// (`desc` = record count) and [`send_cut`] (`desc` = [`CUT_FLAG`]).
+    ///
+    /// [`begin_batch`]: Self::begin_batch
+    /// [`send_cut`]: Self::send_cut
+    fn publish_descriptor(&mut self, desc: u64) -> Result<u64, QueueClosed> {
         let lane = &self.shared.lanes[self.id];
         loop {
             if self.shared.closed.load(Ordering::SeqCst) {
@@ -369,7 +409,7 @@ impl IngestProducer {
             let tail = lane.batch_tail.load(Ordering::SeqCst);
             let head = lane.batch_head.load(Ordering::SeqCst);
             if tail - head < lane.batches.len() as u64 {
-                ring_store(&lane.batches, lane.batch_mask, tail, len as u64);
+                ring_store(&lane.batches, lane.batch_mask, tail, desc);
                 lane.batch_tail.store(tail + 1, Ordering::SeqCst);
                 self.shared.wake_consumer();
                 let seq = self.sent;
@@ -472,27 +512,50 @@ pub struct IngestConsumer {
 }
 
 impl IngestConsumer {
-    /// Appends the next batch in `(sequence, producer)` order to `out`,
-    /// blocking until it is available; returns `false` once every
-    /// producer has finished and drained. Waits for a lagging producer
-    /// rather than reordering around it — that wait *is* the determinism.
+    /// Appends the next *record batch* in `(sequence, producer)` order to
+    /// `out`, blocking until it is available; returns `false` once every
+    /// producer has finished and drained. This is the record-only view of
+    /// the stream: epoch-cut events are skipped. Event-aware drains
+    /// (`MemorySystem::ingest`, the checkpointing loop) use
+    /// [`next_event_into`](Self::next_event_into) instead.
+    pub fn next_batch_into(&mut self, out: &mut Vec<(u32, u32)>) -> bool {
+        loop {
+            match self.next_event_into(out) {
+                None => return false,
+                Some(IngestEvent::Records(_)) => return true,
+                Some(IngestEvent::EpochCut) => continue,
+            }
+        }
+    }
+
+    /// Appends the next event in `(sequence, producer)` order — a record
+    /// batch appended to `out`, or an epoch cut — blocking until it is
+    /// available; `None` once every producer has finished and drained.
+    /// Waits for a lagging producer rather than reordering around it —
+    /// that wait *is* the determinism.
     ///
     /// This is the chunk-amortized drain: [`MemorySystem::ingest`] hands
     /// it the staging buffer and whole batches are copied out of the ring
     /// with no intermediate `Vec` per batch.
-    pub fn next_batch_into(&mut self, out: &mut Vec<(u32, u32)>) -> bool {
+    pub fn next_event_into(&mut self, out: &mut Vec<(u32, u32)>) -> Option<IngestEvent> {
         let lanes = self.shared.lanes.len();
         let mut skipped = 0;
         while skipped < lanes {
             let lane = &self.shared.lanes[self.turn];
             let head = lane.batch_head.load(Ordering::SeqCst);
             if lane.batch_tail.load(Ordering::SeqCst) != head {
-                let len = ring_load(&lane.batches, lane.batch_mask, head);
-                self.copy_batch(lane, len, out);
+                let desc = ring_load(&lane.batches, lane.batch_mask, head);
+                let event = if desc & CUT_FLAG != 0 {
+                    IngestEvent::EpochCut
+                } else {
+                    let before = out.len();
+                    self.copy_batch(lane, desc, out);
+                    IngestEvent::Records(out.len() - before)
+                };
                 lane.batch_head.store(head + 1, Ordering::SeqCst);
                 lane.wake_producer();
                 self.turn = (self.turn + 1) % lanes;
-                return true;
+                return Some(event);
             }
             if lane.finished.load(Ordering::SeqCst) {
                 // Re-check: a descriptor published just before the finish
@@ -512,7 +575,7 @@ impl IngestConsumer {
             });
             skipped = 0;
         }
-        false
+        None
     }
 
     /// Blocks until the next batch in `(sequence, producer)` order is
@@ -706,41 +769,22 @@ pub fn serve(
     assert!(options.producers >= 1, "serve needs at least one producer");
     let hello = ServerHello {
         geometry: *system.geometry(),
+        slice_start: system.slice().start_bank(),
+        slice_banks: system.slice().banks(),
         spec: system.spec().to_string(),
         epoch_len: system.epoch_length(),
+        accesses: system.accesses(),
+        epochs: system.epochs(),
     };
     // Phase 1: accept and handshake every connection before spawning any
     // reader, so a failed handshake aborts cleanly with no thread blocked
-    // on a queue nobody will drain. Each client *claims* its producer id
-    // (merge tie-break rank) in its hello — lane assignment must follow
-    // the client-side deal, not the racy TCP accept order — and a
-    // session's ids must form a permutation of `0..producers`.
-    let mut connections: Vec<Option<TcpStream>> = (0..options.producers).map(|_| None).collect();
-    for _ in 0..options.producers {
-        let (mut stream, peer) = listener.accept()?;
-        let id = wire::read_client_hello(&mut stream)? as usize;
-        let slot = connections.get_mut(id).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "{peer} claimed producer id {id}, session has {} producers",
-                    options.producers
-                ),
-            )
-        })?;
-        if slot.is_some() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{peer} claimed producer id {id} twice"),
-            ));
-        }
-        wire::write_server_hello(&mut stream, &hello)?;
-        *slot = Some(stream);
-    }
+    // on a queue nobody will drain.
+    let connections = accept_producers(listener, options.producers, &hello)?;
 
     // Phase 2: one reader thread per connection, feeding its ring lane.
     let (producers, mut consumer) = IngestQueue::bounded(options.producers, options.queue_capacity);
-    let geometry = *system.geometry();
+    let owned = *system.slice();
+    let cuts_allowed = system.epoch_length().is_none();
     // Set by any connection's Checkpoint frame, consumed by the drain at
     // the next epoch cut (so a client-requested image is still
     // cut-consistent). Handed to readers only when checkpointing is on —
@@ -749,10 +793,6 @@ pub fn serve(
     let mut readers: Vec<JoinHandle<io::Result<(TcpStream, bool)>>> =
         Vec::with_capacity(options.producers);
     for (stream, producer) in connections.into_iter().zip(producers) {
-        // Infallible: phase 1 accepted exactly `producers` connections whose
-        // ids form a permutation of `0..producers`, so every slot is filled.
-        // cat-lint: allow(panic-path) -- unreachable by the permutation check above, not peer-reachable
-        let stream = stream.expect("every slot filled by the permutation check");
         let requested = options
             .checkpoint
             .as_ref()
@@ -763,7 +803,7 @@ pub fn serve(
         readers.push(
             std::thread::Builder::new()
                 .name(format!("catd-reader-{}", producer.id()))
-                .spawn(move || read_connection(stream, producer, geometry, requested))?,
+                .spawn(move || read_connection(stream, producer, owned, cuts_allowed, requested))?,
         );
     }
 
@@ -790,10 +830,14 @@ pub fn serve(
     };
 
     // Phase 4: join the readers and answer the stats requesters.
+    let footprint = system.footprint();
     let snapshot = StatsSnapshot {
         accesses: system.accesses(),
         epochs: system.epochs(),
         stats: system.stats(),
+        banks: footprint.banks as u64,
+        materialized_banks: footprint.materialized_banks as u64,
+        scheme_bytes: footprint.scheme_bytes as u64,
     };
     let mut stats_served = 0;
     let mut first_error = None;
@@ -827,21 +871,60 @@ pub fn serve(
     }
 }
 
+/// Accepts and handshakes exactly `producers` connections, returning the
+/// streams in producer-id order. Each client *claims* its producer id
+/// (merge tie-break rank) in its hello — lane assignment must follow the
+/// client-side deal, not the racy TCP accept order — and a session's ids
+/// must form a permutation of `0..producers`. Shared by [`serve`] and the
+/// router tier ([`crate::router::serve`]).
+pub(crate) fn accept_producers(
+    listener: &TcpListener,
+    producers: usize,
+    hello: &ServerHello,
+) -> io::Result<Vec<TcpStream>> {
+    let mut connections: Vec<Option<TcpStream>> = (0..producers).map(|_| None).collect();
+    for _ in 0..producers {
+        let (mut stream, peer) = listener.accept()?;
+        let id = wire::read_client_hello(&mut stream)? as usize;
+        let slot = connections.get_mut(id).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{peer} claimed producer id {id}, session has {producers} producers"),
+            )
+        })?;
+        if slot.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{peer} claimed producer id {id} twice"),
+            ));
+        }
+        wire::write_server_hello(&mut stream, hello)?;
+        *slot = Some(stream);
+    }
+    // Every slot is filled: exactly `producers` connections were accepted
+    // and their ids form a permutation of `0..producers`.
+    Ok(connections.into_iter().flatten().collect())
+}
+
 /// One connection's reader loop: frame headers → sequence check → chunked
-/// zero-copy payload decode → bank/row validation → ring lane. Returns
-/// the stream (for the stats reply) and whether the client requested
-/// stats. Dropping `producer` on any exit finishes the lane, so the merge
-/// never waits on a dead connection (a batch cut short by an error is
-/// delivered as its prefix — the session is already failing).
-fn read_connection(
+/// zero-copy payload decode → bank/row validation against the served
+/// slice → ring lane. Returns the stream (for the stats reply) and
+/// whether the client requested stats. Dropping `producer` on any exit
+/// finishes the lane, so the merge never waits on a dead connection (a
+/// batch cut short by an error is delivered as its prefix — the session
+/// is already failing). Out-of-slice banks and (when the system fires its
+/// own epoch boundaries) stream epoch cuts are refused **here, at the
+/// connection**: a misrouted client errors its own socket instead of
+/// corrupting the shared drain.
+pub(crate) fn read_connection(
     stream: TcpStream,
     mut producer: IngestProducer,
-    geometry: MemGeometry,
+    owned: GeometrySlice,
+    cuts_allowed: bool,
     checkpoint_requested: Option<Arc<AtomicBool>>,
 ) -> io::Result<(TcpStream, bool)> {
     let peer = producer.id();
-    let total_banks = geometry.total_banks();
-    let rows = geometry.rows_per_bank;
+    let rows = owned.geometry().rows_per_bank;
     let mut reader = BufReader::new(stream);
     let mut expected_seq = 0u64;
     let mut wants_stats = false;
@@ -874,14 +957,14 @@ fn read_connection(
                     // down instead of just this socket.
                     if let Some(&offending) = packed.iter().find(|&&p| {
                         let (bank, row) = wire::unpack_record(p);
-                        bank >= total_banks || row >= rows
+                        !owned.contains(bank) || row >= rows
                     }) {
                         let (bank, row) = wire::unpack_record(offending);
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,
                             format!(
                                 "producer {peer}: record (bank {bank}, row {row}) out of range \
-                                 for a {total_banks}-bank × {rows}-row system"
+                                 for a backend owning {owned} with {rows}-row banks"
                             ),
                         ));
                     }
@@ -913,6 +996,27 @@ fn read_connection(
                          — recover at startup via --resume"
                     ),
                 ));
+            }
+            FrameHeader::EpochCut { seq } => {
+                if seq != expected_seq {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("producer {peer}: sequence {seq}, expected {expected_seq}"),
+                    ));
+                }
+                expected_seq += 1;
+                if !cuts_allowed {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "producer {peer}: stream epoch cut, but the server fires its \
+                             own epoch boundaries"
+                        ),
+                    ));
+                }
+                producer
+                    .send_cut()
+                    .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e))?;
             }
         }
     }
@@ -953,6 +1057,35 @@ impl IngestClient {
         })
     }
 
+    /// [`connect`](Self::connect) with bounded retry: up to `attempts`
+    /// tries with an exponential backoff (10 ms doubling, capped at
+    /// 500 ms) between them. This is what the loopback smokes and the
+    /// router use — a freshly spawned server may not have bound its
+    /// listener yet, and racing its first accept must not flake the run.
+    ///
+    /// # Errors
+    ///
+    /// The *last* attempt's error once the budget is exhausted.
+    pub fn connect_with_retry<A: ToSocketAddrs>(
+        addr: A,
+        producer_id: u32,
+        attempts: u32,
+    ) -> io::Result<Self> {
+        let mut delay = std::time::Duration::from_millis(10);
+        let mut last = io::Error::other("zero connect attempts");
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(std::time::Duration::from_millis(500));
+            }
+            match Self::connect(&addr, producer_id) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
     /// What the server announced in its handshake (geometry, scheme spec,
     /// epoch length) — generate traffic for *this*, not for an assumed
     /// configuration.
@@ -981,6 +1114,21 @@ impl IngestClient {
             }
             rest = tail;
         }
+    }
+
+    /// Sends [`Frame::EpochCut`] at the current position of this
+    /// connection's stream (consuming a sequence number, like a record
+    /// batch): an epoch boundary for a clockless backend driven by the
+    /// sender's epoch clock (`DESIGN.md §12`). A server firing its own
+    /// epoch boundaries refuses the frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_cut(&mut self) -> io::Result<()> {
+        wire::write_frame(&mut self.writer, &Frame::EpochCut { seq: self.next_seq })?;
+        self.next_seq += 1;
+        Ok(())
     }
 
     /// Sends [`Frame::Checkpoint`]: ask a checkpointing server to publish

@@ -110,11 +110,15 @@ mod address;
 pub mod checkpoint;
 pub mod ingest;
 mod pool;
+pub mod router;
 mod sparse;
 mod system;
 pub mod wire;
 
-pub use address::{AddressMapping, GeometryError, Location, MemGeometry};
+pub use address::{
+    AddressMapping, GeometryError, GeometrySlice, Location, MemGeometry, Partition, PartitionError,
+    SliceError,
+};
 pub use system::MemorySystem;
 
 use cat_core::{Refreshes, RowId, SchemeInstance, SchemeSpec, SchemeStats, SparseSlab};
@@ -217,11 +221,17 @@ pub struct EngineFootprint {
     pub banks: usize,
     /// Banks whose scheme instance has been built (touched at least once).
     pub materialized_banks: usize,
-    /// Resident bytes of materialized scheme/tree state, including the
-    /// sparse containers' own block storage.
+    /// Resident bytes of materialized scheme/tree state — the sum of
+    /// per-bank instance footprints. Purely per-bank, so it is invariant
+    /// under the engine split and sums exactly across the slices of a
+    /// partition (`DESIGN.md §12`); this is the footprint field a fleet
+    /// merge reports bit-identically to a single host.
     pub scheme_bytes: usize,
-    /// Resident bytes of activation accounting (per-bank counters plus
-    /// the pooled path's scatter scratch).
+    /// Resident bytes of everything execution-strategy-dependent: the
+    /// sparse containers' own block storage, per-bank activation
+    /// counters, and the pooled path's scatter scratch. Depends on the
+    /// engine split and shard count, so it stays out of the wire
+    /// snapshot.
     pub accounting_bytes: usize,
 }
 
@@ -259,6 +269,24 @@ pub struct EngineReport {
     pub per_bank_stats: Vec<SchemeStats>,
     /// Resident-memory snapshot of the sparse bank storage.
     pub footprint: EngineFootprint,
+}
+
+impl EngineReport {
+    /// Merges the report of the **next** slice (ascending slice-id order,
+    /// `DESIGN.md §12`) into this one: counters add, per-bank vectors
+    /// concatenate (the slice order *is* the global bank order), and
+    /// epochs take the maximum — every slice observes every system-wide
+    /// boundary, so well-formed slice reports agree on the epoch count
+    /// and `max` keeps the merge associative with `Default` as identity.
+    pub fn merge(&mut self, other: &EngineReport) {
+        self.accesses += other.accesses;
+        self.epochs = self.epochs.max(other.epochs);
+        self.activations_per_bank
+            .extend_from_slice(&other.activations_per_bank);
+        self.scheme_stats.merge(&other.scheme_stats);
+        self.per_bank_stats.extend_from_slice(&other.per_bank_stats);
+        self.footprint.merge(&other.footprint);
+    }
 }
 
 /// A multi-bank mitigation engine: one [`SchemeInstance`] per bank,
@@ -766,7 +794,8 @@ impl BankEngine {
             banks: self.banks.capacity(),
             materialized_banks: self.banks.materialized(),
             scheme_bytes: self.banks.scheme_bytes(),
-            accounting_bytes: self.activations.heap_bytes()
+            accounting_bytes: self.banks.container_bytes()
+                + self.activations.heap_bytes()
                 + self.act_scratch.capacity() * std::mem::size_of::<u64>()
                 + self.seg_cursor.capacity() * std::mem::size_of::<u32>()
                 + self.touched.capacity() * std::mem::size_of::<u32>()

@@ -1,0 +1,528 @@
+//! The fleet router: one process fronting N sliced `catd` backends
+//! (`DESIGN.md §12`).
+//!
+//! [`IngestRouter`] consumes a merged client record stream and re-deals
+//! it by [`Partition::route`]: each record goes to the backend owning its
+//! global bank, buffered and flushed as wire frames over **one producer
+//! connection per backend** — so every backend sees a single, gapless
+//! sequence space and its `(seq, producer)` merge degenerates to FIFO.
+//! Per-backend sub-streams preserve the merged stream's relative record
+//! order, which is all the determinism contract needs: a backend's slice
+//! engines never observe banks outside the slice, so dropping the other
+//! slices' records from the stream is unobservable to them (`DESIGN.md
+//! §7`).
+//!
+//! The router owns the **epoch clock**. Backends run clockless (their
+//! handshake must advertise no epoch length) and receive
+//! [`wire::Frame::EpochCut`] at every global epoch boundary — either
+//! counted off by the router's own `epoch_len` or forwarded from the
+//! client stream. Every backend gets every cut, at the exact record
+//! position the single-host system would have cut, so per-backend epoch
+//! counters agree and per-epoch accounting stays bit-identical.
+//!
+//! At session end the router gathers every backend's
+//! [`StatsSnapshot`] and merges them **in slice-id order**: counters sum
+//! (`max_depth_touched` takes the max), footprints sum, epochs must
+//! agree. Slices partition the bank space, so the merge over any slicing
+//! equals the unpartitioned totals exactly — associativity of the merge
+//! is what makes the fleet ≡ single-host differential hold bit for bit.
+//!
+//! [`serve`] wraps all of that in the `catd`-shaped TCP loop: accept N
+//! client producers, advertise the **union** geometry, drain the
+//! deterministic merge through the router, reply the merged snapshot to
+//! stats requesters. The `catd_router` example is this function behind a
+//! command line.
+
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::thread::JoinHandle;
+
+use crate::ingest::{accept_producers, read_connection, IngestClient, IngestEvent, IngestQueue};
+use crate::wire::{self, ServerHello, StatsSnapshot};
+use crate::{GeometrySlice, Partition};
+
+use cat_core::SchemeStats;
+
+/// Options for [`IngestRouter::connect`] and [`serve`].
+#[derive(Clone, Debug)]
+pub struct RouterOptions {
+    /// Client connections [`serve`] accepts; the session ends when all of
+    /// them finish. (Ignored by [`IngestRouter::connect`].)
+    pub producers: usize,
+    /// Per-client ring bound, in records (see [`crate::ingest`]).
+    /// (Ignored by [`IngestRouter::connect`].)
+    pub queue_capacity: usize,
+    /// The router's epoch clock: `Some(n)` cuts every backend after every
+    /// `n` records of the merged stream (and refuses client cuts); `None`
+    /// runs clockless and forwards client [`wire::Frame::EpochCut`]s.
+    pub epoch_len: Option<u64>,
+    /// Connection attempts per backend ([`IngestClient::connect_with_retry`]):
+    /// a fleet usually starts all at once, so the router must tolerate
+    /// backends that have not bound their listeners yet.
+    pub connect_attempts: u32,
+    /// Records buffered per backend before a flush becomes a wire frame.
+    pub flush_records: usize,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            producers: 1,
+            queue_capacity: 1 << 16,
+            epoch_len: None,
+            connect_attempts: 30,
+            flush_records: 8192,
+        }
+    }
+}
+
+/// What one router session did.
+#[derive(Clone, Debug)]
+pub struct RouterReport {
+    /// The merged fleet snapshot (also what stats requesters were sent):
+    /// bit-identical to a single-host [`crate::MemorySystem`] run on the
+    /// union geometry over the same merged stream.
+    pub snapshot: StatsSnapshot,
+    /// Each backend's own snapshot, in slice-id order.
+    pub per_backend: Vec<StatsSnapshot>,
+    /// Client connections that requested (and were sent) the snapshot.
+    pub stats_served: usize,
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Splits a record stream across the backends of a [`Partition`] — the
+/// fleet scatter stage described in the [module docs](self). Drive it
+/// with [`scatter`](Self::scatter) (+ [`cut`](Self::cut) when clockless),
+/// then [`finish_with_stats`](Self::finish_with_stats) to gather and
+/// merge the fleet's snapshots.
+pub struct IngestRouter {
+    partition: Partition,
+    backends: Vec<IngestClient>,
+    /// Per-backend scatter buffers, flushed at `flush_records`, epoch
+    /// cuts, and session end.
+    pending: Vec<Vec<(u32, u32)>>,
+    flush_records: usize,
+    epoch_len: Option<u64>,
+    /// Records until the next clock-driven cut (meaningful only with
+    /// `epoch_len: Some`; kept ≥ 1 between calls).
+    until_cut: u64,
+    accesses: u64,
+    epochs: u64,
+    /// Fleet position when the session opened (summed/agreed from the
+    /// backend handshakes): `0` for a fresh fleet, the recovered position
+    /// when backends were killed and resumed (`DESIGN.md §11`/`§12`).
+    start_accesses: u64,
+    start_epochs: u64,
+    spec: String,
+}
+
+impl std::fmt::Debug for IngestRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestRouter")
+            .field("slices", &self.partition.len())
+            .field("spec", &self.spec)
+            .field("epoch_len", &self.epoch_len)
+            .field("accesses", &self.accesses)
+            .field("epochs", &self.epochs)
+            .field("start_accesses", &self.start_accesses)
+            .field("start_epochs", &self.start_epochs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IngestRouter {
+    /// Connects one producer link to each backend (with bounded retry —
+    /// [`RouterOptions::connect_attempts`]) and validates every handshake
+    /// against the partition: backend `i` must advertise the partition's
+    /// geometry, exactly slice `i`, the same scheme spec as its peers,
+    /// and **no epoch clock of its own** (the router owns the clock).
+    ///
+    /// # Errors
+    ///
+    /// Connection errors once the retry budget is exhausted, and
+    /// [`io::ErrorKind::InvalidData`] for a backend-count/partition
+    /// mismatch or any handshake that contradicts the fleet layout.
+    pub fn connect<A: ToSocketAddrs>(
+        partition: &Partition,
+        backends: &[A],
+        options: &RouterOptions,
+    ) -> io::Result<Self> {
+        if backends.len() != partition.len() {
+            return Err(bad(format!(
+                "{} backend address(es) for a {}-slice partition",
+                backends.len(),
+                partition.len()
+            )));
+        }
+        if options.epoch_len == Some(0) {
+            return Err(bad("epoch length 0: use None to run clockless".into()));
+        }
+        let mut clients = Vec::with_capacity(backends.len());
+        let mut spec: Option<String> = None;
+        let mut start_accesses = 0u64;
+        let mut start_epochs: Option<u64> = None;
+        for (id, (addr, slice)) in backends.iter().zip(partition.slices()).enumerate() {
+            // The router is each backend's only producer: producer id 0,
+            // one gapless sequence space per backend.
+            let client = IngestClient::connect_with_retry(addr, 0, options.connect_attempts)
+                .map_err(|e| io::Error::new(e.kind(), format!("backend {id}: {e}")))?;
+            let hello = client.server_hello();
+            if hello.geometry != *partition.geometry() {
+                return Err(bad(format!(
+                    "backend {id}: serves {:?}, the fleet partition covers {:?}",
+                    hello.geometry,
+                    partition.geometry()
+                )));
+            }
+            if hello.slice_start != slice.start_bank() || hello.slice_banks != slice.banks() {
+                return Err(bad(format!(
+                    "backend {id}: owns banks {}..{}, fleet slot {id} is {slice}",
+                    hello.slice_start,
+                    hello.slice_start + hello.slice_banks
+                )));
+            }
+            if let Some(n) = hello.epoch_len {
+                return Err(bad(format!(
+                    "backend {id}: fires its own epoch boundaries (length {n}); fleet \
+                     backends must run clockless — the router owns the epoch clock"
+                )));
+            }
+            match &spec {
+                None => spec = Some(hello.spec.clone()),
+                Some(first) if *first != hello.spec => {
+                    return Err(bad(format!(
+                        "backend {id}: serves spec {:?}, backend 0 serves {first:?}",
+                        hello.spec
+                    )));
+                }
+                Some(_) => {}
+            }
+            // Every global cut reaches every backend, so a consistent
+            // fleet — fresh or resumed — agrees on its epoch counter; the
+            // access counters are per-slice and sum to the global stream
+            // position, which phases the router's epoch clock below.
+            match start_epochs {
+                None => start_epochs = Some(hello.epochs),
+                Some(first) if first != hello.epochs => {
+                    return Err(bad(format!(
+                        "backend {id}: resumed at epoch {}, backend 0 at epoch {first} — \
+                         the fleet's checkpoints are not from the same cut",
+                        hello.epochs
+                    )));
+                }
+                Some(_) => {}
+            }
+            start_accesses += hello.accesses;
+            clients.push(client);
+        }
+        let spec = spec.ok_or_else(|| bad("a partition has at least one slice".into()))?;
+        let start_epochs = start_epochs.unwrap_or(0);
+        Ok(IngestRouter {
+            pending: (0..partition.len()).map(|_| Vec::new()).collect(),
+            partition: partition.clone(),
+            backends: clients,
+            flush_records: options.flush_records.max(1),
+            epoch_len: options.epoch_len,
+            // A resumed fleet may sit mid-epoch (a replayed trace-log
+            // tail): the first clock-driven cut completes the epoch in
+            // progress, exactly where the single host would have cut.
+            until_cut: match options.epoch_len {
+                Some(len) => len - (start_accesses % len),
+                None => u64::MAX,
+            },
+            accesses: 0,
+            epochs: 0,
+            start_accesses,
+            start_epochs,
+            spec,
+        })
+    }
+
+    /// The scheme spec every backend serves (validated identical at
+    /// connection time).
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The router's epoch clock ([`RouterOptions::epoch_len`]).
+    pub fn epoch_len(&self) -> Option<u64> {
+        self.epoch_len
+    }
+
+    /// Records scattered this session.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Epoch cuts sent to the fleet this session.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The fleet's global stream position: what the backends held when
+    /// the session opened (their handshakes) plus what this session
+    /// scattered.
+    pub fn fleet_accesses(&self) -> u64 {
+        self.start_accesses + self.accesses
+    }
+
+    /// The fleet's epoch counter (session-opening value plus this
+    /// session's cuts).
+    pub fn fleet_epochs(&self) -> u64 {
+        self.start_epochs + self.epochs
+    }
+
+    /// Routes `records` (global `(bank, row)` pairs, in merged-stream
+    /// order) to the backends owning their banks. With an epoch clock,
+    /// every backend is cut at the exact record position the single-host
+    /// system would have fired its boundary — mid-slice when the boundary
+    /// lands inside `records`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] for a bank outside the partitioned
+    /// geometry (the stream is corrupt; nothing further is routed), or
+    /// any backend socket error.
+    pub fn scatter(&mut self, records: &[(u32, u32)]) -> io::Result<()> {
+        let total_banks = self.partition.geometry().total_banks();
+        let mut rest = records;
+        while !rest.is_empty() {
+            let take = (self.until_cut.min(rest.len() as u64)) as usize;
+            let (part, tail) = rest.split_at(take);
+            for &(bank, row) in part {
+                if bank >= total_banks {
+                    return Err(bad(format!(
+                        "record (bank {bank}, row {row}) outside the {total_banks}-bank \
+                         partitioned geometry"
+                    )));
+                }
+                let id = self.partition.route(bank);
+                self.pending[id].push((bank, row));
+                if self.pending[id].len() >= self.flush_records {
+                    self.backends[id].send(&self.pending[id])?;
+                    self.pending[id].clear();
+                }
+            }
+            self.accesses += take as u64;
+            if self.epoch_len.is_some() {
+                self.until_cut -= take as u64;
+                if self.until_cut == 0 {
+                    self.cut_fleet()?;
+                    self.until_cut = self.epoch_len.unwrap_or(u64::MAX);
+                }
+            }
+            rest = tail;
+        }
+        Ok(())
+    }
+
+    /// Places an epoch boundary at the current position of the merged
+    /// stream — the forwarding path for client-driven cuts when the
+    /// router runs clockless.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] if the router has its own epoch
+    /// clock (positions would drift from the clock's), or any backend
+    /// socket error.
+    pub fn cut(&mut self) -> io::Result<()> {
+        if self.epoch_len.is_some() {
+            return Err(bad(
+                "stream epoch cut, but the router fires its own epoch boundaries".into(),
+            ));
+        }
+        self.cut_fleet()
+    }
+
+    /// Flushes every scatter buffer, then sends [`wire::Frame::EpochCut`]
+    /// to **every** backend: each slice cuts at the same global stream
+    /// position, keeping per-epoch accounting aligned across the fleet.
+    fn cut_fleet(&mut self) -> io::Result<()> {
+        for id in 0..self.backends.len() {
+            if !self.pending[id].is_empty() {
+                self.backends[id].send(&self.pending[id])?;
+                self.pending[id].clear();
+            }
+            self.backends[id].send_cut()?;
+        }
+        self.epochs += 1;
+        Ok(())
+    }
+
+    /// Flushes the scatter buffers, finishes every backend session with a
+    /// stats request, and merges the fleet's snapshots in slice-id order
+    /// (see the [module docs](self) for why the merge is exact).
+    ///
+    /// # Errors
+    ///
+    /// Backend socket errors, and [`io::ErrorKind::InvalidData`] if the
+    /// fleet's accounting disagrees with the router's (lost records, or a
+    /// backend whose epoch count drifted from the shared clock).
+    pub fn finish_with_stats(mut self) -> io::Result<RouterReport> {
+        for id in 0..self.backends.len() {
+            if !self.pending[id].is_empty() {
+                self.backends[id].send(&self.pending[id])?;
+                self.pending[id].clear();
+            }
+        }
+        let mut per_backend = Vec::with_capacity(self.backends.len());
+        for (id, client) in self.backends.into_iter().enumerate() {
+            let snap = client
+                .finish_with_stats()
+                .map_err(|e| io::Error::new(e.kind(), format!("backend {id}: {e}")))?;
+            per_backend.push(snap);
+        }
+        let fleet_epochs = self.start_epochs + self.epochs;
+        let mut merged = StatsSnapshot {
+            accesses: 0,
+            epochs: fleet_epochs,
+            stats: SchemeStats::default(),
+            banks: 0,
+            materialized_banks: 0,
+            scheme_bytes: 0,
+        };
+        for (id, snap) in per_backend.iter().enumerate() {
+            if snap.epochs != fleet_epochs {
+                return Err(bad(format!(
+                    "backend {id}: reports {} epochs, the fleet clock stands at {fleet_epochs}",
+                    snap.epochs
+                )));
+            }
+            merged.accesses += snap.accesses;
+            merged.stats.merge(&snap.stats);
+            merged.banks += snap.banks;
+            merged.materialized_banks += snap.materialized_banks;
+            merged.scheme_bytes += snap.scheme_bytes;
+        }
+        if merged.accesses != self.start_accesses + self.accesses {
+            return Err(bad(format!(
+                "fleet reports {} accesses, the router accounts for {} \
+                 ({} at session open + {} scattered)",
+                merged.accesses,
+                self.start_accesses + self.accesses,
+                self.start_accesses,
+                self.accesses
+            )));
+        }
+        Ok(RouterReport {
+            snapshot: merged,
+            per_backend,
+            stats_served: 0,
+        })
+    }
+}
+
+/// Serves one fleet session over TCP: connects to the `backends` (one
+/// per partition slice), then accepts
+/// [`producers`](RouterOptions::producers) client connections exactly
+/// like [`crate::ingest::serve`] — advertising the **union** geometry,
+/// the backends' scheme spec, and the router's epoch clock — and drains
+/// the deterministic client merge through an [`IngestRouter`]. Clients
+/// cannot tell a fleet from a single host: same wire handshake, same
+/// validation, and a bit-identical final snapshot.
+///
+/// # Errors
+///
+/// Backend connection/handshake errors ([`IngestRouter::connect`]),
+/// accept/handshake errors, the first client connection's protocol
+/// error, or a fleet accounting mismatch at session end.
+pub fn serve<A: ToSocketAddrs>(
+    listener: &TcpListener,
+    partition: &Partition,
+    backends: &[A],
+    options: &RouterOptions,
+) -> io::Result<RouterReport> {
+    if options.producers < 1 {
+        return Err(bad("serve needs at least one producer".into()));
+    }
+    // Backends first: a misconfigured fleet must fail before any client
+    // is accepted (and a slow-starting backend is awaited here, not
+    // mid-stream).
+    let mut router = IngestRouter::connect(partition, backends, options)?;
+    let geometry = *partition.geometry();
+    let owned = GeometrySlice::full(geometry).map_err(|e| bad(e.to_string()))?;
+    let hello = ServerHello {
+        geometry,
+        slice_start: 0,
+        slice_banks: geometry.total_banks(),
+        spec: router.spec().to_string(),
+        epoch_len: options.epoch_len,
+        accesses: router.fleet_accesses(),
+        epochs: router.fleet_epochs(),
+    };
+    let connections = accept_producers(listener, options.producers, &hello)?;
+
+    // One reader per client, exactly as in `ingest::serve`: the same
+    // validation at the connection, the same deterministic merge. Client
+    // cuts are admitted only when the router runs clockless; the router
+    // never checkpoints itself (backends do), so `Checkpoint` frames are
+    // refused with a typed error.
+    let (producers, mut consumer) = IngestQueue::bounded(options.producers, options.queue_capacity);
+    let cuts_allowed = options.epoch_len.is_none();
+    let mut readers: Vec<JoinHandle<io::Result<(std::net::TcpStream, bool)>>> =
+        Vec::with_capacity(options.producers);
+    for (stream, producer) in connections.into_iter().zip(producers) {
+        readers.push(
+            std::thread::Builder::new()
+                .name(format!("catd-router-reader-{}", producer.id()))
+                .spawn(move || read_connection(stream, producer, owned, cuts_allowed, None))?,
+        );
+    }
+
+    // Drain the merge through the scatter stage. A dead backend must not
+    // leave readers parked on full lanes: close the queue, join, report.
+    let mut staged = Vec::new();
+    loop {
+        let step = match consumer.next_event_into(&mut staged) {
+            None => break,
+            Some(IngestEvent::Records(_)) => {
+                let routed = router.scatter(&staged);
+                staged.clear();
+                routed
+            }
+            Some(IngestEvent::EpochCut) => router.cut(),
+        };
+        if let Err(e) = step {
+            drop(consumer);
+            for reader in readers {
+                let _ = reader.join();
+            }
+            return Err(e);
+        }
+    }
+
+    // The merge drained: every reader has returned. Join them, gather the
+    // fleet, and answer the stats requesters with the *merged* snapshot.
+    let mut streams = Vec::new();
+    let mut first_error = None;
+    for reader in readers {
+        match reader.join() {
+            Ok(Ok(done)) => streams.push(done),
+            Ok(Err(e)) => first_error = first_error.or(Some(e)),
+            Err(_panic) => {
+                first_error = first_error.or(Some(io::Error::other("ingest reader panicked")));
+            }
+        }
+    }
+    let mut report = match router.finish_with_stats() {
+        Ok(report) => report,
+        Err(e) => return Err(first_error.unwrap_or(e)),
+    };
+    for (mut stream, wants_stats) in streams {
+        if wants_stats {
+            let sent = wire::write_stats(&mut stream, &report.snapshot)
+                .and_then(|()| io::Write::flush(&mut stream));
+            match sent {
+                Ok(()) => report.stats_served += 1,
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}

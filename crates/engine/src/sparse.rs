@@ -79,8 +79,9 @@ impl SparseBanks {
     }
 
     /// Allocated block-directory capacity of the underlying slab — the
-    /// touch-order-dependent part of [`scheme_bytes`](Self::scheme_bytes)
-    /// that checkpoints record as a high-water mark.
+    /// touch-order-dependent part of
+    /// [`container_bytes`](Self::container_bytes) that checkpoints
+    /// record as a high-water mark.
     pub(crate) fn block_capacity(&self) -> usize {
         self.slab.block_capacity()
     }
@@ -157,13 +158,24 @@ impl SparseBanks {
         }
     }
 
-    /// Resident bytes of the materialized schemes plus the slab's own
-    /// block storage.
+    /// Resident bytes of the materialized schemes themselves: the sum of
+    /// per-instance footprints, with **no** container overhead. Purely
+    /// per-bank, so it is invariant under any engine split and sums
+    /// exactly across the slices of a partition (`DESIGN.md §12`) — the
+    /// property the fleet's merged footprint relies on.
     pub(crate) fn scheme_bytes(&self) -> usize {
-        self.slab.heap_bytes_with(|instance| {
-            // The slab's payload slots already account for the enum
-            // itself; add only each instance's heap state.
-            instance.footprint_bytes() - std::mem::size_of::<SchemeInstance>()
-        })
+        self.iter()
+            .map(|(_, instance)| instance.footprint_bytes())
+            .sum()
+    }
+
+    /// Resident bytes of the slab's own block storage: directory plus
+    /// slot vectors, minus the occupied slots' instance payload (already
+    /// counted by [`scheme_bytes`](Self::scheme_bytes) — slot capacity is
+    /// always at least the occupied count, so this never underflows).
+    /// Depends on the engine split and touch order — accounting
+    /// overhead, not scheme state.
+    pub(crate) fn container_bytes(&self) -> usize {
+        self.slab.heap_bytes() - self.materialized() * std::mem::size_of::<SchemeInstance>()
     }
 }

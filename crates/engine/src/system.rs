@@ -46,12 +46,12 @@
 
 use cat_core::{Refreshes, SchemeInstance, SchemeSpec, SchemeStats};
 
-use crate::ingest::IngestConsumer;
+use crate::ingest::{IngestConsumer, IngestEvent};
 use crate::pool::ShardPool;
 use crate::sparse::SparseBanks;
 use crate::{
     epoch_cuts, AddressMapping, BankEngine, BatchOutcome, EngineFootprint, EngineReport,
-    MemGeometry,
+    GeometrySlice, MemGeometry, Partition,
 };
 
 /// A whole memory system: address decode, per-channel [`BankEngine`]s,
@@ -84,11 +84,20 @@ pub struct MemorySystem {
     /// clients in the wire handshake).
     pub(crate) spec: SchemeSpec,
     mapping: AddressMapping,
-    pub(crate) channels: Vec<BankEngine>,
-    banks_per_channel: u32,
-    /// `geometry.total_banks()`, cached: the streaming push validates
-    /// every record against it, so it must not cost two multiplies each.
-    total_banks: u32,
+    /// The bank range this system owns: the full geometry by default, a
+    /// proper sub-range for a fleet backend built by
+    /// [`for_slice`](Self::for_slice). Every record is validated against
+    /// it at the push.
+    pub(crate) owned: GeometrySlice,
+    /// One engine per slice of the owned range, in ascending bank order
+    /// (per-channel by default — the N-slices-in-one-process case of the
+    /// partitioned datapath, `DESIGN.md §12`).
+    pub(crate) engines: Vec<BankEngine>,
+    /// The slice each engine owns, parallel to `engines`.
+    engine_slices: Vec<GeometrySlice>,
+    /// `log2(slice size)` when every engine slice spans the same bank
+    /// count — the routed scatter is then a shift/mask, not a search.
+    uniform_shift: Option<u32>,
     pub(crate) epoch_len: Option<u64>,
     pub(crate) accesses: u64,
     pub(crate) epochs: u64,
@@ -102,6 +111,10 @@ pub struct MemorySystem {
     route_cuts: Vec<Vec<usize>>,
     /// Global cut-position scratch, reused across batches.
     cut_scratch: Vec<usize>,
+    /// Rebase scratch of the pooled path for slice-owning systems: the
+    /// shared pool scatters by owned-range offset, so a nonzero slice
+    /// base rebases the batch once per run (empty and unused otherwise).
+    pool_rebase: Vec<(u32, u32)>,
     /// Per-batch activation counts for the pooled path (one slot per
     /// global bank), folded back into the channel engines after each
     /// batch. Allocated lazily on the first pooled batch, so a system
@@ -124,8 +137,11 @@ impl MemorySystem {
     /// cache-resident.
     pub const DEFAULT_STREAM_CAPACITY: usize = 8192;
 
-    /// Builds a system for `geometry`, instantiating `spec` on every bank
-    /// (channel engines are seeded with their global bank base).
+    /// Builds a system for `geometry`, instantiating `spec` on every bank.
+    /// The engines are laid out per channel — the default partition; see
+    /// [`partitioned`](Self::partitioned) for an explicit slice layout and
+    /// [`for_slice`](Self::for_slice) for a fleet backend owning a
+    /// sub-range.
     ///
     /// # Panics
     ///
@@ -133,27 +149,90 @@ impl MemorySystem {
     /// invalid for the bank geometry.
     pub fn new(geometry: impl Into<MemGeometry>, spec: SchemeSpec) -> Self {
         let geometry = geometry.into();
+        // AddressMapping::new rejects invalid geometries (hard, named
+        // panic), so the slice constructions below cannot fail.
+        let _ = AddressMapping::new(geometry);
+        // cat-lint: allow(panic-path) -- construction-time: geometry was just validated above, not peer-reachable
+        let owned = GeometrySlice::full(geometry).expect("geometry validated above");
+        Self::build(owned, Self::engine_split(&owned), spec)
+    }
+
+    /// Builds a system whose engines follow an explicit [`Partition`] —
+    /// the N-slices-in-one-process case of the partitioned datapath. With
+    /// [`Partition::per_channel`] this is exactly [`new`](Self::new); any
+    /// other valid partition is bit-identical for stats by the `§7`
+    /// contract, and is the reference a `catd` fleet with the same slice
+    /// layout must match *including footprints* (`DESIGN.md §12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is invalid for the bank geometry.
+    pub fn partitioned(partition: &Partition, spec: SchemeSpec) -> Self {
+        let geometry = *partition.geometry();
+        let _ = AddressMapping::new(geometry);
+        // cat-lint: allow(panic-path) -- construction-time: a Partition is validated at its own construction, not peer-reachable
+        let owned = GeometrySlice::full(geometry).expect("partition geometry is validated");
+        Self::build(owned, partition.slices().to_vec(), spec)
+    }
+
+    /// Builds a fleet-backend system owning only `slice` of the geometry:
+    /// pushes outside the slice are rejected, stats and footprints cover
+    /// the slice's banks only, and every bank keeps its **global** index
+    /// (PRA seed, checkpoint identity). The slice is split into
+    /// per-channel engines where it spans whole channels, or served by a
+    /// single engine when it sits inside one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is invalid for the bank geometry.
+    pub fn for_slice(slice: &GeometrySlice, spec: SchemeSpec) -> Self {
+        Self::build(*slice, Self::engine_split(slice), spec)
+    }
+
+    /// Splits an owned range at channel boundaries: slices no larger than
+    /// a channel stay whole (alignment keeps them inside one channel),
+    /// larger slices cover whole channels and get one engine each.
+    fn engine_split(owned: &GeometrySlice) -> Vec<GeometrySlice> {
+        let geometry = *owned.geometry();
+        let bpc = geometry.banks_per_channel();
+        if owned.banks() <= bpc {
+            return vec![*owned];
+        }
+        (0..owned.banks() / bpc)
+            .map(|i| {
+                let start = owned.start_bank() + i * bpc;
+                // cat-lint: allow(panic-path) -- construction-time: channel sub-ranges of a valid slice are valid slices, not peer-reachable
+                GeometrySlice::new(geometry, start, bpc).expect("channel sub-slice is aligned")
+            })
+            .collect()
+    }
+
+    /// The shared constructor core: one engine per slice, each seeded
+    /// with its slice's first **global** bank as the bank base.
+    fn build(owned: GeometrySlice, engine_slices: Vec<GeometrySlice>, spec: SchemeSpec) -> Self {
+        let geometry = *owned.geometry();
         let mapping = AddressMapping::new(geometry);
-        let banks_per_channel = geometry.banks_per_channel();
-        let channels: Vec<BankEngine> = (0..geometry.channels)
-            .map(|c| {
-                BankEngine::with_bank_base(
-                    spec,
-                    banks_per_channel,
-                    geometry.rows_per_bank,
-                    c * banks_per_channel,
-                )
+        let engines: Vec<BankEngine> = engine_slices
+            .iter()
+            .map(|s| {
+                BankEngine::with_bank_base(spec, s.banks(), geometry.rows_per_bank, s.start_bank())
             })
             .collect();
-        let route = (0..geometry.channels).map(|_| Vec::new()).collect();
-        let route_cuts = (0..geometry.channels).map(|_| Vec::new()).collect();
+        let size = engine_slices[0].banks();
+        let uniform_shift = engine_slices
+            .iter()
+            .all(|s| s.banks() == size)
+            .then(|| size.trailing_zeros());
+        let route = engine_slices.iter().map(|_| Vec::new()).collect();
+        let route_cuts = engine_slices.iter().map(|_| Vec::new()).collect();
         MemorySystem {
             geometry,
             spec,
             mapping,
-            channels,
-            banks_per_channel,
-            total_banks: geometry.total_banks(),
+            owned,
+            engines,
+            engine_slices,
+            uniform_shift,
             epoch_len: None,
             accesses: 0,
             epochs: 0,
@@ -162,6 +241,7 @@ impl MemorySystem {
             route,
             route_cuts,
             cut_scratch: Vec::new(),
+            pool_rebase: Vec::new(),
             act_scratch: Vec::new(),
             staged: Vec::new(),
             stream_capacity: Self::DEFAULT_STREAM_CAPACITY,
@@ -253,9 +333,23 @@ impl MemorySystem {
         &self.mapping
     }
 
-    /// Total banks across all channels.
+    /// Banks this system owns (the whole geometry unless it was built
+    /// [`for_slice`](Self::for_slice)).
     pub fn bank_count(&self) -> usize {
-        self.geometry.total_banks() as usize
+        self.owned.banks() as usize
+    }
+
+    /// The bank range this system owns — the full geometry by default, a
+    /// proper sub-range for a fleet backend. Advertised to ingestion
+    /// clients in the wire handshake, which refuses out-of-slice banks at
+    /// the connection.
+    pub fn slice(&self) -> &GeometrySlice {
+        &self.owned
+    }
+
+    /// The slice each engine owns, in ascending bank (= engine) order.
+    pub fn engine_slices(&self) -> &[GeometrySlice] {
+        &self.engine_slices
     }
 
     /// System-wide accesses processed so far (staged accesses count once
@@ -317,15 +411,15 @@ impl MemorySystem {
     ///
     /// # Panics
     ///
-    /// Panics if `bank` is out of range — at the offending call, not at
-    /// the (arbitrarily later) flush that would otherwise trip over it
-    /// deep inside the scatter.
+    /// Panics if `bank` is outside the [owned slice](Self::slice) — at
+    /// the offending call, not at the (arbitrarily later) flush that
+    /// would otherwise trip over it deep inside the scatter.
     #[inline]
     pub fn push_decoded(&mut self, bank: u32, row: u32) {
         assert!(
-            bank < self.total_banks,
-            "global bank {bank} out of range for a {}-bank system",
-            self.total_banks
+            self.owned.contains(bank),
+            "global bank {bank} out of range for a system owning {}",
+            self.owned
         );
         self.staged.push((bank, row));
         if self.staged.len() >= self.stream_capacity {
@@ -364,30 +458,42 @@ impl MemorySystem {
     ///
     /// Panics if a batch contains an out-of-range bank, like
     /// [`push_decoded`](Self::push_decoded) (the TCP server validates
-    /// records at the connection, before they reach the queue).
+    /// records at the connection, before they reach the queue), or if an
+    /// epoch-cut event arrives while the system runs its own access-count
+    /// epoch clock (the wire handshake refuses that mix up front).
     pub fn ingest(&mut self, consumer: &mut IngestConsumer) -> BatchOutcome {
-        let total_banks = self.total_banks;
+        let owned = self.owned;
         loop {
             let before = self.staged.len();
-            if !consumer.next_batch_into(&mut self.staged) {
-                break;
-            }
-            // The push_decoded bank check, hoisted out of the hot loop
-            // (an `all` scan vectorizes; the offending bank is only
-            // located on the failure arm): fail at the ingest, not deep
-            // inside a later scatter.
-            let fresh = &self.staged[before..];
-            assert!(
-                fresh.iter().all(|&(bank, _)| bank < total_banks),
-                "global bank {} out of range for a {total_banks}-bank system",
-                fresh
-                    .iter()
-                    .map(|&(bank, _)| bank)
-                    .find(|&bank| bank >= total_banks)
-                    .unwrap_or(u32::MAX)
-            );
-            if self.staged.len() >= self.stream_capacity {
-                self.flush_staged();
+            match consumer.next_event_into(&mut self.staged) {
+                None => break,
+                Some(IngestEvent::EpochCut) => {
+                    // A router-driven system-wide boundary: everything
+                    // staged ahead of it flushes first (end_epoch does
+                    // that), then every bank sees on_epoch_end — exactly
+                    // where the single-host epoch clock would fire it.
+                    self.end_epoch();
+                    self.staged_outcome.epochs += 1;
+                }
+                Some(IngestEvent::Records(_)) => {
+                    // The push_decoded bank check, hoisted out of the hot
+                    // loop (an `all` scan vectorizes; the offending bank
+                    // is only located on the failure arm): fail at the
+                    // ingest, not deep inside a later scatter.
+                    let fresh = &self.staged[before..];
+                    assert!(
+                        fresh.iter().all(|&(bank, _)| owned.contains(bank)),
+                        "global bank {} out of range for a system owning {owned}",
+                        fresh
+                            .iter()
+                            .map(|&(bank, _)| bank)
+                            .find(|&bank| !owned.contains(bank))
+                            .unwrap_or(u32::MAX)
+                    );
+                    if self.staged.len() >= self.stream_capacity {
+                        self.flush_staged();
+                    }
+                }
             }
         }
         self.flush()
@@ -457,9 +563,9 @@ impl MemorySystem {
         out
     }
 
-    /// Serial path: one stable scatter of the whole batch into per-channel
-    /// sub-batches (recording each channel's cut positions), then one
-    /// cut-aware engine call per channel.
+    /// Serial path: one stable scatter of the whole batch into per-slice
+    /// sub-batches (recording each slice's cut positions), then one
+    /// cut-aware engine call per slice.
     fn routed_batch(&mut self, batch: &[(u32, u32)], cuts: &[usize], out: &mut BatchOutcome) {
         for buf in self.route.iter_mut() {
             buf.clear();
@@ -470,36 +576,57 @@ impl MemorySystem {
         {
             let route = &mut self.route;
             let route_cuts = &mut self.route_cuts;
-            // banks_per_channel is a product of pow2 geometry fields
-            // (MemGeometry::validate), so the per-record channel split is
-            // a shift/mask, not a div/mod.
-            let shift = self.banks_per_channel.trailing_zeros();
-            let mask = self.banks_per_channel - 1;
-            crate::for_each_segment(batch.len(), cuts, |range, on_boundary| {
-                for &(bank, row) in &batch[range] {
-                    route[(bank >> shift) as usize].push((bank & mask, row));
+            let base = self.owned.start_bank();
+            match self.uniform_shift {
+                // Uniform slice sizes (every built-in layout): the
+                // per-record slice split is a shift/mask, not a search —
+                // slices are pow2-sized and naturally aligned
+                // (GeometrySlice::new), so `bank & mask` *is* the
+                // engine-local bank index.
+                Some(shift) => {
+                    let mask = (1u32 << shift) - 1;
+                    crate::for_each_segment(batch.len(), cuts, |range, on_boundary| {
+                        for &(bank, row) in &batch[range] {
+                            route[((bank - base) >> shift) as usize].push((bank & mask, row));
+                        }
+                        if on_boundary {
+                            for (s, s_cuts) in route_cuts.iter_mut().enumerate() {
+                                s_cuts.push(route[s].len());
+                            }
+                        }
+                    });
                 }
-                if on_boundary {
-                    for (ch, ch_cuts) in route_cuts.iter_mut().enumerate() {
-                        ch_cuts.push(route[ch].len());
-                    }
+                // Mixed slice sizes: binary-search the owning slice.
+                None => {
+                    let slices = &self.engine_slices;
+                    crate::for_each_segment(batch.len(), cuts, |range, on_boundary| {
+                        for &(bank, row) in &batch[range] {
+                            let s = slices.partition_point(|sl| sl.end_bank() <= bank);
+                            route[s].push((bank - slices[s].start_bank(), row));
+                        }
+                        if on_boundary {
+                            for (s, s_cuts) in route_cuts.iter_mut().enumerate() {
+                                s_cuts.push(route[s].len());
+                            }
+                        }
+                    });
                 }
-            });
+            }
         }
-        for (ch, engine) in self.channels.iter_mut().enumerate() {
-            if self.route[ch].is_empty() && cuts.is_empty() {
+        for (s, engine) in self.engines.iter_mut().enumerate() {
+            if self.route[s].is_empty() && cuts.is_empty() {
                 continue; // nothing to replay, no boundary to fire
             }
-            let o = engine.process_with_cuts(&self.route[ch], &self.route_cuts[ch]);
+            let o = engine.process_with_cuts(&self.route[s], &self.route_cuts[s]);
             out.refresh_events += o.refresh_events;
             out.refreshed_rows += o.refreshed_rows;
         }
     }
 
-    /// Pooled path: every channel's banks are loaned to the shared pool
-    /// once, the whole batch is scattered by global bank, and the workers
-    /// replay it — epoch cuts included — with independent channels
-    /// overlapping on the same shard threads.
+    /// Pooled path: every slice's banks are loaned to the shared pool
+    /// once, the whole batch is scattered by bank, and the workers replay
+    /// it — epoch cuts included — with independent slices overlapping on
+    /// the same shard threads.
     fn pooled_batch(&mut self, batch: &[(u32, u32)], cuts: &[usize], out: &mut BatchOutcome) {
         let nbanks = self.bank_count().max(1);
         let shards = self.shards.clamp(1, nbanks);
@@ -510,60 +637,75 @@ impl MemorySystem {
         let mut pool = self.pool.take().expect("pool just ensured");
         let (events_before, rows_before) = self.refresh_totals();
 
-        // Loan each shard a carrier assembled — in global bank order —
-        // from the channel ranges the shard straddles. Splitting and
-        // re-absorbing costs O(materialized banks), not O(banks)
-        // (`DESIGN.md §10`), and a scheme built by a worker keeps its
-        // global bank index: the carrier's base is the shard's first
-        // global bank.
-        let bpc = self.banks_per_channel as usize;
+        // The pool partitions the *owned* range by offset; a slice-owning
+        // system rebases the batch's global banks once up front (the
+        // full-range case is base 0 and passes the batch straight
+        // through).
+        let base = self.owned.start_bank();
+        let batch: &[(u32, u32)] = if base == 0 {
+            batch
+        } else {
+            self.pool_rebase.clear();
+            self.pool_rebase
+                .extend(batch.iter().map(|&(bank, row)| (bank - base, row)));
+            &self.pool_rebase
+        };
+
+        // Loan each shard a carrier assembled — in bank order — from the
+        // slice ranges the shard straddles. Splitting and re-absorbing
+        // costs O(materialized banks), not O(banks) (`DESIGN.md §10`),
+        // and a scheme built by a worker keeps its global bank index: the
+        // carrier's base is the shard's first **global** bank.
         let rows_per_bank = self.geometry.rows_per_bank;
+        let slices = &self.engine_slices;
         for w in 0..pool.shards() {
             let range = pool.shard_range(w);
             let mut carrier = SparseBanks::new(
                 self.spec,
                 (range.end - range.start) as u32,
                 rows_per_bank,
-                range.start as u32,
+                base + range.start as u32,
             );
-            for (ch, engine) in self.channels.iter_mut().enumerate() {
-                let g_lo = range.start.max(ch * bpc);
-                let g_hi = range.end.min((ch + 1) * bpc);
+            for (s, engine) in self.engines.iter_mut().enumerate() {
+                let e_lo = (slices[s].start_bank() - base) as usize;
+                let e_hi = (slices[s].end_bank() - base) as usize;
+                let g_lo = range.start.max(e_lo);
+                let g_hi = range.end.min(e_hi);
                 if g_lo >= g_hi {
                     continue;
                 }
-                let sub = engine
-                    .banks_mut()
-                    .take_range(g_lo - ch * bpc..g_hi - ch * bpc);
+                let sub = engine.banks_mut().take_range(g_lo - e_lo..g_hi - e_lo);
                 carrier.absorb(g_lo - range.start, sub);
             }
             pool.loan_shard(w, carrier);
         }
-        let nbanks = self.bank_count().max(1);
         if self.act_scratch.len() < nbanks {
             self.act_scratch.resize(nbanks, 0);
         }
         self.act_scratch[..nbanks].fill(0);
         pool.run_batch(batch, cuts, &mut self.act_scratch[..nbanks]);
 
-        // Reclaim each shard's carrier, hand every channel its banks back,
+        // Reclaim each shard's carrier, hand every slice its banks back,
         // and fold the batch into each engine's accounting.
         for w in 0..pool.shards() {
             let range = pool.shard_range(w);
             let mut carrier = pool.reclaim_shard(w);
-            for (ch, engine) in self.channels.iter_mut().enumerate() {
-                let g_lo = range.start.max(ch * bpc);
-                let g_hi = range.end.min((ch + 1) * bpc);
+            for (s, engine) in self.engines.iter_mut().enumerate() {
+                let e_lo = (slices[s].start_bank() - base) as usize;
+                let e_hi = (slices[s].end_bank() - base) as usize;
+                let g_lo = range.start.max(e_lo);
+                let g_hi = range.end.min(e_hi);
                 if g_lo >= g_hi {
                     continue;
                 }
                 let sub = carrier.take_range(g_lo - range.start..g_hi - range.start);
-                engine.banks_mut().absorb(g_lo - ch * bpc, sub);
+                engine.banks_mut().absorb(g_lo - e_lo, sub);
             }
         }
-        for (ch, engine) in self.channels.iter_mut().enumerate() {
-            let base = ch * bpc;
-            engine.absorb_pooled_batch(&self.act_scratch[base..base + bpc], cuts.len() as u64);
+        for (s, engine) in self.engines.iter_mut().enumerate() {
+            let e_lo = (slices[s].start_bank() - base) as usize;
+            let e_hi = (slices[s].end_bank() - base) as usize;
+            engine.absorb_pooled_batch(&self.act_scratch[e_lo..e_hi], cuts.len() as u64);
         }
         self.pool = Some(pool);
 
@@ -572,12 +714,27 @@ impl MemorySystem {
         out.refreshed_rows += rows - rows_before;
     }
 
-    /// Running (refresh events, refreshed rows) totals across channels.
+    /// Running (refresh events, refreshed rows) totals across slices.
     fn refresh_totals(&self) -> (u64, u64) {
-        self.channels
+        self.engines
             .iter()
             .map(BankEngine::refresh_totals)
             .fold((0, 0), |(e, r), (ce, cr)| (e + ce, r + cr))
+    }
+
+    /// Routes a global bank to `(engine index, engine-local bank)`.
+    #[inline]
+    fn route_engine(&self, bank: u32) -> (usize, u32) {
+        match self.uniform_shift {
+            Some(shift) => {
+                let idx = ((bank - self.owned.start_bank()) >> shift) as usize;
+                (idx, bank & ((1u32 << shift) - 1))
+            }
+            None => {
+                let idx = self.engine_slices.partition_point(|s| s.end_bank() <= bank);
+                (idx, bank - self.engine_slices[idx].start_bank())
+            }
+        }
     }
 
     /// Drives one activation through global bank `bank` and returns the
@@ -602,9 +759,14 @@ impl MemorySystem {
         if !self.staged.is_empty() {
             self.flush_staged();
         }
+        assert!(
+            self.owned.contains(bank),
+            "global bank {bank} out of range for a system owning {}",
+            self.owned
+        );
         self.accesses += 1;
-        let ch = (bank / self.banks_per_channel) as usize;
-        self.channels[ch].activate((bank % self.banks_per_channel) as usize, row)
+        let (idx, local) = self.route_engine(bank);
+        self.engines[idx].activate(local as usize, row)
     }
 
     /// [`activate_global`](Self::activate_global) addressed as
@@ -612,7 +774,8 @@ impl MemorySystem {
     /// memory controllers use.
     #[inline]
     pub fn activate_in_channel(&mut self, channel: usize, bank: usize, row: u32) -> Refreshes {
-        self.activate_global(channel as u32 * self.banks_per_channel + bank as u32, row)
+        let bpc = self.geometry.banks_per_channel();
+        self.activate_global(channel as u32 * bpc + bank as u32, row)
     }
 
     /// Signals an auto-refresh epoch boundary to every bank of every
@@ -636,32 +799,33 @@ impl MemorySystem {
         );
         self.flush_staged();
         self.epochs += 1;
-        for engine in &mut self.channels {
+        for engine in &mut self.engines {
             engine.end_epoch();
         }
     }
 
-    /// Scheme statistics aggregated across all banks, in global bank order.
+    /// Scheme statistics aggregated across all owned banks, in global
+    /// bank order.
     pub fn stats(&self) -> SchemeStats {
         let mut total = SchemeStats::default();
-        for engine in &self.channels {
+        for engine in &self.engines {
             total.merge(&engine.stats());
         }
         total
     }
 
-    /// Per-bank scheme statistics in global bank order (banks without a
-    /// scheme are skipped).
+    /// Per-bank scheme statistics of the owned banks in global bank order
+    /// (banks without a scheme are skipped).
     pub fn per_bank_stats(&self) -> Vec<SchemeStats> {
-        self.channels
+        self.engines
             .iter()
             .flat_map(BankEngine::per_bank_stats)
             .collect()
     }
 
-    /// Row activations observed per bank, in global bank order.
+    /// Row activations observed per owned bank, in global bank order.
     pub fn activations_per_bank(&self) -> Vec<u64> {
-        self.channels
+        self.engines
             .iter()
             .flat_map(BankEngine::activations_per_bank)
             .collect()
@@ -670,19 +834,20 @@ impl MemorySystem {
     /// The attached scheme instances in global bank order (banks without a
     /// scheme are skipped).
     pub fn schemes(&self) -> impl Iterator<Item = &SchemeInstance> {
-        self.channels.iter().flat_map(BankEngine::schemes)
+        self.engines.iter().flat_map(BankEngine::schemes)
     }
 
-    /// The per-channel engines, in channel order (diagnostics).
-    pub fn channel_engines(&self) -> &[BankEngine] {
-        &self.channels
+    /// The per-slice engines, in ascending bank order (diagnostics) —
+    /// per-channel unless the system was built over another partition.
+    pub fn engines(&self) -> &[BankEngine] {
+        &self.engines
     }
 
-    /// Resident-memory snapshot across every channel's sparse bank
+    /// Resident-memory snapshot across every slice's sparse bank
     /// storage, plus the system's own pooled-path scatter scratch.
     pub fn footprint(&self) -> EngineFootprint {
         let mut total = EngineFootprint::default();
-        for engine in &self.channels {
+        for engine in &self.engines {
             total.merge(&engine.footprint());
         }
         total.accounting_bytes += self.act_scratch.capacity() * std::mem::size_of::<u64>();

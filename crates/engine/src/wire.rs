@@ -44,6 +44,18 @@
 //! checkpoint image inline — defined for symmetry and tooling, but `catd`
 //! refuses it mid-session: recovery happens at startup via `--resume`,
 //! never on a live system.
+//!
+//! Version 3 adds the partitioned datapath (`DESIGN.md §12`): the
+//! [`ServerHello`] advertises the bank slice the backend owns
+//! (`slice_start`/`slice_banks`, so a router or client can refuse a
+//! misrouted connection before streaming) and the served system's stream
+//! position (`accesses`/`epochs` — nonzero for a `--resume`d backend, so
+//! a router can phase its epoch clock and keep accounting exact across
+//! a fleet member's kill-and-resume), [`Frame::EpochCut`] carries a
+//! router's epoch clock to clockless backends in the producer's sequence
+//! space, and the [`StatsSnapshot`] carries the state-footprint counters
+//! so a fleet's merged snapshot can be checked bit-identically against a
+//! single-host run.
 
 use std::io::{self, Read, Write};
 
@@ -56,8 +68,10 @@ pub const MAGIC: [u8; 4] = *b"CATW";
 
 /// Wire format version. Bump on any incompatible change; peers with a
 /// different version refuse the handshake instead of misparsing frames.
-/// Version 2 added the [`Frame::Checkpoint`] and [`Frame::Restore`] kinds.
-pub const VERSION: u16 = 2;
+/// Version 2 added the [`Frame::Checkpoint`] and [`Frame::Restore`]
+/// kinds; version 3 added the [`ServerHello`] slice fields,
+/// [`Frame::EpochCut`], and the [`StatsSnapshot`] footprint counters.
+pub const VERSION: u16 = 3;
 
 /// Hard cap on records per [`Frame::Records`] — bounds the allocation a
 /// malformed (or malicious) length prefix can force on the receiver.
@@ -171,13 +185,28 @@ pub fn read_client_hello<R: Read>(r: &mut R) -> io::Result<u32> {
 /// traffic for the right machine (and reconstruct a local reference run).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServerHello {
-    /// The served system's DRAM geometry.
+    /// The served system's DRAM geometry — always the **full** union
+    /// geometry, even when this backend owns only a slice of it.
     pub geometry: MemGeometry,
+    /// First global bank this backend owns ([`crate::GeometrySlice`]).
+    /// `0` with `slice_banks == geometry.total_banks()` is the
+    /// unpartitioned single-host case.
+    pub slice_start: u32,
+    /// Global banks this backend owns, starting at `slice_start`.
+    pub slice_banks: u32,
     /// The scheme spec in its canonical string form (`sca:64:32768`, …).
     pub spec: String,
     /// Accesses per epoch; `None` when the server fires no automatic
     /// epoch boundaries.
     pub epoch_len: Option<u64>,
+    /// Accesses already inside the served system when the session opened —
+    /// `0` for a fresh system, the recovered position for a `--resume`d
+    /// backend. A fleet router reads this to phase its epoch clock and to
+    /// do exact end-of-session accounting across resumed backends.
+    pub accesses: u64,
+    /// Epoch boundaries already processed when the session opened (the
+    /// counterpart of `accesses` for the epoch counter).
+    pub epochs: u64,
 }
 
 /// Writes the server's handshake reply.
@@ -200,13 +229,17 @@ pub fn write_server_hello<W: Write>(w: &mut W, hello: &ServerHello) -> io::Resul
     ] {
         write_u32(w, field)?;
     }
+    write_u32(w, hello.slice_start)?;
+    write_u32(w, hello.slice_banks)?;
     let spec = hello.spec.as_bytes();
     if spec.len() > usize::from(MAX_SPEC_LEN) {
         return Err(bad(format!("spec string of {} bytes", spec.len())));
     }
     write_u16(w, spec.len() as u16)?;
     w.write_all(spec)?;
-    write_u64(w, hello.epoch_len.unwrap_or(0))
+    write_u64(w, hello.epoch_len.unwrap_or(0))?;
+    write_u64(w, hello.accesses)?;
+    write_u64(w, hello.epochs)
 }
 
 /// Reads and validates a server hello (an epoch length of `0` decodes as
@@ -230,6 +263,8 @@ pub fn read_server_hello<R: Read>(r: &mut R) -> io::Result<ServerHello> {
         lines_per_row: fields[4],
         line_bytes: fields[5],
     };
+    let slice_start = read_u32(r)?;
+    let slice_banks = read_u32(r)?;
     let len = read_u16(r)?;
     if len > MAX_SPEC_LEN {
         return Err(bad(format!("spec string of {len} bytes")));
@@ -241,10 +276,16 @@ pub fn read_server_hello<R: Read>(r: &mut R) -> io::Result<ServerHello> {
         0 => None,
         n => Some(n),
     };
+    let accesses = read_u64(r)?;
+    let epochs = read_u64(r)?;
     Ok(ServerHello {
         geometry,
+        slice_start,
+        slice_banks,
         spec,
         epoch_len,
+        accesses,
+        epochs,
     })
 }
 
@@ -276,6 +317,17 @@ pub enum Frame {
         /// The sealed checkpoint image (≤ [`MAX_RESTORE_BYTES`]).
         image: Vec<u8>,
     },
+    /// An epoch boundary in the producer's record stream (`DESIGN.md
+    /// §12`): the router owns the fleet's epoch clock and delivers each
+    /// cut to every backend at the exact stream position it fired, so
+    /// clockless backends count epochs bit-identically to a single host.
+    /// Shares the producer's sequence space with `Records` so its
+    /// position survives the deterministic merge. Servers that fire their
+    /// own epoch boundaries refuse the frame (connection-fatal).
+    EpochCut {
+        /// Producer-local sequence number, shared with `Records` frames.
+        seq: u64,
+    },
 }
 
 const TAG_RECORDS: u8 = 0x01;
@@ -283,6 +335,7 @@ const TAG_STATS_REQUEST: u8 = 0x02;
 const TAG_FINISH: u8 = 0x03;
 const TAG_CHECKPOINT: u8 = 0x04;
 const TAG_RESTORE: u8 = 0x05;
+const TAG_EPOCH_CUT: u8 = 0x06;
 
 /// Writes a [`Frame::Records`] directly from a slice (no intermediate
 /// `Vec`) — the form the streaming clients use.
@@ -349,6 +402,10 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
             write_u32(w, image.len() as u32)?;
             w.write_all(image)
         }
+        Frame::EpochCut { seq } => {
+            w.write_all(&[TAG_EPOCH_CUT])?;
+            write_u64(w, *seq)
+        }
     }
 }
 
@@ -377,6 +434,11 @@ pub enum FrameHeader {
     Restore {
         /// Bytes in the unread image payload.
         len: u32,
+    },
+    /// A [`Frame::EpochCut`] (no payload beyond the sequence number).
+    EpochCut {
+        /// Producer-local sequence number, shared with `Records` frames.
+        seq: u64,
     },
 }
 
@@ -409,6 +471,10 @@ pub fn read_frame_header<R: Read>(r: &mut R) -> io::Result<FrameHeader> {
                 return Err(bad(format!("{len}-byte restore image")));
             }
             Ok(FrameHeader::Restore { len })
+        }
+        TAG_EPOCH_CUT => {
+            let seq = read_u64(r)?;
+            Ok(FrameHeader::EpochCut { seq })
         }
         other => Err(bad(format!("unknown frame tag {other:#04x}"))),
     }
@@ -467,6 +533,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
             r.read_exact(&mut image)?;
             Ok(Frame::Restore { image })
         }
+        FrameHeader::EpochCut { seq } => Ok(Frame::EpochCut { seq }),
     }
 }
 
@@ -480,6 +547,17 @@ pub struct StatsSnapshot {
     pub epochs: u64,
     /// Scheme statistics aggregated across all banks.
     pub stats: SchemeStats,
+    /// Banks the system owns ([`crate::EngineFootprint::banks`]).
+    pub banks: u64,
+    /// Banks with a materialized scheme instance
+    /// ([`crate::EngineFootprint::materialized_banks`]).
+    pub materialized_banks: u64,
+    /// Bytes of materialized scheme state
+    /// ([`crate::EngineFootprint::scheme_bytes`]). The drive-style-
+    /// dependent accounting scratch is deliberately **not** on the wire:
+    /// the state footprint is what the determinism contract makes
+    /// bit-identical across partitionings.
+    pub scheme_bytes: u64,
 }
 
 /// Writes a stats snapshot. The counters go out in
@@ -497,7 +575,9 @@ pub fn write_stats<W: Write>(w: &mut W, snap: &StatsSnapshot) -> io::Result<()> 
     for field in SchemeStats::FIELDS {
         write_u64(w, (field.get)(&snap.stats))?;
     }
-    Ok(())
+    write_u64(w, snap.banks)?;
+    write_u64(w, snap.materialized_banks)?;
+    write_u64(w, snap.scheme_bytes)
 }
 
 /// Reads a stats snapshot (see [`write_stats`] for the field order).
@@ -512,10 +592,16 @@ pub fn read_stats<R: Read>(r: &mut R) -> io::Result<StatsSnapshot> {
     for field in SchemeStats::FIELDS {
         (field.set)(&mut stats, read_u64(r)?);
     }
+    let banks = read_u64(r)?;
+    let materialized_banks = read_u64(r)?;
+    let scheme_bytes = read_u64(r)?;
     Ok(StatsSnapshot {
         accesses,
         epochs,
         stats,
+        banks,
+        materialized_banks,
+        scheme_bytes,
     })
 }
 
@@ -541,14 +627,20 @@ mod tests {
         assert_eq!(read_client_hello(&mut buf.as_slice()).unwrap(), 7);
 
         for epoch_len in [None, Some(50_000)] {
-            let hello = ServerHello {
-                geometry: geometry(),
-                spec: "drcat:64:11:32768".into(),
-                epoch_len,
-            };
-            let mut buf = Vec::new();
-            write_server_hello(&mut buf, &hello).unwrap();
-            assert_eq!(read_server_hello(&mut buf.as_slice()).unwrap(), hello);
+            for (slice_start, slice_banks) in [(0, 16), (8, 8)] {
+                let hello = ServerHello {
+                    geometry: geometry(),
+                    slice_start,
+                    slice_banks,
+                    spec: "drcat:64:11:32768".into(),
+                    epoch_len,
+                    accesses: 110_000,
+                    epochs: 2,
+                };
+                let mut buf = Vec::new();
+                write_server_hello(&mut buf, &hello).unwrap();
+                assert_eq!(read_server_hello(&mut buf.as_slice()).unwrap(), hello);
+            }
         }
     }
 
@@ -584,6 +676,8 @@ mod tests {
                 image: vec![0xCA, 0x7C, 0x00, 0xFF],
             },
             Frame::Restore { image: Vec::new() },
+            Frame::EpochCut { seq: 17 },
+            Frame::EpochCut { seq: u64::MAX },
         ];
         let mut buf = Vec::new();
         for f in &frames {
@@ -728,10 +822,13 @@ mod tests {
             accesses: 1 << 40,
             epochs: 77,
             stats,
+            banks: 16,
+            materialized_banks: 13,
+            scheme_bytes: 1 << 20,
         };
         let mut buf = Vec::new();
         write_stats(&mut buf, &snap).unwrap();
         assert_eq!(read_stats(&mut buf.as_slice()).unwrap(), snap);
-        assert_eq!(buf.len(), (2 + SchemeStats::FIELDS.len()) * 8);
+        assert_eq!(buf.len(), (5 + SchemeStats::FIELDS.len()) * 8);
     }
 }

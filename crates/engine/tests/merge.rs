@@ -1,0 +1,318 @@
+//! Stats-merge exactness and associativity (`DESIGN.md §12`): merging
+//! per-slice [`SchemeStats`], [`EngineReport`]s and [`EngineFootprint`]s
+//! in slice-id order over **any** partition of the bank space must equal
+//! the unpartitioned totals exactly — this algebra is what lets a fleet
+//! report bit-identically to a single host. The suite sweeps randomized,
+//! seed-driven partitions (recursive aligned-pow2 halving) against the
+//! flat reference, then checks the merge operators directly: associative,
+//! with `Default` as identity.
+
+use cat_core::{SchemeSpec, SchemeStats};
+use cat_engine::{
+    EngineFootprint, EngineReport, GeometrySlice, MemGeometry, MemorySystem, Partition,
+};
+
+const BANKS: u32 = 16;
+const ROWS: u32 = 4096;
+const EPOCH: u64 = 10_000;
+
+fn geometry() -> MemGeometry {
+    MemGeometry {
+        channels: 2,
+        ranks_per_channel: 1,
+        banks_per_rank: 8,
+        rows_per_bank: ROWS,
+        lines_per_row: 16,
+        line_bytes: 64,
+    }
+}
+
+fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hammered-plus-background trace across all banks (same
+/// shape as the ingest and router suites).
+fn seeded_trace(n: u64, seed: u64) -> Vec<(u32, u32)> {
+    (0..n)
+        .map(|i| {
+            let z = mix(i.wrapping_add(seed.wrapping_mul(0x632b_e592_17f2_2b32)));
+            let bank = (z % u64::from(BANKS)) as u32;
+            let row = if i % 4 != 0 {
+                1000 + bank
+            } else {
+                ((z >> 32) % u64::from(ROWS)) as u32
+            };
+            (bank, row)
+        })
+        .collect()
+}
+
+/// A random valid partition: start from the full bank range and keep
+/// splitting slices in half, driven by seed bits — every result is a
+/// disjoint, gap-free, aligned-pow2 cover, but slice widths vary (e.g.
+/// `4 + 4 + 8`), which a uniform split never produces.
+fn random_partition(seed: u64) -> Partition {
+    let geometry = geometry();
+    let mut z = seed;
+    let mut work = vec![(0u32, geometry.total_banks())];
+    let mut slices = Vec::new();
+    while let Some((start, banks)) = work.pop() {
+        z = mix(z);
+        if banks > 1 && !z.is_multiple_of(3) {
+            let half = banks / 2;
+            work.push((start + half, half));
+            work.push((start, half));
+        } else {
+            slices.push(GeometrySlice::new(geometry, start, banks).expect("halving stays valid"));
+        }
+    }
+    slices.sort_by_key(|s| s.start_bank());
+    Partition::from_slices(slices).expect("halving covers without gaps")
+}
+
+/// Runs `trace` through one clockless [`MemorySystem`] per slice,
+/// routing each record to its owner and firing every epoch boundary on
+/// **all** slices at the same global stream position — the in-process
+/// shape of what the fleet router does over sockets.
+fn run_sliced(spec: SchemeSpec, trace: &[(u32, u32)], partition: &Partition) -> Vec<MemorySystem> {
+    let mut systems: Vec<MemorySystem> = partition
+        .slices()
+        .iter()
+        .map(|s| MemorySystem::for_slice(s, spec))
+        .collect();
+    for (i, &(bank, row)) in trace.iter().enumerate() {
+        systems[partition.route(bank)].push_decoded(bank, row);
+        if (i as u64 + 1).is_multiple_of(EPOCH) {
+            for system in &mut systems {
+                system.flush();
+                system.end_epoch();
+            }
+        }
+    }
+    for system in &mut systems {
+        system.flush();
+    }
+    systems
+}
+
+/// Field-by-field [`EngineReport`] comparison, excluding
+/// `footprint.accounting_bytes` (scratch high-water marks depend on the
+/// engine split — the execution strategy — so only the wire-travelling
+/// footprint fields are partition-invariant, exactly as `StatsSnapshot`
+/// encodes).
+fn assert_report_matches(merged: &EngineReport, reference: &EngineReport, label: &str) {
+    assert_eq!(merged.accesses, reference.accesses, "{label}: accesses");
+    assert_eq!(merged.epochs, reference.epochs, "{label}: epochs");
+    assert_eq!(
+        merged.activations_per_bank, reference.activations_per_bank,
+        "{label}: per-bank activations"
+    );
+    assert_eq!(
+        merged.scheme_stats, reference.scheme_stats,
+        "{label}: aggregate stats"
+    );
+    assert_eq!(
+        merged.per_bank_stats, reference.per_bank_stats,
+        "{label}: per-bank stats"
+    );
+    assert_eq!(
+        merged.footprint.banks, reference.footprint.banks,
+        "{label}: banks"
+    );
+    assert_eq!(
+        merged.footprint.materialized_banks, reference.footprint.materialized_banks,
+        "{label}: materialized banks"
+    );
+    assert_eq!(
+        merged.footprint.scheme_bytes, reference.footprint.scheme_bytes,
+        "{label}: scheme bytes"
+    );
+}
+
+/// Every partition of the bank space — uniform and randomized — merges
+/// back to the unpartitioned totals exactly, for a flat-counter and a
+/// tree scheme across several trace seeds.
+#[test]
+fn sliced_merges_equal_unpartitioned_totals_over_randomized_partitions() {
+    let cases = [
+        (
+            SchemeSpec::Sca {
+                counters: 64,
+                threshold: 512,
+            },
+            1u64,
+        ),
+        (
+            SchemeSpec::Sca {
+                counters: 64,
+                threshold: 512,
+            },
+            0x5EED,
+        ),
+        (
+            SchemeSpec::Drcat {
+                counters: 64,
+                levels: 11,
+                threshold: 512,
+            },
+            0xC0FFEE,
+        ),
+    ];
+    for (spec, seed) in cases {
+        let trace = seeded_trace(60_003, seed);
+        let mut reference = MemorySystem::new(geometry(), spec).with_epoch_length(EPOCH);
+        reference.process(&trace);
+        assert!(
+            reference.stats().refresh_events > 0,
+            "seed {seed:#x}: trace too tame, nothing to compare"
+        );
+        let ref_report = reference.report();
+
+        let mut partitions: Vec<Partition> = [1u32, 2, 4, 8, 16]
+            .iter()
+            .map(|&n| Partition::uniform(geometry(), n).unwrap())
+            .collect();
+        partitions.extend((0..3).map(|i| random_partition(seed.wrapping_add(i))));
+
+        for partition in &partitions {
+            let label = format!(
+                "{spec} seed {seed:#x}, {} slice(s) {:?}",
+                partition.len(),
+                partition
+                    .slices()
+                    .iter()
+                    .map(|s| s.banks())
+                    .collect::<Vec<_>>()
+            );
+            let systems = run_sliced(spec, &trace, partition);
+
+            // SchemeStats: sum in slice order == the flat run's stats.
+            let mut stats = SchemeStats::default();
+            for system in &systems {
+                stats.merge(&system.stats());
+            }
+            assert_eq!(stats, reference.stats(), "{label}: merged stats");
+
+            // EngineReport: slice-order merge == the flat run's report
+            // (per-bank vectors concatenate into global bank order).
+            let mut report = EngineReport::default();
+            for system in &systems {
+                report.merge(&system.report());
+            }
+            assert_report_matches(&report, &ref_report, &label);
+
+            // EngineFootprint: the wire-travelling fields sum exactly.
+            let mut footprint = EngineFootprint::default();
+            for system in &systems {
+                footprint.merge(&system.footprint());
+            }
+            let ref_footprint = reference.footprint();
+            assert_eq!(footprint.banks, ref_footprint.banks, "{label}");
+            assert_eq!(
+                footprint.materialized_banks, ref_footprint.materialized_banks,
+                "{label}"
+            );
+            assert_eq!(
+                footprint.scheme_bytes, ref_footprint.scheme_bytes,
+                "{label}"
+            );
+        }
+    }
+}
+
+/// The merge operators themselves: associative over real per-slice
+/// values (any grouping of a slice-ordered fold agrees) with `Default`
+/// as identity — the property that lets a fleet merge be staged in any
+/// tree shape without changing the result.
+#[test]
+fn merges_are_associative_with_default_identity() {
+    let spec = SchemeSpec::Drcat {
+        counters: 64,
+        levels: 11,
+        threshold: 512,
+    };
+    let trace = seeded_trace(40_000, 0xA550C);
+    let partition = Partition::uniform(geometry(), 4).unwrap();
+    let systems = run_sliced(spec, &trace, &partition);
+
+    // SchemeStats: ((a ⊕ b) ⊕ c) ⊕ d == a ⊕ ((b ⊕ c) ⊕ d), and the
+    // identity folds in anywhere. `max_depth_touched` merges by max, the
+    // counters by sum — both associative, both with 0 as identity.
+    let stats: Vec<SchemeStats> = systems.iter().map(|s| s.stats()).collect();
+    let fold_left = {
+        let mut acc = SchemeStats::default();
+        for s in &stats {
+            acc.merge(s);
+        }
+        acc
+    };
+    let fold_grouped = {
+        let mut left = stats[0];
+        left.merge(&stats[1]);
+        let mut right = stats[2];
+        right.merge(&stats[3]);
+        let mut acc = SchemeStats::default();
+        acc.merge(&left);
+        acc.merge(&SchemeStats::default());
+        acc.merge(&right);
+        acc
+    };
+    assert_eq!(
+        fold_left, fold_grouped,
+        "SchemeStats grouping changed the merge"
+    );
+
+    // EngineFootprint over the same slices, plus synthesized values far
+    // from any real run (large, odd, non-pow2) to rule out coincidence.
+    let mut fleet = EngineFootprint::default();
+    for system in &systems {
+        fleet.merge(&system.footprint());
+    }
+    let mut staged = systems[0].footprint();
+    staged.merge(&systems[1].footprint());
+    let mut tail = systems[2].footprint();
+    tail.merge(&systems[3].footprint());
+    staged.merge(&tail);
+    assert_eq!(fleet, staged, "EngineFootprint grouping changed the merge");
+    let synth = |z: u64| EngineFootprint {
+        banks: (mix(z) % 1_000_003) as usize,
+        materialized_banks: (mix(z + 1) % 999_983) as usize,
+        scheme_bytes: (mix(z + 2) % (1 << 40)) as usize,
+        accounting_bytes: (mix(z + 3) % (1 << 40)) as usize,
+    };
+    let (a, b, c) = (synth(7), synth(77), synth(777));
+    let mut left = a;
+    left.merge(&b);
+    left.merge(&c);
+    let mut right = b;
+    right.merge(&c);
+    let mut outer = a;
+    outer.merge(&right);
+    assert_eq!(
+        left, outer,
+        "synthesized EngineFootprint merge not associative"
+    );
+
+    // EngineReport: slice-ordered grouping invariance (per-bank vectors
+    // concatenate, so order must be preserved — grouping is free, order
+    // is not).
+    let reports: Vec<EngineReport> = systems.iter().map(|s| s.report()).collect();
+    let mut flat = EngineReport::default();
+    for r in &reports {
+        flat.merge(r);
+    }
+    let mut head = reports[0].clone();
+    head.merge(&reports[1]);
+    let mut tail = reports[2].clone();
+    tail.merge(&reports[3]);
+    head.merge(&tail);
+    assert_report_matches(&head, &flat, "EngineReport grouping");
+    assert_eq!(
+        head.footprint.accounting_bytes, flat.footprint.accounting_bytes,
+        "same slicing, so even accounting bytes agree"
+    );
+}

@@ -29,6 +29,15 @@
 //! - `--resume` — before serving, recover state from `--checkpoint-dir`
 //!   (image + trace-log tail). The session configuration must match the
 //!   one checkpointed; prints `catd: resumed N accesses` for scripts.
+//!
+//! Fleet flag (`DESIGN.md §12`):
+//!
+//! - `--slice K/N` — serve only slice `K` of the geometry split into `N`
+//!   uniform slices (`N` a power of two). The slice is advertised in the
+//!   wire handshake and out-of-slice records are refused. A sliced
+//!   backend runs **clockless**: the epoch positional must be `0`, and
+//!   epoch boundaries arrive as `EpochCut` frames from the router that
+//!   owns the fleet clock (`catd_router`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,7 +47,7 @@ use std::path::PathBuf;
 
 use catree::engine::checkpoint::{resume_from_dir, CheckpointConfig};
 use catree::engine::ingest::{serve, ServeOptions};
-use catree::{MemorySystem, SchemeSpec, SystemConfig};
+use catree::{MemorySystem, Partition, SchemeSpec, SystemConfig};
 
 fn parse<T: std::str::FromStr>(what: &str, s: &str) -> T
 where
@@ -55,6 +64,7 @@ fn main() {
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut checkpoint_epochs: u64 = 1;
     let mut resume = false;
+    let mut slice: Option<(u32, u32)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -68,6 +78,11 @@ fn main() {
                 assert!(checkpoint_epochs >= 1, "--checkpoint-epochs must be >= 1");
             }
             "--resume" => resume = true,
+            "--slice" => {
+                let kn = args.next().expect("--slice needs K/N");
+                let (k, n) = kn.split_once('/').expect("--slice takes K/N, e.g. 0/2");
+                slice = Some((parse("--slice K", k), parse("--slice N", n)));
+            }
             flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
             _ => positionals.push(arg),
         }
@@ -83,7 +98,23 @@ fn main() {
     }
 
     let cfg = SystemConfig::dual_core_two_channel();
-    let mut system = MemorySystem::new(&cfg, spec).with_shards(shards);
+    let mut system = match slice {
+        Some((k, n)) => {
+            // A fleet member never runs its own epoch clock: the router
+            // owns the clock and streams `EpochCut` frames instead.
+            assert!(
+                epoch == 0,
+                "--slice backends are clockless: pass epoch 0 (the router fires the cuts)"
+            );
+            let partition = Partition::uniform(&cfg, n).expect("--slice N must split the banks");
+            let owned = *partition
+                .slices()
+                .get(k as usize)
+                .unwrap_or_else(|| panic!("--slice {k}/{n}: K must be < N"));
+            MemorySystem::for_slice(&owned, spec).with_shards(shards)
+        }
+        None => MemorySystem::new(&cfg, spec).with_shards(shards),
+    };
     if epoch > 0 {
         system = system.with_epoch_length(epoch);
     }
@@ -109,12 +140,14 @@ fn main() {
         listener.local_addr().expect("bound address")
     );
     println!(
-        "catd: serving {spec} over {} banks, {} producer(s), {} shard(s), epoch {}",
-        cfg.total_banks(),
+        "catd: serving {spec} over {}, {} producer(s), {} shard(s), epoch {}",
+        system.slice(),
         producers,
         shards,
         if epoch > 0 {
             epoch.to_string()
+        } else if slice.is_some() {
+            "router-driven".into()
         } else {
             "off".into()
         }
@@ -144,9 +177,9 @@ fn main() {
         report.snapshot.stats.refreshed_rows,
         report.stats_served
     );
-    for (ch, engine) in system.channel_engines().iter().enumerate() {
+    for (owned, engine) in system.engine_slices().iter().zip(system.engines()) {
         println!(
-            "catd:   channel {ch}: {} activations over {} banks",
+            "catd:   engine [{owned}]: {} activations over {} banks",
             engine.activations_per_bank().iter().sum::<u64>(),
             engine.bank_count()
         );

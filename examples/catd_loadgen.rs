@@ -62,17 +62,35 @@ fn main() {
         "skip {skip} + send {send} exceeds the {accesses}-access trace"
     );
 
-    // Producer 0 connects first and learns the served configuration from
-    // the handshake; everything — trace geometry, the local reference run
-    // — follows what the *server* announced, not local assumptions.
-    let mut first =
-        IngestClient::connect(addr.as_str(), 0).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+    // Producer 0 connects first (with retry — the server of a freshly
+    // spawned smoke may not have bound its listener yet) and learns the
+    // served configuration from the handshake; everything — trace
+    // geometry, the local reference run — follows what the *server*
+    // announced, not local assumptions.
+    let mut first = IngestClient::connect_with_retry(addr.as_str(), 0, 30)
+        .unwrap_or_else(|e| panic!("connect {addr}: {e}"));
     let hello = first.server_hello().clone();
     let cfg = SystemConfig::dual_core_two_channel();
     assert_eq!(
         hello.geometry,
         cfg.geometry(),
         "catd serves a different geometry than this generator produces"
+    );
+    // The generator streams the whole bank space: a sliced fleet backend
+    // (which would refuse most records) is not a valid target — point
+    // this at `catd_router` (or an unsliced `catd`) instead.
+    assert!(
+        hello.slice_start == 0 && hello.slice_banks == cfg.total_banks(),
+        "{addr} serves only {} of {} banks (a fleet backend?); aim at the router",
+        hello.slice_banks,
+        cfg.total_banks()
+    );
+    // The server's advertised stream position must equal the prefix this
+    // invocation assumes was carried over from the checkpointed session.
+    assert_eq!(
+        hello.accesses, skip as u64,
+        "{addr} holds {} accesses, this invocation skips {skip}",
+        hello.accesses
     );
     let spec: SchemeSpec = hello
         .spec
@@ -122,7 +140,7 @@ fn main() {
             .map(|(id, lane)| {
                 let addr = addr.as_str();
                 scope.spawn(move || {
-                    let mut client = IngestClient::connect(addr, id as u32)
+                    let mut client = IngestClient::connect_with_retry(addr, id as u32, 30)
                         .unwrap_or_else(|e| panic!("connect producer {id}: {e}"));
                     for batch in lane {
                         client.send(batch).expect("send records");
@@ -156,6 +174,23 @@ fn main() {
             "loadgen: MISMATCH\n  server:    {:?}\n  reference: {:?}",
             server.stats,
             reference.stats()
+        );
+        std::process::exit(1);
+    }
+    // The footprint travels the wire too (summed across a fleet): the
+    // server — or the merged fleet — must materialize exactly the banks
+    // the reference run does.
+    let fp = reference.footprint();
+    let fp_expected = (
+        fp.banks as u64,
+        fp.materialized_banks as u64,
+        fp.scheme_bytes as u64,
+    );
+    let fp_server = (server.banks, server.materialized_banks, server.scheme_bytes);
+    if fp_server != fp_expected {
+        eprintln!(
+            "loadgen: FOOTPRINT MISMATCH (banks, materialized, scheme bytes)\n  \
+             server:    {fp_server:?}\n  reference: {fp_expected:?}"
         );
         std::process::exit(1);
     }

@@ -1,0 +1,104 @@
+//! `catd_router` — the fleet front-end (`DESIGN.md §12`): one process
+//! fronting N sliced `catd` backends. Clients connect to it exactly as
+//! they would to a single `catd` — same wire handshake (the **union**
+//! geometry is advertised), same deterministic `(seq, producer)` merge —
+//! and the router re-deals the merged stream by global bank to the
+//! backend owning each record's slice, over one producer connection per
+//! backend. The router owns the fleet's epoch clock: backends run
+//! clockless (`catd --slice K/N` with epoch `0`) and receive `EpochCut`
+//! frames at every global boundary. The final snapshot is the slice-order
+//! merge of every backend's — bit-identical to a single host on the union
+//! geometry, which is exactly what `catd_loadgen` verifies in the fleet
+//! smoke of `scripts/tier1.sh`.
+//!
+//! Run with:
+//! `cargo run --release --example catd_router -- [listen-addr] [producers] [epoch] <backend-addr>...`
+//!
+//! Defaults: `127.0.0.1:0` (the bound address is printed for scripts),
+//! 1 producer, 50 000 accesses per epoch (`0` = clockless: client
+//! `EpochCut`s are forwarded instead). One backend address per slice of
+//! the uniform partition — 2 addresses = banks split in half, in address
+//! order. The geometry is the paper's dual-core two-channel system; the
+//! scheme spec is learned from the backends' handshakes (they must all
+//! agree). One session is served, the merged report is printed, and the
+//! process exits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::net::TcpListener;
+
+use catree::engine::router::{serve, RouterOptions};
+use catree::{Partition, SystemConfig};
+
+fn parse<T: std::str::FromStr>(what: &str, s: &str) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    s.parse()
+        .unwrap_or_else(|e| panic!("{what} ({s:?}): {e:?}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional = |n: usize| args.get(n).map(String::as_str);
+    let listen: String = positional(0).unwrap_or("127.0.0.1:0").to_string();
+    let producers: usize = parse("producers", positional(1).unwrap_or("1"));
+    let epoch: u64 = parse("epoch", positional(2).unwrap_or("50000"));
+    let backends: Vec<String> = args.iter().skip(3).cloned().collect();
+    assert!(
+        !backends.is_empty(),
+        "usage: catd_router [listen-addr] [producers] [epoch] <backend-addr>..."
+    );
+
+    let cfg = SystemConfig::dual_core_two_channel();
+    let partition = Partition::uniform(&cfg, backends.len() as u32)
+        .unwrap_or_else(|e| panic!("{} backends: {e}", backends.len()));
+
+    let listener = TcpListener::bind(&listen).expect("bind listen address");
+    // The scrape line for scripts: always the *actual* address (for
+    // `…:0`, the kernel-assigned ephemeral port).
+    println!(
+        "catd_router: listening on {}",
+        listener.local_addr().expect("bound address")
+    );
+    println!(
+        "catd_router: fronting {} backend(s) over {} banks, {} producer(s), epoch {}",
+        backends.len(),
+        cfg.total_banks(),
+        producers,
+        if epoch > 0 {
+            epoch.to_string()
+        } else {
+            "client-driven".into()
+        }
+    );
+
+    let options = RouterOptions {
+        producers,
+        epoch_len: (epoch > 0).then_some(epoch),
+        ..Default::default()
+    };
+    let report =
+        serve(&listener, &partition, &backends, &options).expect("fleet ingestion session failed");
+
+    println!(
+        "catd_router: session done — {} accesses, {} epochs, {} refreshes over {} rows, \
+         {} stats snapshot(s) served",
+        report.snapshot.accesses,
+        report.snapshot.epochs,
+        report.snapshot.stats.refresh_events,
+        report.snapshot.stats.refreshed_rows,
+        report.stats_served
+    );
+    for (slice, snap) in partition.slices().iter().zip(&report.per_backend) {
+        println!(
+            "catd_router:   backend [{slice}]: {} accesses, {} of {} banks materialized",
+            snap.accesses, snap.materialized_banks, snap.banks
+        );
+    }
+    println!(
+        "catd_router: fleet footprint — {} of {} banks materialized, {} scheme bytes resident",
+        report.snapshot.materialized_banks, report.snapshot.banks, report.snapshot.scheme_bytes
+    );
+}

@@ -62,9 +62,9 @@ fn main() {
         baseline.reads,
         baseline.writes
     );
-    // The simulator drives a cat_engine::MemorySystem: per-channel
-    // engines behind the address decode.
-    for (ch, engine) in base.system().channel_engines().iter().enumerate() {
+    // The simulator drives a cat_engine::MemorySystem: per-slice
+    // engines behind the address decode (one per channel here).
+    for (ch, engine) in base.system().engines().iter().enumerate() {
         println!(
             "  channel {ch}: {} activations over {} banks",
             engine.activations_per_bank().iter().sum::<u64>(),

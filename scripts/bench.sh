@@ -47,24 +47,24 @@ if [ "$HAVE_OLD" = 1 ]; then
             }
         }
         END {
-            printf "  %-12s %-16s %14s %14s %9s\n", \
+            printf "  %-12s %-18s %14s %14s %9s\n", \
                 "scheme", "path", "old acts/s", "new acts/s", "delta"
             for (i = 1; i <= n; i++) {
                 key = keys[i]
                 split(key, kp, "|")
                 if (key in old && old[key] > 0) {
                     d = (new[key] / old[key] - 1) * 100
-                    printf "  %-12s %-16s %14d %14d %+8.1f%%\n", \
+                    printf "  %-12s %-18s %14d %14d %+8.1f%%\n", \
                         kp[1], kp[2], old[key], new[key], d
                 } else {
-                    printf "  %-12s %-16s %14s %14d %9s\n", \
+                    printf "  %-12s %-18s %14s %14d %9s\n", \
                         kp[1], kp[2], "-", new[key], "(new)"
                 }
             }
             for (key in old) {
                 if (!(key in new)) {
                     split(key, kp, "|")
-                    printf "  %-12s %-16s %14d %14s %9s\n", \
+                    printf "  %-12s %-18s %14d %14s %9s\n", \
                         kp[1], kp[2], old[key], "-", "(gone)"
                 }
             }

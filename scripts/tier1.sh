@@ -47,8 +47,10 @@ echo "tier-1: sparse 1Mi-bank smoke OK (under 1 GiB ceiling)"
 # exercised with more lanes than this host may have cores.
 CATD_LOG="$(mktemp)"
 CATD_PID=""
+FLEET_PIDS=""
 cleanup_catd() {
     [ -n "$CATD_PID" ] && kill "$CATD_PID" 2>/dev/null || true
+    for pid in $FLEET_PIDS; do kill "$pid" 2>/dev/null || true; done
     rm -f "$CATD_LOG"
 }
 trap cleanup_catd EXIT
@@ -124,5 +126,83 @@ run_catd_resume_smoke() {
     echo "tier-1: catd kill-and-resume smoke OK (resumed at ${first}/${total})"
 }
 run_catd_resume_smoke
+
+# Fleet smoke (DESIGN.md §12): a 2-backend fleet behind catd_router must
+# be bit-identical to a single host — including across a fleet-wide
+# restart. Session 1: two sliced clockless backends (each checkpointing
+# into its own directory) behind a router that owns the epoch-50k clock;
+# the load generator streams 110 000 of a 240 000-access trace and every
+# process exits cleanly at that cut-aligned session boundary, publishing
+# final images. Session 2: both backends --resume from their own
+# directories, a fresh router re-phases the fleet clock from their
+# advertised positions, and the load generator (skip=110000) verifies the
+# combined fleet result bit-identically against its local single-process
+# replay of the full trace on the union geometry.
+run_fleet_smoke() {
+    local total=240000 first=110000 epoch=50000
+    local dir0 dir1 b0log b1log rlog
+    dir0="$(mktemp -d)"; dir1="$(mktemp -d)"
+    b0log="$(mktemp)"; b1log="$(mktemp)"; rlog="$(mktemp)"
+
+    scrape_listen_addr() { # <log> <tag: catd|catd_router>
+        local addr=""
+        for _ in $(seq 1 100); do
+            addr="$(sed -n "s/^$2: listening on //p" "$1")"
+            [ -n "$addr" ] && break
+            sleep 0.1
+        done
+        [ -n "$addr" ] || { echo "$2 never reported its address" >&2; cat "$1" >&2; exit 1; }
+        printf '%s' "$addr"
+    }
+
+    fleet_session() { # <skip> <send> <backend-resume-flag or empty>
+        local skip="$1" send="$2" resume="$3"
+        local a0 a1 raddr pid0 pid1 rpid
+        : >"$b0log"; : >"$b1log"; : >"$rlog"
+        # Sliced backends run clockless (epoch positional 0): the router
+        # owns the fleet clock and streams EpochCut frames instead.
+        # shellcheck disable=SC2086
+        ./target/release/examples/catd 127.0.0.1:0 drcat:64:11:2048 1 0 2 \
+            --slice 0/2 --checkpoint-dir "$dir0" $resume >"$b0log" &
+        pid0=$!
+        # shellcheck disable=SC2086
+        ./target/release/examples/catd 127.0.0.1:0 drcat:64:11:2048 1 0 2 \
+            --slice 1/2 --checkpoint-dir "$dir1" $resume >"$b1log" &
+        pid1=$!
+        FLEET_PIDS="$pid0 $pid1"
+        a0="$(scrape_listen_addr "$b0log" catd)"
+        a1="$(scrape_listen_addr "$b1log" catd)"
+        ./target/release/examples/catd_router 127.0.0.1:0 2 "$epoch" "$a0" "$a1" >"$rlog" &
+        rpid=$!
+        FLEET_PIDS="$pid0 $pid1 $rpid"
+        raddr="$(scrape_listen_addr "$rlog" catd_router)"
+        ./target/release/examples/catd_loadgen "$raddr" swapt "$total" 2 8192 "$skip" "$send"
+        wait "$rpid"
+        wait "$pid0"
+        wait "$pid1"
+        FLEET_PIDS=""
+        grep -q "session done" "$rlog" || { echo "catd_router did not finish cleanly"; cat "$rlog"; exit 1; }
+        grep -q "session done" "$b0log" || { echo "backend 0/2 did not finish cleanly"; cat "$b0log"; exit 1; }
+        grep -q "session done" "$b1log" || { echo "backend 1/2 did not finish cleanly"; cat "$b1log"; exit 1; }
+    }
+
+    fleet_session 0 "$first" ""
+    fleet_session "$first" $((total - first)) --resume
+    # Each backend recovered its scatter split of the stream, so the two
+    # resume positions must sum to the fleet position the fresh router
+    # re-phased its clock from.
+    local r0 r1
+    r0="$(sed -n 's/^catd: resumed \([0-9]*\) accesses.*/\1/p' "$b0log")"
+    r1="$(sed -n 's/^catd: resumed \([0-9]*\) accesses.*/\1/p' "$b1log")"
+    { [ -n "$r0" ] && [ -n "$r1" ]; } || {
+        echo "a backend did not report a resume position"; cat "$b0log" "$b1log"; exit 1; }
+    [ $((r0 + r1)) -eq "$first" ] || {
+        echo "backend resume positions $r0 + $r1 != fleet position $first"
+        cat "$b0log" "$b1log"; exit 1; }
+    rm -rf "$dir0" "$dir1"
+    rm -f "$b0log" "$b1log" "$rlog"
+    echo "tier-1: catd fleet smoke OK (2 sliced backends, fleet resumed at ${first}/${total})"
+}
+run_fleet_smoke
 
 echo "tier-1: OK"

@@ -50,7 +50,7 @@ pub use cat_core::{
 pub use cat_energy::{cmrpo_from_stats, CmrpoBreakdown};
 pub use cat_engine::{
     AddressMapping, BankEngine, BatchOutcome, EngineFootprint, EngineReport, GeometryError,
-    Location, MemGeometry, MemorySystem,
+    GeometrySlice, Location, MemGeometry, MemorySystem, Partition, PartitionError, SliceError,
 };
 pub use cat_sim::{
     functional, tracefile, MappingPolicy, MemAccess, SchemeSpec, SimReport, Simulator,

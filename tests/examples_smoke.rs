@@ -16,12 +16,14 @@ use std::process::Command;
 /// Every example target in `examples/` (kept in sync by the assertion in
 /// [`examples_build_and_quickstart_runs`]). The `catd`/`catd_loadgen`
 /// pair additionally gets a loopback run (server + client over
-/// 127.0.0.1) in `scripts/tier1.sh` and CI.
-const EXAMPLES: [&str; 8] = [
+/// 127.0.0.1) in `scripts/tier1.sh` and CI, and `catd_router` fronts a
+/// two-backend fleet there (the fleet smoke).
+const EXAMPLES: [&str; 9] = [
     "adaptive_tree",
     "attack_defense",
     "catd",
     "catd_loadgen",
+    "catd_router",
     "full_system",
     "quickstart",
     "sparse_smoke",
